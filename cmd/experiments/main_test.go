@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "fig99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRejectsBadScale(t *testing.T) {
+	for _, s := range []string{"0", "-1", "2"} {
+		if err := run([]string{"-run", "fig1a", "-scale", s}); err == nil {
+			t.Fatalf("scale %s accepted", s)
+		}
+	}
+}
+
+func TestRunOneExperimentWithCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size data run")
+	}
+	dir := t.TempDir()
+	if err := run([]string{"-run", "fig1a", "-scale", "0.02", "-csv-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig1a.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := string(data)
+	if !strings.HasPrefix(csv, "Entries per Bucket,") {
+		t.Fatalf("CSV header: %q", csv[:40])
+	}
+	if len(strings.Split(strings.TrimSpace(csv), "\n")) != 9 { // header + 8 bs values
+		t.Fatalf("CSV rows wrong:\n%s", csv)
+	}
+}
+
+func TestIndentHelper(t *testing.T) {
+	got := indent("a\nb\n", "  ")
+	if got != "  a\n  b" {
+		t.Fatalf("indent = %q", got)
+	}
+}

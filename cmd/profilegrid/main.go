@@ -1,0 +1,118 @@
+// Command profilegrid reproduces Table 3: the memory-hierarchy profile of
+// Simple Grid before and after the re-implementation, measured on the
+// simulated cache hierarchy (the substitute for the paper's CPU
+// performance counters — see DESIGN.md).
+//
+// Examples:
+//
+//	profilegrid                          # paper configurations, scaled ticks
+//	profilegrid -scale 1.0               # full 100-tick replay (slow)
+//	profilegrid -before-cps 20 -after-cps 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/memsim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "profilegrid:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("profilegrid", flag.ContinueOnError)
+	var (
+		points    = fs.Int("points", workload.DefaultNumPoints, "number of moving objects")
+		scale     = fs.Float64("scale", 0.1, "tick-count scale in (0,1]")
+		seed      = fs.Uint64("seed", 1, "workload random seed")
+		beforeBS  = fs.Int("before-bs", 4, "bucket size of the original grid")
+		beforeCPS = fs.Int("before-cps", 13, "cells per side of the original grid")
+		afterBS   = fs.Int("after-bs", 20, "bucket size of the refactored grid")
+		afterCPS  = fs.Int("after-cps", 64, "cells per side of the refactored grid")
+		l1KB      = fs.Int("l1-kb", 32, "L1d size in KiB")
+		l2KB      = fs.Int("l2-kb", 256, "L2 size in KiB")
+		l3MB      = fs.Int("l3-mb", 8, "L3 size in MiB")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *scale <= 0 || *scale > 1 {
+		return fmt.Errorf("scale must be in (0,1], got %g", *scale)
+	}
+
+	wcfg := workload.DefaultUniform()
+	wcfg.Seed = *seed
+	wcfg.NumPoints = *points
+	wcfg.Ticks = int(float64(wcfg.Ticks)**scale + 0.5)
+	if wcfg.Ticks < 2 {
+		wcfg.Ticks = 2
+	}
+	fmt.Fprintf(os.Stderr, "recording workload: %d points, %d ticks\n", wcfg.NumPoints, wcfg.Ticks)
+	trace, err := workload.Record(wcfg)
+	if err != nil {
+		return err
+	}
+
+	hier := memsim.DefaultHierarchy()
+	hier.L1.SizeBytes = *l1KB << 10
+	hier.L2.SizeBytes = *l2KB << 10
+	hier.L3.SizeBytes = *l3MB << 20
+
+	before := memsim.GridSimConfig{Kind: memsim.GridOriginal, BS: *beforeBS, CPS: *beforeCPS}
+	after := memsim.GridSimConfig{Kind: memsim.GridRefactored, BS: *afterBS, CPS: *afterCPS}
+
+	fmt.Fprintf(os.Stderr, "profiling before (original, bs=%d cps=%d)...\n", before.BS, before.CPS)
+	bres, err := memsim.ProfileGrid(before, trace, hier, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "profiling after (refactored, bs=%d cps=%d)...\n", after.BS, after.CPS)
+	ares, err := memsim.ProfileGrid(after, trace, hier, 0)
+	if err != nil {
+		return err
+	}
+	if bres.Pairs != ares.Pairs {
+		return fmt.Errorf("join results diverge: %d vs %d pairs", bres.Pairs, ares.Pairs)
+	}
+
+	table := stats.NewTable(
+		fmt.Sprintf("Profiling (simulated %dKiB/%dKiB/%dMiB hierarchy): %d points, %d ticks",
+			*l1KB, *l2KB, *l3MB, wcfg.NumPoints, wcfg.Ticks),
+		"Simple Grid", "CPI", "Total INS", "L1 Misses", "L2 Misses", "L3 Misses",
+	)
+	addRow := func(name string, p memsim.Profile) {
+		table.AddRow(name,
+			fmt.Sprintf("%.2f", p.CPI),
+			fmt.Sprintf("%d", p.Instructions),
+			fmt.Sprintf("%d", p.L1Misses),
+			fmt.Sprintf("%d", p.L2Misses),
+			fmt.Sprintf("%d", p.L3Misses))
+	}
+	addRow("Before", bres.Profile)
+	addRow("After", ares.Profile)
+	fmt.Print(table.Format())
+	b, a := bres.Profile, ares.Profile
+	fmt.Printf("\nreductions: INS %.1fx, L1 %.1fx, L2 %.1fx, L3 %.1fx, CPI %.2f -> %.2f\n",
+		safeRatio(float64(b.Instructions), float64(a.Instructions)),
+		safeRatio(float64(b.L1Misses), float64(a.L1Misses)),
+		safeRatio(float64(b.L2Misses), float64(a.L2Misses)),
+		safeRatio(float64(b.L3Misses), float64(a.L3Misses)),
+		b.CPI, a.CPI)
+	fmt.Printf("join check: both implementations found %d pairs over %d queries\n", bres.Pairs, bres.Queries)
+	return nil
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

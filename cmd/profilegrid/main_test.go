@@ -1,0 +1,50 @@
+package main
+
+import "testing"
+
+func TestRejectsBadScale(t *testing.T) {
+	for _, s := range []string{"0", "1.5"} {
+		if err := run([]string{"-scale", s}); err == nil {
+			t.Fatalf("scale %s accepted", s)
+		}
+	}
+}
+
+func TestProfileSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory simulation run")
+	}
+	err := run([]string{
+		"-points", "3000", "-scale", "0.02", "-seed", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileCustomHierarchyAndTunings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory simulation run")
+	}
+	err := run([]string{
+		"-points", "2000", "-scale", "0.02",
+		"-before-bs", "2", "-before-cps", "8",
+		"-after-bs", "16", "-after-cps", "32",
+		"-l1-kb", "16", "-l2-kb", "128", "-l3-mb", "4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsBadHierarchy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("records a workload before failing")
+	}
+	// 48KB L1 with 8 ways and 64B lines gives a non-power-of-two set
+	// count, which the simulator must reject.
+	err := run([]string{"-points", "500", "-scale", "0.02", "-l1-kb", "48"})
+	if err == nil {
+		t.Fatal("invalid hierarchy accepted")
+	}
+}

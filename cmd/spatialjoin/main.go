@@ -1,0 +1,174 @@
+// Command spatialjoin runs one iterated spatial join — one technique on
+// one workload — and prints the timing breakdown, the metric the paper
+// reports per technique.
+//
+// Examples:
+//
+//	spatialjoin -technique grid                      # original Simple Grid, default workload
+//	spatialjoin -technique grid-tuned -queriers 0.9  # the paper's winner, 90% query rate
+//	spatialjoin -technique rtree -workload gaussian -hotspots 10
+//	spatialjoin -list                                # show all techniques
+//	spatialjoin -technique crtree -trace w.sjtr      # replay a recorded trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "spatialjoin:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("spatialjoin", flag.ContinueOnError)
+	var (
+		techniqueKey = fs.String("technique", "grid-tuned", "technique key (see -list)")
+		compare      = fs.String("compare", "", "comma-separated technique keys to race on one workload (or \"all\")")
+		list         = fs.Bool("list", false, "list available techniques and exit")
+		kind         = fs.String("workload", "uniform", "workload kind: uniform, gaussian or simulation")
+		points       = fs.Int("points", workload.DefaultNumPoints, "number of moving objects")
+		ticks        = fs.Int("ticks", 0, "number of ticks (0 = workload default)")
+		space        = fs.Float64("space", workload.DefaultSpaceSize, "side length of the square space")
+		speed        = fs.Float64("speed", workload.DefaultMaxSpeed, "maximum object speed per tick")
+		querySize    = fs.Float64("query-size", workload.DefaultQuerySize, "side length of range queries")
+		queriers     = fs.Float64("queriers", workload.DefaultQueriers, "fraction of objects querying per tick")
+		updaters     = fs.Float64("updaters", workload.DefaultUpdaters, "fraction of objects updating per tick")
+		hotspots     = fs.Int("hotspots", workload.DefaultHotspots, "hotspot count (gaussian only)")
+		seed         = fs.Uint64("seed", 1, "workload random seed")
+		tracePath    = fs.String("trace", "", "replay a recorded trace file instead of generating")
+		parallel     = fs.Bool("parallel", false, "parallelize the query phase over all CPUs")
+		perTick      = fs.Bool("per-tick", false, "print per-tick phase times")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		for _, t := range bench.Techniques() {
+			fmt.Fprintf(w, "%s\t%s\n", t.Key, t.Description)
+		}
+		return w.Flush()
+	}
+
+	var techs []bench.NamedTechnique
+	if *compare != "" {
+		if *compare == "all" {
+			techs = bench.Techniques()
+		} else {
+			for _, key := range strings.Split(*compare, ",") {
+				t, err := bench.TechniqueByKey(strings.TrimSpace(key))
+				if err != nil {
+					return err
+				}
+				techs = append(techs, t)
+			}
+		}
+	} else {
+		t, err := bench.TechniqueByKey(*techniqueKey)
+		if err != nil {
+			return err
+		}
+		techs = []bench.NamedTechnique{t}
+	}
+
+	var trace *workload.Trace
+	var wcfg workload.Config
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		trace, err = workload.ReadTrace(f)
+		if err != nil {
+			return err
+		}
+		wcfg = trace.Config
+		fmt.Printf("replaying %s: %s, %d points, %d ticks\n",
+			*tracePath, wcfg.Kind, wcfg.NumPoints, wcfg.Ticks)
+	} else {
+		wcfg = workload.DefaultUniform()
+		switch *kind {
+		case "uniform":
+		case "gaussian":
+			wcfg = workload.DefaultGaussian()
+			wcfg.Hotspots = *hotspots
+		case "simulation":
+			wcfg = workload.DefaultSimulation()
+			wcfg.Hotspots = *hotspots
+		default:
+			return fmt.Errorf("unknown workload kind %q", *kind)
+		}
+		wcfg.Seed = *seed
+		wcfg.NumPoints = *points
+		wcfg.SpaceSize = float32(*space)
+		wcfg.MaxSpeed = float32(*speed)
+		wcfg.QuerySize = float32(*querySize)
+		wcfg.Queriers = *queriers
+		wcfg.Updaters = *updaters
+		if *ticks > 0 {
+			wcfg.Ticks = *ticks
+		}
+		var err error
+		trace, err = workload.Record(wcfg)
+		if err != nil {
+			return err
+		}
+	}
+
+	opts := core.Options{KeepPerTick: *perTick}
+	fmt.Printf("workload  : %s, %d points, %d ticks, %.0f%% queriers, %.0f%% updaters\n",
+		wcfg.Kind, wcfg.NumPoints, wcfg.Ticks, wcfg.Queriers*100, wcfg.Updaters*100)
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	var refPairs int64
+	var refHash uint64
+	for i, tech := range techs {
+		idx := tech.Make(core.Params{Bounds: wcfg.Bounds(), NumPoints: wcfg.NumPoints})
+		var res *core.Result
+		if *parallel {
+			res = core.RunParallel(idx, workload.NewPlayer(trace), opts, 0)
+		} else {
+			res = core.Run(idx, workload.NewPlayer(trace), opts)
+		}
+		if len(techs) == 1 {
+			fmt.Printf("technique : %s\n", res.Technique)
+			fmt.Printf("avg/tick  : %.4fs  (build %.4fs, query %.4fs, update %.4fs)\n",
+				res.AvgTick().Seconds(), res.AvgBuild().Seconds(),
+				res.AvgQuery().Seconds(), res.AvgUpdate().Seconds())
+			fmt.Printf("join      : %d pairs over %d queries, digest %#x\n", res.Pairs, res.Queries, res.Hash)
+			if *perTick {
+				for ti, pt := range res.PerTick {
+					fmt.Printf("tick %3d: build %.4fs query %.4fs update %.4fs\n",
+						ti, pt.Build.Seconds(), pt.Query.Seconds(), pt.Update.Seconds())
+				}
+			}
+			return nil
+		}
+		if i == 0 {
+			refPairs, refHash = res.Pairs, res.Hash
+			fmt.Fprintf(w, "technique\tavg/tick\tbuild\tquery\tupdate\tpairs\n")
+		} else if res.Pairs != refPairs || res.Hash != refHash {
+			return fmt.Errorf("%s disagrees with %s on the join result", res.Technique, techs[0].Key)
+		}
+		fmt.Fprintf(w, "%s\t%.4fs\t%.4fs\t%.4fs\t%.4fs\t%d\n",
+			res.Technique, res.AvgTick().Seconds(), res.AvgBuild().Seconds(),
+			res.AvgQuery().Seconds(), res.AvgUpdate().Seconds(), res.Pairs)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("join results verified identical across techniques")
+	return nil
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestListTechniques(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSmallUniform(t *testing.T) {
+	err := run([]string{
+		"-technique", "grid-tuned",
+		"-points", "500", "-ticks", "3", "-space", "2000",
+		"-query-size", "100", "-speed", "20",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSmallGaussianPerTickParallel(t *testing.T) {
+	err := run([]string{
+		"-technique", "rtree", "-workload", "gaussian", "-hotspots", "3",
+		"-points", "500", "-ticks", "3", "-space", "2000",
+		"-per-tick", "-parallel",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEveryTechniqueKey(t *testing.T) {
+	for _, key := range []string{"brute", "binsearch", "rtree", "crtree", "kdtrie",
+		"grid", "grid-restructured", "grid-querying", "grid-bs", "grid-tuned", "grid-xy", "grid-intrusive"} {
+		err := run([]string{
+			"-technique", key,
+			"-points", "300", "-ticks", "2", "-space", "1500",
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+	}
+}
+
+func TestRejectsUnknownTechnique(t *testing.T) {
+	if err := run([]string{"-technique", "btree"}); err == nil {
+		t.Fatal("unknown technique accepted")
+	}
+}
+
+func TestRejectsUnknownWorkload(t *testing.T) {
+	if err := run([]string{"-workload", "zipf", "-points", "10", "-ticks", "2"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestRejectsInvalidParameters(t *testing.T) {
+	if err := run([]string{"-points", "0", "-ticks", "2"}); err == nil {
+		t.Fatal("zero points accepted")
+	}
+	if err := run([]string{"-queriers", "1.5", "-points", "10", "-ticks", "2"}); err == nil {
+		t.Fatal("querier fraction > 1 accepted")
+	}
+}
+
+func TestReplayTraceFile(t *testing.T) {
+	cfg := workload.DefaultUniform()
+	cfg.NumPoints = 200
+	cfg.Ticks = 2
+	cfg.SpaceSize = 1000
+	trace, err := workload.Record(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "w.sjtr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-technique", "grid-tuned", "-trace", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayMissingTraceFails(t *testing.T) {
+	if err := run([]string{"-trace", "/nonexistent/file.sjtr"}); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+}
+
+func TestCompareMode(t *testing.T) {
+	err := run([]string{
+		"-compare", "grid,grid-tuned,brute",
+		"-points", "400", "-ticks", "2", "-space", "1500",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareModeRejectsUnknownKey(t *testing.T) {
+	err := run([]string{
+		"-compare", "grid,unobtainium",
+		"-points", "100", "-ticks", "2",
+	})
+	if err == nil {
+		t.Fatal("unknown key in -compare accepted")
+	}
+}
+
+func TestSimulationWorkloadKind(t *testing.T) {
+	err := run([]string{
+		"-technique", "kdtrie", "-workload", "simulation", "-hotspots", "4",
+		"-points", "400", "-ticks", "3", "-space", "1500",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+// Command sweep runs the grid-tuning parameter sweeps of Figures 1 and 5,
+// or an arbitrary one-parameter sweep over any grid configuration.
+//
+// Examples:
+//
+//	sweep -experiment fig1b              # reproduce Figure 1b
+//	sweep -vary cps -from 4 -to 128 -step 8 -layout inline -scan range -bs 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "", "predefined sweep: fig1a, fig1b, fig5a or fig5b")
+		vary       = fs.String("vary", "", "custom sweep parameter: bs or cps")
+		from       = fs.Int("from", 4, "custom sweep start")
+		to         = fs.Int("to", 32, "custom sweep end (inclusive)")
+		step       = fs.Int("step", 4, "custom sweep step")
+		layout     = fs.String("layout", "inline", "grid layout: linked, inline, inline-xy or intrusive")
+		scan       = fs.String("scan", "range", "query algorithm: full or range")
+		bs         = fs.Int("bs", grid.RefactoredBS, "fixed bucket size (when varying cps)")
+		cps        = fs.Int("cps", grid.OriginalCPS, "fixed cells per side (when varying bs)")
+		scale      = fs.Float64("scale", 0.1, "tick-count scale in (0,1]")
+		seed       = fs.Uint64("seed", 1, "workload random seed")
+		csv        = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := bench.Config{Scale: *scale, Seed: *seed}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	if *experiment != "" {
+		e, ok := bench.ByID(*experiment)
+		if !ok {
+			return fmt.Errorf("unknown sweep experiment %q (have fig1a, fig1b, fig5a, fig5b)", *experiment)
+		}
+		art, err := e.Run(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(e.Title)
+		if *csv {
+			fmt.Print(art.CSV())
+		} else {
+			fmt.Print(art.Format())
+		}
+		return nil
+	}
+
+	if *vary != "bs" && *vary != "cps" {
+		return fmt.Errorf("need -experiment or -vary bs|cps")
+	}
+	if *step <= 0 || *from <= 0 || *to < *from {
+		return fmt.Errorf("invalid sweep range [%d, %d] step %d", *from, *to, *step)
+	}
+	var lay grid.Layout
+	switch *layout {
+	case "linked":
+		lay = grid.LayoutLinked
+	case "inline":
+		lay = grid.LayoutInline
+	case "inline-xy":
+		lay = grid.LayoutInlineXY
+	case "intrusive":
+		lay = grid.LayoutIntrusive
+	default:
+		return fmt.Errorf("unknown layout %q", *layout)
+	}
+	var sc grid.Scan
+	switch *scan {
+	case "full":
+		sc = grid.ScanFull
+	case "range":
+		sc = grid.ScanRange
+	default:
+		return fmt.Errorf("unknown scan %q", *scan)
+	}
+
+	wcfg := workload.DefaultUniform()
+	wcfg.Seed = *seed
+	wcfg.Ticks = int(float64(wcfg.Ticks)**scale + 0.5)
+	if wcfg.Ticks < 2 {
+		wcfg.Ticks = 2
+	}
+	trace, err := workload.Record(wcfg)
+	if err != nil {
+		return err
+	}
+
+	series := &stats.Series{
+		Title:  fmt.Sprintf("custom sweep: %s from %d to %d (layout=%s scan=%s)", *vary, *from, *to, *layout, *scan),
+		XLabel: *vary,
+		YLabel: "Avg. Time per Tick (s)",
+	}
+	var ys []float64
+	for x := *from; x <= *to; x += *step {
+		gc := grid.Config{Layout: lay, Scan: sc, BS: *bs, CPS: *cps}
+		if *vary == "bs" {
+			gc.BS = x
+		} else {
+			gc.CPS = x
+		}
+		g, err := grid.New(gc, wcfg.Bounds(), wcfg.NumPoints)
+		if err != nil {
+			return err
+		}
+		res := core.Run(g, workload.NewPlayer(trace), core.Options{})
+		series.Xs = append(series.Xs, float64(x))
+		ys = append(ys, res.AvgTick().Seconds())
+		fmt.Fprintf(os.Stderr, "%s=%d: %.4fs/tick\n", *vary, x, res.AvgTick().Seconds())
+	}
+	if err := series.AddLine("Avg. Time per Tick (s)", ys); err != nil {
+		return err
+	}
+	if best := stats.ArgminIndex(ys); best >= 0 {
+		fmt.Fprintf(os.Stderr, "optimum: %s=%d (%.4fs/tick)\n", *vary, int(series.Xs[best]), ys[best])
+	}
+	if *csv {
+		fmt.Print(series.CSV())
+	} else {
+		fmt.Print(series.Format())
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import "testing"
+
+func TestRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{},                            // neither -experiment nor -vary
+		{"-experiment", "fig9z"},      // unknown experiment
+		{"-vary", "fanout"},           // unknown parameter
+		{"-vary", "bs", "-from", "0"}, // non-positive start
+		{"-vary", "bs", "-step", "0"}, // zero step
+		{"-vary", "bs", "-from", "9", "-to", "3"}, // inverted range
+		{"-vary", "cps", "-layout", "hash"},       // unknown layout
+		{"-vary", "cps", "-scan", "spiral"},       // unknown scan
+		{"-experiment", "fig1a", "-scale", "0"},   // invalid scale
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestCustomSweepRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size data sweep")
+	}
+	err := run([]string{
+		"-vary", "cps", "-from", "8", "-to", "24", "-step", "8",
+		"-layout", "inline", "-scan", "range", "-bs", "8",
+		"-scale", "0.02", "-csv",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredefinedSweepRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size data sweep")
+	}
+	if err := run([]string{"-experiment", "fig5a", "-scale", "0.02"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkedFullSweepRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size data sweep")
+	}
+	err := run([]string{
+		"-vary", "bs", "-from", "4", "-to", "8", "-step", "4",
+		"-layout", "linked", "-scan", "full", "-cps", "13",
+		"-scale", "0.02",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+// Command workloadgen records synthetic moving-object workloads to trace
+// files (and inspects existing ones), so experiments can replay identical
+// workloads across machines and runs.
+//
+// Examples:
+//
+//	workloadgen -out default.sjtr                       # Table 1 default uniform
+//	workloadgen -out gauss.sjtr -kind gaussian -hotspots 10
+//	workloadgen -inspect default.sjtr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "workloadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("workloadgen", flag.ContinueOnError)
+	var (
+		out       = fs.String("out", "", "output trace file")
+		inspect   = fs.String("inspect", "", "trace file to inspect instead of generating")
+		kind      = fs.String("kind", "uniform", "workload kind: uniform, gaussian or simulation")
+		points    = fs.Int("points", workload.DefaultNumPoints, "number of moving objects")
+		ticks     = fs.Int("ticks", 0, "number of ticks (0 = kind default)")
+		space     = fs.Float64("space", workload.DefaultSpaceSize, "side length of the square space")
+		speed     = fs.Float64("speed", workload.DefaultMaxSpeed, "maximum object speed per tick")
+		querySize = fs.Float64("query-size", workload.DefaultQuerySize, "side length of range queries")
+		queriers  = fs.Float64("queriers", workload.DefaultQueriers, "querier fraction")
+		updaters  = fs.Float64("updaters", workload.DefaultUpdaters, "updater fraction")
+		hotspots  = fs.Int("hotspots", workload.DefaultHotspots, "hotspot count (gaussian)")
+		seed      = fs.Uint64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *inspect != "" {
+		return inspectTrace(*inspect)
+	}
+	if *out == "" {
+		return fmt.Errorf("need -out FILE or -inspect FILE")
+	}
+
+	cfg := workload.DefaultUniform()
+	switch *kind {
+	case "uniform":
+	case "gaussian":
+		cfg = workload.DefaultGaussian()
+		cfg.Hotspots = *hotspots
+	case "simulation":
+		cfg = workload.DefaultSimulation()
+		cfg.Hotspots = *hotspots
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	cfg.Seed = *seed
+	cfg.NumPoints = *points
+	cfg.SpaceSize = float32(*space)
+	cfg.MaxSpeed = float32(*speed)
+	cfg.QuerySize = float32(*querySize)
+	cfg.Queriers = *queriers
+	cfg.Updaters = *updaters
+	if *ticks > 0 {
+		cfg.Ticks = *ticks
+	}
+
+	trace, err := workload.Record(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	n, err := trace.WriteTo(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d bytes, checksum %#x\n", *out, n, trace.Checksum())
+	printSummary(trace)
+	return nil
+}
+
+func inspectTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	trace, err := workload.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: checksum %#x\n", path, trace.Checksum())
+	printSummary(trace)
+	return nil
+}
+
+func printSummary(trace *workload.Trace) {
+	cfg := trace.Config
+	fmt.Printf("kind=%s points=%d ticks=%d space=%.0f speed=%.0f query=%.0f queriers=%.0f%% updaters=%.0f%%",
+		cfg.Kind, cfg.NumPoints, cfg.Ticks, cfg.SpaceSize, cfg.MaxSpeed, cfg.QuerySize,
+		cfg.Queriers*100, cfg.Updaters*100)
+	if cfg.Kind == workload.Gaussian {
+		fmt.Printf(" hotspots=%d", cfg.Hotspots)
+	}
+	fmt.Println()
+	var q, u stats.Agg
+	for _, tt := range trace.Ticks {
+		q.Add(float64(len(tt.Queriers)))
+		u.Add(float64(len(tt.Updates)))
+	}
+	fmt.Printf("per tick: queries mean %.0f (min %.0f max %.0f), updates mean %.0f (min %.0f max %.0f)\n",
+		q.Mean(), q.Min(), q.Max(), u.Mean(), u.Min(), u.Max())
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestGenerateAndInspect(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "u.sjtr")
+	err := run([]string{
+		"-out", path,
+		"-points", "300", "-ticks", "4", "-space", "2000",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The file must be a loadable trace with the requested shape.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	trace, err := workload.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Config.NumPoints != 300 || trace.Config.Ticks != 4 {
+		t.Fatalf("trace config = %+v", trace.Config)
+	}
+	if err := run([]string{"-inspect", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateGaussian(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.sjtr")
+	err := run([]string{
+		"-out", path, "-kind", "gaussian", "-hotspots", "3",
+		"-points", "300", "-ticks", "3", "-space", "2000",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	trace, err := workload.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Config.Kind != workload.Gaussian || trace.Config.Hotspots != 3 {
+		t.Fatalf("trace config = %+v", trace.Config)
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.sjtr")
+	b := filepath.Join(dir, "b.sjtr")
+	args := []string{"-points", "100", "-ticks", "2", "-space", "1000", "-seed", "9"}
+	if err := run(append([]string{"-out", a}, args...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-out", b}, args...)); err != nil {
+		t.Fatal(err)
+	}
+	da, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(da) != string(db) {
+		t.Fatal("same seed produced different trace files")
+	}
+}
+
+func TestRequiresOutOrInspect(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -out accepted")
+	}
+}
+
+func TestRejectsUnknownKind(t *testing.T) {
+	if err := run([]string{"-out", filepath.Join(t.TempDir(), "x"), "-kind", "zipf"}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestInspectGarbageFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-inspect", path}); err == nil {
+		t.Fatal("garbage trace accepted")
+	}
+}

@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// tiny returns the fastest config that still exercises full-size data
+// (scale only shrinks tick counts, never data sizes).
+func tiny() Config { return Config{Scale: 0.02, Seed: 1} }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1a", "fig1b", "fig2a", "fig2b", "fig2c",
+		"tab2", "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "tab3",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("position %d: %s, want %s (paper order)", i, all[i].ID, id)
+		}
+	}
+	for _, e := range all {
+		if e.Title == "" || e.PaperShape == "" || e.Run == nil {
+			t.Errorf("%s: incomplete registration", e.ID)
+		}
+		if _, ok := ByID(e.ID); !ok {
+			t.Errorf("%s: ByID lookup failed", e.ID)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID found a non-existent experiment")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, s := range []float64{0, -1, 1.5} {
+		if err := (Config{Scale: s}).Validate(); err == nil {
+			t.Errorf("scale %g accepted", s)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaledTicks(t *testing.T) {
+	cfg := Config{Scale: 0.1}
+	if got := scaledTicks(100, cfg); got != 10 {
+		t.Fatalf("scaledTicks(100, 0.1) = %d", got)
+	}
+	if got := scaledTicks(100, Config{Scale: 0.001}); got != 2 {
+		t.Fatalf("minimum must be 2 ticks, got %d", got)
+	}
+	if got := scaledTicks(100, Config{Scale: 1}); got != 100 {
+		t.Fatalf("full scale must keep all ticks, got %d", got)
+	}
+}
+
+func TestLineups(t *testing.T) {
+	sl := staticLineup()
+	if len(sl) != 5 {
+		t.Fatalf("static lineup has %d techniques", len(sl))
+	}
+	wantStatic := []string{"Binary Search", "R-Tree", "CR-Tree", "Linearized KD-Trie", "Simple Grid"}
+	for i, tech := range sl {
+		if tech.name != wantStatic[i] {
+			t.Errorf("static[%d] = %s, want %s", i, tech.name, wantStatic[i])
+		}
+	}
+	gl := gridLineup()
+	wantGrid := []string{"Original", "+restructured", "+querying", "+bs tuned", "+cps tuned"}
+	for i, tech := range gl {
+		if tech.name != wantGrid[i] {
+			t.Errorf("grid[%d] = %s, want %s", i, tech.name, wantGrid[i])
+		}
+	}
+}
+
+func TestFig1aRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size data sweep")
+	}
+	e, _ := ByID("fig1a")
+	art, err := e.Run(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := art.(*stats.Series)
+	if !ok {
+		t.Fatalf("fig1a artifact is %T, want *stats.Series", art)
+	}
+	if len(s.Xs) != 8 || len(s.Lines) != 1 {
+		t.Fatalf("fig1a shape: %d xs, %d lines", len(s.Xs), len(s.Lines))
+	}
+	for _, y := range s.Lines[0].Ys {
+		if y <= 0 {
+			t.Fatal("non-positive tick time")
+		}
+	}
+	if !strings.Contains(art.Format(), "Entries per Bucket") {
+		t.Fatal("Format missing axis label")
+	}
+	if !strings.Contains(art.CSV(), ",") {
+		t.Fatal("CSV malformed")
+	}
+}
+
+func TestTab2Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size data run")
+	}
+	e, _ := ByID("tab2")
+	art, err := e.Run(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, ok := art.(*stats.Table)
+	if !ok {
+		t.Fatalf("tab2 artifact is %T, want *stats.Table", art)
+	}
+	if len(tb.RowsDat) != 8 {
+		t.Fatalf("tab2 has %d rows, want 8", len(tb.RowsDat))
+	}
+	out := art.Format()
+	for _, name := range []string{"R-Tree", "CR-Tree", "Lin. KD-Trie", "Simple Grid",
+		"+restructured", "+querying", "+bs tuned", "+cps tuned"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("tab2 missing row %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestFig4aOrderingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size data sweep")
+	}
+	// The paper's central claim at the default workload column (x=0.5):
+	// the final +cps tuned variant must be several times faster than the
+	// Original, and the refinements must not make things dramatically
+	// worse at any step.
+	e, _ := ByID("fig4a")
+	art, err := e.Run(Config{Scale: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := art.(*stats.Series)
+	orig := s.Line("Original")
+	final := s.Line("+cps tuned")
+	if orig == nil || final == nil {
+		t.Fatal("fig4a lines missing")
+	}
+	// Column index of x=0.5 (default workload).
+	xi := -1
+	for i, x := range s.Xs {
+		if x == 0.5 {
+			xi = i
+		}
+	}
+	if xi < 0 {
+		t.Fatal("x=0.5 column missing")
+	}
+	if final.Ys[xi]*2 > orig.Ys[xi] {
+		t.Errorf("+cps tuned (%.4fs) must be >= 2x faster than Original (%.4fs) at the default workload",
+			final.Ys[xi], orig.Ys[xi])
+	}
+	for _, l := range s.Lines {
+		for i, y := range l.Ys {
+			if y <= 0 {
+				t.Fatalf("%s has non-positive time at x=%g", l.Name, s.Xs[i])
+			}
+		}
+	}
+}
+
+func TestTab3Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size memory simulation")
+	}
+	e, _ := ByID("tab3")
+	art, err := e.Run(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := art.(*stats.Table)
+	if len(tb.RowsDat) != 3 { // Before, After, Ratio
+		t.Fatalf("tab3 has %d rows", len(tb.RowsDat))
+	}
+	out := art.Format()
+	for _, want := range []string{"Before", "After", "CPI", "L1 Misses"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tab3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepDefinitions(t *testing.T) {
+	q := queryRateSweep()
+	if len(q.xs) != 5 || q.xs[0] != 0.1 || q.xs[4] != 0.9 {
+		t.Fatalf("query rate sweep = %v", q.xs)
+	}
+	h := hotspotSweep()
+	if len(h.xs) != 4 || h.xs[0] != 1 || h.xs[3] != 1000 {
+		t.Fatalf("hotspot sweep = %v", h.xs)
+	}
+	p := pointsSweep()
+	if len(p.xs) != 5 || p.xs[0] != 10000 || p.xs[4] != 90000 {
+		t.Fatalf("points sweep = %v", p.xs)
+	}
+	// Each sweep's workload must validate at every x.
+	cfg := tiny()
+	for _, sw := range []sweep{q, h, p} {
+		for _, x := range sw.xs {
+			w := sw.configure(x, cfg)
+			if err := w.Validate(); err != nil {
+				t.Fatalf("%s at x=%g: %v", sw.xLabel, x, err)
+			}
+		}
+	}
+}
+
+func TestRunAvgTickRejectsBadScale(t *testing.T) {
+	e, _ := ByID("fig2a")
+	if _, err := e.Run(Config{Scale: 0}); err == nil {
+		t.Fatal("invalid scale accepted")
+	}
+}

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestExtensionsRegistered(t *testing.T) {
+	exts := AllExtensions()
+	if len(exts) != 5 {
+		t.Fatalf("have %d extensions, want 5", len(exts))
+	}
+	for _, id := range []string{"ext-mem", "ext-xy", "ext-par", "ext-handles", "ext-hilbert"} {
+		e, ok := ExtensionByID(id)
+		if !ok {
+			t.Fatalf("extension %s missing", id)
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("extension %s incomplete", id)
+		}
+	}
+	if _, ok := ExtensionByID("ext-nope"); ok {
+		t.Fatal("ExtensionByID found a ghost")
+	}
+	// Extensions must not leak into the paper registry.
+	for _, e := range All() {
+		if strings.HasPrefix(e.ID, "ext-") {
+			t.Fatalf("extension %s leaked into the paper registry", e.ID)
+		}
+	}
+}
+
+func TestExtMemoryFootprint(t *testing.T) {
+	e, _ := ExtensionByID("ext-mem")
+	art, err := e.Run(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, ok := art.(*stats.Table)
+	if !ok {
+		t.Fatalf("artifact is %T", art)
+	}
+	if len(tb.RowsDat) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tb.RowsDat))
+	}
+	// Row 0 is the original, row 1 the restructured variant at the same
+	// tuning: bytes/point must drop substantially (Section 3.1).
+	orig, err := strconv.ParseFloat(tb.RowsDat[0][2], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refac, err := strconv.ParseFloat(tb.RowsDat[1][2], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig < 2*refac {
+		t.Fatalf("restructuring saved too little: %.1f -> %.1f bytes/point", orig, refac)
+	}
+}
+
+func TestExtParallelScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size data run")
+	}
+	e, _ := ExtensionByID("ext-par")
+	art, err := e.Run(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := art.(*stats.Series)
+	if !ok {
+		t.Fatalf("artifact is %T", art)
+	}
+	if len(s.Xs) < 3 || s.Xs[0] != 1 {
+		t.Fatalf("worker axis = %v", s.Xs)
+	}
+	for _, y := range s.Lines[0].Ys {
+		if y <= 0 {
+			t.Fatal("non-positive tick time")
+		}
+	}
+}
+
+func TestExtInlineXY(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size data sweep")
+	}
+	e, _ := ExtensionByID("ext-xy")
+	art, err := e.Run(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := art.(*stats.Series)
+	if len(s.Lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(s.Lines))
+	}
+	if s.Line("+inline xy") == nil || s.Line("+cps tuned (ids only)") == nil {
+		t.Fatal("line names wrong")
+	}
+}

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/binsearch"
+	"repro/internal/core"
+	"repro/internal/crtree"
+	"repro/internal/grid"
+	"repro/internal/kdtrie"
+	"repro/internal/rtree"
+)
+
+// NamedTechnique couples a CLI-addressable key with a description and an
+// index factory, for the command-line tools.
+type NamedTechnique struct {
+	Key         string
+	Description string
+	Make        core.Factory
+}
+
+var namedTechniques = []NamedTechnique{
+	{
+		Key:         "brute",
+		Description: "full-scan oracle (no index); correctness baseline",
+		Make:        func(p core.Params) core.Index { return core.NewBruteForce() },
+	},
+	{
+		Key:         "binsearch",
+		Description: "Binary Search baseline: sort by x, binary-search the query range",
+		Make:        func(p core.Params) core.Index { return binsearch.New() },
+	},
+	{
+		Key:         "rtree",
+		Description: "STR-packed R-tree (Guttman 1984 / Leutenegger et al. 1997)",
+		Make:        func(p core.Params) core.Index { return rtree.MustNew(rtree.DefaultFanout) },
+	},
+	{
+		Key:         "crtree",
+		Description: "CR-tree with quantized relative MBRs (Kim et al. 2001)",
+		Make:        func(p core.Params) core.Index { return crtree.MustNew(crtree.DefaultFanout) },
+	},
+	{
+		Key:         "kdtrie",
+		Description: "Linearized KD-trie / throwaway index (Dittrich et al. 2009)",
+		Make:        func(p core.Params) core.Index { return kdtrie.MustNew(p.Bounds, kdtrie.DefaultBits) },
+	},
+	{
+		Key:         "grid",
+		Description: "Simple Grid, original implementation (Fig. 3a, Algorithm 1, bs=4 cps=13)",
+		Make:        gridFactory(grid.Original),
+	},
+	{
+		Key:         "grid-restructured",
+		Description: "Simple Grid after the structural refactoring (Fig. 3b)",
+		Make:        gridFactory(grid.Restructured),
+	},
+	{
+		Key:         "grid-querying",
+		Description: "Simple Grid after structural + query refactoring (Algorithm 2)",
+		Make:        gridFactory(grid.Querying),
+	},
+	{
+		Key:         "grid-bs",
+		Description: "refactored Simple Grid with retuned bucket size (bs=20)",
+		Make:        gridFactory(grid.BSTuned),
+	},
+	{
+		Key:         "grid-tuned",
+		Description: "fully tuned refactored Simple Grid (bs=20, cps=64) — the paper's winner",
+		Make:        gridFactory(grid.CPSTuned),
+	},
+	{
+		Key:         "grid-intrusive",
+		Description: "ablation: intrusive-list grid with O(1) handle-based updates (u-grid design)",
+		Make: func(p core.Params) core.Index {
+			cfg := grid.CPSTuned()
+			cfg.Layout = grid.LayoutIntrusive
+			cfg.Name = "+intrusive"
+			return grid.MustNew(cfg, p.Bounds, p.NumPoints)
+		},
+	},
+	{
+		Key:         "grid-xy",
+		Description: "extension: refactored grid with coordinates inlined in buckets",
+		Make: func(p core.Params) core.Index {
+			cfg := grid.CPSTuned()
+			cfg.Layout = grid.LayoutInlineXY
+			cfg.Name = "+inline xy"
+			return grid.MustNew(cfg, p.Bounds, p.NumPoints)
+		},
+	},
+}
+
+func gridFactory(preset func() grid.Config) core.Factory {
+	return func(p core.Params) core.Index {
+		return grid.MustNew(preset(), p.Bounds, p.NumPoints)
+	}
+}
+
+// Techniques returns every CLI-addressable technique, sorted by key.
+func Techniques() []NamedTechnique {
+	out := make([]NamedTechnique, len(namedTechniques))
+	copy(out, namedTechniques)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// TechniqueByKey resolves a CLI key to its factory.
+func TechniqueByKey(key string) (NamedTechnique, error) {
+	for _, t := range namedTechniques {
+		if t.Key == key {
+			return t, nil
+		}
+	}
+	keys := make([]string, 0, len(namedTechniques))
+	for _, t := range namedTechniques {
+		keys = append(keys, t.Key)
+	}
+	return NamedTechnique{}, fmt.Errorf("unknown technique %q (have: %s)", key, strings.Join(keys, ", "))
+}

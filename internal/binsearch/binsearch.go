@@ -1,0 +1,86 @@
+// Package binsearch implements the study's baseline technique, Binary
+// Search: the data points are sorted by one coordinate, and the join is
+// computed with a nested loop that binary-searches the sorted coordinate
+// for each query and scans the matching x-range, filtering on y.
+//
+// The paper highlights that the original Simple Grid implementation fell
+// behind even this baseline — which is what makes the baseline worth
+// keeping around.
+package binsearch
+
+import (
+	"repro/internal/geom"
+	"repro/internal/sortutil"
+)
+
+// Index is the Binary Search baseline. It implements core.Index.
+type Index struct {
+	pts []geom.Point
+	// ids sorted by x coordinate; xs[i] is the sortable key of
+	// pts[ids[i]].X, kept aligned for cache-friendly binary search and
+	// range scan.
+	ids []uint32
+	xs  []uint32
+
+	scratchIDs []uint32
+	keyByID    []uint32
+}
+
+// New returns an empty baseline index.
+func New() *Index { return &Index{} }
+
+// Name implements core.Index.
+func (ix *Index) Name() string { return "Binary Search" }
+
+// Len implements core.Counter.
+func (ix *Index) Len() int { return len(ix.ids) }
+
+// Build implements core.Index: radix-sort the IDs by x.
+func (ix *Index) Build(pts []geom.Point) {
+	ix.pts = pts
+	n := len(pts)
+	ix.ids = resizeU32(ix.ids, n)
+	ix.xs = resizeU32(ix.xs, n)
+	ix.scratchIDs = resizeU32(ix.scratchIDs, n)
+	ix.keyByID = resizeU32(ix.keyByID, n)
+	for i := range pts {
+		ix.ids[i] = uint32(i)
+		ix.keyByID[i] = sortutil.Float32Key(pts[i].X)
+	}
+	sortutil.ByKey32(ix.ids, ix.keyByID, ix.scratchIDs)
+	for i, id := range ix.ids {
+		ix.xs[i] = ix.keyByID[id]
+	}
+}
+
+// Query implements core.Index: binary search the x-range, scan it, filter
+// on y.
+func (ix *Index) Query(r geom.Rect, emit func(id uint32)) {
+	lo := sortutil.LowerBound32(ix.xs, sortutil.Float32Key(r.MinX))
+	hi := sortutil.UpperBound32(ix.xs, sortutil.Float32Key(r.MaxX))
+	if hi < lo {
+		// Inverted or NaN-cornered rectangles match nothing.
+		return
+	}
+	for _, id := range ix.ids[lo:hi] {
+		y := ix.pts[id].Y
+		if y >= r.MinY && y <= r.MaxY {
+			emit(id)
+		}
+	}
+}
+
+// Update implements core.Index: re-sorted from the snapshot every tick.
+func (ix *Index) Update(id uint32, old, new geom.Point) {}
+
+// MemoryBytes implements core.MemoryReporter.
+func (ix *Index) MemoryBytes() int64 {
+	return int64(len(ix.ids))*4 + int64(len(ix.xs))*4
+}
+
+func resizeU32(s []uint32, n int) []uint32 {
+	if cap(s) < n {
+		return make([]uint32, n)
+	}
+	return s[:n]
+}

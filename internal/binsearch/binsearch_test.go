@@ -1,0 +1,168 @@
+package binsearch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+var testBounds = geom.R(0, 0, 1000, 1000)
+
+func randomPoints(r *xrand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(r.Range(0, 1000), r.Range(0, 1000))
+	}
+	return pts
+}
+
+func bruteQuery(pts []geom.Point, r geom.Rect) map[uint32]bool {
+	want := make(map[uint32]bool)
+	for i := range pts {
+		if pts[i].In(r) {
+			want[uint32(i)] = true
+		}
+	}
+	return want
+}
+
+func collect(t *testing.T, ix *Index, r geom.Rect) map[uint32]bool {
+	t.Helper()
+	got := make(map[uint32]bool)
+	ix.Query(r, func(id uint32) {
+		if got[id] {
+			t.Fatalf("duplicate emission of %d", id)
+		}
+		got[id] = true
+	})
+	return got
+}
+
+func TestQueryMatchesBruteForce(t *testing.T) {
+	r := xrand.New(1)
+	for _, n := range []int{0, 1, 2, 100, 5000} {
+		pts := randomPoints(r, n)
+		ix := New()
+		ix.Build(pts)
+		if ix.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, ix.Len())
+		}
+		for i := 0; i < 40; i++ {
+			q := geom.Square(geom.Pt(r.Range(-50, 1050), r.Range(-50, 1050)), r.Range(1, 400))
+			got := collect(t, ix, q)
+			want := bruteQuery(pts, q)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d query %d: got %d want %d", n, i, len(got), len(want))
+			}
+			for id := range want {
+				if !got[id] {
+					t.Fatalf("n=%d query %d: missing %d", n, i, id)
+				}
+			}
+		}
+	}
+}
+
+func TestSortedByX(t *testing.T) {
+	r := xrand.New(2)
+	pts := randomPoints(r, 3000)
+	ix := New()
+	ix.Build(pts)
+	for i := 1; i < len(ix.ids); i++ {
+		if pts[ix.ids[i-1]].X > pts[ix.ids[i]].X {
+			t.Fatalf("not sorted by x at %d", i)
+		}
+		if ix.xs[i-1] > ix.xs[i] {
+			t.Fatalf("key array not sorted at %d", i)
+		}
+	}
+}
+
+func TestNarrowXSlice(t *testing.T) {
+	// A query that is tall and narrow exercises the x-range scan: only
+	// points within the x band should even be touched.
+	pts := []geom.Point{
+		geom.Pt(100, 500), geom.Pt(200, 500), geom.Pt(300, 500),
+		geom.Pt(200, 100), geom.Pt(200, 900),
+	}
+	ix := New()
+	ix.Build(pts)
+	got := collect(t, ix, geom.R(150, 0, 250, 1000))
+	if len(got) != 3 || !got[1] || !got[3] || !got[4] {
+		t.Fatalf("narrow slice got %v, want {1,3,4}", got)
+	}
+}
+
+func TestRebuildDiscardsOldPoints(t *testing.T) {
+	r := xrand.New(3)
+	ix := New()
+	ix.Build(randomPoints(r, 1000))
+	ix.Build(randomPoints(r, 5))
+	if got := collect(t, ix, testBounds); len(got) != 5 {
+		t.Fatalf("rebuild leaked: %d", len(got))
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix := New()
+	ix.Build(nil)
+	n := 0
+	ix.Query(testBounds, func(uint32) { n++ })
+	if n != 0 {
+		t.Fatal("empty index emitted results")
+	}
+}
+
+func TestColocated(t *testing.T) {
+	same := make([]geom.Point, 77)
+	for i := range same {
+		same[i] = geom.Pt(400, 400)
+	}
+	ix := New()
+	ix.Build(same)
+	if got := collect(t, ix, geom.Square(geom.Pt(400, 400), 2)); len(got) != 77 {
+		t.Fatalf("colocated: %d of 77", len(got))
+	}
+}
+
+func TestPropQueryNeverMissesKnownPoint(t *testing.T) {
+	r := xrand.New(4)
+	pts := randomPoints(r, 600)
+	ix := New()
+	ix.Build(pts)
+	f := func(idx uint16, side float32) bool {
+		id := uint32(idx) % uint32(len(pts))
+		if math.IsNaN(float64(side)) || math.IsInf(float64(side), 0) {
+			return true
+		}
+		if side < 0 {
+			side = -side
+		}
+		side = 1 + float32(math.Mod(float64(side), 500))
+		found := false
+		ix.Query(geom.Square(pts[id], side), func(got uint32) {
+			if got == id {
+				found = true
+			}
+		})
+		return found
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateNoOp(t *testing.T) {
+	r := xrand.New(5)
+	pts := randomPoints(r, 100)
+	ix := New()
+	ix.Build(pts)
+	before := len(collect(t, ix, testBounds))
+	ix.Update(0, pts[0], geom.Pt(1, 1))
+	if after := len(collect(t, ix, testBounds)); after != before {
+		t.Fatal("Update changed a per-tick-sorted baseline")
+	}
+}

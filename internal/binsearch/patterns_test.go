@@ -1,0 +1,18 @@
+package binsearch
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/testutil"
+)
+
+// TestAdversarialPatterns runs the shared differential suite. The
+// baseline's x-range scan must handle duplicated keys (colocated and
+// vertical-line patterns put thousands of points at one x).
+func TestAdversarialPatterns(t *testing.T) {
+	bounds := geom.R(0, 0, 1000, 1000)
+	if f := testutil.CheckAgainstOracle(New(), 99, 1500, bounds); f != nil {
+		t.Fatal(f)
+	}
+}

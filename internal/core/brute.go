@@ -1,0 +1,35 @@
+package core
+
+import "repro/internal/geom"
+
+// BruteForce is the reference technique: no index at all, every query
+// scans the whole snapshot. It is not part of the paper's lineup; it
+// exists as the correctness oracle the real techniques are validated
+// against, and as a floor for sanity-checking speedups.
+type BruteForce struct {
+	pts []geom.Point
+}
+
+// NewBruteForce returns the oracle technique.
+func NewBruteForce() *BruteForce { return &BruteForce{} }
+
+// Name implements Index.
+func (b *BruteForce) Name() string { return "Brute Force" }
+
+// Build implements Index by retaining the snapshot.
+func (b *BruteForce) Build(pts []geom.Point) { b.pts = pts }
+
+// Query implements Index with a full scan.
+func (b *BruteForce) Query(r geom.Rect, emit func(id uint32)) {
+	for i := range b.pts {
+		if b.pts[i].In(r) {
+			emit(uint32(i))
+		}
+	}
+}
+
+// Update implements Index; the snapshot refresh covers it.
+func (b *BruteForce) Update(id uint32, old, new geom.Point) {}
+
+// Len implements Counter.
+func (b *BruteForce) Len() int { return len(b.pts) }

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+// Options tunes a Run.
+type Options struct {
+	// Ticks caps the number of ticks executed; 0 means the workload's
+	// configured tick count.
+	Ticks int
+	// KeepPerTick retains per-tick phase timings in the result (used by
+	// convergence analyses; costs O(ticks) memory).
+	KeepPerTick bool
+	// CollectPairs, when non-nil, receives every join pair. Used by
+	// correctness tests; leave nil in benchmarks (emission then only
+	// counts and checksums).
+	CollectPairs func(querier, found uint32)
+}
+
+// PhaseTimes is a build/query/update wall-time triple.
+type PhaseTimes struct {
+	Build, Query, Update time.Duration
+}
+
+// Total returns the sum of the three phases.
+func (p PhaseTimes) Total() time.Duration { return p.Build + p.Query + p.Update }
+
+func (p *PhaseTimes) add(q PhaseTimes) {
+	p.Build += q.Build
+	p.Query += q.Query
+	p.Update += q.Update
+}
+
+// Result aggregates a Run: totals, counts, and a result checksum that is
+// independent of emission order, so two techniques agree on the join
+// result iff (Pairs, Hash) match.
+type Result struct {
+	Technique string
+	Ticks     int
+	Totals    PhaseTimes
+	PerTick   []PhaseTimes
+
+	Pairs   int64 // join result cardinality over all ticks
+	Hash    uint64
+	Queries int64 // number of range queries issued
+	Updates int64 // number of updates applied
+}
+
+// AvgTick returns the average wall time per tick (all phases), the
+// paper's headline metric ("Avg. Time per Tick").
+func (r *Result) AvgTick() time.Duration {
+	if r.Ticks == 0 {
+		return 0
+	}
+	return r.Totals.Total() / time.Duration(r.Ticks)
+}
+
+// AvgBuild returns average build time per tick.
+func (r *Result) AvgBuild() time.Duration { return r.avg(r.Totals.Build) }
+
+// AvgQuery returns average query time per tick.
+func (r *Result) AvgQuery() time.Duration { return r.avg(r.Totals.Query) }
+
+// AvgUpdate returns average update time per tick.
+func (r *Result) AvgUpdate() time.Duration { return r.avg(r.Totals.Update) }
+
+func (r *Result) avg(d time.Duration) time.Duration {
+	if r.Ticks == 0 {
+		return 0
+	}
+	return d / time.Duration(r.Ticks)
+}
+
+// String summarizes the result on one line.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: %d ticks, avg %.4fs/tick (build %.4f query %.4f update %.4f), %d pairs",
+		r.Technique, r.Ticks, r.AvgTick().Seconds(),
+		r.AvgBuild().Seconds(), r.AvgQuery().Seconds(), r.AvgUpdate().Seconds(), r.Pairs)
+}
+
+// mixPair folds one (querier, found) pair into an order-independent
+// checksum: each pair is hashed individually and combined by addition, a
+// commutative monoid, so emission order cannot affect the digest.
+func mixPair(h uint64, querier, found uint32) uint64 {
+	v := uint64(querier)<<32 | uint64(found)
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	v ^= v >> 33
+	return h + v
+}
+
+// Run executes the iterated spatial join of idx over src and returns the
+// timing breakdown and result digest.
+//
+// Per tick it performs exactly the framework's three phases:
+//
+//  1. build: refresh the position snapshot from the base table and call
+//     idx.Build over it;
+//  2. query: for every querier q, probe idx with the square query centred
+//     on q and fold all reported IDs into the result;
+//  3. update: fetch the tick's update batch, notify the index of each
+//     move, and apply the batch to the base table at the very end, so
+//     queries only ever saw the previous tick's state.
+func Run(idx Index, src workload.Source, opts Options) *Result {
+	cfg := src.Config()
+	ticks := opts.Ticks
+	if ticks <= 0 || ticks > cfg.Ticks {
+		ticks = cfg.Ticks
+	}
+	res := &Result{Technique: idx.Name(), Ticks: ticks}
+	if opts.KeepPerTick {
+		res.PerTick = make([]PhaseTimes, 0, ticks)
+	}
+
+	snapshot := make([]geom.Point, len(src.Objects()))
+
+	pairs := int64(0)
+	hash := uint64(0)
+	var emitQ uint32
+	emit := func(id uint32) {
+		pairs++
+		hash = mixPair(hash, emitQ, id)
+	}
+	if opts.CollectPairs != nil {
+		collect := opts.CollectPairs
+		emit = func(id uint32) {
+			pairs++
+			hash = mixPair(hash, emitQ, id)
+			collect(emitQ, id)
+		}
+	}
+
+	for t := 0; t < ticks; t++ {
+		var pt PhaseTimes
+
+		start := time.Now()
+		refreshSnapshot(snapshot, src.Objects())
+		idx.Build(snapshot)
+		pt.Build = time.Since(start)
+
+		start = time.Now()
+		queriers := src.Queriers()
+		for _, q := range queriers {
+			emitQ = q
+			idx.Query(src.QueryRect(q), emit)
+		}
+		pt.Query = time.Since(start)
+		res.Queries += int64(len(queriers))
+
+		start = time.Now()
+		batch := src.Updates()
+		for _, u := range batch {
+			idx.Update(u.ID, snapshot[u.ID], u.Pos)
+		}
+		src.ApplyUpdates(batch)
+		pt.Update = time.Since(start)
+		res.Updates += int64(len(batch))
+
+		res.Totals.add(pt)
+		if opts.KeepPerTick {
+			res.PerTick = append(res.PerTick, pt)
+		}
+	}
+	res.Pairs = pairs
+	res.Hash = hash
+	return res
+}
+
+func refreshSnapshot(dst []geom.Point, objs []workload.Object) {
+	for i := range objs {
+		dst[i] = objs[i].Pos
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// FuzzTechniquesAgree drives the whole lineup with fuzzer-chosen
+// workload parameters and fails if any technique's join digest diverges
+// from the brute-force oracle. Run as a plain test it covers the seed
+// corpus; `go test -fuzz=FuzzTechniquesAgree ./internal/core` explores
+// further.
+func FuzzTechniquesAgree(f *testing.F) {
+	f.Add(uint64(1), uint16(300), uint8(128), uint8(128), uint8(0))
+	f.Add(uint64(7), uint16(50), uint8(255), uint8(10), uint8(1))
+	f.Add(uint64(42), uint16(900), uint8(1), uint8(200), uint8(1))
+	f.Add(uint64(99), uint16(2), uint8(50), uint8(50), uint8(0))
+	f.Fuzz(func(t *testing.T, seed uint64, nPoints uint16, qFrac, uFrac, kindByte uint8) {
+		if nPoints == 0 {
+			return
+		}
+		cfg := workload.Config{
+			Kind:      workload.Uniform,
+			Seed:      seed,
+			Ticks:     3,
+			NumPoints: int(nPoints),
+			SpaceSize: 2000,
+			MaxSpeed:  50,
+			QuerySize: 150,
+			Queriers:  float64(qFrac) / 255,
+			Updaters:  float64(uFrac) / 255,
+		}
+		if kindByte%2 == 1 {
+			cfg.Kind = workload.Gaussian
+			cfg.Hotspots = 1 + int(seed%5)
+		}
+		trace, err := workload.Record(cfg)
+		if err != nil {
+			t.Fatalf("config rejected: %v (%+v)", err, cfg)
+		}
+		var refPairs int64
+		var refHash uint64
+		for i, idx := range lineup(cfg) {
+			res := Run(idx, workload.NewPlayer(trace), Options{})
+			if i == 0 {
+				refPairs, refHash = res.Pairs, res.Hash
+				continue
+			}
+			if res.Pairs != refPairs || res.Hash != refHash {
+				t.Fatalf("%s digest (%d, %#x) != oracle (%d, %#x) on seed=%d n=%d q=%d u=%d kind=%d",
+					idx.Name(), res.Pairs, res.Hash, refPairs, refHash,
+					seed, nPoints, qFrac, uFrac, kindByte)
+			}
+		}
+	})
+}

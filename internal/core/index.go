@@ -1,0 +1,67 @@
+// Package core implements the iterated spatial join framework of Sowell et
+// al. (PVLDB 2013) that the paper's experiments run inside: discrete
+// ticks, each with a build phase, a query phase, and an update phase,
+// timed separately.
+//
+// The techniques under study belong to the framework's "static index
+// nested loop join" category: a static index over the current positions is
+// built at the start of every tick, the join is computed by probing that
+// index once per querier, and updates are batched and applied at the end
+// of the tick so all queries observe the state as of the previous tick.
+package core
+
+import "repro/internal/geom"
+
+// Index is the contract every spatial join technique implements.
+//
+// The framework follows the secondary-index assumption of the original
+// study: indexes store object IDs (or pointers to ID-holding entries) and
+// read coordinates from the base snapshot passed to Build; they never own
+// or update the base data.
+type Index interface {
+	// Name identifies the technique in reports.
+	Name() string
+
+	// Build (re)constructs the index over the snapshot pts, where object
+	// i is at pts[i]. The slice remains valid and unchanged until the next
+	// Build call, so implementations may retain it.
+	Build(pts []geom.Point)
+
+	// Query reports the ID of every object whose position lies in r, in
+	// unspecified order, by calling emit once per match.
+	Query(r geom.Rect, emit func(id uint32))
+
+	// Update informs the index that object id moved from old to new
+	// during the update phase. Techniques that are rebuilt from the
+	// snapshot every tick may simply buffer or ignore this; in-place
+	// structures (the grids) relocate the entry. Coordinates visible
+	// through the snapshot are refreshed by the driver before the next
+	// Build.
+	Update(id uint32, old, new geom.Point)
+}
+
+// Counter is an optional interface for indexes that can report their
+// cardinality, used by invariant checks in tests.
+type Counter interface {
+	// Len returns the number of entries currently indexed.
+	Len() int
+}
+
+// MemoryReporter is an optional interface for indexes that can estimate
+// their memory footprint in bytes. The paper's Section 3.1 derives
+// per-point footprints analytically; this hook lets benches confirm them.
+type MemoryReporter interface {
+	// MemoryBytes estimates the index-owned heap footprint.
+	MemoryBytes() int64
+}
+
+// Params carries the information factories need to size an index for a
+// workload. Space bounds matter for the grids and the KD-trie; NumPoints
+// lets implementations pre-size arenas.
+type Params struct {
+	Bounds    geom.Rect
+	NumPoints int
+}
+
+// Factory constructs a fresh index instance for the given parameters.
+type Factory func(p Params) Index

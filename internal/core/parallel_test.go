@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/workload"
+)
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	cfg := testConfig()
+	trace, err := workload.Record(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range lineup(cfg) {
+		seq := Run(idx, workload.NewPlayer(trace), Options{})
+		for _, workers := range []int{1, 2, 3, 8} {
+			par := RunParallel(idx, workload.NewPlayer(trace), Options{}, workers)
+			if par.Pairs != seq.Pairs || par.Hash != seq.Hash {
+				t.Fatalf("%s with %d workers: digest (%d, %#x) != sequential (%d, %#x)",
+					idx.Name(), workers, par.Pairs, par.Hash, seq.Pairs, seq.Hash)
+			}
+			if par.Queries != seq.Queries || par.Updates != seq.Updates {
+				t.Fatalf("%s with %d workers: phase counts diverge", idx.Name(), workers)
+			}
+		}
+	}
+}
+
+func TestRunParallelDefaultWorkers(t *testing.T) {
+	cfg := testConfig()
+	cfg.Ticks = 3
+	trace, err := workload.Record(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := grid.MustNew(grid.CPSTuned(), cfg.Bounds(), cfg.NumPoints)
+	seq := Run(idx, workload.NewPlayer(trace), Options{})
+	par := RunParallel(idx, workload.NewPlayer(trace), Options{}, 0) // GOMAXPROCS
+	if par.Pairs != seq.Pairs || par.Hash != seq.Hash {
+		t.Fatal("default worker count diverges from sequential")
+	}
+}
+
+func TestRunParallelKeepPerTick(t *testing.T) {
+	cfg := testConfig()
+	cfg.Ticks = 4
+	trace, err := workload.Record(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := grid.MustNew(grid.CPSTuned(), cfg.Bounds(), cfg.NumPoints)
+	res := RunParallel(idx, workload.NewPlayer(trace), Options{KeepPerTick: true}, 4)
+	if len(res.PerTick) != 4 {
+		t.Fatalf("PerTick has %d entries", len(res.PerTick))
+	}
+	var sum PhaseTimes
+	for _, pt := range res.PerTick {
+		sum.add(pt)
+	}
+	if sum != res.Totals {
+		t.Fatal("per-tick sum != totals")
+	}
+}
+
+func TestRunParallelCollectPairsFallsBack(t *testing.T) {
+	// Pair collection forces the sequential path; results must still be
+	// complete.
+	cfg := testConfig()
+	cfg.Ticks = 2
+	trace, err := workload.Record(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := grid.MustNew(grid.CPSTuned(), cfg.Bounds(), cfg.NumPoints)
+	var collected int64
+	res := RunParallel(idx, workload.NewPlayer(trace), Options{
+		CollectPairs: func(q, f uint32) { collected++ },
+	}, 4)
+	if collected != res.Pairs {
+		t.Fatalf("collector saw %d of %d pairs", collected, res.Pairs)
+	}
+}
+
+func TestRunParallelTicksOption(t *testing.T) {
+	cfg := testConfig()
+	trace, err := workload.Record(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := grid.MustNew(grid.CPSTuned(), cfg.Bounds(), cfg.NumPoints)
+	res := RunParallel(idx, workload.NewPlayer(trace), Options{Ticks: 5}, 2)
+	if res.Ticks != 5 {
+		t.Fatalf("Ticks = %d, want 5", res.Ticks)
+	}
+}

@@ -1,0 +1,215 @@
+package crtree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+var testBounds = geom.R(0, 0, 1000, 1000)
+
+func randomPoints(r *xrand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(r.Range(0, 1000), r.Range(0, 1000))
+	}
+	return pts
+}
+
+func bruteQuery(pts []geom.Point, r geom.Rect) map[uint32]bool {
+	want := make(map[uint32]bool)
+	for i := range pts {
+		if pts[i].In(r) {
+			want[uint32(i)] = true
+		}
+	}
+	return want
+}
+
+func collect(t *testing.T, tr *Tree, r geom.Rect) map[uint32]bool {
+	t.Helper()
+	got := make(map[uint32]bool)
+	tr.Query(r, func(id uint32) {
+		if got[id] {
+			t.Fatalf("duplicate emission of %d", id)
+		}
+		got[id] = true
+	})
+	return got
+}
+
+func TestNewRejectsBadFanout(t *testing.T) {
+	for _, f := range []int{-3, 0, 1} {
+		if _, err := New(f); err == nil {
+			t.Errorf("fanout %d accepted", f)
+		}
+	}
+}
+
+func TestQueryMatchesBruteForce(t *testing.T) {
+	r := xrand.New(1)
+	for _, fanout := range []int{2, 8, 32} {
+		for _, n := range []int{0, 1, 31, 32, 33, 1000, 4000} {
+			pts := randomPoints(r, n)
+			tr := MustNew(fanout)
+			tr.Build(pts)
+			for i := 0; i < 30; i++ {
+				q := geom.Square(geom.Pt(r.Range(-50, 1050), r.Range(-50, 1050)), r.Range(1, 400))
+				got := collect(t, tr, q)
+				want := bruteQuery(pts, q)
+				if len(got) != len(want) {
+					t.Fatalf("fanout=%d n=%d query %d: got %d want %d", fanout, n, i, len(got), len(want))
+				}
+				for id := range want {
+					if !got[id] {
+						t.Fatalf("fanout=%d n=%d query %d: missing %d", fanout, n, i, id)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestQRMBRConservative(t *testing.T) {
+	// Every child's QRMBR, dequantized, must contain the child's exact
+	// MBR: quantization may only widen.
+	r := xrand.New(2)
+	pts := randomPoints(r, 3000)
+	tr := MustNew(16)
+	tr.Build(pts)
+	for pi := range tr.nodes {
+		p := &tr.nodes[pi]
+		if p.leaf {
+			continue
+		}
+		for c := p.first; c < p.first+p.count; c++ {
+			q := tr.qmbrs[c]
+			child := tr.nodes[c].mbr
+			exact := quantize(child, p.mbr)
+			// The stored QRMBR is the conservative quantization itself.
+			if q != exact {
+				t.Fatalf("node %d child %d: stored %+v, recomputed %+v", pi, c, q, exact)
+			}
+			// Conservativeness: quantizing any point of the child's MBR
+			// into the parent frame must stay within the QRMBR bounds.
+			corners := []geom.Point{
+				{X: child.MinX, Y: child.MinY},
+				{X: child.MaxX, Y: child.MaxY},
+			}
+			for _, pt := range corners {
+				pq := quantize(geom.Rect{MinX: pt.X, MinY: pt.Y, MaxX: pt.X, MaxY: pt.Y}, p.mbr)
+				if pq.minX < q.minX || pq.maxX > q.maxX || pq.minY < q.minY || pq.maxY > q.maxY {
+					t.Fatalf("node %d child %d: corner %v escapes QRMBR", pi, c, pt)
+				}
+			}
+		}
+	}
+}
+
+func TestQuantizeKnownValues(t *testing.T) {
+	ref := geom.R(0, 0, 256, 256)
+	q := quantize(geom.R(0, 0, 256, 256), ref)
+	if q.minX != 0 || q.minY != 0 || q.maxX != 255 || q.maxY != 255 {
+		t.Fatalf("full-ref quantization = %+v", q)
+	}
+	q = quantize(geom.R(1, 1, 2, 2), ref)
+	if q.minX != 1 || q.maxX != 2 {
+		t.Fatalf("unit quantization = %+v", q)
+	}
+	// Degenerate reference must not divide by zero.
+	q = quantize(geom.R(5, 5, 5, 5), geom.R(5, 5, 5, 5))
+	if q.maxX < q.minX || q.maxY < q.minY {
+		t.Fatalf("degenerate quantization inverted: %+v", q)
+	}
+}
+
+func TestPropQuantizedIntersectionNeverFalseNegative(t *testing.T) {
+	ref := geom.R(0, 0, 1000, 1000)
+	f := func(ax1, ay1, ax2, ay2, bx1, by1, bx2, by2 float32) bool {
+		a := geom.R(clamp(ax1), clamp(ay1), clamp(ax2), clamp(ay2))
+		b := geom.R(clamp(bx1), clamp(by1), clamp(bx2), clamp(by2))
+		if !a.Intersects(b) {
+			return true // only false negatives are forbidden
+		}
+		qa := quantize(a, ref)
+		qb := quantizeQuery(b, ref)
+		return qa.intersects(qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clamp(v float32) float32 {
+	if v < 0 {
+		v = -v
+	}
+	for v > 1000 {
+		v /= 10
+	}
+	return v
+}
+
+func TestCRTreeAgreesWithConfigurations(t *testing.T) {
+	// Different fanouts must produce identical result sets.
+	r := xrand.New(3)
+	pts := randomPoints(r, 2500)
+	a := MustNew(8)
+	b := MustNew(32)
+	a.Build(pts)
+	b.Build(pts)
+	for i := 0; i < 50; i++ {
+		q := geom.Square(geom.Pt(r.Range(0, 1000), r.Range(0, 1000)), r.Range(1, 300))
+		ga := collect(t, a, q)
+		gb := collect(t, b, q)
+		if len(ga) != len(gb) {
+			t.Fatalf("query %d: fanout 8 found %d, fanout 32 found %d", i, len(ga), len(gb))
+		}
+	}
+}
+
+func TestEmptyAndColocated(t *testing.T) {
+	tr := MustNew(32)
+	tr.Build(nil)
+	n := 0
+	tr.Query(testBounds, func(uint32) { n++ })
+	if n != 0 {
+		t.Fatal("empty tree emitted results")
+	}
+	same := make([]geom.Point, 200)
+	for i := range same {
+		same[i] = geom.Pt(777, 777)
+	}
+	tr.Build(same)
+	if got := collect(t, tr, geom.Square(geom.Pt(777, 777), 2)); len(got) != 200 {
+		t.Fatalf("colocated: found %d of 200", len(got))
+	}
+}
+
+func TestRebuildDiscardsOldPoints(t *testing.T) {
+	r := xrand.New(4)
+	tr := MustNew(32)
+	tr.Build(randomPoints(r, 1000))
+	tr.Build(randomPoints(r, 10))
+	if tr.Len() != 10 {
+		t.Fatalf("Len = %d after rebuild", tr.Len())
+	}
+	if got := collect(t, tr, testBounds); len(got) != 10 {
+		t.Fatalf("rebuild leaked: %d results", len(got))
+	}
+}
+
+func TestMemorySmallerThanRTreeEquivalent(t *testing.T) {
+	// The compression argument: per-child MBR cost must be 4 bytes, so a
+	// CR-tree node array is much smaller than exact-MBR nodes would be.
+	r := xrand.New(5)
+	pts := randomPoints(r, 10000)
+	tr := MustNew(32)
+	tr.Build(pts)
+	// entries (4B each) + nodes + qmbrs; the qmbr share must be small.
+	if tr.MemoryBytes() > int64(len(pts))*40 {
+		t.Fatalf("CR-tree footprint implausibly large: %d bytes for %d points", tr.MemoryBytes(), len(pts))
+	}
+}

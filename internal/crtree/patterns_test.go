@@ -1,0 +1,21 @@
+package crtree
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/testutil"
+)
+
+// TestAdversarialPatterns runs the shared differential suite against the
+// brute-force oracle. QRMBR quantization must never lose a result on any
+// pattern, including boundary-aligned and colocated points.
+func TestAdversarialPatterns(t *testing.T) {
+	bounds := geom.R(0, 0, 1000, 1000)
+	for _, fanout := range []int{2, 8, 32} {
+		tr := MustNew(fanout)
+		if f := testutil.CheckAgainstOracle(tr, uint64(fanout), 1200, bounds); f != nil {
+			t.Fatalf("fanout %d: %v", fanout, f)
+		}
+	}
+}

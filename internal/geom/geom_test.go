@@ -1,0 +1,230 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPointIn(t *testing.T) {
+	r := R(0, 0, 10, 10)
+	cases := []struct {
+		name string
+		p    Point
+		want bool
+	}{
+		{"interior", Pt(5, 5), true},
+		{"lower-left corner", Pt(0, 0), true},
+		{"upper-right corner", Pt(10, 10), true},
+		{"on left edge", Pt(0, 5), true},
+		{"on top edge", Pt(5, 10), true},
+		{"left of", Pt(-0.001, 5), false},
+		{"right of", Pt(10.001, 5), false},
+		{"below", Pt(5, -0.001), false},
+		{"above", Pt(5, 10.001), false},
+		{"far away", Pt(100, 100), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.p.In(r); got != c.want {
+				t.Errorf("%v.In(%v) = %v, want %v", c.p, r, got, c.want)
+			}
+			if got := r.Contains(c.p); got != c.want {
+				t.Errorf("%v.Contains(%v) = %v, want %v", r, c.p, got, c.want)
+			}
+		})
+	}
+}
+
+func TestRNormalizesCorners(t *testing.T) {
+	r := R(10, 20, 0, 5)
+	want := Rect{MinX: 0, MinY: 5, MaxX: 10, MaxY: 20}
+	if r != want {
+		t.Fatalf("R(10,20,0,5) = %v, want %v", r, want)
+	}
+	if !r.Valid() {
+		t.Fatal("normalized rect should be valid")
+	}
+}
+
+func TestSquare(t *testing.T) {
+	r := Square(Pt(100, 200), 50)
+	want := Rect{MinX: 75, MinY: 175, MaxX: 125, MaxY: 225}
+	if r != want {
+		t.Fatalf("Square = %v, want %v", r, want)
+	}
+	if r.Width() != 50 || r.Height() != 50 {
+		t.Fatalf("Square dims = %g x %g, want 50 x 50", r.Width(), r.Height())
+	}
+	if c := r.Center(); c != Pt(100, 200) {
+		t.Fatalf("Square center = %v, want (100,200)", c)
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	cases := []struct {
+		name string
+		b    Rect
+		want bool
+	}{
+		{"identical", a, true},
+		{"contained", R(2, 2, 8, 8), true},
+		{"containing", R(-5, -5, 15, 15), true},
+		{"overlap corner", R(8, 8, 12, 12), true},
+		{"touch edge", R(10, 0, 20, 10), true},
+		{"touch corner", R(10, 10, 20, 20), true},
+		{"disjoint right", R(10.5, 0, 20, 10), false},
+		{"disjoint above", R(0, 11, 10, 20), false},
+		{"disjoint diagonal", R(11, 11, 20, 20), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := a.Intersects(c.b); got != c.want {
+				t.Errorf("%v.Intersects(%v) = %v, want %v", a, c.b, got, c.want)
+			}
+			if got := c.b.Intersects(a); got != c.want {
+				t.Errorf("intersection must be symmetric: %v vs %v", c.b, a)
+			}
+		})
+	}
+}
+
+func TestContainsRect(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	cases := []struct {
+		name string
+		b    Rect
+		want bool
+	}{
+		{"identical", a, true},
+		{"strictly inside", R(1, 1, 9, 9), true},
+		{"sharing an edge", R(0, 1, 9, 9), true},
+		{"poking out right", R(5, 5, 11, 9), false},
+		{"containing", R(-1, -1, 11, 11), false},
+		{"disjoint", R(20, 20, 30, 30), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := a.ContainsRect(c.b); got != c.want {
+				t.Errorf("%v.ContainsRect(%v) = %v, want %v", a, c.b, got, c.want)
+			}
+		})
+	}
+}
+
+func TestIntersectionAndUnion(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	b := R(5, 5, 15, 15)
+	got, ok := a.Intersection(b)
+	if !ok || got != R(5, 5, 10, 10) {
+		t.Fatalf("Intersection = %v (ok=%v), want [5,10]x[5,10]", got, ok)
+	}
+	if u := a.Union(b); u != R(0, 0, 15, 15) {
+		t.Fatalf("Union = %v, want [0,15]x[0,15]", u)
+	}
+	if _, ok := a.Intersection(R(20, 20, 30, 30)); ok {
+		t.Fatal("disjoint rects must not intersect")
+	}
+}
+
+func TestRectOf(t *testing.T) {
+	pts := []Point{Pt(3, 7), Pt(-1, 2), Pt(5, 0)}
+	if got := RectOf(pts); got != R(-1, 0, 5, 7) {
+		t.Fatalf("RectOf = %v, want [-1,5]x[0,7]", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RectOf(nil) must panic")
+		}
+	}()
+	RectOf(nil)
+}
+
+func TestClip(t *testing.T) {
+	b := R(0, 0, 10, 10)
+	if got := R(-5, 3, 5, 20).Clip(b); got != R(0, 3, 5, 10) {
+		t.Fatalf("Clip = %v, want [0,5]x[3,10]", got)
+	}
+	// Fully outside: degenerates onto the boundary but stays valid.
+	if got := R(20, 20, 30, 30).Clip(b); !got.Valid() {
+		t.Fatalf("Clip of outside rect must stay valid, got %v", got)
+	}
+}
+
+func TestExpand(t *testing.T) {
+	if got := R(2, 2, 4, 4).Expand(1); got != R(1, 1, 5, 5) {
+		t.Fatalf("Expand(1) = %v", got)
+	}
+	if got := R(2, 2, 6, 6).Expand(-1); got != R(3, 3, 5, 5) {
+		t.Fatalf("Expand(-1) = %v", got)
+	}
+}
+
+// normRect builds a valid rect from four arbitrary floats, for property
+// tests.
+func normRect(x1, y1, x2, y2 float32) Rect { return R(x1, y1, x2, y2) }
+
+func TestPropIntersectionSymmetricAndSound(t *testing.T) {
+	f := func(ax1, ay1, ax2, ay2, bx1, by1, bx2, by2 float32) bool {
+		a := normRect(ax1, ay1, ax2, ay2)
+		b := normRect(bx1, by1, bx2, by2)
+		if a.Intersects(b) != b.Intersects(a) {
+			return false
+		}
+		inter, ok := a.Intersection(b)
+		if ok != a.Intersects(b) {
+			return false
+		}
+		if ok {
+			// The intersection must lie inside both.
+			if !a.ContainsRect(inter) || !b.ContainsRect(inter) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropUnionContainsBoth(t *testing.T) {
+	f := func(ax1, ay1, ax2, ay2, bx1, by1, bx2, by2 float32) bool {
+		a := normRect(ax1, ay1, ax2, ay2)
+		b := normRect(bx1, by1, bx2, by2)
+		u := a.Union(b)
+		return u.ContainsRect(a) && u.ContainsRect(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropContainsRectImpliesIntersects(t *testing.T) {
+	f := func(ax1, ay1, ax2, ay2, bx1, by1, bx2, by2 float32) bool {
+		a := normRect(ax1, ay1, ax2, ay2)
+		b := normRect(bx1, by1, bx2, by2)
+		if a.ContainsRect(b) && !a.Intersects(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropPointInImpliesRectIntersects(t *testing.T) {
+	f := func(x, y, ax1, ay1, ax2, ay2 float32) bool {
+		p := Pt(x, y)
+		a := normRect(ax1, ay1, ax2, ay2)
+		if p.In(a) {
+			// A rect containing p must intersect the degenerate rect at p.
+			return a.Intersects(Rect{MinX: x, MinY: y, MaxX: x, MaxY: y})
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

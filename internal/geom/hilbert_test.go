@@ -1,0 +1,85 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHilbertKnownOrder1(t *testing.T) {
+	// The order-1 curve visits (0,0), (0,1), (1,1), (1,0).
+	cases := []struct {
+		x, y uint32
+		d    uint64
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{1, 1, 2},
+		{1, 0, 3},
+	}
+	for _, c := range cases {
+		if got := HilbertEncode(1, c.x, c.y); got != c.d {
+			t.Errorf("HilbertEncode(1, %d, %d) = %d, want %d", c.x, c.y, got, c.d)
+		}
+	}
+}
+
+func TestHilbertCoversOrder3Exactly(t *testing.T) {
+	// On an 8x8 grid, distances must be a bijection onto [0, 64).
+	seen := make([]bool, 64)
+	for x := uint32(0); x < 8; x++ {
+		for y := uint32(0); y < 8; y++ {
+			d := HilbertEncode(3, x, y)
+			if d >= 64 {
+				t.Fatalf("(%d,%d) -> %d out of range", x, y, d)
+			}
+			if seen[d] {
+				t.Fatalf("distance %d hit twice", d)
+			}
+			seen[d] = true
+		}
+	}
+}
+
+func TestHilbertAdjacency(t *testing.T) {
+	// Consecutive curve positions must be lattice neighbours — the
+	// locality property Z-order lacks.
+	const order = 4
+	prevX, prevY := HilbertDecode(order, 0)
+	for d := uint64(1); d < 1<<(2*order); d++ {
+		x, y := HilbertDecode(order, d)
+		dx := int64(x) - int64(prevX)
+		dy := int64(y) - int64(prevY)
+		if dx*dx+dy*dy != 1 {
+			t.Fatalf("positions %d and %d are not adjacent: (%d,%d) -> (%d,%d)",
+				d-1, d, prevX, prevY, x, y)
+		}
+		prevX, prevY = x, y
+	}
+}
+
+func TestPropHilbertRoundtrip(t *testing.T) {
+	const order = 12
+	mask := uint32(1<<order - 1)
+	f := func(x, y uint32) bool {
+		x &= mask
+		y &= mask
+		gx, gy := HilbertDecode(order, HilbertEncode(order, x, y))
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHilbertFullOrderRoundtrip(t *testing.T) {
+	// Spot-check the maximum order used by the quantizer (16 bits/axis
+	// covers every kdtrie configuration).
+	const order = 16
+	for _, c := range [][2]uint32{{0, 0}, {65535, 65535}, {12345, 54321}, {1, 65534}} {
+		d := HilbertEncode(order, c[0], c[1])
+		x, y := HilbertDecode(order, d)
+		if x != c[0] || y != c[1] {
+			t.Fatalf("roundtrip (%d,%d) -> %d -> (%d,%d)", c[0], c[1], d, x, y)
+		}
+	}
+}

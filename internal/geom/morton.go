@@ -1,0 +1,132 @@
+package geom
+
+// Z-order (Morton) linearization. The linearized KD-trie of Dittrich et
+// al. maps each point to a fixed-depth kd-partition code; with axes split
+// alternately and in half, that code is exactly the bit interleaving of
+// the point's quantized x and y coordinates. These helpers implement the
+// interleaving and its inverse for up to 32 bits per axis.
+
+// InterleaveBits spreads the low 32 bits of x into the even bit positions
+// of the result, i.e. bit i of x moves to bit 2i.
+func InterleaveBits(x uint32) uint64 {
+	v := uint64(x)
+	v = (v | v<<16) & 0x0000ffff0000ffff
+	v = (v | v<<8) & 0x00ff00ff00ff00ff
+	v = (v | v<<4) & 0x0f0f0f0f0f0f0f0f
+	v = (v | v<<2) & 0x3333333333333333
+	v = (v | v<<1) & 0x5555555555555555
+	return v
+}
+
+// DeinterleaveBits is the inverse of InterleaveBits: it collects the even
+// bit positions of v into a compact 32-bit value.
+func DeinterleaveBits(v uint64) uint32 {
+	v &= 0x5555555555555555
+	v = (v | v>>1) & 0x3333333333333333
+	v = (v | v>>2) & 0x0f0f0f0f0f0f0f0f
+	v = (v | v>>4) & 0x00ff00ff00ff00ff
+	v = (v | v>>8) & 0x0000ffff0000ffff
+	v = (v | v>>16) & 0x00000000ffffffff
+	return uint32(v)
+}
+
+// MortonEncode interleaves x and y (x occupying the even bits) to form a
+// Z-order code. Codes compare in Z-curve order.
+func MortonEncode(x, y uint32) uint64 {
+	return InterleaveBits(x) | InterleaveBits(y)<<1
+}
+
+// MortonDecode splits a Z-order code back into its x and y components.
+func MortonDecode(code uint64) (x, y uint32) {
+	return DeinterleaveBits(code), DeinterleaveBits(code >> 1)
+}
+
+// Quantizer maps float coordinates in a bounding space onto the integer
+// lattice [0, 2^bits). It is shared by the KD-trie (cell codes) and the
+// CR-tree (relative MBR quantization is a per-node variant of the same
+// idea).
+type Quantizer struct {
+	bounds Rect
+	bits   uint
+	scaleX float64
+	scaleY float64
+}
+
+// NewQuantizer builds a quantizer for the given space with the given
+// resolution. bits must be in [1, 32].
+func NewQuantizer(bounds Rect, bits uint) *Quantizer {
+	if bits < 1 || bits > 32 {
+		panic("geom: quantizer bits out of range [1,32]")
+	}
+	cells := float64(uint64(1) << bits)
+	w := float64(bounds.Width())
+	h := float64(bounds.Height())
+	if w <= 0 {
+		w = 1
+	}
+	if h <= 0 {
+		h = 1
+	}
+	return &Quantizer{
+		bounds: bounds,
+		bits:   bits,
+		scaleX: cells / w,
+		scaleY: cells / h,
+	}
+}
+
+// Bits returns the per-axis resolution in bits.
+func (q *Quantizer) Bits() uint { return q.bits }
+
+// Bounds returns the space the quantizer was built over.
+func (q *Quantizer) Bounds() Rect { return q.bounds }
+
+// Cell returns the lattice coordinates of p, clamped into range so that
+// points on (or numerically just outside) the space boundary land in the
+// outermost cells rather than out of bounds.
+func (q *Quantizer) Cell(p Point) (cx, cy uint32) {
+	limit := (uint64(1) << q.bits) - 1
+	fx := (float64(p.X) - float64(q.bounds.MinX)) * q.scaleX
+	fy := (float64(p.Y) - float64(q.bounds.MinY)) * q.scaleY
+	return clampu(fx, limit), clampu(fy, limit)
+}
+
+// Code returns the Z-order code of the cell containing p.
+func (q *Quantizer) Code(p Point) uint64 {
+	cx, cy := q.Cell(p)
+	return MortonEncode(cx, cy)
+}
+
+// CellRect returns the spatial extent of lattice cell (cx, cy).
+func (q *Quantizer) CellRect(cx, cy uint32) Rect {
+	invX := 1 / q.scaleX
+	invY := 1 / q.scaleY
+	x0 := float64(q.bounds.MinX) + float64(cx)*invX
+	y0 := float64(q.bounds.MinY) + float64(cy)*invY
+	return Rect{
+		MinX: float32(x0),
+		MinY: float32(y0),
+		MaxX: float32(x0 + invX),
+		MaxY: float32(y0 + invY),
+	}
+}
+
+// CellRange returns the half-open lattice ranges [x0,x1], [y0,y1] of cells
+// overlapped by r (clamped to the space). Both bounds are inclusive.
+func (q *Quantizer) CellRange(r Rect) (x0, y0, x1, y1 uint32) {
+	lo := r.Clip(q.bounds)
+	x0, y0 = q.Cell(Point{X: lo.MinX, Y: lo.MinY})
+	x1, y1 = q.Cell(Point{X: lo.MaxX, Y: lo.MaxY})
+	return x0, y0, x1, y1
+}
+
+func clampu(v float64, limit uint64) uint32 {
+	if v < 0 {
+		return 0
+	}
+	u := uint64(v)
+	if u > limit {
+		u = limit
+	}
+	return uint32(u)
+}

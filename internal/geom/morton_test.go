@@ -1,0 +1,151 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestInterleaveRoundtrip(t *testing.T) {
+	cases := []uint32{0, 1, 2, 0xff, 0xffff, 0xdeadbeef, 0xffffffff}
+	for _, x := range cases {
+		if got := DeinterleaveBits(InterleaveBits(x)); got != x {
+			t.Errorf("roundtrip(%#x) = %#x", x, got)
+		}
+	}
+}
+
+func TestMortonKnownValues(t *testing.T) {
+	// Z-order of the 2x2 lattice: (0,0)=0 (1,0)=1 (0,1)=2 (1,1)=3.
+	cases := []struct {
+		x, y uint32
+		want uint64
+	}{
+		{0, 0, 0},
+		{1, 0, 1},
+		{0, 1, 2},
+		{1, 1, 3},
+		{2, 0, 4},
+		{0, 2, 8},
+		{3, 3, 15},
+		{0xffffffff, 0, 0x5555555555555555},
+		{0, 0xffffffff, 0xaaaaaaaaaaaaaaaa},
+		{0xffffffff, 0xffffffff, 0xffffffffffffffff},
+	}
+	for _, c := range cases {
+		if got := MortonEncode(c.x, c.y); got != c.want {
+			t.Errorf("MortonEncode(%d,%d) = %#x, want %#x", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestPropMortonRoundtrip(t *testing.T) {
+	f := func(x, y uint32) bool {
+		gx, gy := MortonDecode(MortonEncode(x, y))
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMortonMonotoneInPrefix(t *testing.T) {
+	// Within one row or column, codes must increase with the coordinate.
+	f := func(x, y uint32) bool {
+		if x == 0xffffffff || y == 0xffffffff {
+			return true
+		}
+		return MortonEncode(x, y) < MortonEncode(x+1, y) &&
+			MortonEncode(x, y) < MortonEncode(x, y+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizerCell(t *testing.T) {
+	q := NewQuantizer(R(0, 0, 100, 100), 2) // 4x4 lattice, cells of 25
+	cases := []struct {
+		p      Point
+		cx, cy uint32
+	}{
+		{Pt(0, 0), 0, 0},
+		{Pt(24.9, 24.9), 0, 0},
+		{Pt(25, 0), 1, 0},
+		{Pt(99.9, 99.9), 3, 3},
+		{Pt(100, 100), 3, 3}, // boundary clamps into last cell
+		{Pt(-5, 120), 0, 3},  // outside clamps
+		{Pt(50, 75), 2, 3},
+	}
+	for _, c := range cases {
+		cx, cy := q.Cell(c.p)
+		if cx != c.cx || cy != c.cy {
+			t.Errorf("Cell(%v) = (%d,%d), want (%d,%d)", c.p, cx, cy, c.cx, c.cy)
+		}
+	}
+}
+
+func TestQuantizerCellRectInverse(t *testing.T) {
+	q := NewQuantizer(R(0, 0, 128, 128), 4)
+	for cx := uint32(0); cx < 16; cx++ {
+		for cy := uint32(0); cy < 16; cy++ {
+			r := q.CellRect(cx, cy)
+			gotX, gotY := q.Cell(r.Center())
+			if gotX != cx || gotY != cy {
+				t.Fatalf("cell (%d,%d) rect %v center maps to (%d,%d)", cx, cy, r, gotX, gotY)
+			}
+		}
+	}
+}
+
+func TestQuantizerCellRange(t *testing.T) {
+	q := NewQuantizer(R(0, 0, 100, 100), 2)
+	x0, y0, x1, y1 := q.CellRange(R(10, 30, 60, 80))
+	if x0 != 0 || x1 != 2 || y0 != 1 || y1 != 3 {
+		t.Fatalf("CellRange = (%d,%d)-(%d,%d), want (0,1)-(2,3)", x0, y0, x1, y1)
+	}
+	// Query poking outside the space clamps to the boundary cells.
+	x0, y0, x1, y1 = q.CellRange(R(-50, -50, 200, 10))
+	if x0 != 0 || y0 != 0 || x1 != 3 || y1 != 0 {
+		t.Fatalf("clamped CellRange = (%d,%d)-(%d,%d), want (0,0)-(3,0)", x0, y0, x1, y1)
+	}
+}
+
+func TestPropQuantizerCellWithinRange(t *testing.T) {
+	q := NewQuantizer(R(0, 0, 1000, 1000), 6)
+	f := func(x, y float32) bool {
+		// Constrain to the space via wrap-around.
+		p := Pt(absMod(x, 1000), absMod(y, 1000))
+		cx, cy := q.Cell(p)
+		if cx > 63 || cy > 63 {
+			return false
+		}
+		// The cell rect must contain the point (up to the clamped edge).
+		r := q.CellRect(cx, cy)
+		return p.In(r.Expand(1e-3))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func absMod(v, m float32) float32 {
+	r := float32(math.Mod(math.Abs(float64(v)), float64(m)))
+	if r >= m || math.IsNaN(float64(r)) {
+		return 0
+	}
+	return r
+}
+
+func TestNewQuantizerPanicsOnBadBits(t *testing.T) {
+	for _, bits := range []uint{0, 33} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewQuantizer(bits=%d) must panic", bits)
+				}
+			}()
+			NewQuantizer(R(0, 0, 1, 1), bits)
+		}()
+	}
+}

@@ -1,0 +1,103 @@
+package grid
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+// Micro-benchmarks for the grid's three operations across layouts.
+// bench_test.go at the repository root measures whole ticks; these
+// isolate the per-operation costs that Section 3 reasons about.
+
+func benchPoints(n int) []geom.Point {
+	r := xrand.New(1)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(r.Range(0, 1000), r.Range(0, 1000))
+	}
+	return pts
+}
+
+func benchLayouts() []Config {
+	return []Config{
+		{Name: "linked", Layout: LayoutLinked, Scan: ScanRange, BS: 4, CPS: 13},
+		{Name: "inline", Layout: LayoutInline, Scan: ScanRange, BS: 20, CPS: 64},
+		{Name: "inline-xy", Layout: LayoutInlineXY, Scan: ScanRange, BS: 20, CPS: 64},
+		{Name: "intrusive", Layout: LayoutIntrusive, Scan: ScanRange, BS: 1, CPS: 64},
+	}
+}
+
+func BenchmarkGridBuild(b *testing.B) {
+	pts := benchPoints(50000)
+	for _, cfg := range benchLayouts() {
+		b.Run(cfg.Name, func(b *testing.B) {
+			g := MustNew(cfg, testBounds, len(pts))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Build(pts)
+			}
+		})
+	}
+}
+
+func BenchmarkGridQuery(b *testing.B) {
+	pts := benchPoints(50000)
+	r := xrand.New(2)
+	queries := make([]geom.Rect, 256)
+	for i := range queries {
+		queries[i] = geom.Square(geom.Pt(r.Range(0, 1000), r.Range(0, 1000)), 18)
+	}
+	for _, cfg := range benchLayouts() {
+		b.Run(cfg.Name, func(b *testing.B) {
+			g := MustNew(cfg, testBounds, len(pts))
+			g.Build(pts)
+			n := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Query(queries[i%len(queries)], func(uint32) { n++ })
+			}
+			if n == 0 {
+				b.Fatal("no results")
+			}
+		})
+	}
+}
+
+func BenchmarkGridUpdate(b *testing.B) {
+	pts := benchPoints(50000)
+	r := xrand.New(3)
+	for _, cfg := range benchLayouts() {
+		b.Run(cfg.Name, func(b *testing.B) {
+			g := MustNew(cfg, testBounds, len(pts))
+			g.Build(pts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := uint32(r.Intn(len(pts)))
+				to := geom.Pt(r.Range(0, 1000), r.Range(0, 1000))
+				g.Update(id, pts[id], to)
+				pts[id] = to
+			}
+		})
+	}
+}
+
+func BenchmarkGridScanAlgorithms(b *testing.B) {
+	// Algorithm 1 vs Algorithm 2 on the identical structure (Section
+	// 3.2's isolated comparison).
+	pts := benchPoints(50000)
+	q := geom.Square(geom.Pt(500, 500), 18)
+	for _, scan := range []Scan{ScanFull, ScanRange} {
+		b.Run(fmt.Sprintf("%v", scan), func(b *testing.B) {
+			g := MustNew(Config{Layout: LayoutInline, Scan: scan, BS: 4, CPS: 13}, testBounds, len(pts))
+			g.Build(pts)
+			n := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Query(q, func(uint32) { n++ })
+			}
+		})
+	}
+}

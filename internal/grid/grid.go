@@ -1,0 +1,370 @@
+// Package grid implements the Simple Grid spatial join technique in the
+// two guises the paper studies:
+//
+//   - the original implementation (Figure 3a): a directory of
+//     (counter, pointer) cells, each pointing to a singly-linked chain of
+//     buckets, each bucket holding a doubly-linked list of per-entry nodes
+//     that point at the data — and a query algorithm that scans the whole
+//     directory (Algorithm 1);
+//   - the refactored implementation (Figure 3b): a directory of bare
+//     bucket references with entry IDs stored inline in the buckets, and a
+//     query algorithm that visits only the cells overlapping the query
+//     rectangle (Algorithm 2).
+//
+// The two differ only in implementation, not in the high-level algorithm:
+// both partition space uniformly into cps x cps cells with buckets of
+// capacity bs and answer range queries by examining intersecting cells.
+// That is the paper's entire point. The ablation chain
+// (Original -> +restructured -> +querying -> +bs tuned -> +cps tuned) is
+// expressed as Config presets.
+package grid
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Layout selects the physical representation of cells and buckets.
+type Layout int
+
+const (
+	// LayoutLinked is the original structure: per-entry heap nodes in
+	// doubly-linked lists hanging off linked buckets (Figure 3a).
+	LayoutLinked Layout = iota
+	// LayoutInline is the refactored structure: entry IDs stored directly
+	// in bucket slots within a contiguous arena (Figure 3b).
+	LayoutInline
+	// LayoutInlineXY additionally stores each entry's coordinates next to
+	// its ID. The paper mentions this locality refinement in Section 3.1
+	// but does not adopt it because it breaks the secondary-index
+	// assumption; it is provided here as an ablation extension.
+	LayoutInlineXY
+	// LayoutIntrusive is the handle-based u-grid design of the paper's
+	// reference [8]: one arena node per object ID forming intrusive
+	// per-cell doubly-linked lists, giving O(1) updates. Provided as an
+	// ablation (the "ext-handles" extension) to isolate the update-path
+	// cost of the bucketed layouts.
+	LayoutIntrusive
+)
+
+// String implements fmt.Stringer.
+func (l Layout) String() string {
+	switch l {
+	case LayoutLinked:
+		return "linked"
+	case LayoutInline:
+		return "inline"
+	case LayoutInlineXY:
+		return "inline+xy"
+	case LayoutIntrusive:
+		return "intrusive"
+	default:
+		return fmt.Sprintf("Layout(%d)", int(l))
+	}
+}
+
+// Scan selects the range query algorithm.
+type Scan int
+
+const (
+	// ScanFull is Algorithm 1: traverse every grid cell and test it
+	// against the query region.
+	ScanFull Scan = iota
+	// ScanRange is Algorithm 2: compute the overlapping cell range from
+	// the query corners and visit only those cells.
+	ScanRange
+)
+
+// String implements fmt.Stringer.
+func (s Scan) String() string {
+	switch s {
+	case ScanFull:
+		return "full-scan"
+	case ScanRange:
+		return "range-scan"
+	default:
+		return fmt.Sprintf("Scan(%d)", int(s))
+	}
+}
+
+// Config fixes one point in the implementation space the paper explores.
+type Config struct {
+	Name   string // display name; empty derives one from the fields
+	Layout Layout
+	Scan   Scan
+	BS     int // bucket size: max entries per bucket
+	CPS    int // cells per side of the square grid directory
+}
+
+// The tuned parameter values the paper reports: bs=4, cps=13 are optimal
+// for the original implementation (Figure 1); bs=20, cps=64 for the
+// refactored one (Figure 5).
+const (
+	OriginalBS   = 4
+	OriginalCPS  = 13
+	RefactoredBS = 20
+	// RefactoredCPS is the tuned cells-per-side for the refactored grid.
+	RefactoredCPS = 64
+)
+
+// Original is the Simple Grid exactly as the original framework shipped
+// it, with its own optimal tuning.
+func Original() Config {
+	return Config{Name: "Simple Grid", Layout: LayoutLinked, Scan: ScanFull, BS: OriginalBS, CPS: OriginalCPS}
+}
+
+// Restructured applies only the structural changes of Section 3.1
+// (pointer-only directory, inline buckets).
+func Restructured() Config {
+	return Config{Name: "+restructured", Layout: LayoutInline, Scan: ScanFull, BS: OriginalBS, CPS: OriginalCPS}
+}
+
+// Querying additionally applies the Algorithm 2 query refactoring of
+// Section 3.2.
+func Querying() Config {
+	return Config{Name: "+querying", Layout: LayoutInline, Scan: ScanRange, BS: OriginalBS, CPS: OriginalCPS}
+}
+
+// BSTuned additionally retunes the bucket size to the refactored optimum
+// (Section 3.3, Figure 5a).
+func BSTuned() Config {
+	return Config{Name: "+bs tuned", Layout: LayoutInline, Scan: ScanRange, BS: RefactoredBS, CPS: OriginalCPS}
+}
+
+// CPSTuned additionally retunes the grid granularity (Section 3.3,
+// Figure 5b). This is the final, best-performing configuration.
+func CPSTuned() Config {
+	return Config{Name: "+cps tuned", Layout: LayoutInline, Scan: ScanRange, BS: RefactoredBS, CPS: RefactoredCPS}
+}
+
+// AblationChain returns the five configurations of Figure 4 and the lower
+// half of Table 2, in paper order.
+func AblationChain() []Config {
+	return []Config{Original(), Restructured(), Querying(), BSTuned(), CPSTuned()}
+}
+
+// Validate reports the first problem with the configuration, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.BS <= 0:
+		return fmt.Errorf("grid: bucket size must be positive, got %d", c.BS)
+	case c.CPS <= 0:
+		return fmt.Errorf("grid: cells per side must be positive, got %d", c.CPS)
+	case c.Layout != LayoutLinked && c.Layout != LayoutInline &&
+		c.Layout != LayoutInlineXY && c.Layout != LayoutIntrusive:
+		return fmt.Errorf("grid: unknown layout %d", int(c.Layout))
+	case c.Scan != ScanFull && c.Scan != ScanRange:
+		return fmt.Errorf("grid: unknown scan %d", int(c.Scan))
+	}
+	return nil
+}
+
+// DisplayName returns the configured name or a derived one.
+func (c Config) DisplayName() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("grid(%s,%s,bs=%d,cps=%d)", c.Layout, c.Scan, c.BS, c.CPS)
+}
+
+// store is the layout-specific backend shared by both implementations.
+// The Grid owns the geometry (cell mapping); stores only manage buckets.
+type store interface {
+	// reset clears all cells and retains the snapshot for coordinate
+	// lookups during filtering.
+	reset(pts []geom.Point)
+	// insertAt adds entry id at point p to cell c.
+	insertAt(c int, id uint32, p geom.Point)
+	// removeAt deletes entry id from cell c, reporting whether it was
+	// present.
+	removeAt(c int, id uint32) bool
+	// scanCell invokes emit for all entries of cell c (no filtering).
+	scanCell(c int, emit func(id uint32))
+	// filterCell invokes emit for entries of cell c contained in r.
+	filterCell(c int, r geom.Rect, emit func(id uint32))
+	cellCount(c int) int
+	memoryBytes() int64
+	totalEntries() int
+}
+
+// Grid is a uniform grid over a fixed square space. It implements
+// core.Index.
+type Grid struct {
+	cfg      Config
+	bounds   geom.Rect
+	cellSize float32
+	invCell  float32
+	cells    int
+	st       store
+	pts      []geom.Point
+}
+
+// New constructs a grid for the given space. numPoints sizes the arenas;
+// it is a hint, not a limit.
+func New(cfg Config, bounds geom.Rect, numPoints int) (*Grid, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !bounds.Valid() || bounds.Width() <= 0 || bounds.Height() <= 0 {
+		return nil, fmt.Errorf("grid: invalid bounds %v", bounds)
+	}
+	if bounds.Width() != bounds.Height() {
+		return nil, fmt.Errorf("grid: space must be square, got %v", bounds)
+	}
+	g := &Grid{
+		cfg:      cfg,
+		bounds:   bounds,
+		cellSize: bounds.Width() / float32(cfg.CPS),
+		cells:    cfg.CPS * cfg.CPS,
+	}
+	g.invCell = 1 / g.cellSize
+	switch cfg.Layout {
+	case LayoutLinked:
+		g.st = newLinkedStore(g.cells, cfg.BS, numPoints)
+	case LayoutInline:
+		g.st = newInlineStore(g.cells, cfg.BS, numPoints, false)
+	case LayoutInlineXY:
+		g.st = newInlineStore(g.cells, cfg.BS, numPoints, true)
+	case LayoutIntrusive:
+		// The intrusive layout has no buckets; BS is irrelevant to it.
+		g.st = newIntrusiveStore(g.cells, numPoints)
+	}
+	return g, nil
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew(cfg Config, bounds geom.Rect, numPoints int) *Grid {
+	g, err := New(cfg, bounds, numPoints)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Name implements core.Index.
+func (g *Grid) Name() string { return g.cfg.DisplayName() }
+
+// Config returns the grid's configuration.
+func (g *Grid) Config() Config { return g.cfg }
+
+// Bounds returns the indexed space.
+func (g *Grid) Bounds() geom.Rect { return g.bounds }
+
+// cellIndexFor maps a point to its cell index, clamping coordinates that
+// fall on or outside the space boundary into the outermost cells.
+func (g *Grid) cellIndexFor(p geom.Point) int {
+	cx := g.axisCell(p.X - g.bounds.MinX)
+	cy := g.axisCell(p.Y - g.bounds.MinY)
+	return cy*g.cfg.CPS + cx
+}
+
+func (g *Grid) axisCell(d float32) int {
+	c := int(d * g.invCell)
+	if c < 0 {
+		return 0
+	}
+	if c >= g.cfg.CPS {
+		return g.cfg.CPS - 1
+	}
+	return c
+}
+
+// cellRect returns the spatial extent of cell (cx, cy).
+func (g *Grid) cellRect(cx, cy int) geom.Rect {
+	x0 := g.bounds.MinX + float32(cx)*g.cellSize
+	y0 := g.bounds.MinY + float32(cy)*g.cellSize
+	return geom.Rect{MinX: x0, MinY: y0, MaxX: x0 + g.cellSize, MaxY: y0 + g.cellSize}
+}
+
+// Build implements core.Index: it clears all cells and inserts the whole
+// snapshot. Arenas and freelists are retained across builds, so steady-
+// state builds allocate nothing.
+func (g *Grid) Build(pts []geom.Point) {
+	g.pts = pts
+	g.st.reset(pts)
+	for i := range pts {
+		g.st.insertAt(g.cellIndexFor(pts[i]), uint32(i), pts[i])
+	}
+}
+
+// Update implements core.Index: the grid is maintained in place by
+// removing the entry from the cell of its old position and inserting it
+// into the cell of the new one — the cost of doing so is part of the
+// paper's Table 2 update column.
+func (g *Grid) Update(id uint32, old, new geom.Point) {
+	if !g.st.removeAt(g.cellIndexFor(old), id) {
+		// The entry must exist: Build inserted every ID and the workload
+		// issues at most one update per object per tick.
+		panic(fmt.Sprintf("grid: update of unknown entry %d at %v", id, old))
+	}
+	g.st.insertAt(g.cellIndexFor(new), id, new)
+}
+
+// Query implements core.Index, dispatching on the configured algorithm.
+func (g *Grid) Query(r geom.Rect, emit func(id uint32)) {
+	switch g.cfg.Scan {
+	case ScanFull:
+		g.queryFullScan(r, emit)
+	default:
+		g.queryRangeScan(r, emit)
+	}
+}
+
+// queryFullScan is Algorithm 1: traverse all grid cells one by one; report
+// whole cells fully contained in r, filter cells that merely intersect it.
+func (g *Grid) queryFullScan(r geom.Rect, emit func(id uint32)) {
+	cps := g.cfg.CPS
+	for cy := 0; cy < cps; cy++ {
+		for cx := 0; cx < cps; cx++ {
+			cell := g.cellRect(cx, cy)
+			c := cy*cps + cx
+			if r.ContainsRect(cell) {
+				g.st.scanCell(c, emit)
+			} else if r.Intersects(cell) {
+				g.st.filterCell(c, r, emit)
+			}
+		}
+	}
+}
+
+// queryRangeScan is Algorithm 2: compute the overlapping cell range from
+// the query corners and run the Algorithm 1 cell body over that range
+// only.
+func (g *Grid) queryRangeScan(r geom.Rect, emit func(id uint32)) {
+	cps := g.cfg.CPS
+	xmin := g.axisCell(r.MinX - g.bounds.MinX)
+	xmax := g.axisCell(r.MaxX - g.bounds.MinX)
+	ymin := g.axisCell(r.MinY - g.bounds.MinY)
+	ymax := g.axisCell(r.MaxY - g.bounds.MinY)
+	for cy := ymin; cy <= ymax; cy++ {
+		base := cy * cps
+		for cx := xmin; cx <= xmax; cx++ {
+			cell := g.cellRect(cx, cy)
+			c := base + cx
+			// Algorithm 2 reuses lines 4-10 of Algorithm 1 verbatim,
+			// including the intersection test: when the query rectangle
+			// lies (partly) outside the space, clamping can place edge
+			// cells in the range that do not actually overlap r.
+			if r.ContainsRect(cell) {
+				g.st.scanCell(c, emit)
+			} else if r.Intersects(cell) {
+				g.st.filterCell(c, r, emit)
+			}
+		}
+	}
+}
+
+// Len implements core.Counter.
+func (g *Grid) Len() int { return g.st.totalEntries() }
+
+// CellCount returns the number of entries in the cell containing p,
+// mirroring the directory counter of the original structure. Exposed for
+// tests and for the memsim instrumentation to validate against.
+func (g *Grid) CellCount(p geom.Point) int {
+	return g.st.cellCount(g.cellIndexFor(p))
+}
+
+// MemoryBytes implements core.MemoryReporter with the layout-dependent
+// footprint the paper's Section 3.1 reasons about.
+func (g *Grid) MemoryBytes() int64 { return g.st.memoryBytes() }

@@ -1,0 +1,383 @@
+package grid
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+var testBounds = geom.R(0, 0, 1000, 1000)
+
+// allConfigs covers the full ablation chain plus the inline-xy extension
+// and some off-preset shapes.
+func allConfigs() []Config {
+	cfgs := AblationChain()
+	cfgs = append(cfgs,
+		Config{Name: "xy", Layout: LayoutInlineXY, Scan: ScanRange, BS: 8, CPS: 16},
+		Config{Name: "xy-full", Layout: LayoutInlineXY, Scan: ScanFull, BS: 8, CPS: 16},
+		Config{Name: "bs1", Layout: LayoutInline, Scan: ScanRange, BS: 1, CPS: 4},
+		Config{Name: "linked-range", Layout: LayoutLinked, Scan: ScanRange, BS: 4, CPS: 13},
+		Config{Name: "one-cell", Layout: LayoutInline, Scan: ScanRange, BS: 16, CPS: 1},
+		Config{Name: "intrusive-range", Layout: LayoutIntrusive, Scan: ScanRange, BS: 1, CPS: 16},
+		Config{Name: "intrusive-full", Layout: LayoutIntrusive, Scan: ScanFull, BS: 1, CPS: 16},
+	)
+	return cfgs
+}
+
+func randomPoints(r *xrand.Rand, n int, bounds geom.Rect) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(r.Range(bounds.MinX, bounds.MaxX), r.Range(bounds.MinY, bounds.MaxY))
+	}
+	return pts
+}
+
+func bruteQuery(pts []geom.Point, r geom.Rect) map[uint32]bool {
+	want := make(map[uint32]bool)
+	for i := range pts {
+		if pts[i].In(r) {
+			want[uint32(i)] = true
+		}
+	}
+	return want
+}
+
+func collect(g *Grid, r geom.Rect) map[uint32]bool {
+	got := make(map[uint32]bool)
+	g.Query(r, func(id uint32) {
+		if got[id] {
+			panic("duplicate emission")
+		}
+		got[id] = true
+	})
+	return got
+}
+
+func sameSet(t *testing.T, got, want map[uint32]bool, ctx string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d results, want %d", ctx, len(got), len(want))
+	}
+	for id := range want {
+		if !got[id] {
+			t.Fatalf("%s: missing id %d", ctx, id)
+		}
+	}
+}
+
+func TestQueryMatchesBruteForce(t *testing.T) {
+	r := xrand.New(42)
+	pts := randomPoints(r, 3000, testBounds)
+	queries := make([]geom.Rect, 50)
+	for i := range queries {
+		c := geom.Pt(r.Range(-50, 1050), r.Range(-50, 1050))
+		queries[i] = geom.Square(c, r.Range(1, 300))
+	}
+	for _, cfg := range allConfigs() {
+		t.Run(cfg.DisplayName(), func(t *testing.T) {
+			g := MustNew(cfg, testBounds, len(pts))
+			g.Build(pts)
+			if g.Len() != len(pts) {
+				t.Fatalf("Len = %d, want %d", g.Len(), len(pts))
+			}
+			for qi, q := range queries {
+				sameSet(t, collect(g, q), bruteQuery(pts, q), cfg.DisplayName()+" query "+itoa(qi))
+			}
+		})
+	}
+}
+
+func TestEmptyGrid(t *testing.T) {
+	for _, cfg := range allConfigs() {
+		g := MustNew(cfg, testBounds, 0)
+		g.Build(nil)
+		if g.Len() != 0 {
+			t.Fatalf("%s: empty grid Len = %d", cfg.DisplayName(), g.Len())
+		}
+		n := 0
+		g.Query(testBounds, func(uint32) { n++ })
+		if n != 0 {
+			t.Fatalf("%s: empty grid emitted %d", cfg.DisplayName(), n)
+		}
+	}
+}
+
+func TestWholeSpaceQueryReturnsEverything(t *testing.T) {
+	r := xrand.New(7)
+	pts := randomPoints(r, 500, testBounds)
+	for _, cfg := range allConfigs() {
+		g := MustNew(cfg, testBounds, len(pts))
+		g.Build(pts)
+		got := collect(g, testBounds.Expand(1))
+		if len(got) != len(pts) {
+			t.Fatalf("%s: whole-space query returned %d of %d", cfg.DisplayName(), len(got), len(pts))
+		}
+	}
+}
+
+func TestPointOnCellBoundary(t *testing.T) {
+	// Points exactly on internal cell boundaries must land in exactly one
+	// cell and still be found by queries covering either side.
+	cfg := Config{Layout: LayoutInline, Scan: ScanRange, BS: 4, CPS: 10}
+	g := MustNew(cfg, testBounds, 4)
+	// Cell size is 100; 300 is a boundary between cells 2 and 3.
+	pts := []geom.Point{geom.Pt(300, 300), geom.Pt(0, 0), geom.Pt(999.9, 999.9), geom.Pt(500, 300)}
+	g.Build(pts)
+	for i, q := range []geom.Rect{
+		geom.R(250, 250, 350, 350), // straddles the boundary
+		geom.R(300, 300, 301, 301), // starts exactly on it
+		geom.R(299, 299, 300, 300), // ends exactly on it
+	} {
+		got := collect(g, q)
+		if !got[0] {
+			t.Fatalf("query %d missed the boundary point", i)
+		}
+	}
+}
+
+func TestBuildResetsPreviousContent(t *testing.T) {
+	r := xrand.New(9)
+	for _, cfg := range allConfigs() {
+		g := MustNew(cfg, testBounds, 100)
+		g.Build(randomPoints(r, 100, testBounds))
+		fresh := randomPoints(r, 60, testBounds)
+		g.Build(fresh)
+		if g.Len() != 60 {
+			t.Fatalf("%s: Len after rebuild = %d, want 60", cfg.DisplayName(), g.Len())
+		}
+		sameSet(t, collect(g, testBounds), bruteQuery(fresh, testBounds), cfg.DisplayName())
+	}
+}
+
+func TestUpdateMovesEntries(t *testing.T) {
+	r := xrand.New(11)
+	for _, cfg := range allConfigs() {
+		t.Run(cfg.DisplayName(), func(t *testing.T) {
+			pts := randomPoints(r, 400, testBounds)
+			g := MustNew(cfg, testBounds, len(pts))
+			g.Build(pts)
+			// Move 200 random entries to fresh random positions, then
+			// verify via per-cell counts (coordinates visible to filtering
+			// come from the snapshot, which the driver refreshes at the
+			// next build; here we check the structure itself).
+			moved := make([]geom.Point, len(pts))
+			copy(moved, pts)
+			for i := 0; i < 200; i++ {
+				id := uint32(r.Intn(len(pts)))
+				to := geom.Pt(r.Range(0, 1000), r.Range(0, 1000))
+				g.Update(id, moved[id], to)
+				moved[id] = to
+			}
+			if g.Len() != len(pts) {
+				t.Fatalf("Len after updates = %d, want %d", g.Len(), len(pts))
+			}
+			// Every entry must now be counted in the cell of its new
+			// position.
+			counts := make(map[int]int)
+			for _, p := range moved {
+				counts[g.cellIndexFor(p)]++
+			}
+			for c, want := range counts {
+				cx := c % cfg.CPS
+				cy := c / cfg.CPS
+				probe := g.cellRect(cx, cy).Center()
+				if got := g.CellCount(probe); got != want {
+					t.Fatalf("cell %d count = %d, want %d", c, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestUpdateThenRebuildQueriesCorrectly(t *testing.T) {
+	r := xrand.New(13)
+	for _, cfg := range allConfigs() {
+		pts := randomPoints(r, 300, testBounds)
+		g := MustNew(cfg, testBounds, len(pts))
+		g.Build(pts)
+		for i := 0; i < 100; i++ {
+			id := uint32(r.Intn(len(pts)))
+			to := geom.Pt(r.Range(0, 1000), r.Range(0, 1000))
+			g.Update(id, pts[id], to)
+			pts[id] = to
+		}
+		g.Build(pts) // next tick
+		q := geom.Square(geom.Pt(500, 500), 400)
+		sameSet(t, collect(g, q), bruteQuery(pts, q), cfg.DisplayName())
+	}
+}
+
+func TestUpdateUnknownEntryPanics(t *testing.T) {
+	g := MustNew(CPSTuned(), testBounds, 4)
+	g.Build([]geom.Point{geom.Pt(1, 1)})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("updating a non-existent entry must panic")
+		}
+	}()
+	g.Update(5, geom.Pt(900, 900), geom.Pt(10, 10))
+}
+
+func TestDuplicatePositions(t *testing.T) {
+	// Many entries at the identical position must all be stored, found,
+	// and individually removable.
+	for _, cfg := range allConfigs() {
+		g := MustNew(cfg, testBounds, 64)
+		pts := make([]geom.Point, 64)
+		for i := range pts {
+			pts[i] = geom.Pt(123, 456)
+		}
+		g.Build(pts)
+		got := collect(g, geom.Square(geom.Pt(123, 456), 2))
+		if len(got) != 64 {
+			t.Fatalf("%s: found %d of 64 colocated entries", cfg.DisplayName(), len(got))
+		}
+		g.Update(7, geom.Pt(123, 456), geom.Pt(900, 900))
+		// Queries are only defined after the snapshot is refreshed (the
+		// driver does this at the start of the next tick); emulate it by
+		// writing through the retained snapshot before probing.
+		pts[7] = geom.Pt(900, 900)
+		if got := collect(g, geom.Square(geom.Pt(900, 900), 2)); !got[7] || len(got) != 1 {
+			t.Fatalf("%s: moved entry not found alone, got %v", cfg.DisplayName(), got)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Layout: LayoutInline, Scan: ScanRange, BS: 0, CPS: 4},
+		{Layout: LayoutInline, Scan: ScanRange, BS: 4, CPS: 0},
+		{Layout: Layout(9), Scan: ScanRange, BS: 4, CPS: 4},
+		{Layout: LayoutInline, Scan: Scan(9), BS: 4, CPS: 4},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+		if _, err := New(cfg, testBounds, 10); err == nil {
+			t.Errorf("New accepted bad config %d", i)
+		}
+	}
+	if _, err := New(CPSTuned(), geom.R(0, 0, 10, 20), 10); err == nil {
+		t.Error("non-square space accepted")
+	}
+	if _, err := New(CPSTuned(), geom.R(0, 0, 0, 0), 10); err == nil {
+		t.Error("degenerate space accepted")
+	}
+}
+
+func TestPresetsMatchPaper(t *testing.T) {
+	o := Original()
+	if o.BS != 4 || o.CPS != 13 || o.Layout != LayoutLinked || o.Scan != ScanFull {
+		t.Fatalf("Original preset diverges from the paper: %+v", o)
+	}
+	c := CPSTuned()
+	if c.BS != 20 || c.CPS != 64 || c.Layout != LayoutInline || c.Scan != ScanRange {
+		t.Fatalf("CPSTuned preset diverges from the paper: %+v", c)
+	}
+	chain := AblationChain()
+	if len(chain) != 5 {
+		t.Fatalf("ablation chain has %d steps, want 5", len(chain))
+	}
+	names := []string{"Simple Grid", "+restructured", "+querying", "+bs tuned", "+cps tuned"}
+	for i, cfg := range chain {
+		if cfg.DisplayName() != names[i] {
+			t.Fatalf("chain[%d] = %q, want %q", i, cfg.DisplayName(), names[i])
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMemoryFootprintOrdering(t *testing.T) {
+	// Section 3.1: the restructuring must cut memory substantially (the
+	// paper computes 32 -> 12 bytes per point at bs=4 plus directory).
+	r := xrand.New(17)
+	pts := randomPoints(r, 10000, testBounds)
+	orig := MustNew(Original(), testBounds, len(pts))
+	orig.Build(pts)
+	refac := MustNew(Restructured(), testBounds, len(pts))
+	refac.Build(pts)
+	ob, rb := orig.MemoryBytes(), refac.MemoryBytes()
+	if ob <= rb {
+		t.Fatalf("original %d bytes must exceed refactored %d bytes", ob, rb)
+	}
+	if ratio := float64(ob) / float64(rb); ratio < 2 {
+		t.Fatalf("restructuring should cut memory by >= 2x, got %.2fx (%d vs %d)", ratio, ob, rb)
+	}
+}
+
+func TestMemoryGrowsWithPoints(t *testing.T) {
+	r := xrand.New(19)
+	for _, cfg := range []Config{Original(), CPSTuned()} {
+		small := MustNew(cfg, testBounds, 100)
+		small.Build(randomPoints(r, 100, testBounds))
+		big := MustNew(cfg, testBounds, 10000)
+		big.Build(randomPoints(r, 10000, testBounds))
+		if small.MemoryBytes() >= big.MemoryBytes() {
+			t.Fatalf("%s: memory did not grow with population", cfg.DisplayName())
+		}
+	}
+}
+
+func TestScanAlgorithmsAgree(t *testing.T) {
+	// Algorithm 1 and Algorithm 2 must return identical results on the
+	// same structure — the refactoring changes cost, not semantics.
+	r := xrand.New(23)
+	pts := randomPoints(r, 2000, testBounds)
+	full := MustNew(Config{Layout: LayoutInline, Scan: ScanFull, BS: 4, CPS: 13}, testBounds, len(pts))
+	rng := MustNew(Config{Layout: LayoutInline, Scan: ScanRange, BS: 4, CPS: 13}, testBounds, len(pts))
+	full.Build(pts)
+	rng.Build(pts)
+	for i := 0; i < 100; i++ {
+		q := geom.Square(geom.Pt(r.Range(0, 1000), r.Range(0, 1000)), r.Range(1, 250))
+		sameSet(t, collect(rng, q), collect(full, q), "query "+itoa(i))
+	}
+}
+
+func TestLayoutsAgree(t *testing.T) {
+	r := xrand.New(29)
+	pts := randomPoints(r, 2000, testBounds)
+	linked := MustNew(Config{Layout: LayoutLinked, Scan: ScanRange, BS: 4, CPS: 13}, testBounds, len(pts))
+	inline := MustNew(Config{Layout: LayoutInline, Scan: ScanRange, BS: 4, CPS: 13}, testBounds, len(pts))
+	xy := MustNew(Config{Layout: LayoutInlineXY, Scan: ScanRange, BS: 4, CPS: 13}, testBounds, len(pts))
+	linked.Build(pts)
+	inline.Build(pts)
+	xy.Build(pts)
+	for i := 0; i < 100; i++ {
+		q := geom.Square(geom.Pt(r.Range(0, 1000), r.Range(0, 1000)), r.Range(1, 250))
+		want := collect(linked, q)
+		sameSet(t, collect(inline, q), want, "inline query "+itoa(i))
+		sameSet(t, collect(xy, q), want, "xy query "+itoa(i))
+	}
+}
+
+func TestQueryOutsideSpace(t *testing.T) {
+	r := xrand.New(31)
+	pts := randomPoints(r, 200, testBounds)
+	for _, cfg := range allConfigs() {
+		g := MustNew(cfg, testBounds, len(pts))
+		g.Build(pts)
+		n := 0
+		g.Query(geom.R(2000, 2000, 3000, 3000), func(uint32) { n++ })
+		if n != 0 {
+			t.Fatalf("%s: query outside space returned %d results", cfg.DisplayName(), n)
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,109 @@
+package grid
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/testutil"
+	"repro/internal/xrand"
+)
+
+func intrusiveCfg() Config {
+	return Config{Name: "intrusive", Layout: LayoutIntrusive, Scan: ScanRange, BS: 1, CPS: 32}
+}
+
+func TestIntrusiveMatchesBruteForce(t *testing.T) {
+	r := xrand.New(41)
+	pts := randomPoints(r, 3000, testBounds)
+	g := MustNew(intrusiveCfg(), testBounds, len(pts))
+	g.Build(pts)
+	if g.Len() != len(pts) {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	for i := 0; i < 60; i++ {
+		q := geom.Square(geom.Pt(r.Range(-50, 1050), r.Range(-50, 1050)), r.Range(1, 300))
+		sameSet(t, collect(g, q), bruteQuery(pts, q), "query "+itoa(i))
+	}
+}
+
+func TestIntrusiveAdversarialPatterns(t *testing.T) {
+	g := MustNew(intrusiveCfg(), testBounds, 1200)
+	if f := testutil.CheckAgainstOracle(g, 23, 1200, testBounds); f != nil {
+		t.Fatal(f)
+	}
+}
+
+func TestIntrusiveUpdates(t *testing.T) {
+	r := xrand.New(43)
+	pts := randomPoints(r, 500, testBounds)
+	g := MustNew(intrusiveCfg(), testBounds, len(pts))
+	g.Build(pts)
+	for i := 0; i < 2000; i++ {
+		id := uint32(r.Intn(len(pts)))
+		to := geom.Pt(r.Range(0, 1000), r.Range(0, 1000))
+		g.Update(id, pts[id], to)
+		pts[id] = to
+	}
+	if g.Len() != len(pts) {
+		t.Fatalf("Len after churn = %d", g.Len())
+	}
+	// Structure must still answer correctly after heavy churn (pts was
+	// mutated in place, so the retained snapshot already reflects moves).
+	q := geom.Square(geom.Pt(500, 500), 600)
+	sameSet(t, collect(g, q), bruteQuery(pts, q), "post-churn query")
+}
+
+func TestIntrusiveRemoveUnknownFails(t *testing.T) {
+	g := MustNew(intrusiveCfg(), testBounds, 2)
+	g.Build([]geom.Point{geom.Pt(1, 1), geom.Pt(2, 2)})
+	st := g.st.(*intrusiveStore)
+	if st.removeAt(0, 99) {
+		t.Fatal("removal of unknown id succeeded")
+	}
+	if st.removeAt(0, 0) != true {
+		t.Fatal("removal of known id failed")
+	}
+	if st.removeAt(0, 0) {
+		t.Fatal("double removal succeeded")
+	}
+	if st.totalEntries() != 1 {
+		t.Fatalf("entries = %d", st.totalEntries())
+	}
+}
+
+func TestIntrusiveListInvariants(t *testing.T) {
+	r := xrand.New(47)
+	pts := randomPoints(r, 800, testBounds)
+	g := MustNew(intrusiveCfg(), testBounds, len(pts))
+	g.Build(pts)
+	st := g.st.(*intrusiveStore)
+	// Every cell list must be consistent: prev/next symmetric, cell
+	// fields matching, total count matching.
+	total := 0
+	for c := range st.cells {
+		prev := nilID
+		for id := st.cells[c]; id != nilID; id = st.nodes[id].next {
+			n := st.nodes[id]
+			if n.prev != prev {
+				t.Fatalf("cell %d: node %d prev=%d want %d", c, id, n.prev, prev)
+			}
+			if n.cell != int32(c) {
+				t.Fatalf("cell %d: node %d claims cell %d", c, id, n.cell)
+			}
+			prev = int32(id)
+			total++
+		}
+	}
+	if total != len(pts) {
+		t.Fatalf("linked total %d != %d", total, len(pts))
+	}
+}
+
+func TestIntrusiveMemoryBytes(t *testing.T) {
+	g := MustNew(intrusiveCfg(), testBounds, 1000)
+	g.Build(make([]geom.Point, 1000))
+	want := int64(32*32*4 + 1000*12)
+	if got := g.MemoryBytes(); got != want {
+		t.Fatalf("MemoryBytes = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,31 @@
+package grid
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/testutil"
+)
+
+// TestAdversarialPatterns runs the shared differential suite over the
+// whole ablation chain plus the inline-xy extension. Grid-aligned
+// points sit exactly on cell boundaries at cps=13, the hardest case for
+// the cell-assignment arithmetic.
+func TestAdversarialPatterns(t *testing.T) {
+	bounds := geom.R(0, 0, 1000, 1000)
+	cfgs := AblationChain()
+	xy := CPSTuned()
+	xy.Layout = LayoutInlineXY
+	xy.Name = "+inline xy"
+	cfgs = append(cfgs, xy)
+	for _, cfg := range cfgs {
+		cfg := cfg
+		t.Run(cfg.DisplayName(), func(t *testing.T) {
+			t.Parallel()
+			g := MustNew(cfg, bounds, 1200)
+			if f := testutil.CheckAgainstOracle(g, 7, 1200, bounds); f != nil {
+				t.Fatal(f)
+			}
+		})
+	}
+}

@@ -1,0 +1,93 @@
+package kdtrie
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/testutil"
+	"repro/internal/xrand"
+)
+
+func TestHilbertCurveValidation(t *testing.T) {
+	if _, err := NewWithCurve(testBounds, 6, Curve(9)); err == nil {
+		t.Fatal("unknown curve accepted")
+	}
+	tr := MustNewWithCurve(testBounds, 6, CurveHilbert)
+	if tr.CurveKind() != CurveHilbert {
+		t.Fatal("curve kind lost")
+	}
+	if tr.Name() != "Linearized KD-Trie (Hilbert)" {
+		t.Fatalf("name = %q", tr.Name())
+	}
+	if CurveZOrder.String() != "z-order" || CurveHilbert.String() != "hilbert" {
+		t.Fatal("curve names wrong")
+	}
+}
+
+func TestHilbertTrieMatchesBruteForce(t *testing.T) {
+	r := xrand.New(11)
+	for _, bits := range []uint{2, 6, 8} {
+		pts := randomPoints(r, 2500)
+		tr := MustNewWithCurve(testBounds, bits, CurveHilbert)
+		tr.Build(pts)
+		for i := 0; i < 40; i++ {
+			q := geom.Square(geom.Pt(r.Range(-50, 1050), r.Range(-50, 1050)), r.Range(1, 400))
+			got := collect(t, tr, q)
+			want := bruteQuery(pts, q)
+			if len(got) != len(want) {
+				t.Fatalf("bits=%d query %d: got %d want %d", bits, i, len(got), len(want))
+			}
+			for id := range want {
+				if !got[id] {
+					t.Fatalf("bits=%d query %d: missing %d", bits, i, id)
+				}
+			}
+		}
+	}
+}
+
+func TestHilbertTrieAdversarialPatterns(t *testing.T) {
+	tr := MustNewWithCurve(testBounds, 6, CurveHilbert)
+	if f := testutil.CheckAgainstOracle(tr, 13, 1200, testBounds); f != nil {
+		t.Fatal(f)
+	}
+}
+
+func TestBothCurvesAgree(t *testing.T) {
+	r := xrand.New(17)
+	pts := randomPoints(r, 3000)
+	z := MustNewWithCurve(testBounds, 6, CurveZOrder)
+	h := MustNewWithCurve(testBounds, 6, CurveHilbert)
+	z.Build(pts)
+	h.Build(pts)
+	for i := 0; i < 60; i++ {
+		q := geom.Square(geom.Pt(r.Range(0, 1000), r.Range(0, 1000)), r.Range(1, 300))
+		zg := collect(t, z, q)
+		hg := collect(t, h, q)
+		if len(zg) != len(hg) {
+			t.Fatalf("query %d: z-order %d results, hilbert %d", i, len(zg), len(hg))
+		}
+		for id := range zg {
+			if !hg[id] {
+				t.Fatalf("query %d: hilbert missing %d", i, id)
+			}
+		}
+	}
+}
+
+func TestHilbertCodesSortedAfterBuild(t *testing.T) {
+	r := xrand.New(19)
+	tr := MustNewWithCurve(testBounds, 6, CurveHilbert)
+	tr.Build(randomPoints(r, 4000))
+	for i := 1; i < len(tr.codes); i++ {
+		if tr.codes[i-1] > tr.codes[i] {
+			t.Fatalf("codes not sorted at %d", i)
+		}
+	}
+	for i, id := range tr.ids {
+		cx, cy := tr.quant.Cell(tr.pts[id])
+		if geom.HilbertEncode(tr.bits, cx, cy) != tr.codes[i] {
+			t.Fatalf("code misaligned at %d", i)
+		}
+	}
+}

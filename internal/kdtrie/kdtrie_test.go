@@ -1,0 +1,198 @@
+package kdtrie
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+var testBounds = geom.R(0, 0, 1000, 1000)
+
+func randomPoints(r *xrand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(r.Range(0, 1000), r.Range(0, 1000))
+	}
+	return pts
+}
+
+func bruteQuery(pts []geom.Point, r geom.Rect) map[uint32]bool {
+	want := make(map[uint32]bool)
+	for i := range pts {
+		if pts[i].In(r) {
+			want[uint32(i)] = true
+		}
+	}
+	return want
+}
+
+func collect(t *testing.T, tr *Trie, r geom.Rect) map[uint32]bool {
+	t.Helper()
+	got := make(map[uint32]bool)
+	tr.Query(r, func(id uint32) {
+		if got[id] {
+			t.Fatalf("duplicate emission of %d", id)
+		}
+		got[id] = true
+	})
+	return got
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, bits := range []uint{0, 17} {
+		if _, err := New(testBounds, bits); err == nil {
+			t.Errorf("bits=%d accepted", bits)
+		}
+	}
+	if _, err := New(geom.R(0, 0, 0, 0), 4); err == nil {
+		t.Error("degenerate bounds accepted")
+	}
+	if _, err := New(testBounds, 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryMatchesBruteForce(t *testing.T) {
+	r := xrand.New(1)
+	for _, bits := range []uint{1, 3, 6, 9} {
+		for _, n := range []int{0, 1, 2, 100, 3000} {
+			pts := randomPoints(r, n)
+			tr := MustNew(testBounds, bits)
+			tr.Build(pts)
+			if tr.Len() != n {
+				t.Fatalf("bits=%d n=%d: Len=%d", bits, n, tr.Len())
+			}
+			for i := 0; i < 30; i++ {
+				q := geom.Square(geom.Pt(r.Range(-50, 1050), r.Range(-50, 1050)), r.Range(1, 400))
+				got := collect(t, tr, q)
+				want := bruteQuery(pts, q)
+				if len(got) != len(want) {
+					t.Fatalf("bits=%d n=%d query %d (%v): got %d want %d", bits, n, i, q, len(got), len(want))
+				}
+				for id := range want {
+					if !got[id] {
+						t.Fatalf("bits=%d n=%d query %d: missing %d", bits, n, i, id)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCodesSortedAfterBuild(t *testing.T) {
+	r := xrand.New(2)
+	tr := MustNew(testBounds, 6)
+	tr.Build(randomPoints(r, 5000))
+	for i := 1; i < len(tr.codes); i++ {
+		if tr.codes[i-1] > tr.codes[i] {
+			t.Fatalf("codes not sorted at %d", i)
+		}
+	}
+	// The aligned arrays must agree: codes[i] is the code of ids[i].
+	for i, id := range tr.ids {
+		if tr.quant.Code(tr.pts[id]) != tr.codes[i] {
+			t.Fatalf("code misaligned at %d", i)
+		}
+	}
+}
+
+func TestCellRunsContiguous(t *testing.T) {
+	// All points of one lattice cell must form a contiguous run.
+	r := xrand.New(3)
+	tr := MustNew(testBounds, 4)
+	tr.Build(randomPoints(r, 2000))
+	seen := make(map[uint64]int) // code -> last index seen
+	for i, c := range tr.codes {
+		if last, ok := seen[c]; ok && last != i-1 {
+			t.Fatalf("code %d split across runs (%d and %d)", c, last, i)
+		}
+		seen[c] = i
+	}
+}
+
+func TestBoundaryPoints(t *testing.T) {
+	tr := MustNew(testBounds, 6)
+	pts := []geom.Point{
+		geom.Pt(0, 0),
+		geom.Pt(999.999, 999.999),
+		geom.Pt(1000, 1000), // exactly on the boundary clamps inward
+		geom.Pt(500, 500),
+	}
+	tr.Build(pts)
+	got := collect(t, tr, testBounds)
+	if len(got) != 4 {
+		t.Fatalf("boundary points lost: %d of 4", len(got))
+	}
+}
+
+func TestQueryOutsideSpace(t *testing.T) {
+	r := xrand.New(4)
+	tr := MustNew(testBounds, 6)
+	tr.Build(randomPoints(r, 100))
+	n := 0
+	tr.Query(geom.R(5000, 5000, 6000, 6000), func(uint32) { n++ })
+	if n != 0 {
+		t.Fatalf("query outside space returned %d", n)
+	}
+}
+
+func TestRebuildDiscardsOldPoints(t *testing.T) {
+	r := xrand.New(5)
+	tr := MustNew(testBounds, 6)
+	tr.Build(randomPoints(r, 1000))
+	tr.Build(randomPoints(r, 10))
+	if got := collect(t, tr, testBounds); len(got) != 10 {
+		t.Fatalf("rebuild leaked: %d", len(got))
+	}
+}
+
+func TestColocatedPoints(t *testing.T) {
+	tr := MustNew(testBounds, 8)
+	same := make([]geom.Point, 128)
+	for i := range same {
+		same[i] = geom.Pt(321, 654)
+	}
+	tr.Build(same)
+	if got := collect(t, tr, geom.Square(geom.Pt(321, 654), 2)); len(got) != 128 {
+		t.Fatalf("colocated: %d of 128", len(got))
+	}
+}
+
+func TestPropQueryNeverMissesKnownPoint(t *testing.T) {
+	r := xrand.New(6)
+	pts := randomPoints(r, 800)
+	tr := MustNew(testBounds, 6)
+	tr.Build(pts)
+	f := func(idx uint16, side float32) bool {
+		id := uint32(idx) % uint32(len(pts))
+		if math.IsNaN(float64(side)) || math.IsInf(float64(side), 0) {
+			return true
+		}
+		if side < 0 {
+			side = -side
+		}
+		side = 1 + float32(math.Mod(float64(side), 500))
+		found := false
+		tr.Query(geom.Square(pts[id], side), func(got uint32) {
+			if got == id {
+				found = true
+			}
+		})
+		return found
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	tr := MustNew(testBounds, 6)
+	tr.Build(randomPoints(xrand.New(7), 1000))
+	want := int64(1000*4 + 1000*8)
+	if tr.MemoryBytes() != want {
+		t.Fatalf("MemoryBytes = %d, want %d", tr.MemoryBytes(), want)
+	}
+}

@@ -1,0 +1,21 @@
+package kdtrie
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/testutil"
+)
+
+// TestAdversarialPatterns runs the shared differential suite. The
+// linearized trie's cell-range decomposition must survive points and
+// queries exactly on lattice boundaries.
+func TestAdversarialPatterns(t *testing.T) {
+	bounds := geom.R(0, 0, 1000, 1000)
+	for _, bits := range []uint{1, 4, 6, 10} {
+		tr := MustNew(bounds, bits)
+		if f := testutil.CheckAgainstOracle(tr, uint64(bits), 1200, bounds); f != nil {
+			t.Fatalf("bits %d: %v", bits, f)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package memsim
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func BenchmarkCacheAccessHit(b *testing.B) {
+	c, _ := NewCache(DefaultHierarchy().L1)
+	c.Access(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(1)
+	}
+}
+
+func BenchmarkCacheAccessRandom(b *testing.B) {
+	c, _ := NewCache(DefaultHierarchy().L1)
+	r := xrand.New(1)
+	lines := make([]uint64, 4096)
+	for i := range lines {
+		lines[i] = uint64(r.Intn(1 << 16))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(lines[i&4095])
+	}
+}
+
+func BenchmarkHierarchyTouch(b *testing.B) {
+	h := MustNewHierarchy(DefaultHierarchy())
+	r := xrand.New(2)
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(r.Intn(1 << 22))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Read(addrs[i&4095], 8)
+	}
+}

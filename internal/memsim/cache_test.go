@@ -1,0 +1,242 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func tinyCache() CacheConfig {
+	// 4 sets x 2 ways x 64B lines = 512 bytes.
+	return CacheConfig{Name: "tiny", SizeBytes: 512, Ways: 2, LineBytes: 64}
+}
+
+func TestCacheConfigValidation(t *testing.T) {
+	bad := []CacheConfig{
+		{Name: "zero", SizeBytes: 0, Ways: 2, LineBytes: 64},
+		{Name: "ways", SizeBytes: 512, Ways: 0, LineBytes: 64},
+		{Name: "line", SizeBytes: 512, Ways: 2, LineBytes: 48},
+		{Name: "indivisible", SizeBytes: 500, Ways: 2, LineBytes: 64},
+		{Name: "sets", SizeBytes: 3 * 2 * 64, Ways: 2, LineBytes: 64},
+	}
+	for _, cfg := range bad {
+		if _, err := NewCache(cfg); err == nil {
+			t.Errorf("config %q accepted", cfg.Name)
+		}
+	}
+	if _, err := NewCache(tinyCache()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheColdMissThenHit(t *testing.T) {
+	c, _ := NewCache(tinyCache())
+	if c.Access(0) {
+		t.Fatal("cold access must miss")
+	}
+	if !c.Access(0) {
+		t.Fatal("second access must hit")
+	}
+	if c.Accesses() != 2 || c.Misses() != 1 {
+		t.Fatalf("accesses=%d misses=%d", c.Accesses(), c.Misses())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, _ := NewCache(tinyCache()) // 4 sets, 2 ways
+	// Lines 0, 4, 8 all map to set 0. With 2 ways, accessing 0,4,8
+	// evicts 0.
+	c.Access(0)
+	c.Access(4)
+	c.Access(8)
+	if c.Access(0) {
+		t.Fatal("line 0 must have been evicted (LRU)")
+	}
+	// Now set 0 holds {0, 8}; touching 8 keeps it resident.
+	if !c.Access(8) {
+		t.Fatal("line 8 must be resident")
+	}
+}
+
+func TestCacheLRURecency(t *testing.T) {
+	c, _ := NewCache(tinyCache())
+	c.Access(0)
+	c.Access(4)
+	c.Access(0) // 0 becomes MRU
+	c.Access(8) // evicts 4, not 0
+	if !c.Access(0) {
+		t.Fatal("recently used line 0 was evicted")
+	}
+	if c.Access(4) {
+		t.Fatal("line 4 must have been the LRU victim")
+	}
+}
+
+func TestCacheSetsIsolated(t *testing.T) {
+	c, _ := NewCache(tinyCache())
+	// Lines 0..3 map to distinct sets; none should evict another.
+	for line := uint64(0); line < 4; line++ {
+		c.Access(line)
+	}
+	for line := uint64(0); line < 4; line++ {
+		if !c.Access(line) {
+			t.Fatalf("line %d evicted despite distinct sets", line)
+		}
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c, _ := NewCache(tinyCache())
+	c.Access(1)
+	c.Reset()
+	if c.Accesses() != 0 || c.Misses() != 0 {
+		t.Fatal("counters survived reset")
+	}
+	if c.Access(1) {
+		t.Fatal("contents survived reset")
+	}
+}
+
+func TestPropCacheHitRatioSane(t *testing.T) {
+	f := func(seed uint64) bool {
+		c, _ := NewCache(tinyCache())
+		r := xrand.New(seed)
+		for i := 0; i < 1000; i++ {
+			c.Access(uint64(r.Intn(64)))
+		}
+		return c.Misses() <= c.Accesses()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheWorkingSetFits(t *testing.T) {
+	// A working set no larger than the cache must stop missing after the
+	// first pass (with power-of-two strides there is no conflict issue
+	// here: 8 lines over 4 sets x 2 ways map perfectly).
+	c, _ := NewCache(tinyCache())
+	for pass := 0; pass < 10; pass++ {
+		for line := uint64(0); line < 8; line++ {
+			c.Access(line)
+		}
+	}
+	if c.Misses() != 8 {
+		t.Fatalf("misses = %d, want 8 cold misses only", c.Misses())
+	}
+}
+
+func TestHierarchyMissCascade(t *testing.T) {
+	h := MustNewHierarchy(DefaultHierarchy())
+	h.Read(0, 8)
+	p := h.Report()
+	if p.L1Misses != 1 || p.L2Misses != 1 || p.L3Misses != 1 {
+		t.Fatalf("cold read must miss all levels: %+v", p)
+	}
+	h.Read(0, 8)
+	p = h.Report()
+	if p.L1Misses != 1 {
+		t.Fatalf("warm read must hit L1: %+v", p)
+	}
+}
+
+func TestHierarchySpanningTouch(t *testing.T) {
+	h := MustNewHierarchy(DefaultHierarchy())
+	// 130 bytes starting at 0 spans 3 lines (0..63, 64..127, 128..191).
+	h.Read(0, 130)
+	if p := h.Report(); p.L1Misses != 3 {
+		t.Fatalf("spanning touch: %d L1 misses, want 3", p.L1Misses)
+	}
+	h2 := MustNewHierarchy(DefaultHierarchy())
+	// 2 bytes crossing a line boundary touches 2 lines.
+	h2.Read(63, 2)
+	if p := h2.Report(); p.L1Misses != 2 {
+		t.Fatalf("boundary touch: %d L1 misses, want 2", p.L1Misses)
+	}
+	h3 := MustNewHierarchy(DefaultHierarchy())
+	h3.Read(0, 0)
+	if p := h3.Report(); p.L1Misses != 0 {
+		t.Fatal("zero-size touch must not access")
+	}
+}
+
+func TestHierarchyCPIModel(t *testing.T) {
+	cfg := DefaultHierarchy()
+	h := MustNewHierarchy(cfg)
+	h.Exec(1000)
+	p := h.Report()
+	if p.CPI != cfg.BaseCPI {
+		t.Fatalf("miss-free CPI = %g, want %g", p.CPI, cfg.BaseCPI)
+	}
+	// One DRAM access on top raises CPI by MemCycles/1000.
+	h.Read(1<<30, 8)
+	p = h.Report()
+	want := cfg.BaseCPI + cfg.MemCycles/1000
+	if p.CPI < want*0.999 || p.CPI > want*1.001 {
+		t.Fatalf("CPI = %g, want %g", p.CPI, want)
+	}
+}
+
+func TestHierarchyZeroInstructionCPI(t *testing.T) {
+	h := MustNewHierarchy(DefaultHierarchy())
+	if p := h.Report(); p.CPI != 0 {
+		t.Fatalf("CPI without instructions = %g", p.CPI)
+	}
+}
+
+func TestHierarchyInclusionOfMissCounts(t *testing.T) {
+	// L2 misses can never exceed L1 misses, L3 never exceed L2: lower
+	// levels are only consulted on upper-level misses.
+	h := MustNewHierarchy(DefaultHierarchy())
+	r := xrand.New(3)
+	for i := 0; i < 100000; i++ {
+		h.Read(uint64(r.Intn(1<<22)), 8)
+	}
+	p := h.Report()
+	if p.L2Misses > p.L1Misses || p.L3Misses > p.L2Misses {
+		t.Fatalf("miss ordering violated: %+v", p)
+	}
+	if p.L1Misses == 0 {
+		t.Fatal("random 4MiB working set must miss L1 sometimes")
+	}
+}
+
+func TestHierarchyLocalityVisible(t *testing.T) {
+	// Sequential streaming over 1 MiB must miss far less than random
+	// access over the same footprint: 8-byte sequential touches share
+	// lines.
+	seq := MustNewHierarchy(DefaultHierarchy())
+	for addr := uint64(0); addr < 1<<20; addr += 8 {
+		seq.Read(addr, 8)
+	}
+	rnd := MustNewHierarchy(DefaultHierarchy())
+	r := xrand.New(7)
+	for i := 0; i < (1<<20)/8; i++ {
+		rnd.Read(uint64(r.Intn(1<<20)), 8)
+	}
+	ps, pr := seq.Report(), rnd.Report()
+	if ps.L1Misses*4 > pr.L1Misses {
+		t.Fatalf("sequential (%d misses) must beat random (%d misses) by >= 4x",
+			ps.L1Misses, pr.L1Misses)
+	}
+}
+
+func TestHierarchyReset(t *testing.T) {
+	h := MustNewHierarchy(DefaultHierarchy())
+	h.Read(0, 64)
+	h.Exec(10)
+	h.Reset()
+	p := h.Report()
+	if p.Instructions != 0 || p.L1Misses != 0 {
+		t.Fatalf("reset left counters: %+v", p)
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	p := Profile{CPI: 1.5, Instructions: 100, L1Misses: 3, L2Misses: 2, L3Misses: 1}
+	s := p.String()
+	if s == "" {
+		t.Fatal("empty profile string")
+	}
+}

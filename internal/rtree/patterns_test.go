@@ -1,0 +1,21 @@
+package rtree
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/testutil"
+)
+
+// TestAdversarialPatterns runs the shared differential suite: every
+// point pattern x every adversarial query, validated against the
+// brute-force oracle, across several fanouts.
+func TestAdversarialPatterns(t *testing.T) {
+	bounds := geom.R(0, 0, 1000, 1000)
+	for _, fanout := range []int{2, 16, 64} {
+		tr := MustNew(fanout)
+		if f := testutil.CheckAgainstOracle(tr, uint64(fanout), 1200, bounds); f != nil {
+			t.Fatalf("fanout %d: %v", fanout, f)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package rtree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+var testBounds = geom.R(0, 0, 1000, 1000)
+
+func randomPoints(r *xrand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(r.Range(0, 1000), r.Range(0, 1000))
+	}
+	return pts
+}
+
+func bruteQuery(pts []geom.Point, r geom.Rect) map[uint32]bool {
+	want := make(map[uint32]bool)
+	for i := range pts {
+		if pts[i].In(r) {
+			want[uint32(i)] = true
+		}
+	}
+	return want
+}
+
+func collect(t *testing.T, tr *Tree, r geom.Rect) map[uint32]bool {
+	t.Helper()
+	got := make(map[uint32]bool)
+	tr.Query(r, func(id uint32) {
+		if got[id] {
+			t.Fatalf("duplicate emission of %d", id)
+		}
+		got[id] = true
+	})
+	return got
+}
+
+func TestNewRejectsBadFanout(t *testing.T) {
+	for _, f := range []int{-1, 0, 1} {
+		if _, err := New(f); err == nil {
+			t.Errorf("fanout %d accepted", f)
+		}
+	}
+	if _, err := New(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryMatchesBruteForce(t *testing.T) {
+	r := xrand.New(1)
+	for _, fanout := range []int{2, 4, 16, 64} {
+		for _, n := range []int{0, 1, 2, 15, 16, 17, 100, 3000} {
+			pts := randomPoints(r, n)
+			tr := MustNew(fanout)
+			tr.Build(pts)
+			if tr.Len() != n {
+				t.Fatalf("fanout=%d n=%d: Len=%d", fanout, n, tr.Len())
+			}
+			for i := 0; i < 30; i++ {
+				q := geom.Square(geom.Pt(r.Range(-50, 1050), r.Range(-50, 1050)), r.Range(1, 400))
+				got := collect(t, tr, q)
+				want := bruteQuery(pts, q)
+				if len(got) != len(want) {
+					t.Fatalf("fanout=%d n=%d query %d: got %d want %d", fanout, n, i, len(got), len(want))
+				}
+				for id := range want {
+					if !got[id] {
+						t.Fatalf("fanout=%d n=%d query %d: missing %d", fanout, n, i, id)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRootMBRContainsAllPoints(t *testing.T) {
+	r := xrand.New(2)
+	pts := randomPoints(r, 1000)
+	tr := MustNew(16)
+	tr.Build(pts)
+	mbr := tr.MBR()
+	for i, p := range pts {
+		if !p.In(mbr) {
+			t.Fatalf("point %d %v outside root MBR %v", i, p, mbr)
+		}
+	}
+}
+
+func TestNodeMBRInvariant(t *testing.T) {
+	// Every node's MBR must contain the MBRs of its children (internal)
+	// or its points (leaf).
+	r := xrand.New(3)
+	pts := randomPoints(r, 2000)
+	tr := MustNew(8)
+	tr.Build(pts)
+	for i := range tr.nodes {
+		nd := &tr.nodes[i]
+		if nd.leaf {
+			for _, id := range tr.entries[nd.first : nd.first+nd.count] {
+				if !pts[id].In(nd.mbr) {
+					t.Fatalf("leaf %d: point %d outside MBR", i, id)
+				}
+			}
+		} else {
+			for c := nd.first; c < nd.first+nd.count; c++ {
+				if !nd.mbr.ContainsRect(tr.nodes[c].mbr) {
+					t.Fatalf("node %d: child %d MBR pokes out", i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestEveryEntryInExactlyOneLeaf(t *testing.T) {
+	r := xrand.New(4)
+	pts := randomPoints(r, 777)
+	tr := MustNew(16)
+	tr.Build(pts)
+	seen := make([]int, len(pts))
+	for i := range tr.nodes {
+		nd := &tr.nodes[i]
+		if !nd.leaf {
+			continue
+		}
+		for _, id := range tr.entries[nd.first : nd.first+nd.count] {
+			seen[id]++
+		}
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Fatalf("entry %d appears in %d leaves", id, c)
+		}
+	}
+}
+
+func TestHeightGrowsLogarithmically(t *testing.T) {
+	tr := MustNew(16)
+	tr.Build(randomPoints(xrand.New(5), 16))
+	if h := tr.Height(); h != 1 {
+		t.Fatalf("16 points, fanout 16: height %d, want 1", h)
+	}
+	tr.Build(randomPoints(xrand.New(5), 17))
+	if h := tr.Height(); h != 2 {
+		t.Fatalf("17 points, fanout 16: height %d, want 2", h)
+	}
+	tr.Build(randomPoints(xrand.New(5), 50000))
+	if h := tr.Height(); h < 4 || h > 5 {
+		t.Fatalf("50K points, fanout 16: height %d, want 4..5", h)
+	}
+}
+
+func TestNodesFull(t *testing.T) {
+	// STR packing must fill every leaf except possibly the last to
+	// capacity.
+	r := xrand.New(6)
+	pts := randomPoints(r, 1000)
+	tr := MustNew(16)
+	tr.Build(pts)
+	underfull := 0
+	leaves := 0
+	for i := range tr.nodes {
+		nd := &tr.nodes[i]
+		if nd.leaf {
+			leaves++
+			if int(nd.count) < tr.fanout {
+				underfull++
+			}
+		}
+	}
+	if underfull > 1 {
+		t.Fatalf("%d of %d leaves underfull; STR must pack", underfull, leaves)
+	}
+}
+
+func TestRebuildDiscardsOldPoints(t *testing.T) {
+	r := xrand.New(7)
+	tr := MustNew(16)
+	tr.Build(randomPoints(r, 500))
+	pts := randomPoints(r, 100)
+	tr.Build(pts)
+	if tr.Len() != 100 {
+		t.Fatalf("Len after rebuild = %d", tr.Len())
+	}
+	got := collect(t, tr, testBounds)
+	if len(got) != 100 {
+		t.Fatalf("rebuild leaked entries: %d results", len(got))
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	tr := MustNew(16)
+	tr.Build(nil)
+	if tr.Height() != 0 || tr.Len() != 0 {
+		t.Fatal("empty tree must have height 0")
+	}
+	n := 0
+	tr.Query(testBounds, func(uint32) { n++ })
+	if n != 0 {
+		t.Fatal("empty tree emitted results")
+	}
+	// All points identical.
+	same := make([]geom.Point, 100)
+	for i := range same {
+		same[i] = geom.Pt(5, 5)
+	}
+	tr.Build(same)
+	if got := collect(t, tr, geom.Square(geom.Pt(5, 5), 1)); len(got) != 100 {
+		t.Fatalf("colocated points: found %d of 100", len(got))
+	}
+	if got := collect(t, tr, geom.R(6, 6, 10, 10)); len(got) != 0 {
+		t.Fatalf("query beside colocated points returned %d", len(got))
+	}
+}
+
+func TestUpdateIsNoOpUntilRebuild(t *testing.T) {
+	r := xrand.New(8)
+	pts := randomPoints(r, 50)
+	tr := MustNew(8)
+	tr.Build(pts)
+	before := collect(t, tr, testBounds)
+	tr.Update(3, pts[3], geom.Pt(0, 0))
+	after := collect(t, tr, testBounds)
+	if len(before) != len(after) {
+		t.Fatal("Update changed a static tree")
+	}
+}
+
+func TestPropQueryNeverMissesKnownPoint(t *testing.T) {
+	r := xrand.New(9)
+	pts := randomPoints(r, 500)
+	tr := MustNew(16)
+	tr.Build(pts)
+	f := func(idx uint16, side float32) bool {
+		id := uint32(idx) % uint32(len(pts))
+		if math.IsNaN(float64(side)) || math.IsInf(float64(side), 0) {
+			return true
+		}
+		if side < 0 {
+			side = -side
+		}
+		side = 1 + float32(math.Mod(float64(side), 500))
+		q := geom.Square(pts[id], side)
+		found := false
+		tr.Query(q, func(got uint32) {
+			if got == id {
+				found = true
+			}
+		})
+		return found
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryBytesPositive(t *testing.T) {
+	tr := MustNew(16)
+	tr.Build(randomPoints(xrand.New(10), 1000))
+	if tr.MemoryBytes() <= 0 {
+		t.Fatal("MemoryBytes must be positive for a populated tree")
+	}
+}

@@ -1,0 +1,65 @@
+package sortutil
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// The radix sorts sit on the per-tick rebuild path of three techniques;
+// these benchmarks compare them against the stdlib comparison sort they
+// replace.
+
+func BenchmarkByKey32(b *testing.B) {
+	r := xrand.New(1)
+	n := 50000
+	keys := make([]uint32, n)
+	for i := range keys {
+		keys[i] = r.Uint32()
+	}
+	ids := make([]uint32, n)
+	scratch := make([]uint32, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range ids {
+			ids[j] = uint32(j)
+		}
+		ByKey32(ids, keys, scratch)
+	}
+}
+
+func BenchmarkByKey64(b *testing.B) {
+	r := xrand.New(2)
+	n := 50000
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = r.Uint64() & 0xfff // morton-code-like small range
+	}
+	ids := make([]uint32, n)
+	scratch := make([]uint32, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range ids {
+			ids[j] = uint32(j)
+		}
+		ByKey64(ids, keys, scratch)
+	}
+}
+
+func BenchmarkStdlibSortSlice(b *testing.B) {
+	r := xrand.New(3)
+	n := 50000
+	keys := make([]uint32, n)
+	for i := range keys {
+		keys[i] = r.Uint32()
+	}
+	ids := make([]uint32, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range ids {
+			ids[j] = uint32(j)
+		}
+		sort.Slice(ids, func(x, y int) bool { return keys[ids[x]] < keys[ids[y]] })
+	}
+}

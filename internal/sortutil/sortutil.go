@@ -1,0 +1,159 @@
+// Package sortutil provides the key-based radix sorts the index-building
+// paths share. Index builds run once per tick in the iterated join
+// framework, so build cost is on the measured path; an LSD radix sort
+// keeps it linear, allocation-free in steady state (callers pass scratch
+// buffers), and bit-for-bit deterministic across runs and platforms.
+package sortutil
+
+import "math"
+
+// Float32Key maps a float32 onto a uint32 whose unsigned order matches
+// the float order (IEEE-754 total order for finite values: negatives
+// reversed, sign bit flipped for positives).
+func Float32Key(f float32) uint32 {
+	b := math.Float32bits(f)
+	if b&0x80000000 != 0 {
+		return ^b
+	}
+	return b | 0x80000000
+}
+
+// ByKey32 sorts ids so that keys[ids[i]] is non-decreasing, where the key
+// of id v is keys[v]. scratch must be at least len(ids) long; it is used
+// as the ping-pong buffer. The sort is stable.
+func ByKey32(ids []uint32, keys []uint32, scratch []uint32) {
+	if len(ids) < 2 {
+		return
+	}
+	src, dst := ids, scratch[:len(ids)]
+	var counts [4][256]int
+	for _, id := range src {
+		k := keys[id]
+		counts[0][k&0xff]++
+		counts[1][k>>8&0xff]++
+		counts[2][k>>16&0xff]++
+		counts[3][k>>24]++
+	}
+	for pass := 0; pass < 4; pass++ {
+		c := &counts[pass]
+		shift := 8 * uint(pass)
+		// Skip passes where every key shares the same byte.
+		if c[keys[src[0]]>>shift&0xff] == len(src) {
+			continue
+		}
+		pos := 0
+		var offsets [256]int
+		for b := 0; b < 256; b++ {
+			offsets[b] = pos
+			pos += c[b]
+		}
+		for _, id := range src {
+			b := keys[id] >> shift & 0xff
+			dst[offsets[b]] = id
+			offsets[b]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &ids[0] {
+		copy(ids, src)
+	}
+}
+
+// ByKey64 sorts ids so that keys[ids[i]] is non-decreasing for uint64
+// keys (e.g. Z-order codes). scratch must be at least len(ids) long. The
+// sort is stable.
+func ByKey64(ids []uint32, keys []uint64, scratch []uint32) {
+	if len(ids) < 2 {
+		return
+	}
+	src, dst := ids, scratch[:len(ids)]
+	for pass := 0; pass < 8; pass++ {
+		shift := 8 * uint(pass)
+		var counts [256]int
+		allSame := true
+		first := keys[src[0]] >> shift & 0xff
+		for _, id := range src {
+			b := keys[id] >> shift & 0xff
+			counts[b]++
+			allSame = allSame && b == first
+		}
+		if allSame {
+			continue
+		}
+		pos := 0
+		var offsets [256]int
+		for b := 0; b < 256; b++ {
+			offsets[b] = pos
+			pos += counts[b]
+		}
+		for _, id := range src {
+			b := keys[id] >> shift & 0xff
+			dst[offsets[b]] = id
+			offsets[b]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &ids[0] {
+		copy(ids, src)
+	}
+}
+
+// LowerBound32 returns the smallest index i in sorted keys with
+// keys[i] >= key.
+func LowerBound32(keys []uint32, key uint32) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// UpperBound32 returns the smallest index i in sorted keys with
+// keys[i] > key.
+func UpperBound32(keys []uint32, key uint32) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// LowerBound64 returns the smallest index i in sorted keys with
+// keys[i] >= key.
+func LowerBound64(keys []uint64, key uint64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// UpperBound64 returns the smallest index i in sorted keys with
+// keys[i] > key.
+func UpperBound64(keys []uint64, key uint64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,240 @@
+package sortutil
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestFloat32KeyOrder(t *testing.T) {
+	values := []float32{
+		float32(math.Inf(-1)), -1e30, -100, -1.5, -1, -math.SmallestNonzeroFloat32,
+		0, math.SmallestNonzeroFloat32, 0.5, 1, 1.5, 100, 1e30, float32(math.Inf(1)),
+	}
+	for i := 1; i < len(values); i++ {
+		a, b := values[i-1], values[i]
+		if !(Float32Key(a) < Float32Key(b)) {
+			t.Errorf("key order broken: key(%g) >= key(%g)", a, b)
+		}
+	}
+}
+
+func TestPropFloat32KeyMonotone(t *testing.T) {
+	f := func(a, b float32) bool {
+		if math.IsNaN(float64(a)) || math.IsNaN(float64(b)) {
+			return true
+		}
+		switch {
+		case a < b:
+			return Float32Key(a) < Float32Key(b)
+		case a > b:
+			return Float32Key(a) > Float32Key(b)
+		default:
+			return Float32Key(a) == Float32Key(b) ||
+				// -0 and +0 compare equal as floats but map to adjacent keys.
+				(a == 0 && b == 0)
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByKey32MatchesSortSlice(t *testing.T) {
+	r := xrand.New(1)
+	for _, n := range []int{0, 1, 2, 3, 10, 255, 256, 1000, 4096} {
+		keys := make([]uint32, n)
+		for i := range keys {
+			keys[i] = r.Uint32()
+		}
+		ids := make([]uint32, n)
+		want := make([]uint32, n)
+		for i := range ids {
+			ids[i] = uint32(i)
+			want[i] = uint32(i)
+		}
+		scratch := make([]uint32, n)
+		ByKey32(ids, keys, scratch)
+		sort.SliceStable(want, func(i, j int) bool { return keys[want[i]] < keys[want[j]] })
+		for i := range ids {
+			if ids[i] != want[i] {
+				t.Fatalf("n=%d: mismatch at %d: got %d want %d", n, i, ids[i], want[i])
+			}
+		}
+	}
+}
+
+func TestByKey32Stable(t *testing.T) {
+	// All-equal keys: order must be preserved.
+	n := 100
+	keys := make([]uint32, n)
+	ids := make([]uint32, n)
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	ByKey32(ids, keys, make([]uint32, n))
+	for i := range ids {
+		if ids[i] != uint32(i) {
+			t.Fatalf("stability broken at %d: %d", i, ids[i])
+		}
+	}
+}
+
+func TestByKey64MatchesSortSlice(t *testing.T) {
+	r := xrand.New(2)
+	for _, n := range []int{0, 1, 2, 17, 512, 3000} {
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = r.Uint64()
+		}
+		ids := make([]uint32, n)
+		want := make([]uint32, n)
+		for i := range ids {
+			ids[i] = uint32(i)
+			want[i] = uint32(i)
+		}
+		ByKey64(ids, keys, make([]uint32, n))
+		sort.SliceStable(want, func(i, j int) bool { return keys[want[i]] < keys[want[j]] })
+		for i := range ids {
+			if ids[i] != want[i] {
+				t.Fatalf("n=%d: mismatch at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestByKey64SmallKeyRange(t *testing.T) {
+	// Keys confined to one byte exercise the skip-pass path.
+	r := xrand.New(3)
+	n := 1000
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(r.Intn(7))
+	}
+	ids := make([]uint32, n)
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	ByKey64(ids, keys, make([]uint32, n))
+	for i := 1; i < n; i++ {
+		if keys[ids[i-1]] > keys[ids[i]] {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+}
+
+func TestByKey32SubsetOfIDs(t *testing.T) {
+	// ids need not cover [0, len(keys)): sort a subset.
+	keys := []uint32{50, 40, 30, 20, 10}
+	ids := []uint32{0, 2, 4}
+	ByKey32(ids, keys, make([]uint32, 3))
+	want := []uint32{4, 2, 0}
+	for i := range ids {
+		if ids[i] != want[i] {
+			t.Fatalf("subset sort = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestPropByKey32SortsAnyInput(t *testing.T) {
+	f := func(raw []uint32) bool {
+		keys := raw
+		ids := make([]uint32, len(keys))
+		for i := range ids {
+			ids[i] = uint32(i)
+		}
+		ByKey32(ids, keys, make([]uint32, len(ids)))
+		seen := make(map[uint32]bool, len(ids))
+		for i := range ids {
+			if seen[ids[i]] {
+				return false // permutation broken
+			}
+			seen[ids[i]] = true
+			if i > 0 && keys[ids[i-1]] > keys[ids[i]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBounds32(t *testing.T) {
+	keys := []uint32{10, 20, 20, 20, 30}
+	cases := []struct {
+		key    uint32
+		lo, hi int
+	}{
+		{5, 0, 0},
+		{10, 0, 1},
+		{15, 1, 1},
+		{20, 1, 4},
+		{25, 4, 4},
+		{30, 4, 5},
+		{35, 5, 5},
+	}
+	for _, c := range cases {
+		if got := LowerBound32(keys, c.key); got != c.lo {
+			t.Errorf("LowerBound32(%d) = %d, want %d", c.key, got, c.lo)
+		}
+		if got := UpperBound32(keys, c.key); got != c.hi {
+			t.Errorf("UpperBound32(%d) = %d, want %d", c.key, got, c.hi)
+		}
+	}
+}
+
+func TestBounds64(t *testing.T) {
+	keys := []uint64{1, 1, 2, 5, 5, 5, 9}
+	if got := LowerBound64(keys, 5); got != 3 {
+		t.Errorf("LowerBound64(5) = %d, want 3", got)
+	}
+	if got := UpperBound64(keys, 5); got != 6 {
+		t.Errorf("UpperBound64(5) = %d, want 6", got)
+	}
+	if got := LowerBound64(keys, 0); got != 0 {
+		t.Errorf("LowerBound64(0) = %d, want 0", got)
+	}
+	if got := UpperBound64(keys, 10); got != 7 {
+		t.Errorf("UpperBound64(10) = %d, want 7", got)
+	}
+	if got := LowerBound64(nil, 1); got != 0 {
+		t.Errorf("LowerBound64(nil) = %d, want 0", got)
+	}
+}
+
+func TestPropBoundsBracketRun(t *testing.T) {
+	r := xrand.New(4)
+	for trial := 0; trial < 200; trial++ {
+		n := r.Intn(200)
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = uint64(r.Intn(20))
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		key := uint64(r.Intn(25))
+		lo, hi := LowerBound64(keys, key), UpperBound64(keys, key)
+		if lo > hi {
+			t.Fatalf("lo %d > hi %d", lo, hi)
+		}
+		for i := 0; i < lo; i++ {
+			if keys[i] >= key {
+				t.Fatalf("keys[%d]=%d >= %d before lo", i, keys[i], key)
+			}
+		}
+		for i := lo; i < hi; i++ {
+			if keys[i] != key {
+				t.Fatalf("keys[%d]=%d != %d inside run", i, keys[i], key)
+			}
+		}
+		for i := hi; i < n; i++ {
+			if keys[i] <= key {
+				t.Fatalf("keys[%d]=%d <= %d after hi", i, keys[i], key)
+			}
+		}
+	}
+}

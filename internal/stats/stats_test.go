@@ -1,0 +1,240 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestAggBasics(t *testing.T) {
+	var a Agg
+	if a.N() != 0 || a.Mean() != 0 || a.Min() != 0 || a.Max() != 0 || a.Var() != 0 {
+		t.Fatal("empty aggregate must be all zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if a.Mean() != 5 {
+		t.Fatalf("Mean = %g, want 5", a.Mean())
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if math.Abs(a.Var()-32.0/7) > 1e-12 {
+		t.Fatalf("Var = %g, want %g", a.Var(), 32.0/7)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("Min/Max = %g/%g", a.Min(), a.Max())
+	}
+}
+
+func TestAggSingle(t *testing.T) {
+	var a Agg
+	a.Add(42)
+	if a.Mean() != 42 || a.Min() != 42 || a.Max() != 42 || a.Var() != 0 {
+		t.Fatalf("single-element aggregate wrong: %+v", a)
+	}
+}
+
+func TestAggMergeMatchesSequential(t *testing.T) {
+	r := xrand.New(1)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = r.Float64()*100 - 50
+	}
+	var whole Agg
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	var left, right Agg
+	for _, x := range xs[:300] {
+		left.Add(x)
+	}
+	for _, x := range xs[300:] {
+		right.Add(x)
+	}
+	left.Merge(right)
+	if left.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", left.N(), whole.N())
+	}
+	if math.Abs(left.Mean()-whole.Mean()) > 1e-9 {
+		t.Fatalf("merged mean %g vs %g", left.Mean(), whole.Mean())
+	}
+	if math.Abs(left.Var()-whole.Var()) > 1e-9 {
+		t.Fatalf("merged var %g vs %g", left.Var(), whole.Var())
+	}
+	if left.Min() != whole.Min() || left.Max() != whole.Max() {
+		t.Fatal("merged min/max wrong")
+	}
+}
+
+func TestAggMergeEmpty(t *testing.T) {
+	var a, b Agg
+	a.Add(1)
+	a.Merge(b) // merging empty is a no-op
+	if a.N() != 1 {
+		t.Fatal("merge with empty changed N")
+	}
+	b.Merge(a) // merging into empty copies
+	if b.N() != 1 || b.Mean() != 1 {
+		t.Fatal("merge into empty broken")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {0.25, 20}, {0.5, 30}, {0.75, 40}, {1, 50}, {-1, 10}, {2, 50},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	// p=0.875 over 5 elements: position 3.5, midway between 40 and 50.
+	if got := Percentile(xs, 0.875); got != 45 {
+		t.Errorf("interpolated percentile = %g, want 45", got)
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile must be 0")
+	}
+	if Percentile([]float64{7}, 0.9) != 7 {
+		t.Error("singleton percentile must be the element")
+	}
+	if Median(xs) != 30 {
+		t.Error("median wrong")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestMeanAndHelpers(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean broken")
+	}
+	if Speedup(6, 3) != "2.00x" {
+		t.Fatalf("Speedup = %s", Speedup(6, 3))
+	}
+	if Speedup(1, 0) != "inf" {
+		t.Fatal("Speedup by zero must be inf")
+	}
+	if ArgminIndex([]float64{3, 1, 2}) != 1 {
+		t.Fatal("ArgminIndex broken")
+	}
+	if ArgminIndex(nil) != -1 {
+		t.Fatal("ArgminIndex(nil) must be -1")
+	}
+}
+
+func TestPropAggMeanWithinBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		var a Agg
+		ok := false
+		for _, x := range raw {
+			// Differences of near-MaxFloat64 values overflow; the
+			// aggregator targets tick times, not the float64 extremes.
+			if math.IsNaN(x) || math.Abs(x) > 1e307 {
+				continue
+			}
+			a.Add(x)
+			ok = true
+		}
+		if !ok {
+			return true
+		}
+		// Tolerance must scale with magnitude: Welford is stable but not
+		// exact, and quick generates values near MaxFloat64.
+		tol := (math.Abs(a.Min())+math.Abs(a.Max()))*1e-12 + 1e-9
+		return a.Mean() >= a.Min()-tol && a.Mean() <= a.Max()+tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesFormat(t *testing.T) {
+	s := &Series{Title: "Fig X", XLabel: "n", YLabel: "seconds", Xs: []float64{1, 2, 3}}
+	if err := s.AddLine("a", []float64{0.1, 0.2, 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddLine("b", []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddLine("short", []float64{1}); err == nil {
+		t.Fatal("mismatched line accepted")
+	}
+	out := s.Format()
+	for _, want := range []string{"Fig X", "seconds", "n", "a", "b", "0.1000", "3.0000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
+	}
+	if s.Line("a") == nil || s.Line("zzz") != nil {
+		t.Fatal("Line lookup broken")
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	s := &Series{XLabel: "x", Xs: []float64{1, 2}}
+	_ = s.AddLine("with,comma", []float64{0.5, 1.5})
+	csv := s.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want 3:\n%s", len(lines), csv)
+	}
+	if lines[0] != `x,"with,comma"` {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	if lines[1] != "1,0.5" {
+		t.Fatalf("CSV row = %q", lines[1])
+	}
+}
+
+func TestTableFormatAndCSV(t *testing.T) {
+	tb := NewTable("Table 2", "Method", "Build (s)", "Query (s)")
+	tb.AddRow("R-Tree", "0.008", "0.098")
+	tb.AddRow("Simple Grid", "0.0019") // short row padded
+	out := tb.Format()
+	for _, want := range []string{"Table 2", "Method", "R-Tree", "0.098", "Simple Grid"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "Method,Build (s),Query (s)\n") {
+		t.Fatalf("CSV header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, "Simple Grid,0.0019,\n") {
+		t.Fatalf("padded row missing: %q", csv)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "a", "bbbb")
+	tb.AddRow("xxxxx", "y")
+	out := tb.Format()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// Column 2 must start at the same offset in both lines.
+	if strings.Index(lines[0], "bbbb") != strings.Index(lines[1], "y") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}

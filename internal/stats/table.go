@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one figure's worth of data: a shared x-axis and one line per
+// technique, mirroring how the paper's plots are structured ("Avg. Time
+// per Tick" over some swept parameter).
+type Series struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Xs     []float64
+	Lines  []Line
+}
+
+// Line is a single named curve over the series' x-axis.
+type Line struct {
+	Name string
+	Ys   []float64
+}
+
+// AddLine appends a curve; the number of points must match the x-axis.
+func (s *Series) AddLine(name string, ys []float64) error {
+	if len(ys) != len(s.Xs) {
+		return fmt.Errorf("stats: line %q has %d points, series has %d x values", name, len(ys), len(s.Xs))
+	}
+	s.Lines = append(s.Lines, Line{Name: name, Ys: append([]float64(nil), ys...)})
+	return nil
+}
+
+// Line returns the named curve, or nil.
+func (s *Series) Line(name string) *Line {
+	for i := range s.Lines {
+		if s.Lines[i].Name == name {
+			return &s.Lines[i]
+		}
+	}
+	return nil
+}
+
+// Format renders the series as an aligned text table: one row per x
+// value, one column per line. This is the harness's substitute for the
+// paper's plots — same numbers, textual form.
+func (s *Series) Format() string {
+	var b strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&b, "# %s\n", s.Title)
+	}
+	if s.YLabel != "" {
+		fmt.Fprintf(&b, "# y: %s\n", s.YLabel)
+	}
+	header := make([]string, 0, len(s.Lines)+1)
+	header = append(header, s.XLabel)
+	for _, l := range s.Lines {
+		header = append(header, l.Name)
+	}
+	rows := make([][]string, 0, len(s.Xs)+1)
+	rows = append(rows, header)
+	for i, x := range s.Xs {
+		row := make([]string, 0, len(s.Lines)+1)
+		row = append(row, trimFloat(x))
+		for _, l := range s.Lines {
+			row = append(row, fmt.Sprintf("%.4f", l.Ys[i]))
+		}
+		rows = append(rows, row)
+	}
+	writeAligned(&b, rows)
+	return b.String()
+}
+
+// CSV renders the series as comma-separated values with a header row.
+func (s *Series) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(s.XLabel))
+	for _, l := range s.Lines {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(l.Name))
+	}
+	b.WriteByte('\n')
+	for i, x := range s.Xs {
+		b.WriteString(trimFloat(x))
+		for _, l := range s.Lines {
+			fmt.Fprintf(&b, ",%g", l.Ys[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table is a generic titled grid of cells with a header, used for the
+// paper's Tables 2 and 3.
+type Table struct {
+	Title   string
+	Header  []string
+	RowsDat [][]string
+}
+
+// NewTable creates a table with the given header.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends one row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Header))
+	copy(row, cells)
+	t.RowsDat = append(t.RowsDat, row)
+}
+
+// Format renders the table with aligned columns.
+func (t *Table) Format() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "# %s\n", t.Title)
+	}
+	rows := make([][]string, 0, len(t.RowsDat)+1)
+	rows = append(rows, t.Header)
+	rows = append(rows, t.RowsDat...)
+	writeAligned(&b, rows)
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	for i, h := range t.Header {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(csvEscape(h))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.RowsDat {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvEscape(c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func writeAligned(b *strings.Builder, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for i, c := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(row)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+}
+
+func trimFloat(x float64) string {
+	s := fmt.Sprintf("%g", x)
+	return s
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

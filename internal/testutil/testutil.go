@@ -1,0 +1,250 @@
+// Package testutil provides the shared test fixtures for the index
+// packages: adversarial point-set patterns, query-set generators, and a
+// differential checker that validates any core.Index against the
+// brute-force oracle.
+//
+// The patterns are chosen to stress the places spatial indexes
+// historically break: points exactly on partition boundaries, heavy
+// duplication, degenerate (collinear) distributions, extreme corners,
+// and queries that are empty, zero-area, sliver-thin, or larger than the
+// space.
+package testutil
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+// PointPattern names a point-set shape.
+type PointPattern struct {
+	Name string
+	Gen  func(r *xrand.Rand, n int, bounds geom.Rect) []geom.Point
+}
+
+// PointPatterns returns the standard adversarial point distributions.
+func PointPatterns() []PointPattern {
+	return []PointPattern{
+		{"uniform", genUniform},
+		{"gaussian-clusters", genClusters},
+		{"grid-aligned", genGridAligned},
+		{"collinear-diagonal", genDiagonal},
+		{"collinear-vertical", genVertical},
+		{"colocated", genColocated},
+		{"corners", genCorners},
+		{"skewed-corner", genSkewedCorner},
+	}
+}
+
+func genUniform(r *xrand.Rand, n int, b geom.Rect) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(r.Range(b.MinX, b.MaxX), r.Range(b.MinY, b.MaxY))
+	}
+	return pts
+}
+
+func genClusters(r *xrand.Rand, n int, b geom.Rect) []geom.Point {
+	const clusters = 5
+	centers := make([]geom.Point, clusters)
+	for i := range centers {
+		centers[i] = geom.Pt(r.Range(b.MinX, b.MaxX), r.Range(b.MinY, b.MaxY))
+	}
+	sigma := b.Width() / 40
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		c := centers[r.Intn(clusters)]
+		pts[i] = clampPt(geom.Pt(r.Norm(c.X, sigma), r.Norm(c.Y, sigma)), b)
+	}
+	return pts
+}
+
+// genGridAligned places points exactly on a lattice whose pitch matches
+// common cps values, so many points sit exactly on cell boundaries.
+func genGridAligned(r *xrand.Rand, n int, b geom.Rect) []geom.Point {
+	const lattice = 13
+	stepX := b.Width() / lattice
+	stepY := b.Height() / lattice
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(
+			b.MinX+float32(r.Intn(lattice+1))*stepX,
+			b.MinY+float32(r.Intn(lattice+1))*stepY,
+		)
+		pts[i] = clampPt(pts[i], b)
+	}
+	return pts
+}
+
+func genDiagonal(r *xrand.Rand, n int, b geom.Rect) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		t := r.Float32()
+		pts[i] = geom.Pt(b.MinX+t*b.Width(), b.MinY+t*b.Height())
+	}
+	return pts
+}
+
+func genVertical(r *xrand.Rand, n int, b geom.Rect) []geom.Point {
+	x := b.MinX + b.Width()/2
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(x, r.Range(b.MinY, b.MaxY))
+	}
+	return pts
+}
+
+func genColocated(r *xrand.Rand, n int, b geom.Rect) []geom.Point {
+	// A handful of distinct locations shared by many points.
+	const spots = 7
+	locs := genUniform(r, spots, b)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = locs[r.Intn(spots)]
+	}
+	return pts
+}
+
+func genCorners(r *xrand.Rand, n int, b geom.Rect) []geom.Point {
+	corners := []geom.Point{
+		{X: b.MinX, Y: b.MinY},
+		{X: b.MaxX, Y: b.MinY},
+		{X: b.MinX, Y: b.MaxY},
+		{X: b.MaxX, Y: b.MaxY},
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = corners[r.Intn(len(corners))]
+	}
+	return pts
+}
+
+func genSkewedCorner(r *xrand.Rand, n int, b geom.Rect) []geom.Point {
+	// 90% of the mass in the bottom-left 1% of the area.
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		if r.Bool(0.9) {
+			pts[i] = geom.Pt(
+				r.Range(b.MinX, b.MinX+b.Width()/10),
+				r.Range(b.MinY, b.MinY+b.Height()/10),
+			)
+		} else {
+			pts[i] = geom.Pt(r.Range(b.MinX, b.MaxX), r.Range(b.MinY, b.MaxY))
+		}
+	}
+	return pts
+}
+
+func clampPt(p geom.Point, b geom.Rect) geom.Point {
+	if p.X < b.MinX {
+		p.X = b.MinX
+	}
+	if p.X > b.MaxX {
+		p.X = b.MaxX
+	}
+	if p.Y < b.MinY {
+		p.Y = b.MinY
+	}
+	if p.Y > b.MaxY {
+		p.Y = b.MaxY
+	}
+	return p
+}
+
+// Queries generates a mixed adversarial query set over the bounds:
+// random squares, slivers, zero-area points, space-covering boxes, and
+// rectangles straddling the space boundary.
+func Queries(r *xrand.Rand, count int, b geom.Rect) []geom.Rect {
+	qs := make([]geom.Rect, 0, count+5)
+	for i := 0; i < count; i++ {
+		c := geom.Pt(r.Range(b.MinX, b.MaxX), r.Range(b.MinY, b.MaxY))
+		switch i % 4 {
+		case 0: // ordinary square
+			qs = append(qs, geom.Square(c, r.Range(1, b.Width()/4)))
+		case 1: // thin horizontal sliver
+			qs = append(qs, geom.R(b.MinX, c.Y, b.MaxX, c.Y+1))
+		case 2: // thin vertical sliver
+			qs = append(qs, geom.R(c.X, b.MinY, c.X+1, b.MaxY))
+		case 3: // straddles the boundary
+			qs = append(qs, geom.Square(geom.Pt(b.MinX, c.Y), b.Width()/8))
+		}
+	}
+	center := b.Center()
+	qs = append(qs,
+		geom.R(center.X, center.Y, center.X, center.Y), // zero-area
+		b,                   // exactly the space
+		b.Expand(b.Width()), // much larger than the space
+		geom.R(b.MaxX+1, b.MaxY+1, b.MaxX+10, b.MaxY+10), // fully outside
+		geom.R(b.MinX, b.MinY, b.MinX, b.MaxY),           // left edge line
+	)
+	return qs
+}
+
+// QueryIndex is the minimal index surface the checker needs (a subset of
+// core.Index, restated here to keep testutil dependency-light).
+type QueryIndex interface {
+	Build(pts []geom.Point)
+	Query(r geom.Rect, emit func(id uint32))
+}
+
+// Failure describes one differential mismatch.
+type Failure struct {
+	Pattern string
+	Query   geom.Rect
+	Missing []uint32
+	Extra   []uint32
+}
+
+// Error renders the failure.
+func (f *Failure) Error() string {
+	return fmt.Sprintf("pattern %q query %v: %d missing, %d extra (missing %v, extra %v)",
+		f.Pattern, f.Query, len(f.Missing), len(f.Extra), trunc(f.Missing), trunc(f.Extra))
+}
+
+func trunc(ids []uint32) []uint32 {
+	if len(ids) > 8 {
+		return ids[:8]
+	}
+	return ids
+}
+
+// CheckAgainstOracle builds idx over every pattern and compares every
+// query's result set with a brute-force scan. It returns the first
+// mismatch, or nil. Duplicate emissions count as mismatches.
+func CheckAgainstOracle(idx QueryIndex, seed uint64, n int, bounds geom.Rect) *Failure {
+	r := xrand.New(seed)
+	for _, pat := range PointPatterns() {
+		pts := pat.Gen(r, n, bounds)
+		idx.Build(pts)
+		for _, q := range Queries(r, 24, bounds) {
+			want := make(map[uint32]bool)
+			for i := range pts {
+				if pts[i].In(q) {
+					want[uint32(i)] = true
+				}
+			}
+			got := make(map[uint32]int)
+			idx.Query(q, func(id uint32) { got[id]++ })
+			var missing, extra []uint32
+			for id := range want {
+				if got[id] != 1 {
+					if got[id] == 0 {
+						missing = append(missing, id)
+					} else {
+						extra = append(extra, id) // duplicate emission
+					}
+				}
+			}
+			for id := range got {
+				if !want[id] {
+					extra = append(extra, id)
+				}
+			}
+			if len(missing) > 0 || len(extra) > 0 {
+				return &Failure{Pattern: pat.Name, Query: q, Missing: missing, Extra: extra}
+			}
+		}
+	}
+	return nil
+}

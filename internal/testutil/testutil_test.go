@@ -1,0 +1,161 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+var bounds = geom.R(0, 0, 1000, 1000)
+
+func TestPatternsProduceInBoundsPoints(t *testing.T) {
+	r := xrand.New(1)
+	for _, pat := range PointPatterns() {
+		pts := pat.Gen(r, 500, bounds)
+		if len(pts) != 500 {
+			t.Fatalf("%s: generated %d points", pat.Name, len(pts))
+		}
+		for i, p := range pts {
+			if !p.In(bounds) {
+				t.Fatalf("%s: point %d at %v outside bounds", pat.Name, i, p)
+			}
+		}
+	}
+}
+
+func TestPatternsAreDistinctive(t *testing.T) {
+	r := xrand.New(2)
+	// Vertical pattern: all x equal.
+	vert := PointPatterns()[4]
+	if vert.Name != "collinear-vertical" {
+		t.Fatalf("pattern order changed: %s", vert.Name)
+	}
+	pts := vert.Gen(r, 100, bounds)
+	for _, p := range pts[1:] {
+		if p.X != pts[0].X {
+			t.Fatal("vertical pattern not vertical")
+		}
+	}
+	// Colocated: at most 7 distinct locations.
+	colo := PointPatterns()[5]
+	pts = colo.Gen(r, 500, bounds)
+	distinct := map[geom.Point]bool{}
+	for _, p := range pts {
+		distinct[p] = true
+	}
+	if len(distinct) > 7 {
+		t.Fatalf("colocated pattern has %d distinct spots", len(distinct))
+	}
+	// Skewed corner: most points in the bottom-left decile box.
+	skew := PointPatterns()[7]
+	pts = skew.Gen(r, 1000, bounds)
+	inCorner := 0
+	corner := geom.R(0, 0, 100, 100)
+	for _, p := range pts {
+		if p.In(corner) {
+			inCorner++
+		}
+	}
+	if inCorner < 800 {
+		t.Fatalf("skewed pattern only %d/1000 in corner", inCorner)
+	}
+}
+
+func TestQueriesIncludeAdversarialShapes(t *testing.T) {
+	r := xrand.New(3)
+	qs := Queries(r, 20, bounds)
+	if len(qs) != 25 {
+		t.Fatalf("query count = %d", len(qs))
+	}
+	var zeroArea, outside, covering bool
+	for _, q := range qs {
+		if !q.Valid() {
+			t.Fatalf("invalid query %v", q)
+		}
+		if q.Area() == 0 {
+			zeroArea = true
+		}
+		if !q.Intersects(bounds) {
+			outside = true
+		}
+		if q.ContainsRect(bounds) {
+			covering = true
+		}
+	}
+	if !zeroArea || !outside || !covering {
+		t.Fatalf("query set missing adversarial shapes: zero=%v outside=%v covering=%v",
+			zeroArea, outside, covering)
+	}
+}
+
+// perfectIndex is a correct reference implementation.
+type perfectIndex struct{ pts []geom.Point }
+
+func (ix *perfectIndex) Build(pts []geom.Point) { ix.pts = pts }
+func (ix *perfectIndex) Query(r geom.Rect, emit func(uint32)) {
+	for i := range ix.pts {
+		if ix.pts[i].In(r) {
+			emit(uint32(i))
+		}
+	}
+}
+
+// brokenIndex drops one matching result per query (off-by-one bugs are
+// the classic failure the checker exists for).
+type brokenIndex struct{ perfectIndex }
+
+func (ix *brokenIndex) Query(r geom.Rect, emit func(uint32)) {
+	skipped := false
+	for i := range ix.pts {
+		if ix.pts[i].In(r) {
+			if !skipped {
+				skipped = true
+				continue
+			}
+			emit(uint32(i))
+		}
+	}
+}
+
+// duplicatingIndex emits every result twice.
+type duplicatingIndex struct{ perfectIndex }
+
+func (ix *duplicatingIndex) Query(r geom.Rect, emit func(uint32)) {
+	for i := range ix.pts {
+		if ix.pts[i].In(r) {
+			emit(uint32(i))
+			emit(uint32(i))
+		}
+	}
+}
+
+func TestCheckerAcceptsCorrectIndex(t *testing.T) {
+	if f := CheckAgainstOracle(&perfectIndex{}, 4, 300, bounds); f != nil {
+		t.Fatalf("perfect index rejected: %v", f)
+	}
+}
+
+func TestCheckerCatchesMissingResults(t *testing.T) {
+	f := CheckAgainstOracle(&brokenIndex{}, 4, 300, bounds)
+	if f == nil {
+		t.Fatal("broken index accepted")
+	}
+	if len(f.Missing) == 0 {
+		t.Fatalf("failure lacks missing IDs: %v", f)
+	}
+	if !strings.Contains(f.Error(), "missing") {
+		t.Fatalf("failure message unhelpful: %v", f)
+	}
+}
+
+func TestCheckerCatchesDuplicates(t *testing.T) {
+	f := CheckAgainstOracle(&duplicatingIndex{}, 4, 300, bounds)
+	if f == nil {
+		t.Fatal("duplicating index accepted")
+	}
+	if len(f.Extra) == 0 {
+		t.Fatalf("failure lacks extra IDs: %v", f)
+	}
+}

@@ -1,0 +1,32 @@
+package workload
+
+import "testing"
+
+func BenchmarkGeneratorTick(b *testing.B) {
+	for _, kind := range []Kind{Uniform, Gaussian, Simulation} {
+		b.Run(kind.String(), func(b *testing.B) {
+			cfg := DefaultUniform()
+			cfg.Kind = kind
+			if kind != Uniform {
+				cfg.Hotspots = 100
+			}
+			g := MustNewGenerator(cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Queriers()
+				g.ApplyUpdates(g.Updates())
+			}
+		})
+	}
+}
+
+func BenchmarkTraceRecord(b *testing.B) {
+	cfg := DefaultUniform()
+	cfg.Ticks = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Record(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func smallSimulation() Config {
+	cfg := DefaultSimulation()
+	cfg.NumPoints = 1000
+	cfg.Ticks = 20
+	cfg.SpaceSize = 2000
+	cfg.MaxSpeed = 40
+	cfg.QuerySize = 100
+	cfg.Hotspots = 4
+	return cfg
+}
+
+func TestSimulationDefaults(t *testing.T) {
+	cfg := DefaultSimulation()
+	if cfg.Kind != Simulation || cfg.Hotspots != DefaultSchools {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if Simulation.String() != "simulation" {
+		t.Fatal("kind name wrong")
+	}
+}
+
+func TestSimulationNeedsSchools(t *testing.T) {
+	cfg := smallSimulation()
+	cfg.Hotspots = 0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("zero schools accepted")
+	}
+}
+
+func TestSimulationStaysInBounds(t *testing.T) {
+	cfg := smallSimulation()
+	g := MustNewGenerator(cfg)
+	bounds := cfg.Bounds()
+	for tick := 0; tick < cfg.Ticks; tick++ {
+		g.Queriers()
+		batch := g.Updates()
+		for _, u := range batch {
+			if !u.Pos.In(bounds) {
+				t.Fatalf("tick %d: object %d escapes to %v", tick, u.ID, u.Pos)
+			}
+		}
+		g.ApplyUpdates(batch)
+		for i, c := range g.Schools() {
+			if !c.In(bounds) {
+				t.Fatalf("tick %d: school %d centre escapes to %v", tick, i, c)
+			}
+		}
+	}
+}
+
+func TestSimulationSchoolsCohere(t *testing.T) {
+	// After many ticks of full updating, objects must remain much closer
+	// to their nearest school centre than uniform placement would put
+	// them — the point of the flocking rule.
+	cfg := smallSimulation()
+	cfg.Updaters = 1
+	cfg.Ticks = 40
+	g := MustNewGenerator(cfg)
+	for tick := 0; tick < cfg.Ticks; tick++ {
+		g.Queriers()
+		g.ApplyUpdates(g.Updates())
+	}
+	centers := g.Schools()
+	var sum float64
+	for _, o := range g.Objects() {
+		best := math.Inf(1)
+		for _, c := range centers {
+			d := math.Hypot(float64(o.Pos.X-c.X), float64(o.Pos.Y-c.Y))
+			if d < best {
+				best = d
+			}
+		}
+		sum += best
+	}
+	mean := sum / float64(len(g.Objects()))
+	// Uniform expectation for 4 random centres in a 2000-square is on
+	// the order of several hundred; coherent schools stay tight.
+	if mean > float64(cfg.SpaceSize)/6 {
+		t.Fatalf("mean distance to nearest school %g — schools not cohering", mean)
+	}
+}
+
+func TestSimulationSchoolsActuallyMove(t *testing.T) {
+	cfg := smallSimulation()
+	g := MustNewGenerator(cfg)
+	initial := make([]float64, 0, len(g.Schools()))
+	for _, c := range g.Schools() {
+		initial = append(initial, float64(c.X), float64(c.Y))
+	}
+	for tick := 0; tick < 20; tick++ {
+		g.Queriers()
+		g.ApplyUpdates(g.Updates())
+	}
+	moved := 0
+	for i, c := range g.Schools() {
+		dx := float64(c.X) - initial[2*i]
+		dy := float64(c.Y) - initial[2*i+1]
+		if math.Hypot(dx, dy) > float64(cfg.MaxSpeed) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no school centre moved; the workload is static")
+	}
+}
+
+func TestSimulationDeterministicAndSerializable(t *testing.T) {
+	cfg := smallSimulation()
+	cfg.Ticks = 6
+	a, err := Record(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Record(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum() != b.Checksum() {
+		t.Fatal("simulation workload not deterministic")
+	}
+}
+
+func TestSimulationUniformGeneratorHasNoSchools(t *testing.T) {
+	g := MustNewGenerator(smallUniform())
+	if g.Schools() != nil {
+		t.Fatal("uniform generator reports schools")
+	}
+}

@@ -1,0 +1,355 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Source is the per-tick event stream the join driver consumes. Both the
+// live Generator and the replaying Player implement it, so experiments can
+// run either from a seed or from a recorded trace file.
+type Source interface {
+	// Config returns the workload parameters.
+	Config() Config
+	// Objects exposes the current base table (read-only for callers).
+	Objects() []Object
+	// Queriers returns the IDs querying this tick (slice reused per tick).
+	Queriers() []uint32
+	// QueryRect returns the range query of the given querier.
+	QueryRect(id uint32) geom.Rect
+	// Updates returns this tick's update batch, advancing the tick. The
+	// batch is not yet applied to the base table.
+	Updates() []Update
+	// ApplyUpdates installs a batch at the end of the tick.
+	ApplyUpdates([]Update)
+}
+
+var (
+	_ Source = (*Generator)(nil)
+	_ Source = (*Player)(nil)
+)
+
+// TickTrace is the recorded event stream of a single tick.
+type TickTrace struct {
+	Queriers []uint32
+	Updates  []Update
+}
+
+// Trace is a fully materialized workload: the initial population plus the
+// query and update stream of every tick. Traces make cross-technique
+// comparisons bit-identical and allow workloads to be generated once and
+// replayed many times (cmd/workloadgen).
+type Trace struct {
+	Config  Config
+	Initial []Object
+	Ticks   []TickTrace
+}
+
+// Record runs a generator for cfg.Ticks ticks and materializes the whole
+// stream.
+func Record(cfg Config) (*Trace, error) {
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{
+		Config:  cfg,
+		Initial: append([]Object(nil), g.Objects()...),
+		Ticks:   make([]TickTrace, 0, cfg.Ticks),
+	}
+	for i := 0; i < cfg.Ticks; i++ {
+		tt := TickTrace{
+			Queriers: append([]uint32(nil), g.Queriers()...),
+			Updates:  append([]Update(nil), g.Updates()...),
+		}
+		g.ApplyUpdates(tt.Updates)
+		t.Ticks = append(t.Ticks, tt)
+	}
+	return t, nil
+}
+
+// Player replays a recorded trace through the Source interface.
+type Player struct {
+	trace   *Trace
+	objects []Object
+	tick    int
+}
+
+// NewPlayer returns a Player positioned at tick 0 of the trace. The trace
+// itself is never mutated, so several players can share one trace (though
+// each player must be used from a single goroutine).
+func NewPlayer(t *Trace) *Player {
+	return &Player{
+		trace:   t,
+		objects: append([]Object(nil), t.Initial...),
+	}
+}
+
+// Reset rewinds the player to tick 0.
+func (p *Player) Reset() {
+	p.objects = append(p.objects[:0], p.trace.Initial...)
+	p.tick = 0
+}
+
+// Config implements Source.
+func (p *Player) Config() Config { return p.trace.Config }
+
+// Objects implements Source.
+func (p *Player) Objects() []Object { return p.objects }
+
+// Tick returns the index of the next tick to be replayed.
+func (p *Player) Tick() int { return p.tick }
+
+// Queriers implements Source.
+func (p *Player) Queriers() []uint32 {
+	if p.tick >= len(p.trace.Ticks) {
+		return nil
+	}
+	return p.trace.Ticks[p.tick].Queriers
+}
+
+// QueryRect implements Source.
+func (p *Player) QueryRect(id uint32) geom.Rect {
+	return geom.Square(p.objects[id].Pos, p.trace.Config.QuerySize)
+}
+
+// Updates implements Source.
+func (p *Player) Updates() []Update {
+	if p.tick >= len(p.trace.Ticks) {
+		return nil
+	}
+	u := p.trace.Ticks[p.tick].Updates
+	p.tick++
+	return u
+}
+
+// ApplyUpdates implements Source.
+func (p *Player) ApplyUpdates(batch []Update) {
+	for _, u := range batch {
+		p.objects[u.ID] = Object{Pos: u.Pos, Vel: u.Vel}
+	}
+}
+
+// Binary trace format (little endian):
+//
+//	magic "SJTR" | version u16 | Config | numObjects u32 | objects |
+//	numTicks u32 | per tick: numQueriers u32, ids | numUpdates u32, updates
+//
+// The format is versioned so future extensions (e.g. per-tick metadata)
+// remain loadable.
+const (
+	traceMagic   = "SJTR"
+	traceVersion = 1
+)
+
+// WriteTo serializes the trace. It implements io.WriterTo.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	write := func(v any) {
+		if cw.err == nil {
+			cw.err = binary.Write(cw, binary.LittleEndian, v)
+		}
+	}
+	if _, err := cw.Write([]byte(traceMagic)); err != nil {
+		return cw.n, err
+	}
+	write(uint16(traceVersion))
+	writeConfig(write, t.Config)
+	write(uint32(len(t.Initial)))
+	for _, o := range t.Initial {
+		writeObject(write, o)
+	}
+	write(uint32(len(t.Ticks)))
+	for _, tt := range t.Ticks {
+		write(uint32(len(tt.Queriers)))
+		for _, q := range tt.Queriers {
+			write(q)
+		}
+		write(uint32(len(tt.Updates)))
+		for _, u := range tt.Updates {
+			write(u.ID)
+			writeObject(write, Object{Pos: u.Pos, Vel: u.Vel})
+		}
+	}
+	if cw.err == nil {
+		cw.err = cw.w.(*bufio.Writer).Flush()
+	}
+	return cw.n, cw.err
+}
+
+// ReadTrace deserializes a trace written by WriteTo.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("workload: reading trace magic: %w", err)
+	}
+	if string(magic[:]) != traceMagic {
+		return nil, fmt.Errorf("workload: bad trace magic %q", magic[:])
+	}
+	var rerr error
+	read := func(v any) {
+		if rerr == nil {
+			rerr = binary.Read(br, binary.LittleEndian, v)
+		}
+	}
+	var version uint16
+	read(&version)
+	if rerr == nil && version != traceVersion {
+		return nil, fmt.Errorf("workload: unsupported trace version %d", version)
+	}
+	t := &Trace{}
+	t.Config = readConfig(read)
+	var n uint32
+	read(&n)
+	if rerr != nil {
+		return nil, fmt.Errorf("workload: reading trace header: %w", rerr)
+	}
+	if int(n) > maxTraceObjects {
+		return nil, fmt.Errorf("workload: implausible object count %d", n)
+	}
+	t.Initial = make([]Object, n)
+	for i := range t.Initial {
+		t.Initial[i] = readObject(read)
+	}
+	var ticks uint32
+	read(&ticks)
+	if rerr != nil {
+		return nil, fmt.Errorf("workload: reading trace objects: %w", rerr)
+	}
+	if int(ticks) > maxTraceTicks {
+		return nil, fmt.Errorf("workload: implausible tick count %d", ticks)
+	}
+	t.Ticks = make([]TickTrace, ticks)
+	for i := range t.Ticks {
+		var nq uint32
+		read(&nq)
+		if rerr == nil && nq > n {
+			return nil, fmt.Errorf("workload: tick %d has %d queriers for %d objects", i, nq, n)
+		}
+		qs := make([]uint32, nq)
+		for j := range qs {
+			read(&qs[j])
+		}
+		var nu uint32
+		read(&nu)
+		if rerr == nil && nu > n {
+			return nil, fmt.Errorf("workload: tick %d has %d updates for %d objects", i, nu, n)
+		}
+		us := make([]Update, nu)
+		for j := range us {
+			read(&us[j].ID)
+			o := readObject(read)
+			us[j].Pos, us[j].Vel = o.Pos, o.Vel
+		}
+		t.Ticks[i] = TickTrace{Queriers: qs, Updates: us}
+		if rerr != nil {
+			return nil, fmt.Errorf("workload: reading tick %d: %w", i, rerr)
+		}
+	}
+	return t, rerr
+}
+
+const (
+	maxTraceObjects = 1 << 28
+	maxTraceTicks   = 1 << 24
+)
+
+func writeConfig(write func(any), c Config) {
+	write(uint8(c.Kind))
+	write(c.Seed)
+	write(uint32(c.Ticks))
+	write(uint32(c.NumPoints))
+	write(c.SpaceSize)
+	write(c.MaxSpeed)
+	write(c.QuerySize)
+	write(c.Queriers)
+	write(c.Updaters)
+	write(uint32(c.Hotspots))
+	write(c.HotspotSigma)
+}
+
+func readConfig(read func(any)) Config {
+	var c Config
+	var kind uint8
+	var ticks, points, hotspots uint32
+	read(&kind)
+	read(&c.Seed)
+	read(&ticks)
+	read(&points)
+	read(&c.SpaceSize)
+	read(&c.MaxSpeed)
+	read(&c.QuerySize)
+	read(&c.Queriers)
+	read(&c.Updaters)
+	read(&hotspots)
+	read(&c.HotspotSigma)
+	c.Kind = Kind(kind)
+	c.Ticks = int(ticks)
+	c.NumPoints = int(points)
+	c.Hotspots = int(hotspots)
+	return c
+}
+
+func writeObject(write func(any), o Object) {
+	write(o.Pos.X)
+	write(o.Pos.Y)
+	write(o.Vel.X)
+	write(o.Vel.Y)
+}
+
+func readObject(read func(any)) Object {
+	var o Object
+	read(&o.Pos.X)
+	read(&o.Pos.Y)
+	read(&o.Vel.X)
+	read(&o.Vel.Y)
+	return o
+}
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	if cw.err != nil {
+		return 0, cw.err
+	}
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	cw.err = err
+	return n, err
+}
+
+// Checksum computes an order-independent digest over the trace's initial
+// state, used by tests to confirm that identical seeds produce identical
+// workloads.
+func (t *Trace) Checksum() uint64 {
+	var h uint64 = 14695981039346656037
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	for _, o := range t.Initial {
+		mix(uint64(math.Float32bits(o.Pos.X)))
+		mix(uint64(math.Float32bits(o.Pos.Y)))
+	}
+	for _, tt := range t.Ticks {
+		mix(uint64(len(tt.Queriers))<<32 | uint64(len(tt.Updates)))
+		for _, q := range tt.Queriers {
+			mix(uint64(q))
+		}
+		for _, u := range tt.Updates {
+			mix(uint64(u.ID))
+			mix(uint64(math.Float32bits(u.Pos.X))<<32 | uint64(math.Float32bits(u.Pos.Y)))
+		}
+	}
+	return h
+}

@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRecordMatchesGenerator(t *testing.T) {
+	cfg := smallUniform()
+	tr, err := Record(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Ticks) != cfg.Ticks {
+		t.Fatalf("recorded %d ticks, want %d", len(tr.Ticks), cfg.Ticks)
+	}
+	if len(tr.Initial) != cfg.NumPoints {
+		t.Fatalf("recorded %d objects, want %d", len(tr.Initial), cfg.NumPoints)
+	}
+
+	// Replaying the trace must follow the generator exactly.
+	g := MustNewGenerator(cfg)
+	p := NewPlayer(tr)
+	for tick := 0; tick < cfg.Ticks; tick++ {
+		gq, pq := g.Queriers(), p.Queriers()
+		if len(gq) != len(pq) {
+			t.Fatalf("tick %d: querier counts %d vs %d", tick, len(gq), len(pq))
+		}
+		for i := range gq {
+			if gq[i] != pq[i] {
+				t.Fatalf("tick %d: querier %d: %d vs %d", tick, i, gq[i], pq[i])
+			}
+			if g.QueryRect(gq[i]) != p.QueryRect(pq[i]) {
+				t.Fatalf("tick %d: query rects differ for %d", tick, gq[i])
+			}
+		}
+		gu, pu := g.Updates(), p.Updates()
+		if len(gu) != len(pu) {
+			t.Fatalf("tick %d: update counts differ", tick)
+		}
+		for i := range gu {
+			if gu[i] != pu[i] {
+				t.Fatalf("tick %d: update %d differs", tick, i)
+			}
+		}
+		g.ApplyUpdates(gu)
+		p.ApplyUpdates(pu)
+	}
+}
+
+func TestPlayerReset(t *testing.T) {
+	cfg := smallUniform()
+	cfg.Ticks = 5
+	tr, err := Record(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlayer(tr)
+	first := append([]uint32(nil), p.Queriers()...)
+	p.ApplyUpdates(p.Updates())
+	p.Queriers()
+	p.ApplyUpdates(p.Updates())
+	p.Reset()
+	if p.Tick() != 0 {
+		t.Fatalf("tick after reset = %d", p.Tick())
+	}
+	again := p.Queriers()
+	if len(again) != len(first) {
+		t.Fatalf("replay after reset differs: %d vs %d queriers", len(again), len(first))
+	}
+	for i := range again {
+		if again[i] != first[i] {
+			t.Fatalf("replay after reset differs at %d", i)
+		}
+	}
+	// Initial object table must be restored too.
+	for i := range tr.Initial {
+		if p.Objects()[i] != tr.Initial[i] {
+			t.Fatalf("object %d not restored on reset", i)
+		}
+	}
+}
+
+func TestPlayerExhaustion(t *testing.T) {
+	cfg := smallUniform()
+	cfg.Ticks = 2
+	tr, err := Record(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlayer(tr)
+	for i := 0; i < 2; i++ {
+		p.Queriers()
+		p.ApplyUpdates(p.Updates())
+	}
+	if q := p.Queriers(); len(q) != 0 {
+		t.Fatalf("exhausted player returned %d queriers", len(q))
+	}
+	if u := p.Updates(); len(u) != 0 {
+		t.Fatalf("exhausted player returned %d updates", len(u))
+	}
+}
+
+func TestTraceSerializationRoundtrip(t *testing.T) {
+	for _, cfg := range []Config{smallUniform(), smallGaussian()} {
+		tr, err := Record(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		n, err := tr.WriteTo(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(buf.Len()) {
+			t.Fatalf("WriteTo reported %d bytes, buffer has %d", n, buf.Len())
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Config != tr.Config {
+			t.Fatalf("config roundtrip: %+v vs %+v", got.Config, tr.Config)
+		}
+		if got.Checksum() != tr.Checksum() {
+			t.Fatal("checksum mismatch after roundtrip")
+		}
+		if len(got.Ticks) != len(tr.Ticks) {
+			t.Fatalf("tick counts differ")
+		}
+		for i := range tr.Ticks {
+			a, b := tr.Ticks[i], got.Ticks[i]
+			if len(a.Queriers) != len(b.Queriers) || len(a.Updates) != len(b.Updates) {
+				t.Fatalf("tick %d shape differs", i)
+			}
+			for j := range a.Updates {
+				if a.Updates[j] != b.Updates[j] {
+					t.Fatalf("tick %d update %d differs", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"empty", ""},
+		{"short magic", "SJ"},
+		{"wrong magic", "XXXX0123456789"},
+		{"truncated after magic", "SJTR"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadTrace(strings.NewReader(c.data)); err == nil {
+				t.Fatal("garbage accepted")
+			}
+		})
+	}
+}
+
+func TestReadTraceRejectsWrongVersion(t *testing.T) {
+	cfg := smallUniform()
+	cfg.Ticks = 1
+	cfg.NumPoints = 2
+	tr, err := Record(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 0xff // corrupt version
+	if _, err := ReadTrace(bytes.NewReader(data)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}
+
+func TestReadTraceRejectsTruncation(t *testing.T) {
+	cfg := smallUniform()
+	cfg.Ticks = 3
+	cfg.NumPoints = 50
+	tr, err := Record(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{10, len(data) / 2, len(data) - 1} {
+		if _, err := ReadTrace(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestChecksumDistinguishesSeeds(t *testing.T) {
+	cfg := smallUniform()
+	cfg.Ticks = 3
+	a, err := Record(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 99
+	b, err := Record(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum() == b.Checksum() {
+		t.Fatal("different seeds produced identical checksums")
+	}
+}

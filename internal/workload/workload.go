@@ -1,0 +1,431 @@
+// Package workload implements the synthetic moving-object workloads of the
+// paper's Table 1, following the COST benchmark design of Chen, Jensen &
+// Lin (PVLDB 2008) that both the original study and the reproduction use.
+//
+// Processing is modelled in discrete time-steps called ticks. Each tick
+// consists of two non-overlapping phases:
+//
+//   - query phase: a fraction of the objects (% Queriers) issue square
+//     range queries centred on their own position;
+//   - update phase: a fraction of the objects (% Updaters) issue updates
+//     that may change their velocity and position.
+//
+// Objects can only read the state of other objects as of the previous
+// tick; all updates are applied at the end of the tick. The driver in
+// internal/core enforces this by snapshotting positions before the query
+// phase and applying the update batch afterwards.
+//
+// Two spatial distributions are provided. In the uniform workload objects
+// are placed at random locations and their speeds and directions are
+// chosen at random. In the Gaussian workload objects cluster around a
+// fixed set of hotspots and their movements follow a Gaussian-like
+// distribution around the hotspot they belong to.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+// Kind selects the spatial and movement distribution of a workload.
+type Kind int
+
+const (
+	// Uniform places objects uniformly at random and moves them with
+	// uniformly random velocities (Table 1, "Uniform" column).
+	Uniform Kind = iota
+	// Gaussian places objects around a fixed set of hotspots with
+	// normally distributed offsets and Gaussian-like movement (Table 1,
+	// "Gaussian" column).
+	Gaussian
+	// Simulation is the behavioural workload of the original study
+	// (fish-school movement): objects form schools that drift coherently
+	// through the space. The paper omits its plots for space but reports
+	// the same trends; see simulation.go.
+	Simulation
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Uniform:
+		return "uniform"
+	case Gaussian:
+		return "gaussian"
+	case Simulation:
+		return "simulation"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Config carries the workload parameters of the paper's Table 1. The zero
+// value is not useful; start from DefaultUniform or DefaultGaussian.
+type Config struct {
+	Kind      Kind
+	Seed      uint64
+	Ticks     int     // number of ticks to generate
+	NumPoints int     // number of moving objects
+	SpaceSize float32 // side length of the square space (e.g. 22_000)
+	MaxSpeed  float32 // maximum displacement per tick
+	QuerySize float32 // side length of the square range queries
+	Queriers  float64 // fraction of objects issuing a query each tick
+	Updaters  float64 // fraction of objects issuing an update each tick
+	Hotspots  int     // Gaussian only: number of hotspots
+	// HotspotSigma is the standard deviation of object placement around a
+	// hotspot, as a fraction of SpaceSize. Zero selects the default 1/20.
+	HotspotSigma float64
+}
+
+// Defaults from Table 1 (bold values). The Gaussian workload fixes the
+// update fraction to the default 50% of the framework: Table 1 lists "%
+// Updaters" as N/A for Gaussian because it is not varied there, not
+// because updates do not happen.
+const (
+	DefaultTicks        = 100
+	DefaultGaussTicks   = 120
+	DefaultNumPoints    = 50_000
+	DefaultSpaceSize    = 22_000
+	DefaultMaxSpeed     = 200
+	DefaultQuerySize    = 400
+	DefaultQueriers     = 0.5
+	DefaultUpdaters     = 0.5
+	DefaultHotspots     = 100
+	defaultHotspotSigma = 0.05
+)
+
+// DefaultUniform returns the default uniform workload configuration.
+func DefaultUniform() Config {
+	return Config{
+		Kind:      Uniform,
+		Seed:      1,
+		Ticks:     DefaultTicks,
+		NumPoints: DefaultNumPoints,
+		SpaceSize: DefaultSpaceSize,
+		MaxSpeed:  DefaultMaxSpeed,
+		QuerySize: DefaultQuerySize,
+		Queriers:  DefaultQueriers,
+		Updaters:  DefaultUpdaters,
+	}
+}
+
+// DefaultGaussian returns the default Gaussian (hotspot) workload
+// configuration.
+func DefaultGaussian() Config {
+	cfg := DefaultUniform()
+	cfg.Kind = Gaussian
+	cfg.Ticks = DefaultGaussTicks
+	cfg.Hotspots = DefaultHotspots
+	return cfg
+}
+
+// Validate reports the first problem with the configuration, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.Ticks <= 0:
+		return fmt.Errorf("workload: Ticks must be positive, got %d", c.Ticks)
+	case c.NumPoints <= 0:
+		return fmt.Errorf("workload: NumPoints must be positive, got %d", c.NumPoints)
+	case c.SpaceSize <= 0:
+		return fmt.Errorf("workload: SpaceSize must be positive, got %g", c.SpaceSize)
+	case c.MaxSpeed < 0:
+		return fmt.Errorf("workload: MaxSpeed must be non-negative, got %g", c.MaxSpeed)
+	case c.QuerySize <= 0:
+		return fmt.Errorf("workload: QuerySize must be positive, got %g", c.QuerySize)
+	case c.Queriers < 0 || c.Queriers > 1:
+		return fmt.Errorf("workload: Queriers must be in [0,1], got %g", c.Queriers)
+	case c.Updaters < 0 || c.Updaters > 1:
+		return fmt.Errorf("workload: Updaters must be in [0,1], got %g", c.Updaters)
+	case (c.Kind == Gaussian || c.Kind == Simulation) && c.Hotspots <= 0:
+		return fmt.Errorf("workload: %s workload needs Hotspots > 0, got %d", c.Kind, c.Hotspots)
+	case c.Kind != Uniform && c.Kind != Gaussian && c.Kind != Simulation:
+		return fmt.Errorf("workload: unknown kind %d", int(c.Kind))
+	}
+	return nil
+}
+
+// Bounds returns the spatial extent of the workload's data space.
+func (c Config) Bounds() geom.Rect {
+	return geom.Rect{MinX: 0, MinY: 0, MaxX: c.SpaceSize, MaxY: c.SpaceSize}
+}
+
+// Object is the full state of one moving object: its position and its
+// current velocity vector (displacement per tick).
+type Object struct {
+	Pos geom.Point
+	Vel geom.Point
+}
+
+// Update is one entry of a tick's update batch: object ID moves to Pos
+// with new velocity Vel. Old state is implicit (the driver owns the base
+// table).
+type Update struct {
+	ID  uint32
+	Pos geom.Point
+	Vel geom.Point
+}
+
+// Generator produces the per-tick query and update streams for a
+// configuration. It owns independent random streams for placement,
+// querier selection, and movement, so varying one parameter leaves the
+// other streams untouched — exactly what the paper's parameter sweeps
+// need to compare like with like.
+type Generator struct {
+	cfg      Config
+	objects  []Object
+	hotspots []geom.Point
+	homes    []int // Gaussian: hotspot index each object belongs to
+
+	queryRand  *xrand.Rand
+	moveRand   *xrand.Rand
+	tick       int
+	queryBuf   []uint32
+	updateBuf  []Update
+	sigma      float32
+	queryCount int64
+	sim        *simulationState
+}
+
+// NewGenerator creates a generator and places the initial population.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := xrand.New(cfg.Seed)
+	placeRand := root.Split()
+	g := &Generator{
+		cfg:       cfg,
+		queryRand: root.Split(),
+		moveRand:  root.Split(),
+		objects:   make([]Object, cfg.NumPoints),
+	}
+	g.sigma = float32(cfg.HotspotSigma)
+	if g.sigma == 0 {
+		g.sigma = defaultHotspotSigma
+	}
+	g.sigma *= cfg.SpaceSize
+
+	switch cfg.Kind {
+	case Uniform:
+		g.placeUniform(placeRand)
+	case Gaussian:
+		g.placeGaussian(placeRand)
+	case Simulation:
+		g.placeSimulation(placeRand)
+	}
+	return g, nil
+}
+
+// MustNewGenerator is NewGenerator for known-good configurations (tests,
+// examples, benchmarks); it panics on error.
+func MustNewGenerator(cfg Config) *Generator {
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (g *Generator) placeUniform(r *xrand.Rand) {
+	for i := range g.objects {
+		g.objects[i] = Object{
+			Pos: geom.Pt(r.Range(0, g.cfg.SpaceSize), r.Range(0, g.cfg.SpaceSize)),
+			Vel: g.randomVelocity(r),
+		}
+	}
+}
+
+func (g *Generator) placeGaussian(r *xrand.Rand) {
+	g.hotspots = make([]geom.Point, g.cfg.Hotspots)
+	for i := range g.hotspots {
+		g.hotspots[i] = geom.Pt(r.Range(0, g.cfg.SpaceSize), r.Range(0, g.cfg.SpaceSize))
+	}
+	g.homes = make([]int, len(g.objects))
+	for i := range g.objects {
+		h := r.Intn(len(g.hotspots))
+		g.homes[i] = h
+		g.objects[i] = Object{
+			Pos: g.clamp(geom.Pt(
+				r.Norm(g.hotspots[h].X, g.sigma),
+				r.Norm(g.hotspots[h].Y, g.sigma),
+			)),
+			Vel: g.gaussVelocity(r, i),
+		}
+	}
+}
+
+// randomVelocity draws a uniformly random direction and a uniformly
+// random speed in [0, MaxSpeed].
+func (g *Generator) randomVelocity(r *xrand.Rand) geom.Point {
+	angle := r.Float64() * 2 * math.Pi
+	speed := r.Range(0, g.cfg.MaxSpeed)
+	return geom.Pt(speed*float32(math.Cos(angle)), speed*float32(math.Sin(angle)))
+}
+
+// gaussVelocity draws a Gaussian-like movement step: a normal perturbation
+// biased back toward the object's hotspot so the cluster is stationary in
+// distribution.
+func (g *Generator) gaussVelocity(r *xrand.Rand, i int) geom.Point {
+	h := g.hotspots[g.homes[i]]
+	o := g.objects[i]
+	scale := g.cfg.MaxSpeed / 3
+	vx := r.Norm(0, scale) + 0.1*(h.X-o.Pos.X)
+	vy := r.Norm(0, scale) + 0.1*(h.Y-o.Pos.Y)
+	return g.limitSpeed(geom.Pt(vx, vy))
+}
+
+func (g *Generator) limitSpeed(v geom.Point) geom.Point {
+	s := math.Hypot(float64(v.X), float64(v.Y))
+	if max := float64(g.cfg.MaxSpeed); s > max && s > 0 {
+		k := float32(max / s)
+		return geom.Pt(v.X*k, v.Y*k)
+	}
+	return v
+}
+
+func (g *Generator) clamp(p geom.Point) geom.Point {
+	s := g.cfg.SpaceSize
+	if p.X < 0 {
+		p.X = 0
+	}
+	if p.X >= s {
+		p.X = nextBelow(s)
+	}
+	if p.Y < 0 {
+		p.Y = 0
+	}
+	if p.Y >= s {
+		p.Y = nextBelow(s)
+	}
+	return p
+}
+
+// nextBelow returns the largest float32 strictly less than s.
+func nextBelow(s float32) float32 {
+	return math.Nextafter32(s, -math.MaxFloat32)
+}
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// Objects exposes the current object table. The driver treats it as the
+// base data that secondary indexes reference by ID; callers must not
+// mutate it except through ApplyUpdates.
+func (g *Generator) Objects() []Object { return g.objects }
+
+// Positions appends the current position of every object to dst and
+// returns it. The result is the per-tick snapshot indexes are built over.
+func (g *Generator) Positions(dst []geom.Point) []geom.Point {
+	if cap(dst) < len(g.objects) {
+		dst = make([]geom.Point, len(g.objects))
+	}
+	dst = dst[:len(g.objects)]
+	for i := range g.objects {
+		dst[i] = g.objects[i].Pos
+	}
+	return dst
+}
+
+// Hotspots returns the hotspot locations (nil for uniform workloads).
+func (g *Generator) Hotspots() []geom.Point { return g.hotspots }
+
+// Tick returns the index of the next tick to be generated.
+func (g *Generator) Tick() int { return g.tick }
+
+// Queriers returns the IDs of the objects issuing a range query this
+// tick. The returned slice is reused across ticks.
+//
+// Selection is Bernoulli per object with probability cfg.Queriers, drawn
+// from the dedicated query stream, matching the benchmark's "% Queriers"
+// semantics in expectation.
+func (g *Generator) Queriers() []uint32 {
+	g.queryBuf = g.queryBuf[:0]
+	if g.cfg.Queriers <= 0 {
+		return g.queryBuf
+	}
+	for i := range g.objects {
+		if g.queryRand.Bool(g.cfg.Queriers) {
+			g.queryBuf = append(g.queryBuf, uint32(i))
+		}
+	}
+	g.queryCount += int64(len(g.queryBuf))
+	return g.queryBuf
+}
+
+// QueryRect returns the range query issued by object id: the square of
+// side QuerySize centred on the object's current position.
+func (g *Generator) QueryRect(id uint32) geom.Rect {
+	return geom.Square(g.objects[id].Pos, g.cfg.QuerySize)
+}
+
+// Updates computes this tick's update batch: each selected object moves
+// by its velocity (bouncing off the space boundary) and, with probability
+// 1/2, draws a fresh velocity — "each update may change an object's
+// velocity or position". The returned slice is reused across ticks and
+// the batch is NOT yet applied; call ApplyUpdates after the query phase.
+func (g *Generator) Updates() []Update {
+	g.updateBuf = g.updateBuf[:0]
+	if g.cfg.Kind == Simulation {
+		g.advanceSchools(g.moveRand)
+	}
+	if g.cfg.Updaters <= 0 {
+		g.tick++
+		return g.updateBuf
+	}
+	for i := range g.objects {
+		if !g.moveRand.Bool(g.cfg.Updaters) {
+			continue
+		}
+		o := g.objects[i]
+		pos, vel := g.step(o)
+		if g.moveRand.Bool(0.5) {
+			switch g.cfg.Kind {
+			case Gaussian:
+				vel = g.gaussVelocity(g.moveRand, i)
+			case Simulation:
+				vel = g.simulationVelocity(g.moveRand, i)
+			default:
+				vel = g.randomVelocity(g.moveRand)
+			}
+		}
+		g.updateBuf = append(g.updateBuf, Update{ID: uint32(i), Pos: pos, Vel: vel})
+	}
+	g.tick++
+	return g.updateBuf
+}
+
+// step advances one object by its velocity, reflecting at the boundary.
+func (g *Generator) step(o Object) (pos, vel geom.Point) {
+	pos = o.Pos.Add(o.Vel.X, o.Vel.Y)
+	vel = o.Vel
+	s := g.cfg.SpaceSize
+	if pos.X < 0 {
+		pos.X, vel.X = -pos.X, -vel.X
+	}
+	if pos.X >= s {
+		pos.X, vel.X = 2*nextBelow(s)-pos.X, -vel.X
+	}
+	if pos.Y < 0 {
+		pos.Y, vel.Y = -pos.Y, -vel.Y
+	}
+	if pos.Y >= s {
+		pos.Y, vel.Y = 2*nextBelow(s)-pos.Y, -vel.Y
+	}
+	return g.clamp(pos), vel
+}
+
+// ApplyUpdates installs an update batch into the base table. The driver
+// calls this at the end of the tick so queries in the same tick saw the
+// previous state.
+func (g *Generator) ApplyUpdates(batch []Update) {
+	for _, u := range batch {
+		g.objects[u.ID] = Object{Pos: u.Pos, Vel: u.Vel}
+	}
+}
+
+// TotalQueriers reports how many queries have been issued so far, for
+// sanity checks on selection fractions.
+func (g *Generator) TotalQueriers() int64 { return g.queryCount }

@@ -1,0 +1,361 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// smallUniform returns a fast test configuration.
+func smallUniform() Config {
+	cfg := DefaultUniform()
+	cfg.NumPoints = 500
+	cfg.Ticks = 10
+	cfg.SpaceSize = 1000
+	cfg.MaxSpeed = 20
+	cfg.QuerySize = 50
+	return cfg
+}
+
+func smallGaussian() Config {
+	cfg := smallUniform()
+	cfg.Kind = Gaussian
+	cfg.Hotspots = 5
+	return cfg
+}
+
+func TestValidate(t *testing.T) {
+	good := smallUniform()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	mutations := []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"zero ticks", func(c *Config) { c.Ticks = 0 }},
+		{"negative points", func(c *Config) { c.NumPoints = -1 }},
+		{"zero space", func(c *Config) { c.SpaceSize = 0 }},
+		{"negative speed", func(c *Config) { c.MaxSpeed = -1 }},
+		{"zero query size", func(c *Config) { c.QuerySize = 0 }},
+		{"queriers > 1", func(c *Config) { c.Queriers = 1.5 }},
+		{"negative queriers", func(c *Config) { c.Queriers = -0.1 }},
+		{"updaters > 1", func(c *Config) { c.Updaters = 2 }},
+		{"gaussian without hotspots", func(c *Config) { c.Kind = Gaussian; c.Hotspots = 0 }},
+		{"unknown kind", func(c *Config) { c.Kind = Kind(42) }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			cfg := good
+			m.mod(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+			if _, err := NewGenerator(cfg); err == nil {
+				t.Fatal("NewGenerator accepted invalid config")
+			}
+		})
+	}
+}
+
+func TestDefaultsMatchTable1(t *testing.T) {
+	u := DefaultUniform()
+	if u.Ticks != 100 || u.NumPoints != 50000 || u.SpaceSize != 22000 ||
+		u.MaxSpeed != 200 || u.QuerySize != 400 || u.Queriers != 0.5 || u.Updaters != 0.5 {
+		t.Fatalf("uniform defaults diverge from Table 1: %+v", u)
+	}
+	g := DefaultGaussian()
+	if g.Ticks != 120 || g.NumPoints != 50000 || g.SpaceSize != 22000 || g.Kind != Gaussian {
+		t.Fatalf("gaussian defaults diverge from Table 1: %+v", g)
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitialPlacementInBounds(t *testing.T) {
+	for _, cfg := range []Config{smallUniform(), smallGaussian()} {
+		g := MustNewGenerator(cfg)
+		bounds := cfg.Bounds()
+		for i, o := range g.Objects() {
+			if !o.Pos.In(bounds) {
+				t.Fatalf("%v: object %d at %v outside %v", cfg.Kind, i, o.Pos, bounds)
+			}
+		}
+	}
+}
+
+func TestObjectsStayInBoundsOverTime(t *testing.T) {
+	for _, cfg := range []Config{smallUniform(), smallGaussian()} {
+		g := MustNewGenerator(cfg)
+		bounds := cfg.Bounds()
+		for tick := 0; tick < cfg.Ticks; tick++ {
+			g.Queriers()
+			batch := g.Updates()
+			for _, u := range batch {
+				if !u.Pos.In(bounds) {
+					t.Fatalf("%v tick %d: update moves %d to %v outside %v",
+						cfg.Kind, tick, u.ID, u.Pos, bounds)
+				}
+			}
+			g.ApplyUpdates(batch)
+		}
+	}
+}
+
+func TestSpeedLimitRespected(t *testing.T) {
+	cfg := smallUniform()
+	g := MustNewGenerator(cfg)
+	for i, o := range g.Objects() {
+		s := math.Hypot(float64(o.Vel.X), float64(o.Vel.Y))
+		if s > float64(cfg.MaxSpeed)*1.0001 {
+			t.Fatalf("object %d speed %g exceeds max %g", i, s, cfg.MaxSpeed)
+		}
+	}
+	// Displacement per update must not exceed MaxSpeed either (reflection
+	// preserves magnitude).
+	for tick := 0; tick < cfg.Ticks; tick++ {
+		g.Queriers()
+		objs := g.Objects()
+		batch := g.Updates()
+		for _, u := range batch {
+			old := objs[u.ID].Pos
+			d := math.Hypot(float64(u.Pos.X-old.X), float64(u.Pos.Y-old.Y))
+			if d > float64(cfg.MaxSpeed)*1.0001 {
+				t.Fatalf("tick %d: object %d moved %g > max speed %g", tick, u.ID, d, cfg.MaxSpeed)
+			}
+		}
+		g.ApplyUpdates(batch)
+	}
+}
+
+func TestQuerierFraction(t *testing.T) {
+	cfg := smallUniform()
+	cfg.NumPoints = 2000
+	cfg.Ticks = 50
+	g := MustNewGenerator(cfg)
+	total := 0
+	for tick := 0; tick < cfg.Ticks; tick++ {
+		total += len(g.Queriers())
+		g.ApplyUpdates(g.Updates())
+	}
+	want := float64(cfg.NumPoints) * float64(cfg.Ticks) * cfg.Queriers
+	got := float64(total)
+	if got < want*0.95 || got > want*1.05 {
+		t.Fatalf("querier count %g, want about %g", got, want)
+	}
+	if g.TotalQueriers() != int64(total) {
+		t.Fatalf("TotalQueriers = %d, want %d", g.TotalQueriers(), total)
+	}
+}
+
+func TestUpdaterFraction(t *testing.T) {
+	cfg := smallUniform()
+	cfg.NumPoints = 2000
+	cfg.Ticks = 50
+	g := MustNewGenerator(cfg)
+	total := 0
+	for tick := 0; tick < cfg.Ticks; tick++ {
+		g.Queriers()
+		batch := g.Updates()
+		total += len(batch)
+		g.ApplyUpdates(batch)
+	}
+	want := float64(cfg.NumPoints) * float64(cfg.Ticks) * cfg.Updaters
+	got := float64(total)
+	if got < want*0.95 || got > want*1.05 {
+		t.Fatalf("update count %g, want about %g", got, want)
+	}
+}
+
+func TestZeroFractions(t *testing.T) {
+	cfg := smallUniform()
+	cfg.Queriers = 0
+	cfg.Updaters = 0
+	g := MustNewGenerator(cfg)
+	if len(g.Queriers()) != 0 {
+		t.Fatal("no queriers expected")
+	}
+	if len(g.Updates()) != 0 {
+		t.Fatal("no updates expected")
+	}
+	if g.Tick() != 1 {
+		t.Fatalf("tick must advance even without updates, got %d", g.Tick())
+	}
+}
+
+func TestQueryRectShape(t *testing.T) {
+	cfg := smallUniform()
+	g := MustNewGenerator(cfg)
+	for id := uint32(0); id < 10; id++ {
+		r := g.QueryRect(id)
+		// Width can be off by a ULP when the centre coordinate is large.
+		const eps = 1e-3
+		if math.Abs(float64(r.Width()-cfg.QuerySize)) > eps || math.Abs(float64(r.Height()-cfg.QuerySize)) > eps {
+			t.Fatalf("query %d is %gx%g, want %gx%g", id, r.Width(), r.Height(), cfg.QuerySize, cfg.QuerySize)
+		}
+		if c := r.Center(); math.Abs(float64(c.X-g.Objects()[id].Pos.X)) > 0.01 {
+			t.Fatalf("query %d not centred on object: %v vs %v", id, c, g.Objects()[id].Pos)
+		}
+	}
+}
+
+func TestDeterminismAcrossGenerators(t *testing.T) {
+	cfg := smallUniform()
+	a := MustNewGenerator(cfg)
+	b := MustNewGenerator(cfg)
+	for tick := 0; tick < cfg.Ticks; tick++ {
+		qa, qb := a.Queriers(), b.Queriers()
+		if len(qa) != len(qb) {
+			t.Fatalf("tick %d: querier counts differ", tick)
+		}
+		for i := range qa {
+			if qa[i] != qb[i] {
+				t.Fatalf("tick %d: querier %d differs", tick, i)
+			}
+		}
+		ua, ub := a.Updates(), b.Updates()
+		if len(ua) != len(ub) {
+			t.Fatalf("tick %d: update counts differ", tick)
+		}
+		for i := range ua {
+			if ua[i] != ub[i] {
+				t.Fatalf("tick %d: update %d differs: %+v vs %+v", tick, i, ua[i], ub[i])
+			}
+		}
+		a.ApplyUpdates(ua)
+		b.ApplyUpdates(ub)
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	cfg := smallUniform()
+	a := MustNewGenerator(cfg)
+	cfg.Seed = 2
+	b := MustNewGenerator(cfg)
+	same := 0
+	for i := range a.Objects() {
+		if a.Objects()[i].Pos == b.Objects()[i].Pos {
+			same++
+		}
+	}
+	if same > len(a.Objects())/100 {
+		t.Fatalf("seeds 1 and 2 share %d placements", same)
+	}
+}
+
+func TestGaussianClustersAroundHotspots(t *testing.T) {
+	cfg := smallGaussian()
+	cfg.NumPoints = 5000
+	g := MustNewGenerator(cfg)
+	hs := g.Hotspots()
+	if len(hs) != cfg.Hotspots {
+		t.Fatalf("hotspot count = %d, want %d", len(hs), cfg.Hotspots)
+	}
+	// Most objects should be within 3 sigma of some hotspot.
+	sigma := float64(cfg.SpaceSize) * defaultHotspotSigma
+	near := 0
+	for _, o := range g.Objects() {
+		for _, h := range hs {
+			d := math.Hypot(float64(o.Pos.X-h.X), float64(o.Pos.Y-h.Y))
+			if d <= 3.5*sigma {
+				near++
+				break
+			}
+		}
+	}
+	frac := float64(near) / float64(len(g.Objects()))
+	if frac < 0.9 {
+		t.Fatalf("only %.0f%% of objects near a hotspot", frac*100)
+	}
+	// And they must not be uniform: the mean distance to the nearest
+	// hotspot must be far below the uniform expectation (~ spaceSize/4
+	// for 5 hotspots).
+	var sum float64
+	for _, o := range g.Objects() {
+		best := math.Inf(1)
+		for _, h := range hs {
+			d := math.Hypot(float64(o.Pos.X-h.X), float64(o.Pos.Y-h.Y))
+			if d < best {
+				best = d
+			}
+		}
+		sum += best
+	}
+	mean := sum / float64(len(g.Objects()))
+	if mean > float64(cfg.SpaceSize)/8 {
+		t.Fatalf("mean nearest-hotspot distance %g too large for a clustered workload", mean)
+	}
+}
+
+func TestUniformCoversSpace(t *testing.T) {
+	cfg := smallUniform()
+	cfg.NumPoints = 10000
+	g := MustNewGenerator(cfg)
+	// Split the space into a 4x4 lattice; every cell should hold roughly
+	// 1/16 of the points.
+	var counts [16]int
+	cell := cfg.SpaceSize / 4
+	for _, o := range g.Objects() {
+		cx := int(o.Pos.X / cell)
+		cy := int(o.Pos.Y / cell)
+		if cx > 3 {
+			cx = 3
+		}
+		if cy > 3 {
+			cy = 3
+		}
+		counts[cy*4+cx]++
+	}
+	want := cfg.NumPoints / 16
+	for i, c := range counts {
+		if c < want*7/10 || c > want*13/10 {
+			t.Fatalf("cell %d has %d points, want about %d", i, c, want)
+		}
+	}
+}
+
+func TestApplyUpdatesDeferred(t *testing.T) {
+	cfg := smallUniform()
+	cfg.Updaters = 1 // every object updates
+	g := MustNewGenerator(cfg)
+	before := append([]Object(nil), g.Objects()...)
+	batch := g.Updates()
+	// Until ApplyUpdates, the base table must be unchanged.
+	for i := range before {
+		if g.Objects()[i] != before[i] {
+			t.Fatalf("object %d changed before ApplyUpdates", i)
+		}
+	}
+	g.ApplyUpdates(batch)
+	changed := 0
+	for i := range before {
+		if g.Objects()[i].Pos != before[i].Pos {
+			changed++
+		}
+	}
+	if changed < len(before)/2 {
+		t.Fatalf("only %d/%d objects moved after applying full update batch", changed, len(before))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Uniform.String() != "uniform" || Gaussian.String() != "gaussian" {
+		t.Fatal("Kind.String broken")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind must still format")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	cfg := smallUniform()
+	b := cfg.Bounds()
+	if b != (geom.Rect{MinX: 0, MinY: 0, MaxX: cfg.SpaceSize, MaxY: cfg.SpaceSize}) {
+		t.Fatalf("Bounds = %v", b)
+	}
+}

@@ -1,0 +1,144 @@
+// Package xrand provides the deterministic pseudo-random generator used by
+// the workload generator and the experiment harness.
+//
+// Reproducibility is a first-class requirement here: the paper's
+// experiments compare five techniques on *identical* workloads, and the
+// per-tick behaviour (who queries, who updates, where objects move) must
+// be a pure function of the seed so that reruns and cross-technique
+// comparisons are exact. math/rand would also work, but pinning our own
+// small generator freezes the byte-for-byte stream across Go releases.
+//
+// The generator is xoshiro256**, seeded through splitmix64, following the
+// reference constructions of Blackman & Vigna.
+package xrand
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Rand is a deterministic pseudo-random number generator. It is not safe
+// for concurrent use; give each goroutine its own instance (Split).
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from the given seed. Different seeds give
+// statistically independent streams.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state from seed via splitmix64, which
+// guarantees a well-mixed non-zero state for any input, including 0.
+func (r *Rand) Seed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+}
+
+// Split derives an independent generator from r's current state. Used to
+// give each workload phase (placement, queries, updates) its own stream so
+// that changing one parameter does not perturb the others.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64() ^ 0xa3ec647659359acd)
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint32 returns the next 32 pseudo-random bits.
+func (r *Rand) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method: unbiased and division-free
+	// in the common case.
+	bound := uint64(n)
+	threshold := (-bound) % bound
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), bound)
+		if lo >= threshold {
+			return int(hi)
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float32 returns a uniform float32 in [0, 1).
+func (r *Rand) Float32() float32 {
+	return float32(r.Uint64()>>40) / (1 << 24)
+}
+
+// Range returns a uniform float32 in [lo, hi).
+func (r *Rand) Range(lo, hi float32) float32 {
+	return lo + r.Float32()*(hi-lo)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// NormFloat64 returns a standard normally distributed float64 (mean 0,
+// stddev 1) using the Marsaglia polar method.
+func (r *Rand) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// Norm returns a normally distributed float32 with the given mean and
+// standard deviation.
+func (r *Rand) Norm(mean, stddev float32) float32 {
+	return mean + stddev*float32(r.NormFloat64())
+}
+
+// Perm returns a pseudo-random permutation of [0, n) as a slice.
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using the given swap
+// function (Fisher–Yates).
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}
