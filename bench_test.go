@@ -373,6 +373,31 @@ func BenchmarkParallelJoin(b *testing.B) {
 	}
 }
 
+// BenchmarkCSRTick compares whole ticks of the paper's winning inline
+// configuration against the CSR layout, sequentially and through the
+// fully parallel pipeline (sharded counting-sort build, Morton-scheduled
+// queries, cell-partitioned batched updates).
+func BenchmarkCSRTick(b *testing.B) {
+	wcfg := defaultUniform()
+	trace := recordBench(b, wcfg)
+	b.Run("inline/sequential", func(b *testing.B) {
+		benchTicks(b, grid.MustNew(grid.CPSTuned(), wcfg.Bounds(), wcfg.NumPoints), trace)
+	})
+	b.Run("csr/sequential", func(b *testing.B) {
+		benchTicks(b, grid.MustNew(grid.CSR(), wcfg.Bounds(), wcfg.NumPoints), trace)
+	})
+	for _, workers := range []int{2, 4} {
+		b.Run(fmt.Sprintf("csr/parallel-%d", workers), func(b *testing.B) {
+			idx := grid.MustNew(grid.CSR(), wcfg.Bounds(), wcfg.NumPoints)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				player := workload.NewPlayer(trace)
+				core.RunParallel(idx, player, core.Options{Ticks: 1}, workers)
+			}
+		})
+	}
+}
+
 // BenchmarkMemoryFootprint reports the per-point index footprint of the
 // grid layouts, the quantity Section 3.1's analysis derives (32 extra
 // bytes per point before, 12 after, at the respective tunings).

@@ -1,0 +1,181 @@
+// Command gridbench measures the grid's three operations — Build, Query,
+// Update — for the inline-bucket layout against the CSR layout and emits
+// the numbers as JSON, the machine-readable perf trajectory the CI smoke
+// bench tracks (BENCH_grid.json).
+//
+// The workload mirrors the paper's standard setting: the default uniform
+// population with 50% queriers and 50% updaters per tick. Layouts are
+// compared at the paper's tuned granularity (cps=64) and at a much finer
+// grid (cps=256) where contiguity matters most.
+//
+// Examples:
+//
+//	gridbench                          # defaults, JSON to stdout
+//	gridbench -iters 100 -out BENCH_grid.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/workload"
+)
+
+// opResult is one (layout, cps, op) timing.
+type opResult struct {
+	Layout  string  `json:"layout"`
+	CPS     int     `json:"cps"`
+	Op      string  `json:"op"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// report is the BENCH_grid.json schema.
+type report struct {
+	Tool    string     `json:"tool"`
+	Points  int        `json:"points"`
+	Iters   int        `json:"iters"`
+	Results []opResult `json:"results"`
+	// Summary ratios: inline time / csr time per operation and for the
+	// acceptance-criterion pairing build+query, at each granularity.
+	Speedups map[string]float64 `json:"csr_speedup_vs_inline"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gridbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gridbench", flag.ContinueOnError)
+	var (
+		iters  = fs.Int("iters", 100, "measured iterations per operation (like -benchtime=100x)")
+		points = fs.Int("points", workload.DefaultNumPoints, "number of objects")
+		seed   = fs.Uint64("seed", 1, "workload random seed")
+		out    = fs.String("out", "", "write JSON here instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *iters <= 0 {
+		return fmt.Errorf("iters must be positive, got %d", *iters)
+	}
+
+	wcfg := workload.DefaultUniform()
+	wcfg.Seed = *seed
+	wcfg.NumPoints = *points
+	gen, err := workload.NewGenerator(wcfg)
+	if err != nil {
+		return err
+	}
+	pts := gen.Positions(nil)
+	queriers := append([]uint32(nil), gen.Queriers()...)
+	updates := append([]workload.Update(nil), gen.Updates()...)
+	if len(queriers) == 0 || len(updates) == 0 {
+		return fmt.Errorf("population %d yields %d queriers and %d updates per tick; raise -points",
+			len(pts), len(queriers), len(updates))
+	}
+
+	rep := &report{
+		Tool:     "cmd/gridbench",
+		Points:   len(pts),
+		Iters:    *iters,
+		Speedups: map[string]float64{},
+	}
+
+	type contender struct {
+		layout grid.Layout
+		name   string
+	}
+	ops := map[string]map[string]float64{} // op+cps key -> layout -> ns/op
+	for _, cps := range []int{64, 256} {
+		for _, c := range []contender{
+			{grid.LayoutInline, "inline"},
+			{grid.LayoutCSR, "csr"},
+		} {
+			gc := grid.Config{Layout: c.layout, Scan: grid.ScanRange, BS: grid.RefactoredBS, CPS: cps}
+			g, err := grid.New(gc, wcfg.Bounds(), len(pts))
+			if err != nil {
+				return err
+			}
+			timings := measure(g, pts, queriers, updates, wcfg.QuerySize, *iters)
+			for op, ns := range timings {
+				rep.Results = append(rep.Results, opResult{Layout: c.name, CPS: cps, Op: op, NsPerOp: ns})
+				key := fmt.Sprintf("%s/cps=%d", op, cps)
+				if ops[key] == nil {
+					ops[key] = map[string]float64{}
+				}
+				ops[key][c.name] = ns
+			}
+		}
+	}
+
+	for _, cps := range []int{64, 256} {
+		for _, op := range []string{"build", "query", "update"} {
+			key := fmt.Sprintf("%s/cps=%d", op, cps)
+			rep.Speedups[key] = ops[key]["inline"] / ops[key]["csr"]
+		}
+		bq := fmt.Sprintf("build+query/cps=%d", cps)
+		inline := ops[fmt.Sprintf("build/cps=%d", cps)]["inline"] + ops[fmt.Sprintf("query/cps=%d", cps)]["inline"]
+		csr := ops[fmt.Sprintf("build/cps=%d", cps)]["csr"] + ops[fmt.Sprintf("query/cps=%d", cps)]["csr"]
+		rep.Speedups[bq] = inline / csr
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(*out, enc, 0o644)
+}
+
+// measure times the three phases the way the driver's tick does: build
+// over the snapshot, one query per querier, one move per updater (and
+// back, so the population is iteration-invariant). Returned map keys are
+// build/query/update; values are ns per operation (per build, per query,
+// per update).
+func measure(g *grid.Grid, pts []geom.Point, queriers []uint32, updates []workload.Update, querySize float32, iters int) map[string]float64 {
+	// Warm up arenas so steady-state builds allocate nothing.
+	g.Build(pts)
+
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		g.Build(pts)
+	}
+	buildNs := float64(time.Since(start).Nanoseconds()) / float64(iters)
+
+	sink := 0
+	emit := func(uint32) { sink++ }
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		for _, q := range queriers {
+			g.Query(geom.Square(pts[q], querySize), emit)
+		}
+	}
+	queryNs := float64(time.Since(start).Nanoseconds()) / float64(iters*len(queriers))
+
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		for _, u := range updates {
+			g.Update(u.ID, pts[u.ID], u.Pos)
+			g.Update(u.ID, u.Pos, pts[u.ID])
+		}
+	}
+	// Each inner step performs two updates (there and back).
+	updateNs := float64(time.Since(start).Nanoseconds()) / float64(2*iters*len(updates))
+
+	if sink < 0 {
+		panic("unreachable")
+	}
+	return map[string]float64{"build": buildNs, "query": queryNs, "update": updateNs}
+}

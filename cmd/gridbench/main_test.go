@@ -1,0 +1,48 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRejectsBadIters(t *testing.T) {
+	if err := run([]string{"-iters", "0"}); err == nil {
+		t.Fatal("iters=0 accepted")
+	}
+}
+
+func TestEmitsValidJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured run")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-iters", "1", "-points", "5000", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Points   int                `json:"points"`
+		Results  []json.RawMessage  `json:"results"`
+		Speedups map[string]float64 `json:"csr_speedup_vs_inline"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Points != 5000 {
+		t.Fatalf("points = %d", rep.Points)
+	}
+	// 2 layouts x 2 granularities x 3 ops.
+	if len(rep.Results) != 12 {
+		t.Fatalf("results = %d, want 12", len(rep.Results))
+	}
+	for _, key := range []string{"build+query/cps=64", "build+query/cps=256"} {
+		if rep.Speedups[key] <= 0 {
+			t.Fatalf("missing speedup %s", key)
+		}
+	}
+}

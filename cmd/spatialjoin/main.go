@@ -47,7 +47,8 @@ func run(args []string) error {
 		hotspots     = fs.Int("hotspots", workload.DefaultHotspots, "hotspot count (gaussian only)")
 		seed         = fs.Uint64("seed", 1, "workload random seed")
 		tracePath    = fs.String("trace", "", "replay a recorded trace file instead of generating")
-		parallel     = fs.Bool("parallel", false, "parallelize the query phase over all CPUs")
+		parallel     = fs.Bool("parallel", false, "parallelize the tick pipeline over all CPUs")
+		workers      = fs.Int("workers", 0, "worker goroutines for -parallel (0 = all CPUs; >1 implies -parallel)")
 		perTick      = fs.Bool("per-tick", false, "print per-tick phase times")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -137,8 +138,8 @@ func run(args []string) error {
 	for i, tech := range techs {
 		idx := tech.Make(core.Params{Bounds: wcfg.Bounds(), NumPoints: wcfg.NumPoints})
 		var res *core.Result
-		if *parallel {
-			res = core.RunParallel(idx, workload.NewPlayer(trace), opts, 0)
+		if *parallel || *workers > 1 {
+			res = core.RunParallel(idx, workload.NewPlayer(trace), opts, *workers)
 		} else {
 			res = core.Run(idx, workload.NewPlayer(trace), opts)
 		}

@@ -34,7 +34,7 @@ func run(args []string) error {
 		from       = fs.Int("from", 4, "custom sweep start")
 		to         = fs.Int("to", 32, "custom sweep end (inclusive)")
 		step       = fs.Int("step", 4, "custom sweep step")
-		layout     = fs.String("layout", "inline", "grid layout: linked, inline, inline-xy or intrusive")
+		layout     = fs.String("layout", "inline", "grid layout: linked, inline, inline-xy, intrusive or csr")
 		scan       = fs.String("scan", "range", "query algorithm: full or range")
 		bs         = fs.Int("bs", grid.RefactoredBS, "fixed bucket size (when varying cps)")
 		cps        = fs.Int("cps", grid.OriginalCPS, "fixed cells per side (when varying bs)")
@@ -84,6 +84,8 @@ func run(args []string) error {
 		lay = grid.LayoutInlineXY
 	case "intrusive":
 		lay = grid.LayoutIntrusive
+	case "csr":
+		lay = grid.LayoutCSR
 	default:
 		return fmt.Errorf("unknown layout %q", *layout)
 	}

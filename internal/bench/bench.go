@@ -32,8 +32,10 @@ type Config struct {
 	// Seed feeds the workload generator; the paper's comparisons hold
 	// for any fixed seed.
 	Seed uint64
-	// Parallel switches the driver's query phase to RunParallel with
-	// GOMAXPROCS workers. Off for paper-faithful single-threaded runs.
+	// Parallel switches the driver to RunParallel with GOMAXPROCS
+	// workers, parallelizing the whole tick (snapshot refresh, build
+	// and update for indexes with parallel paths, and the query phase).
+	// Off for paper-faithful single-threaded runs.
 	Parallel bool
 }
 

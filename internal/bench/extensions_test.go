@@ -10,10 +10,10 @@ import (
 
 func TestExtensionsRegistered(t *testing.T) {
 	exts := AllExtensions()
-	if len(exts) != 5 {
-		t.Fatalf("have %d extensions, want 5", len(exts))
+	if len(exts) != 6 {
+		t.Fatalf("have %d extensions, want 6", len(exts))
 	}
-	for _, id := range []string{"ext-mem", "ext-xy", "ext-par", "ext-handles", "ext-hilbert"} {
+	for _, id := range []string{"ext-mem", "ext-xy", "ext-par", "ext-handles", "ext-hilbert", "ext-csr"} {
 		e, ok := ExtensionByID(id)
 		if !ok {
 			t.Fatalf("extension %s missing", id)
@@ -81,6 +81,26 @@ func TestExtParallelScaling(t *testing.T) {
 		if y <= 0 {
 			t.Fatal("non-positive tick time")
 		}
+	}
+}
+
+func TestExtCSR(t *testing.T) {
+	e, ok := ExtensionByID("ext-csr")
+	if !ok {
+		t.Fatal("ext-csr missing")
+	}
+	// The run itself digest-checks all four configurations against each
+	// other; a row count mismatch or digest divergence surfaces as err.
+	art, err := e.Run(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, ok := art.(*stats.Table)
+	if !ok {
+		t.Fatalf("artifact is %T", art)
+	}
+	if len(tb.RowsDat) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tb.RowsDat))
 	}
 }
 

@@ -83,6 +83,11 @@ var namedTechniques = []NamedTechnique{
 		},
 	},
 	{
+		Key:         "grid-csr",
+		Description: "extension: tuned grid with the contiguous CSR layout (counting-sort build, dense cell segments)",
+		Make:        gridFactory(grid.CSR),
+	},
+	{
 		Key:         "grid-xy",
 		Description: "extension: refactored grid with coordinates inlined in buckets",
 		Make: func(p core.Params) core.Index {

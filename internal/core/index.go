@@ -40,6 +40,27 @@ type Index interface {
 	Update(id uint32, old, new geom.Point)
 }
 
+// ParallelBuilder is an optional interface for indexes whose Build can
+// shard the snapshot across worker goroutines. RunParallel uses it when
+// present; the result must be indistinguishable from Build(pts) to every
+// subsequent Query/Update call. workers <= 0 selects GOMAXPROCS.
+type ParallelBuilder interface {
+	BuildParallel(pts []geom.Point, workers int)
+}
+
+// BatchUpdater is an optional interface for indexes that can apply a whole
+// tick's update batch at once — typically by partitioning the moves by
+// target cell and fanning them out over workers. The batch contains at
+// most one move per object ID. The result must be indistinguishable from
+// calling Update(m.ID, m.Old, m.New) for each move in order.
+type BatchUpdater interface {
+	UpdateBatch(moves []geom.Move, workers int)
+	// CanBatchUpdates reports whether UpdateBatch would take a path
+	// that actually differs from per-move Update calls for a batch of n
+	// moves; drivers skip batch assembly when it returns false.
+	CanBatchUpdates(n int) bool
+}
+
 // Counter is an optional interface for indexes that can report their
 // cardinality, used by invariant checks in tests.
 type Counter interface {

@@ -28,6 +28,80 @@ func TestRunParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestRunParallelDigestMatrix is the ISSUE's digest-equality matrix:
+// Run and RunParallel must produce identical (Pairs, Hash) for every
+// grid layout × scan algorithm combination, including the CSR layout
+// whose build, query scheduling, and update phases all take the parallel
+// paths (ParallelBuilder, Morton-ordered scheduling, BatchUpdater).
+func TestRunParallelDigestMatrix(t *testing.T) {
+	cfg := testConfig()
+	trace, err := workload.Record(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layouts := []grid.Layout{
+		grid.LayoutLinked, grid.LayoutInline, grid.LayoutInlineXY,
+		grid.LayoutIntrusive, grid.LayoutCSR,
+	}
+	scans := []grid.Scan{grid.ScanFull, grid.ScanRange}
+	var refPairs int64
+	var refHash uint64
+	first := true
+	for _, layout := range layouts {
+		for _, scan := range scans {
+			gc := grid.Config{Layout: layout, Scan: scan, BS: 8, CPS: 16}
+			t.Run(gc.DisplayName(), func(t *testing.T) {
+				idx := grid.MustNew(gc, cfg.Bounds(), cfg.NumPoints)
+				seq := Run(idx, workload.NewPlayer(trace), Options{})
+				if first {
+					refPairs, refHash = seq.Pairs, seq.Hash
+					first = false
+				} else if seq.Pairs != refPairs || seq.Hash != refHash {
+					t.Fatalf("sequential digest (%d, %#x) differs from reference (%d, %#x)",
+						seq.Pairs, seq.Hash, refPairs, refHash)
+				}
+				for _, workers := range []int{2, 4, 8} {
+					idx := grid.MustNew(gc, cfg.Bounds(), cfg.NumPoints)
+					par := RunParallel(idx, workload.NewPlayer(trace), Options{}, workers)
+					if par.Pairs != refPairs || par.Hash != refHash {
+						t.Fatalf("workers=%d digest (%d, %#x) != sequential (%d, %#x)",
+							workers, par.Pairs, par.Hash, refPairs, refHash)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRunParallelCSRFullWorkload forces the batched-update threshold: a
+// workload large enough that UpdateBatch takes its sharded parallel path,
+// compared against the sequential inline-layout reference — the ISSUE's
+// headline acceptance pairing.
+func TestRunParallelCSRFullWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large workload")
+	}
+	cfg := testConfig()
+	cfg.NumPoints = 12000
+	cfg.Ticks = 4
+	cfg.SpaceSize = 8000
+	trace, err := workload.Record(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inline := grid.MustNew(grid.CPSTuned(), cfg.Bounds(), cfg.NumPoints)
+	seq := Run(inline, workload.NewPlayer(trace), Options{})
+	csr := grid.MustNew(grid.CSR(), cfg.Bounds(), cfg.NumPoints)
+	par := RunParallel(csr, workload.NewPlayer(trace), Options{}, 4)
+	if par.Pairs != seq.Pairs || par.Hash != seq.Hash {
+		t.Fatalf("parallel CSR digest (%d, %#x) != sequential inline (%d, %#x)",
+			par.Pairs, par.Hash, seq.Pairs, seq.Hash)
+	}
+	if par.Updates != seq.Updates || par.Queries != seq.Queries {
+		t.Fatal("phase counts diverge")
+	}
+}
+
 func TestRunParallelDefaultWorkers(t *testing.T) {
 	cfg := testConfig()
 	cfg.Ticks = 3

@@ -34,6 +34,16 @@ func (p Point) In(r Rect) bool {
 // Add returns p translated by (dx, dy).
 func (p Point) Add(dx, dy float32) Point { return Point{X: p.X + dx, Y: p.Y + dy} }
 
+// Move describes one object relocation: the entry identified by ID leaves
+// position Old and arrives at position New. It is the unit of the batched
+// update path (core.BatchUpdater); it lives here so index packages can
+// implement that interface without importing the driver.
+type Move struct {
+	ID  uint32
+	Old Point
+	New Point
+}
+
 // Rect is an axis-aligned rectangle given by its lower-left (MinX, MinY)
 // and upper-right (MaxX, MaxY) corners, matching the Region2D arguments of
 // the paper's Algorithms 1 and 2.

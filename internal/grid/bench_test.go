@@ -27,6 +27,102 @@ func benchLayouts() []Config {
 		{Name: "inline", Layout: LayoutInline, Scan: ScanRange, BS: 20, CPS: 64},
 		{Name: "inline-xy", Layout: LayoutInlineXY, Scan: ScanRange, BS: 20, CPS: 64},
 		{Name: "intrusive", Layout: LayoutIntrusive, Scan: ScanRange, BS: 1, CPS: 64},
+		{Name: "csr", Layout: LayoutCSR, Scan: ScanRange, BS: 1, CPS: 64},
+	}
+}
+
+// csrContenders pits the paper's winning inline configuration against the
+// CSR layout at the paper tuning (bs=20, cps=64) and at a much finer grid
+// (cps=256) where cells hold only a couple of entries each — the regime
+// where chained buckets waste most of each cache line and contiguity
+// matters most.
+func csrContenders() []Config {
+	return []Config{
+		{Name: "inline/cps=64", Layout: LayoutInline, Scan: ScanRange, BS: RefactoredBS, CPS: 64},
+		{Name: "csr/cps=64", Layout: LayoutCSR, Scan: ScanRange, BS: 1, CPS: 64},
+		{Name: "inline/cps=256", Layout: LayoutInline, Scan: ScanRange, BS: RefactoredBS, CPS: 256},
+		{Name: "csr/cps=256", Layout: LayoutCSR, Scan: ScanRange, BS: 1, CPS: 256},
+	}
+}
+
+func BenchmarkCSRBuild(b *testing.B) {
+	pts := benchPoints(50000)
+	for _, cfg := range csrContenders() {
+		b.Run(cfg.Name, func(b *testing.B) {
+			g := MustNew(cfg, testBounds, len(pts))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Build(pts)
+			}
+		})
+	}
+}
+
+func BenchmarkCSRBuildParallel(b *testing.B) {
+	pts := benchPoints(50000)
+	cfg := Config{Name: "csr", Layout: LayoutCSR, Scan: ScanRange, BS: 1, CPS: 64}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			g := MustNew(cfg, testBounds, len(pts))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.BuildParallel(pts, workers)
+			}
+		})
+	}
+}
+
+func BenchmarkCSRQuery(b *testing.B) {
+	pts := benchPoints(50000)
+	r := xrand.New(2)
+	queries := make([]geom.Rect, 256)
+	for i := range queries {
+		queries[i] = geom.Square(geom.Pt(r.Range(0, 1000), r.Range(0, 1000)), 18)
+	}
+	for _, cfg := range csrContenders() {
+		b.Run(cfg.Name, func(b *testing.B) {
+			g := MustNew(cfg, testBounds, len(pts))
+			g.Build(pts)
+			n := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Query(queries[i%len(queries)], func(uint32) { n++ })
+			}
+			if n == 0 {
+				b.Fatal("no results")
+			}
+		})
+	}
+}
+
+func BenchmarkCSRUpdate(b *testing.B) {
+	pts := benchPoints(50000)
+	r := xrand.New(3)
+	// Rebuild every half-population of updates, mirroring the framework's
+	// one-tick update load between builds (the CSR slack/overflow design
+	// assumes that regime; unbounded churn without rebuilds would grow
+	// overflow beyond anything the driver produces).
+	const updatesPerBuild = 25000
+	for _, cfg := range csrContenders() {
+		b.Run(cfg.Name, func(b *testing.B) {
+			// Each config gets its own copy so earlier sub-benchmarks'
+			// moves cannot drift the data later configs measure on.
+			local := append([]geom.Point(nil), pts...)
+			g := MustNew(cfg, testBounds, len(local))
+			g.Build(local)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i > 0 && i%updatesPerBuild == 0 {
+					b.StopTimer()
+					g.Build(local)
+					b.StartTimer()
+				}
+				id := uint32(r.Intn(len(local)))
+				to := geom.Pt(r.Range(0, 1000), r.Range(0, 1000))
+				g.Update(id, local[id], to)
+				local[id] = to
+			}
+		})
 	}
 }
 

@@ -1,0 +1,301 @@
+package grid
+
+import (
+	"runtime"
+
+	"repro/internal/geom"
+	"repro/internal/parutil"
+)
+
+// csrStore is the partition-based contiguous layout (LayoutCSR): a
+// compressed-sparse-row view of the grid. One counting-sort build places
+// every entry ID of cell c in the dense slice
+//
+//	ids[starts[c] : starts[c]+counts[c]]
+//
+// so scanning a cell is a flat loop over contiguous memory — no bucket
+// chain, no per-bucket header, no pointer chasing. The directory is two
+// plain arrays (starts, counts) instead of bucket references.
+//
+// The build is a two-pass counting sort: count per cell, exclusive prefix
+// sum, scatter. buildParallel shards the input across workers with
+// per-worker count arrays merged by the prefix sum, so the scatter writes
+// to disjoint ranges and the resulting arena is bit-identical to the
+// sequential build.
+//
+// Between builds the layout supports in-place updates: a removal
+// swap-deletes within the cell's segment (leaving slack), an insertion
+// first reuses that slack and otherwise appends to a small per-cell
+// overflow slice. The framework rebuilds every tick, so overflow holds at
+// most one tick's worth of cross-cell moves and is cleared by the next
+// build.
+type csrStore struct {
+	mapper cellMapper
+
+	starts []uint32 // len cells+1; segment capacity of c is starts[c+1]-starts[c]
+	counts []uint32 // live entries in each cell's dense segment
+	ids    []uint32 // one contiguous arena of entry IDs, len == len(pts) at build
+
+	overflow [][]uint32 // per-cell post-build inserts that found no slack
+
+	entries int
+	pts     []geom.Point
+
+	cellOf      []uint32   // build scratch: per-point cell index
+	shardCounts [][]uint32 // build scratch: per-worker count arrays
+}
+
+func newCSRStore(cells int, mapper cellMapper, numPoints int) *csrStore {
+	st := &csrStore{
+		mapper:   mapper,
+		starts:   make([]uint32, cells+1),
+		counts:   make([]uint32, cells),
+		overflow: make([][]uint32, cells),
+	}
+	if numPoints > 0 {
+		st.ids = make([]uint32, 0, numPoints)
+		st.cellOf = make([]uint32, 0, numPoints)
+	}
+	return st
+}
+
+// reset supports the generic insertAt-driven build path of the store
+// interface: it empties every segment (capacity zero), so subsequent
+// insertAt calls land in overflow. Grid.Build never takes this path for
+// CSR — it calls build/buildParallel — but Update-only call sites and the
+// interface contract stay correct.
+func (st *csrStore) reset(pts []geom.Point) {
+	for i := range st.starts {
+		st.starts[i] = 0
+	}
+	for i := range st.counts {
+		st.counts[i] = 0
+	}
+	st.clearOverflow()
+	st.ids = st.ids[:0]
+	st.entries = 0
+	st.pts = pts
+}
+
+func (st *csrStore) clearOverflow() {
+	for c, of := range st.overflow {
+		if len(of) > 0 {
+			st.overflow[c] = of[:0]
+		}
+	}
+}
+
+// prepare sizes the arena and scratch for a bulk build over pts.
+func (st *csrStore) prepare(pts []geom.Point) {
+	st.pts = pts
+	st.entries = len(pts)
+	st.clearOverflow()
+	if cap(st.ids) < len(pts) {
+		st.ids = make([]uint32, len(pts))
+	} else {
+		st.ids = st.ids[:len(pts)]
+	}
+	if cap(st.cellOf) < len(pts) {
+		st.cellOf = make([]uint32, len(pts))
+	} else {
+		st.cellOf = st.cellOf[:len(pts)]
+	}
+}
+
+// build is the sequential two-pass counting sort.
+func (st *csrStore) build(pts []geom.Point) {
+	st.prepare(pts)
+	counts := st.counts
+	for i := range counts {
+		counts[i] = 0
+	}
+	for i := range pts {
+		c := uint32(st.mapper.cellIndexFor(pts[i]))
+		st.cellOf[i] = c
+		counts[c]++
+	}
+	// Exclusive prefix sum into starts; counts becomes the scatter cursor.
+	var sum uint32
+	for c := range counts {
+		st.starts[c] = sum
+		sum += counts[c]
+		counts[c] = 0
+	}
+	st.starts[len(counts)] = sum
+	for i := range pts {
+		c := st.cellOf[i]
+		st.ids[st.starts[c]+counts[c]] = uint32(i)
+		counts[c]++
+	}
+}
+
+// buildParallel shards pts into contiguous chunks, one per worker: each
+// worker counts its chunk into a private count array, a sequential pass
+// turns the per-worker counts into per-worker scatter bases via the global
+// prefix sum, and each worker scatters its chunk into its disjoint ranges.
+// Within a cell, entries appear in ascending ID order — exactly the layout
+// the sequential build produces.
+func (st *csrStore) buildParallel(pts []geom.Point, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Below this population the fork/join overhead beats the win.
+	if workers == 1 || len(pts) < 4096 {
+		st.build(pts)
+		return
+	}
+	st.prepare(pts)
+	cells := len(st.counts)
+	if len(st.shardCounts) < workers {
+		st.shardCounts = make([][]uint32, workers)
+	}
+	for w := 0; w < workers; w++ {
+		if len(st.shardCounts[w]) < cells {
+			st.shardCounts[w] = make([]uint32, cells)
+		} else {
+			sc := st.shardCounts[w][:cells]
+			for i := range sc {
+				sc[i] = 0
+			}
+		}
+	}
+
+	parutil.ForEachShard(len(pts), workers, func(w, lo, hi int) {
+		sc := st.shardCounts[w][:cells]
+		for i := lo; i < hi; i++ {
+			c := uint32(st.mapper.cellIndexFor(pts[i]))
+			st.cellOf[i] = c
+			sc[c]++
+		}
+	})
+
+	// Merge: global exclusive prefix sum across (cell, worker) in worker
+	// order, rewriting each shard count into that shard's scatter base.
+	var sum uint32
+	for c := 0; c < cells; c++ {
+		st.starts[c] = sum
+		for w := 0; w < workers; w++ {
+			n := st.shardCounts[w][c]
+			st.shardCounts[w][c] = sum
+			sum += n
+		}
+	}
+	st.starts[cells] = sum
+
+	parutil.ForEachShard(len(pts), workers, func(w, lo, hi int) {
+		sc := st.shardCounts[w][:cells]
+		for i := lo; i < hi; i++ {
+			c := st.cellOf[i]
+			st.ids[sc[c]] = uint32(i)
+			sc[c]++
+		}
+	})
+
+	for c := 0; c < cells; c++ {
+		st.counts[c] = st.starts[c+1] - st.starts[c]
+	}
+}
+
+func (st *csrStore) insertAt(c int, id uint32, p geom.Point) {
+	st.insertLocal(c, id)
+	st.entries++
+}
+
+// insertLocal is insertAt without the shared entries counter; the batched
+// parallel update path calls it from per-cell-shard workers (a move nets
+// zero entries, so the counter needs no touch there).
+func (st *csrStore) insertLocal(c int, id uint32) {
+	base, n := st.starts[c], st.counts[c]
+	if base+n < st.starts[c+1] {
+		st.ids[base+n] = id
+		st.counts[c] = n + 1
+		return
+	}
+	st.overflow[c] = append(st.overflow[c], id)
+}
+
+func (st *csrStore) removeAt(c int, id uint32) bool {
+	if !st.removeLocal(c, id) {
+		return false
+	}
+	st.entries--
+	return true
+}
+
+// removeLocal is removeAt without the shared entries counter (see
+// insertLocal). It only touches cell-c state, so distinct cells may be
+// processed concurrently.
+func (st *csrStore) removeLocal(c int, id uint32) bool {
+	base, n := st.starts[c], st.counts[c]
+	seg := st.ids[base : base+n]
+	for j, v := range seg {
+		if v != id {
+			continue
+		}
+		if of := st.overflow[c]; len(of) > 0 {
+			// Refill the hole from overflow to keep the dense segment full.
+			seg[j] = of[len(of)-1]
+			st.overflow[c] = of[:len(of)-1]
+		} else {
+			seg[j] = seg[n-1]
+			st.counts[c] = n - 1
+		}
+		return true
+	}
+	of := st.overflow[c]
+	for j, v := range of {
+		if v != id {
+			continue
+		}
+		of[j] = of[len(of)-1]
+		st.overflow[c] = of[:len(of)-1]
+		return true
+	}
+	return false
+}
+
+func (st *csrStore) scanCell(c int, emit func(id uint32)) {
+	base := st.starts[c]
+	for _, id := range st.ids[base : base+st.counts[c]] {
+		emit(id)
+	}
+	for _, id := range st.overflow[c] {
+		emit(id)
+	}
+}
+
+func (st *csrStore) filterCell(c int, r geom.Rect, emit func(id uint32)) {
+	base := st.starts[c]
+	for _, id := range st.ids[base : base+st.counts[c]] {
+		if st.pts[id].In(r) {
+			emit(id)
+		}
+	}
+	for _, id := range st.overflow[c] {
+		if st.pts[id].In(r) {
+			emit(id)
+		}
+	}
+}
+
+func (st *csrStore) cellCount(c int) int {
+	return int(st.counts[c]) + len(st.overflow[c])
+}
+
+func (st *csrStore) totalEntries() int { return st.entries }
+
+// memoryBytes counts the directory (starts + counts + the per-cell
+// overflow slice headers, 24 bytes each), the ID arena, the retained
+// build scratch, and overflow capacity — everything the store keeps
+// alive between ticks.
+func (st *csrStore) memoryBytes() int64 {
+	total := int64(len(st.starts)+len(st.counts)+cap(st.ids)+cap(st.cellOf)) * 4
+	total += int64(len(st.overflow)) * 24
+	for _, of := range st.overflow {
+		total += int64(cap(of)) * 4
+	}
+	for _, sc := range st.shardCounts {
+		total += int64(cap(sc)) * 4
+	}
+	return total
+}

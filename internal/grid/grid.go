@@ -21,8 +21,12 @@ package grid
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/geom"
+	"repro/internal/parutil"
 )
 
 // Layout selects the physical representation of cells and buckets.
@@ -46,6 +50,13 @@ const (
 	// ablation (the "ext-handles" extension) to isolate the update-path
 	// cost of the bucketed layouts.
 	LayoutIntrusive
+	// LayoutCSR is the partition-based contiguous layout: a counting-sort
+	// build places each cell's entry IDs in one dense slice of a single
+	// arena (compressed-sparse-row), so cell scans are flat loops with no
+	// bucket chains. Builds shard across cores (see Grid.BuildParallel);
+	// in-place updates run on segment slack plus a small per-cell
+	// overflow. BS is irrelevant to this layout.
+	LayoutCSR
 )
 
 // String implements fmt.Stringer.
@@ -59,6 +70,8 @@ func (l Layout) String() string {
 		return "inline+xy"
 	case LayoutIntrusive:
 		return "intrusive"
+	case LayoutCSR:
+		return "csr"
 	default:
 		return fmt.Sprintf("Layout(%d)", int(l))
 	}
@@ -138,6 +151,14 @@ func CPSTuned() Config {
 	return Config{Name: "+cps tuned", Layout: LayoutInline, Scan: ScanRange, BS: RefactoredBS, CPS: RefactoredCPS}
 }
 
+// CSR goes beyond the paper: the fully tuned grid with the
+// contiguous counting-sort layout in place of inline buckets. BS is kept
+// at the refactored value only to satisfy validation; the layout has no
+// buckets.
+func CSR() Config {
+	return Config{Name: "+csr", Layout: LayoutCSR, Scan: ScanRange, BS: RefactoredBS, CPS: RefactoredCPS}
+}
+
 // AblationChain returns the five configurations of Figure 4 and the lower
 // half of Table 2, in paper order.
 func AblationChain() []Config {
@@ -152,7 +173,8 @@ func (c Config) Validate() error {
 	case c.CPS <= 0:
 		return fmt.Errorf("grid: cells per side must be positive, got %d", c.CPS)
 	case c.Layout != LayoutLinked && c.Layout != LayoutInline &&
-		c.Layout != LayoutInlineXY && c.Layout != LayoutIntrusive:
+		c.Layout != LayoutInlineXY && c.Layout != LayoutIntrusive &&
+		c.Layout != LayoutCSR:
 		return fmt.Errorf("grid: unknown layout %d", int(c.Layout))
 	case c.Scan != ScanFull && c.Scan != ScanRange:
 		return fmt.Errorf("grid: unknown scan %d", int(c.Scan))
@@ -188,16 +210,54 @@ type store interface {
 	totalEntries() int
 }
 
+// cellMapper maps points to cell indices. It is the part of the grid
+// geometry the storage backends need for bulk builds, split out so the
+// CSR store can map points without holding a *Grid.
+type cellMapper struct {
+	minX, minY float32
+	invCell    float32
+	cps        int
+}
+
+func (m cellMapper) axisCell(d float32) int {
+	c := int(d * m.invCell)
+	if c < 0 {
+		return 0
+	}
+	if c >= m.cps {
+		return m.cps - 1
+	}
+	return c
+}
+
+// cellIndexFor maps a point to its cell index, clamping coordinates that
+// fall on or outside the space boundary into the outermost cells.
+func (m cellMapper) cellIndexFor(p geom.Point) int {
+	return m.axisCell(p.Y-m.minY)*m.cps + m.axisCell(p.X-m.minX)
+}
+
 // Grid is a uniform grid over a fixed square space. It implements
 // core.Index.
 type Grid struct {
 	cfg      Config
 	bounds   geom.Rect
 	cellSize float32
-	invCell  float32
 	cells    int
-	st       store
-	pts      []geom.Point
+	mapper   cellMapper
+	// xs and ys hold the cps+1 cell edge coordinates per axis, computed
+	// once at construction so the query loops never recompute
+	// MinX + cx*cellSize per cell.
+	xs, ys []float32
+	st     store
+	// csr aliases st when the layout is CSR, so the bulk-path dispatch
+	// in Build/BuildParallel/UpdateBatch is a nil check in one place.
+	csr *csrStore
+	pts []geom.Point
+	// moveCells and shardOff are scratch for UpdateBatch: old/new cell
+	// per move plus the two per-shard offset tables, retained so
+	// steady-state ticks allocate nothing.
+	moveCells []uint32
+	shardOff  [2][]uint32
 }
 
 // New constructs a grid for the given space. numPoints sizes the arenas;
@@ -218,7 +278,18 @@ func New(cfg Config, bounds geom.Rect, numPoints int) (*Grid, error) {
 		cellSize: bounds.Width() / float32(cfg.CPS),
 		cells:    cfg.CPS * cfg.CPS,
 	}
-	g.invCell = 1 / g.cellSize
+	g.mapper = cellMapper{
+		minX:    bounds.MinX,
+		minY:    bounds.MinY,
+		invCell: 1 / g.cellSize,
+		cps:     cfg.CPS,
+	}
+	g.xs = make([]float32, cfg.CPS+1)
+	g.ys = make([]float32, cfg.CPS+1)
+	for i := 0; i <= cfg.CPS; i++ {
+		g.xs[i] = bounds.MinX + float32(i)*g.cellSize
+		g.ys[i] = bounds.MinY + float32(i)*g.cellSize
+	}
 	switch cfg.Layout {
 	case LayoutLinked:
 		g.st = newLinkedStore(g.cells, cfg.BS, numPoints)
@@ -229,6 +300,10 @@ func New(cfg Config, bounds geom.Rect, numPoints int) (*Grid, error) {
 	case LayoutIntrusive:
 		// The intrusive layout has no buckets; BS is irrelevant to it.
 		g.st = newIntrusiveStore(g.cells, numPoints)
+	case LayoutCSR:
+		// The CSR layout has no buckets either; BS is irrelevant to it.
+		g.csr = newCSRStore(g.cells, g.mapper, numPoints)
+		g.st = g.csr
 	}
 	return g, nil
 }
@@ -251,41 +326,44 @@ func (g *Grid) Config() Config { return g.cfg }
 // Bounds returns the indexed space.
 func (g *Grid) Bounds() geom.Rect { return g.bounds }
 
-// cellIndexFor maps a point to its cell index, clamping coordinates that
-// fall on or outside the space boundary into the outermost cells.
-func (g *Grid) cellIndexFor(p geom.Point) int {
-	cx := g.axisCell(p.X - g.bounds.MinX)
-	cy := g.axisCell(p.Y - g.bounds.MinY)
-	return cy*g.cfg.CPS + cx
-}
+func (g *Grid) cellIndexFor(p geom.Point) int { return g.mapper.cellIndexFor(p) }
 
-func (g *Grid) axisCell(d float32) int {
-	c := int(d * g.invCell)
-	if c < 0 {
-		return 0
-	}
-	if c >= g.cfg.CPS {
-		return g.cfg.CPS - 1
-	}
-	return c
-}
+func (g *Grid) axisCell(d float32) int { return g.mapper.axisCell(d) }
 
-// cellRect returns the spatial extent of cell (cx, cy).
+// cellRect returns the spatial extent of cell (cx, cy), read from the
+// precomputed edge tables so repeated calls cost two loads per axis.
 func (g *Grid) cellRect(cx, cy int) geom.Rect {
-	x0 := g.bounds.MinX + float32(cx)*g.cellSize
-	y0 := g.bounds.MinY + float32(cy)*g.cellSize
-	return geom.Rect{MinX: x0, MinY: y0, MaxX: x0 + g.cellSize, MaxY: y0 + g.cellSize}
+	return geom.Rect{MinX: g.xs[cx], MinY: g.ys[cy], MaxX: g.xs[cx+1], MaxY: g.ys[cy+1]}
 }
 
 // Build implements core.Index: it clears all cells and inserts the whole
 // snapshot. Arenas and freelists are retained across builds, so steady-
-// state builds allocate nothing.
+// state builds allocate nothing. The CSR layout takes its bulk
+// counting-sort path instead of per-entry inserts.
 func (g *Grid) Build(pts []geom.Point) {
 	g.pts = pts
+	if g.csr != nil {
+		g.csr.build(pts)
+		return
+	}
 	g.st.reset(pts)
 	for i := range pts {
 		g.st.insertAt(g.cellIndexFor(pts[i]), uint32(i), pts[i])
 	}
+}
+
+// BuildParallel implements core.ParallelBuilder: the CSR layout builds by
+// sharded counting sort across the given number of workers (0 selects
+// GOMAXPROCS) and produces an arena bit-identical to Build; every other
+// layout falls back to the sequential Build, whose chained-bucket arenas
+// do not admit disjoint-range scatters.
+func (g *Grid) BuildParallel(pts []geom.Point, workers int) {
+	if g.csr != nil {
+		g.pts = pts
+		g.csr.buildParallel(pts, workers)
+		return
+	}
+	g.Build(pts)
 }
 
 // Update implements core.Index: the grid is maintained in place by
@@ -301,6 +379,132 @@ func (g *Grid) Update(id uint32, old, new geom.Point) {
 	g.st.insertAt(g.cellIndexFor(new), id, new)
 }
 
+// minParallelMoves gates the sharded update path: below this batch size
+// the fork/join overhead exceeds the win.
+const minParallelMoves = 2048
+
+// CanBatchUpdates implements core.BatchUpdater: only the CSR layout has
+// a batched path that differs from per-move Update calls, and only for
+// batches large enough to beat the fork/join overhead — drivers can
+// skip batch assembly otherwise.
+func (g *Grid) CanBatchUpdates(n int) bool {
+	return g.csr != nil && n >= minParallelMoves
+}
+
+// UpdateBatch implements core.BatchUpdater. For the CSR layout it
+// partitions the batch by target cell and applies it with one worker per
+// cell shard: all removals first (sharded by old cell), a barrier, then
+// all insertions (sharded by new cell). Removals and insertions touch
+// only per-cell state in the CSR store, so shards never race. Every other
+// layout shares arenas and freelists across cells and falls back to the
+// sequential per-move path.
+func (g *Grid) UpdateBatch(moves []geom.Move, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cs := g.csr
+	if cs == nil || workers == 1 || len(moves) < minParallelMoves {
+		for i := range moves {
+			g.Update(moves[i].ID, moves[i].Old, moves[i].New)
+		}
+		return
+	}
+
+	// Scratch layout: per-move old/new cells, then per-shard move index
+	// lists for the two passes (bucketed by cell % workers so each
+	// worker touches only its own moves, not a filtered scan of all).
+	need := 4 * len(moves)
+	if cap(g.moveCells) < need {
+		g.moveCells = make([]uint32, need)
+	} else {
+		g.moveCells = g.moveCells[:need]
+	}
+	oldCells := g.moveCells[:len(moves)]
+	newCells := g.moveCells[len(moves) : 2*len(moves)]
+	oldIdx := g.moveCells[2*len(moves) : 3*len(moves)]
+	newIdx := g.moveCells[3*len(moves):]
+
+	parutil.ForEachShard(len(moves), workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			oldCells[i] = uint32(g.mapper.cellIndexFor(moves[i].Old))
+			newCells[i] = uint32(g.mapper.cellIndexFor(moves[i].New))
+		}
+	})
+
+	// Counting-sort the move indices by owning shard (cell % workers),
+	// in batch order — worker w then processes the contiguous run
+	// oldIdx[oldOff[w]:oldOff[w+1]] in a deterministic order.
+	g.shardOff[0] = bucketByShard(oldCells, oldIdx, g.shardOff[0], workers)
+	g.shardOff[1] = bucketByShard(newCells, newIdx, g.shardOff[1], workers)
+	oldOff, newOff := g.shardOff[0], g.shardOff[1]
+
+	var missing atomic.Int64
+	missing.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, i := range oldIdx[oldOff[w]:oldOff[w+1]] {
+				if !cs.removeLocal(int(oldCells[i]), moves[i].ID) {
+					missing.CompareAndSwap(-1, int64(i))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if i := missing.Load(); i >= 0 {
+		// Same contract as Update: the entry must exist.
+		panic(fmt.Sprintf("grid: update of unknown entry %d at %v", moves[i].ID, moves[i].Old))
+	}
+
+	// Insertion pass, sharded by new cell. A move nets zero entries, so
+	// the shared counter is untouched throughout.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, i := range newIdx[newOff[w]:newOff[w+1]] {
+				cs.insertLocal(int(newCells[i]), moves[i].ID)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// bucketByShard counting-sorts the indices of cells into idx, grouped by
+// shard (cell % workers) and in index order within each group, returning
+// the per-shard offsets (len workers+1) into idx. off is reused scratch;
+// the offset entries themselves serve as the scatter cursors (shifting
+// the table one slot left), undone by a final copy — no allocation in
+// steady state.
+func bucketByShard(cells, idx, off []uint32, workers int) []uint32 {
+	if cap(off) < workers+1 {
+		off = make([]uint32, workers+1)
+	} else {
+		off = off[:workers+1]
+	}
+	for w := range off {
+		off[w] = 0
+	}
+	for _, c := range cells {
+		off[int(c)%workers+1]++
+	}
+	for w := 0; w < workers; w++ {
+		off[w+1] += off[w]
+	}
+	for i, c := range cells {
+		s := int(c) % workers
+		idx[off[s]] = uint32(i)
+		off[s]++
+	}
+	// off[w] now holds end(w) == start(w+1); shift right to restore
+	// exclusive starts.
+	copy(off[1:], off[:workers])
+	off[0] = 0
+	return off
+}
+
 // Query implements core.Index, dispatching on the configured algorithm.
 func (g *Grid) Query(r geom.Rect, emit func(id uint32)) {
 	switch g.cfg.Scan {
@@ -314,41 +518,45 @@ func (g *Grid) Query(r geom.Rect, emit func(id uint32)) {
 // queryFullScan is Algorithm 1: traverse all grid cells one by one; report
 // whole cells fully contained in r, filter cells that merely intersect it.
 func (g *Grid) queryFullScan(r geom.Rect, emit func(id uint32)) {
-	cps := g.cfg.CPS
-	for cy := 0; cy < cps; cy++ {
-		for cx := 0; cx < cps; cx++ {
-			cell := g.cellRect(cx, cy)
-			c := cy*cps + cx
-			if r.ContainsRect(cell) {
-				g.st.scanCell(c, emit)
-			} else if r.Intersects(cell) {
-				g.st.filterCell(c, r, emit)
-			}
-		}
-	}
+	g.scanCellRange(r, 0, g.cfg.CPS-1, 0, g.cfg.CPS-1, emit)
 }
 
 // queryRangeScan is Algorithm 2: compute the overlapping cell range from
 // the query corners and run the Algorithm 1 cell body over that range
 // only.
 func (g *Grid) queryRangeScan(r geom.Rect, emit func(id uint32)) {
-	cps := g.cfg.CPS
 	xmin := g.axisCell(r.MinX - g.bounds.MinX)
 	xmax := g.axisCell(r.MaxX - g.bounds.MinX)
 	ymin := g.axisCell(r.MinY - g.bounds.MinY)
 	ymax := g.axisCell(r.MaxY - g.bounds.MinY)
+	g.scanCellRange(r, xmin, xmax, ymin, ymax, emit)
+}
+
+// scanCellRange runs lines 4-10 of Algorithm 1 over the inclusive cell
+// range: report whole cells fully contained in r, filter cells that
+// merely intersect it. The intersection test matters even under Algorithm
+// 2: when the query rectangle lies (partly) outside the space, clamping
+// can place edge cells in the range that do not actually overlap r.
+//
+// Cell rectangles come from the precomputed edge tables, and the y-axis
+// halves of the containment and intersection predicates are hoisted out
+// of the inner loop, so the per-cell work is two x comparisons per
+// predicate and no arithmetic. Every cell in the range is still visited
+// — Algorithm 1's defining cost is the full directory traversal, so
+// rows that cannot intersect r must not be skipped wholesale.
+func (g *Grid) scanCellRange(r geom.Rect, xmin, xmax, ymin, ymax int, emit func(id uint32)) {
+	cps := g.cfg.CPS
 	for cy := ymin; cy <= ymax; cy++ {
+		y0, y1 := g.ys[cy], g.ys[cy+1]
+		containsY := r.MinY <= y0 && y1 <= r.MaxY
+		intersectsY := y0 <= r.MaxY && r.MinY <= y1
 		base := cy * cps
 		for cx := xmin; cx <= xmax; cx++ {
-			cell := g.cellRect(cx, cy)
+			x0, x1 := g.xs[cx], g.xs[cx+1]
 			c := base + cx
-			// Algorithm 2 reuses lines 4-10 of Algorithm 1 verbatim,
-			// including the intersection test: when the query rectangle
-			// lies (partly) outside the space, clamping can place edge
-			// cells in the range that do not actually overlap r.
-			if r.ContainsRect(cell) {
+			if containsY && r.MinX <= x0 && x1 <= r.MaxX {
 				g.st.scanCell(c, emit)
-			} else if r.Intersects(cell) {
+			} else if intersectsY && x0 <= r.MaxX && r.MinX <= x1 {
 				g.st.filterCell(c, r, emit)
 			}
 		}

@@ -21,6 +21,9 @@ func allConfigs() []Config {
 		Config{Name: "one-cell", Layout: LayoutInline, Scan: ScanRange, BS: 16, CPS: 1},
 		Config{Name: "intrusive-range", Layout: LayoutIntrusive, Scan: ScanRange, BS: 1, CPS: 16},
 		Config{Name: "intrusive-full", Layout: LayoutIntrusive, Scan: ScanFull, BS: 1, CPS: 16},
+		CSR(),
+		Config{Name: "csr-full", Layout: LayoutCSR, Scan: ScanFull, BS: 1, CPS: 16},
+		Config{Name: "csr-one-cell", Layout: LayoutCSR, Scan: ScanRange, BS: 1, CPS: 1},
 	)
 	return cfgs
 }

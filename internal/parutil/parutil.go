@@ -1,0 +1,34 @@
+// Package parutil holds the small fork/join primitives the parallel
+// build, update, and snapshot paths share.
+package parutil
+
+import "sync"
+
+// ForEachShard splits [0, n) into one contiguous chunk per worker and
+// runs fn(w, lo, hi) on its own goroutine for each non-empty chunk,
+// returning after all complete. Chunk w covers [w*ceil(n/workers), ...),
+// so shard boundaries depend only on n and workers — callers relying on
+// deterministic shard assignment (the CSR counting-sort build) get it.
+func ForEachShard(n, workers int, fn func(w, lo, hi int)) {
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,42 @@
+package parutil
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachShardCoversRangeExactlyOnce(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{0, 4}, {1, 4}, {7, 3}, {100, 1}, {100, 7}, {5, 16}, {64, 0},
+	} {
+		seen := make([]int32, tc.n)
+		var calls atomic.Int32
+		ForEachShard(tc.n, tc.workers, func(w, lo, hi int) {
+			calls.Add(1)
+			if lo >= hi {
+				t.Errorf("n=%d workers=%d: empty shard [%d,%d)", tc.n, tc.workers, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d workers=%d: index %d visited %d times", tc.n, tc.workers, i, c)
+			}
+		}
+		if tc.n == 0 && calls.Load() != 0 {
+			t.Fatal("empty range spawned shards")
+		}
+	}
+}
+
+func TestForEachShardDeterministicBoundaries(t *testing.T) {
+	// Shard w must always cover [w*ceil(n/workers), ...): the CSR build
+	// relies on this to keep parallel builds bit-identical.
+	ForEachShard(10, 3, func(w, lo, hi int) {
+		if lo != w*4 {
+			t.Errorf("shard %d starts at %d, want %d", w, lo, w*4)
+		}
+	})
+}
