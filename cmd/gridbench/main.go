@@ -1,7 +1,9 @@
 // Command gridbench measures the grid's three operations — Build, Query,
 // Update — for the inline-bucket layout against the CSR layout and emits
 // the numbers as JSON, the machine-readable perf trajectory the CI smoke
-// bench tracks (BENCH_grid.json).
+// bench tracks (BENCH_grid.json). With -objects point,box the report
+// additionally carries a "boxcsr" series: the CSR rectangle grid over
+// the default MBR workload at the same granularities.
 //
 // The workload mirrors the paper's standard setting: the default uniform
 // population with 50% queriers and 50% updaters per tick. Layouts are
@@ -12,6 +14,7 @@
 //
 //	gridbench                          # defaults, JSON to stdout
 //	gridbench -iters 100 -out BENCH_grid.json
+//	gridbench -objects point,box       # include the box-join series
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/geom"
@@ -43,6 +47,9 @@ type report struct {
 	// Summary ratios: inline time / csr time per operation and for the
 	// acceptance-criterion pairing build+query, at each granularity.
 	Speedups map[string]float64 `json:"csr_speedup_vs_inline"`
+	// BoxReplication maps "cps=N" to the rectangle grid's replication
+	// factor under the default box workload (present with -objects box).
+	BoxReplication map[string]float64 `json:"box_replication,omitempty"`
 }
 
 func main() {
@@ -55,16 +62,28 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("gridbench", flag.ContinueOnError)
 	var (
-		iters  = fs.Int("iters", 100, "measured iterations per operation (like -benchtime=100x)")
-		points = fs.Int("points", workload.DefaultNumPoints, "number of objects")
-		seed   = fs.Uint64("seed", 1, "workload random seed")
-		out    = fs.String("out", "", "write JSON here instead of stdout")
+		iters   = fs.Int("iters", 100, "measured iterations per operation (like -benchtime=100x)")
+		points  = fs.Int("points", workload.DefaultNumPoints, "number of objects")
+		seed    = fs.Uint64("seed", 1, "workload random seed")
+		out     = fs.String("out", "", "write JSON here instead of stdout")
+		objects = fs.String("objects", "point", "comma-separated object classes to measure: point, box")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *iters <= 0 {
 		return fmt.Errorf("iters must be positive, got %d", *iters)
+	}
+	wantPoint, wantBox := false, false
+	for _, o := range strings.Split(*objects, ",") {
+		switch strings.TrimSpace(o) {
+		case "point":
+			wantPoint = true
+		case "box":
+			wantBox = true
+		default:
+			return fmt.Errorf("unknown object class %q (have point, box)", o)
+		}
 	}
 
 	wcfg := workload.DefaultUniform()
@@ -93,38 +112,68 @@ func run(args []string) error {
 		layout grid.Layout
 		name   string
 	}
-	ops := map[string]map[string]float64{} // op+cps key -> layout -> ns/op
-	for _, cps := range []int{64, 256} {
-		for _, c := range []contender{
-			{grid.LayoutInline, "inline"},
-			{grid.LayoutCSR, "csr"},
-		} {
-			gc := grid.Config{Layout: c.layout, Scan: grid.ScanRange, BS: grid.RefactoredBS, CPS: cps}
-			g, err := grid.New(gc, wcfg.Bounds(), len(pts))
-			if err != nil {
-				return err
-			}
-			timings := measure(g, pts, queriers, updates, wcfg.QuerySize, *iters)
-			for op, ns := range timings {
-				rep.Results = append(rep.Results, opResult{Layout: c.name, CPS: cps, Op: op, NsPerOp: ns})
-				key := fmt.Sprintf("%s/cps=%d", op, cps)
-				if ops[key] == nil {
-					ops[key] = map[string]float64{}
+	if wantPoint {
+		ops := map[string]map[string]float64{} // op+cps key -> layout -> ns/op
+		for _, cps := range []int{64, 256} {
+			for _, c := range []contender{
+				{grid.LayoutInline, "inline"},
+				{grid.LayoutCSR, "csr"},
+			} {
+				gc := grid.Config{Layout: c.layout, Scan: grid.ScanRange, BS: grid.RefactoredBS, CPS: cps}
+				g, err := grid.New(gc, wcfg.Bounds(), len(pts))
+				if err != nil {
+					return err
 				}
-				ops[key][c.name] = ns
+				timings := measure(g, pts, queriers, updates, wcfg.QuerySize, *iters)
+				for op, ns := range timings {
+					rep.Results = append(rep.Results, opResult{Layout: c.name, CPS: cps, Op: op, NsPerOp: ns})
+					key := fmt.Sprintf("%s/cps=%d", op, cps)
+					if ops[key] == nil {
+						ops[key] = map[string]float64{}
+					}
+					ops[key][c.name] = ns
+				}
 			}
+		}
+		for _, cps := range []int{64, 256} {
+			for _, op := range []string{"build", "query", "update"} {
+				key := fmt.Sprintf("%s/cps=%d", op, cps)
+				rep.Speedups[key] = ops[key]["inline"] / ops[key]["csr"]
+			}
+			bq := fmt.Sprintf("build+query/cps=%d", cps)
+			inline := ops[fmt.Sprintf("build/cps=%d", cps)]["inline"] + ops[fmt.Sprintf("query/cps=%d", cps)]["inline"]
+			csr := ops[fmt.Sprintf("build/cps=%d", cps)]["csr"] + ops[fmt.Sprintf("query/cps=%d", cps)]["csr"]
+			rep.Speedups[bq] = inline / csr
 		}
 	}
 
-	for _, cps := range []int{64, 256} {
-		for _, op := range []string{"build", "query", "update"} {
-			key := fmt.Sprintf("%s/cps=%d", op, cps)
-			rep.Speedups[key] = ops[key]["inline"] / ops[key]["csr"]
+	if wantBox {
+		bcfg := workload.DefaultUniformBoxes()
+		bcfg.Seed = *seed
+		bcfg.NumPoints = *points
+		bgen, err := workload.NewBoxGenerator(bcfg)
+		if err != nil {
+			return err
 		}
-		bq := fmt.Sprintf("build+query/cps=%d", cps)
-		inline := ops[fmt.Sprintf("build/cps=%d", cps)]["inline"] + ops[fmt.Sprintf("query/cps=%d", cps)]["inline"]
-		csr := ops[fmt.Sprintf("build/cps=%d", cps)]["csr"] + ops[fmt.Sprintf("query/cps=%d", cps)]["csr"]
-		rep.Speedups[bq] = inline / csr
+		rects := bgen.Rects(nil)
+		boxQueriers := append([]uint32(nil), bgen.Queriers()...)
+		boxUpdates := append([]workload.BoxUpdate(nil), bgen.Updates()...)
+		if len(boxQueriers) == 0 || len(boxUpdates) == 0 {
+			return fmt.Errorf("box population %d yields %d queriers and %d updates per tick; raise -points",
+				len(rects), len(boxQueriers), len(boxUpdates))
+		}
+		rep.BoxReplication = map[string]float64{}
+		for _, cps := range []int{64, 256} {
+			bg, err := grid.NewBoxGrid(cps, bcfg.Bounds(), len(rects))
+			if err != nil {
+				return err
+			}
+			timings := measureBox(bg, rects, boxQueriers, boxUpdates, bcfg.QuerySize, *iters)
+			for op, ns := range timings {
+				rep.Results = append(rep.Results, opResult{Layout: "boxcsr", CPS: cps, Op: op, NsPerOp: ns})
+			}
+			rep.BoxReplication[fmt.Sprintf("cps=%d", cps)] = bg.ReplicationFactor()
+		}
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -172,6 +221,43 @@ func measure(g *grid.Grid, pts []geom.Point, queriers []uint32, updates []worklo
 		}
 	}
 	// Each inner step performs two updates (there and back).
+	updateNs := float64(time.Since(start).Nanoseconds()) / float64(2*iters*len(updates))
+
+	if sink < 0 {
+		panic("unreachable")
+	}
+	return map[string]float64{"build": buildNs, "query": queryNs, "update": updateNs}
+}
+
+// measureBox is measure for the CSR rectangle grid: build over the MBR
+// snapshot, one intersection query per querier, one MBR move per updater
+// (and back).
+func measureBox(bg *grid.BoxGrid, rects []geom.Rect, queriers []uint32, updates []workload.BoxUpdate, querySize float32, iters int) map[string]float64 {
+	bg.Build(rects)
+
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		bg.Build(rects)
+	}
+	buildNs := float64(time.Since(start).Nanoseconds()) / float64(iters)
+
+	sink := 0
+	emit := func(uint32) { sink++ }
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		for _, q := range queriers {
+			bg.Query(geom.Square(rects[q].Center(), querySize), emit)
+		}
+	}
+	queryNs := float64(time.Since(start).Nanoseconds()) / float64(iters*len(queriers))
+
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		for _, u := range updates {
+			bg.Update(u.ID, rects[u.ID], u.Rect)
+			bg.Update(u.ID, u.Rect, rects[u.ID])
+		}
+	}
 	updateNs := float64(time.Since(start).Nanoseconds()) / float64(2*iters*len(updates))
 
 	if sink < 0 {

@@ -46,3 +46,48 @@ func TestEmitsValidJSON(t *testing.T) {
 		}
 	}
 }
+
+func TestRejectsBadObjects(t *testing.T) {
+	if err := run([]string{"-objects", "sphere"}); err == nil {
+		t.Fatal("unknown object class accepted")
+	}
+}
+
+func TestBoxSeries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured run")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-iters", "1", "-points", "5000", "-objects", "point,box", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Results []struct {
+			Layout string `json:"layout"`
+			Op     string `json:"op"`
+		} `json:"results"`
+		BoxReplication map[string]float64 `json:"box_replication"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	boxOps := 0
+	for _, r := range rep.Results {
+		if r.Layout == "boxcsr" {
+			boxOps++
+		}
+	}
+	// 2 granularities x 3 ops.
+	if boxOps != 6 {
+		t.Fatalf("boxcsr results = %d, want 6", boxOps)
+	}
+	for _, key := range []string{"cps=64", "cps=256"} {
+		if rep.BoxReplication[key] < 1 {
+			t.Fatalf("replication factor %s = %g, want >= 1", key, rep.BoxReplication[key])
+		}
+	}
+}

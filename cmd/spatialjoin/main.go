@@ -9,6 +9,8 @@
 //	spatialjoin -technique rtree -workload gaussian -hotspots 10
 //	spatialjoin -list                                # show all techniques
 //	spatialjoin -technique crtree -trace w.sjtr      # replay a recorded trace
+//	spatialjoin -objects box -technique boxgrid-csr  # MBR workload, rectangle grid
+//	spatialjoin -objects box -compare all            # box-join digest race
 package main
 
 import (
@@ -33,6 +35,10 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("spatialjoin", flag.ContinueOnError)
 	var (
+		objects      = fs.String("objects", "point", "object class: point or box (MBR workloads)")
+		extent       = fs.String("extent", "uniform", "box only: MBR side distribution, uniform or gaussian")
+		minSide      = fs.Float64("min-side", workload.DefaultMinSide, "box only: minimum MBR side length")
+		maxSide      = fs.Float64("max-side", workload.DefaultMaxSide, "box only: maximum MBR side length")
 		techniqueKey = fs.String("technique", "grid-tuned", "technique key (see -list)")
 		compare      = fs.String("compare", "", "comma-separated technique keys to race on one workload (or \"all\")")
 		list         = fs.Bool("list", false, "list available techniques and exit")
@@ -54,12 +60,65 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *objects != "point" && *objects != "box" {
+		return fmt.Errorf("unknown object class %q (have point, box)", *objects)
+	}
+	boxMode := *objects == "box"
 	if *list {
 		w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
-		for _, t := range bench.Techniques() {
-			fmt.Fprintf(w, "%s\t%s\n", t.Key, t.Description)
+		if boxMode {
+			for _, t := range bench.BoxTechniques() {
+				fmt.Fprintf(w, "%s\t%s\n", t.Key, t.Description)
+			}
+		} else {
+			for _, t := range bench.Techniques() {
+				fmt.Fprintf(w, "%s\t%s\n", t.Key, t.Description)
+			}
 		}
 		return w.Flush()
+	}
+
+	if boxMode {
+		if *tracePath != "" {
+			return fmt.Errorf("box workloads cannot replay point traces")
+		}
+		bcfg := workload.DefaultUniformBoxes()
+		switch *extent {
+		case "uniform":
+			bcfg.Extent = workload.ExtentUniform
+		case "gaussian":
+			bcfg.Extent = workload.ExtentGaussian
+		default:
+			return fmt.Errorf("unknown extent kind %q (have uniform, gaussian)", *extent)
+		}
+		switch *kind {
+		case "uniform":
+		case "gaussian":
+			bcfg.Config = workload.DefaultGaussian()
+			bcfg.Hotspots = *hotspots
+		case "simulation":
+			bcfg.Config = workload.DefaultSimulation()
+			bcfg.Hotspots = *hotspots
+		default:
+			return fmt.Errorf("unknown workload kind %q", *kind)
+		}
+		bcfg.Seed = *seed
+		bcfg.NumPoints = *points
+		bcfg.SpaceSize = float32(*space)
+		bcfg.MaxSpeed = float32(*speed)
+		bcfg.QuerySize = float32(*querySize)
+		bcfg.Queriers = *queriers
+		bcfg.Updaters = *updaters
+		bcfg.MinSide = float32(*minSide)
+		bcfg.MaxSide = float32(*maxSide)
+		if *ticks > 0 {
+			bcfg.Ticks = *ticks
+		}
+		if err := bcfg.Validate(); err != nil {
+			return err
+		}
+		return runBoxMode(bcfg, *techniqueKey, *compare,
+			*parallel || *workers > 1, *workers, *perTick)
 	}
 
 	var techs []bench.NamedTechnique
@@ -132,24 +191,34 @@ func run(args []string) error {
 	fmt.Printf("workload  : %s, %d points, %d ticks, %.0f%% queriers, %.0f%% updaters\n",
 		wcfg.Kind, wcfg.NumPoints, wcfg.Ticks, wcfg.Queriers*100, wcfg.Updaters*100)
 
+	return raceReport(len(techs), *perTick, func(i int) (*core.Result, string) {
+		idx := techs[i].Make(core.Params{Bounds: wcfg.Bounds(), NumPoints: wcfg.NumPoints})
+		if *parallel || *workers > 1 {
+			return core.RunParallel(idx, workload.NewPlayer(trace), opts, *workers), techs[i].Key
+		}
+		return core.Run(idx, workload.NewPlayer(trace), opts), techs[i].Key
+	})
+}
+
+// raceReport runs n techniques through run (which returns the result and
+// the technique's CLI key) and prints either the single-technique
+// breakdown or the comparison table, enforcing that every technique
+// reports the identical (pairs, digest) join result. It is shared by
+// the point and box modes so the race protocol cannot diverge.
+func raceReport(n int, perTick bool, run func(i int) (*core.Result, string)) error {
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
 	var refPairs int64
 	var refHash uint64
-	for i, tech := range techs {
-		idx := tech.Make(core.Params{Bounds: wcfg.Bounds(), NumPoints: wcfg.NumPoints})
-		var res *core.Result
-		if *parallel || *workers > 1 {
-			res = core.RunParallel(idx, workload.NewPlayer(trace), opts, *workers)
-		} else {
-			res = core.Run(idx, workload.NewPlayer(trace), opts)
-		}
-		if len(techs) == 1 {
+	var refKey string
+	for i := 0; i < n; i++ {
+		res, key := run(i)
+		if n == 1 {
 			fmt.Printf("technique : %s\n", res.Technique)
 			fmt.Printf("avg/tick  : %.4fs  (build %.4fs, query %.4fs, update %.4fs)\n",
 				res.AvgTick().Seconds(), res.AvgBuild().Seconds(),
 				res.AvgQuery().Seconds(), res.AvgUpdate().Seconds())
 			fmt.Printf("join      : %d pairs over %d queries, digest %#x\n", res.Pairs, res.Queries, res.Hash)
-			if *perTick {
+			if perTick {
 				for ti, pt := range res.PerTick {
 					fmt.Printf("tick %3d: build %.4fs query %.4fs update %.4fs\n",
 						ti, pt.Build.Seconds(), pt.Query.Seconds(), pt.Update.Seconds())
@@ -158,10 +227,10 @@ func run(args []string) error {
 			return nil
 		}
 		if i == 0 {
-			refPairs, refHash = res.Pairs, res.Hash
+			refPairs, refHash, refKey = res.Pairs, res.Hash, key
 			fmt.Fprintf(w, "technique\tavg/tick\tbuild\tquery\tupdate\tpairs\n")
 		} else if res.Pairs != refPairs || res.Hash != refHash {
-			return fmt.Errorf("%s disagrees with %s on the join result", res.Technique, techs[0].Key)
+			return fmt.Errorf("%s disagrees with %s on the join result", res.Technique, refKey)
 		}
 		fmt.Fprintf(w, "%s\t%.4fs\t%.4fs\t%.4fs\t%.4fs\t%d\n",
 			res.Technique, res.AvgTick().Seconds(), res.AvgBuild().Seconds(),
@@ -172,4 +241,51 @@ func run(args []string) error {
 	}
 	fmt.Println("join results verified identical across techniques")
 	return nil
+}
+
+// runBoxMode runs the MBR workload: one technique or a digest race.
+// Each technique gets a fresh generator from the same configuration, so
+// all runs see the byte-identical stream.
+func runBoxMode(bcfg workload.BoxConfig, techniqueKey, compare string, parallel bool, workers int, perTick bool) error {
+	var techs []bench.NamedBoxTechnique
+	if compare != "" {
+		if compare == "all" {
+			techs = bench.BoxTechniques()
+		} else {
+			for _, key := range strings.Split(compare, ",") {
+				t, err := bench.BoxTechniqueByKey(strings.TrimSpace(key))
+				if err != nil {
+					return err
+				}
+				techs = append(techs, t)
+			}
+		}
+	} else {
+		if techniqueKey == "grid-tuned" {
+			// The point default has no box counterpart; default to the
+			// rectangle grid.
+			techniqueKey = "boxgrid-csr"
+		}
+		t, err := bench.BoxTechniqueByKey(techniqueKey)
+		if err != nil {
+			return err
+		}
+		techs = []bench.NamedBoxTechnique{t}
+	}
+
+	fmt.Printf("workload  : %s boxes (%s extents %g-%g), %d objects, %d ticks, %.0f%% queriers, %.0f%% updaters\n",
+		bcfg.Kind, bcfg.Extent, bcfg.MinSide, bcfg.MaxSide,
+		bcfg.NumPoints, bcfg.Ticks, bcfg.Queriers*100, bcfg.Updaters*100)
+
+	opts := core.Options{KeepPerTick: perTick}
+	// Each technique gets a fresh generator, so all runs see the
+	// byte-identical stream.
+	return raceReport(len(techs), perTick, func(i int) (*core.Result, string) {
+		idx := techs[i].Make(core.Params{Bounds: bcfg.Bounds(), NumPoints: bcfg.NumPoints})
+		src := workload.MustNewBoxGenerator(bcfg)
+		if parallel {
+			return core.RunBoxesParallel(idx, src, opts, workers), techs[i].Key
+		}
+		return core.RunBoxes(idx, src, opts), techs[i].Key
+	})
 }

@@ -121,6 +121,50 @@ func TestCompareModeRejectsUnknownKey(t *testing.T) {
 	}
 }
 
+func TestBoxModeCompare(t *testing.T) {
+	err := run([]string{
+		"-objects", "box", "-compare", "all",
+		"-points", "400", "-ticks", "2", "-space", "1500",
+		"-min-side", "10", "-max-side", "120",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxModeSingleTechniqueParallel(t *testing.T) {
+	err := run([]string{
+		"-objects", "box", "-technique", "boxgrid-csr",
+		"-workload", "gaussian", "-hotspots", "3", "-extent", "gaussian",
+		"-points", "400", "-ticks", "2", "-space", "1500",
+		"-workers", "4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxModeList(t *testing.T) {
+	if err := run([]string{"-objects", "box", "-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxModeRejects(t *testing.T) {
+	if err := run([]string{"-objects", "box", "-trace", "w.sjtr"}); err == nil {
+		t.Fatal("box mode accepted a point trace")
+	}
+	if err := run([]string{"-objects", "box", "-extent", "zipf", "-points", "10", "-ticks", "2"}); err == nil {
+		t.Fatal("unknown extent kind accepted")
+	}
+	if err := run([]string{"-objects", "sphere"}); err == nil {
+		t.Fatal("unknown object class accepted")
+	}
+	if err := run([]string{"-objects", "box", "-technique", "rtree", "-points", "10", "-ticks", "2"}); err == nil {
+		t.Fatal("point technique accepted in box mode")
+	}
+}
+
 func TestSimulationWorkloadKind(t *testing.T) {
 	err := run([]string{
 		"-technique", "kdtrie", "-workload", "simulation", "-hotspots", "4",

@@ -1,10 +1,13 @@
 // Command sweep runs the grid-tuning parameter sweeps of Figures 1 and 5,
-// or an arbitrary one-parameter sweep over any grid configuration.
+// or an arbitrary one-parameter sweep over any grid configuration — for
+// point grids or, with -objects box, for the CSR rectangle grid (whose
+// granularity trades query work against MBR replication).
 //
 // Examples:
 //
 //	sweep -experiment fig1b              # reproduce Figure 1b
 //	sweep -vary cps -from 4 -to 128 -step 8 -layout inline -scan range -bs 20
+//	sweep -objects box -vary cps -from 16 -to 128 -step 16
 package main
 
 import (
@@ -29,6 +32,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
+		objects    = fs.String("objects", "point", "object class: point or box (box sweeps cps of the CSR rectangle grid)")
 		experiment = fs.String("experiment", "", "predefined sweep: fig1a, fig1b, fig5a or fig5b")
 		vary       = fs.String("vary", "", "custom sweep parameter: bs or cps")
 		from       = fs.Int("from", 4, "custom sweep start")
@@ -48,6 +52,22 @@ func run(args []string) error {
 	cfg := bench.Config{Scale: *scale, Seed: *seed}
 	if err := cfg.Validate(); err != nil {
 		return err
+	}
+	switch *objects {
+	case "point":
+	case "box":
+		if *experiment != "" {
+			return fmt.Errorf("-objects box has no predefined experiments; use -vary cps")
+		}
+		if *vary != "cps" {
+			return fmt.Errorf("-objects box sweeps cps only (the rectangle grid has no buckets)")
+		}
+		if *step <= 0 || *from <= 0 || *to < *from {
+			return fmt.Errorf("invalid sweep range [%d, %d] step %d", *from, *to, *step)
+		}
+		return runBoxSweep(*from, *to, *step, *scale, *seed, *csv)
+	default:
+		return fmt.Errorf("unknown object class %q (have point, box)", *objects)
 	}
 
 	if *experiment != "" {
@@ -139,6 +159,49 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "optimum: %s=%d (%.4fs/tick)\n", *vary, int(series.Xs[best]), ys[best])
 	}
 	if *csv {
+		fmt.Print(series.CSV())
+	} else {
+		fmt.Print(series.Format())
+	}
+	return nil
+}
+
+// runBoxSweep sweeps the CSR rectangle grid's granularity over the
+// default uniform box workload. Finer grids shrink per-cell scan work
+// but replicate each MBR into more cells; the sweep exposes that
+// trade-off (the replication factor is reported per step).
+func runBoxSweep(from, to, step int, scale float64, seed uint64, csv bool) error {
+	bcfg := workload.DefaultUniformBoxes()
+	bcfg.Seed = seed
+	bcfg.Ticks = int(float64(bcfg.Ticks)*scale + 0.5)
+	if bcfg.Ticks < 2 {
+		bcfg.Ticks = 2
+	}
+
+	series := &stats.Series{
+		Title:  fmt.Sprintf("box grid sweep: cps from %d to %d (boxgrid-csr, uniform boxes)", from, to),
+		XLabel: "cps",
+		YLabel: "Avg. Time per Tick (s)",
+	}
+	var ys []float64
+	for x := from; x <= to; x += step {
+		bg, err := grid.NewBoxGrid(x, bcfg.Bounds(), bcfg.NumPoints)
+		if err != nil {
+			return err
+		}
+		res := core.RunBoxes(bg, workload.MustNewBoxGenerator(bcfg), core.Options{})
+		series.Xs = append(series.Xs, float64(x))
+		ys = append(ys, res.AvgTick().Seconds())
+		fmt.Fprintf(os.Stderr, "cps=%d: %.4fs/tick (replication %.2fx)\n",
+			x, res.AvgTick().Seconds(), bg.ReplicationFactor())
+	}
+	if err := series.AddLine("Avg. Time per Tick (s)", ys); err != nil {
+		return err
+	}
+	if best := stats.ArgminIndex(ys); best >= 0 {
+		fmt.Fprintf(os.Stderr, "optimum: cps=%d (%.4fs/tick)\n", int(series.Xs[best]), ys[best])
+	}
+	if csv {
 		fmt.Print(series.CSV())
 	} else {
 		fmt.Print(series.Format())

@@ -9,15 +9,32 @@ func TestRejectsBadFlags(t *testing.T) {
 		{"-vary", "fanout"},           // unknown parameter
 		{"-vary", "bs", "-from", "0"}, // non-positive start
 		{"-vary", "bs", "-step", "0"}, // zero step
-		{"-vary", "bs", "-from", "9", "-to", "3"}, // inverted range
-		{"-vary", "cps", "-layout", "hash"},       // unknown layout
-		{"-vary", "cps", "-scan", "spiral"},       // unknown scan
-		{"-experiment", "fig1a", "-scale", "0"},   // invalid scale
+		{"-vary", "bs", "-from", "9", "-to", "3"},                     // inverted range
+		{"-vary", "cps", "-layout", "hash"},                           // unknown layout
+		{"-vary", "cps", "-scan", "spiral"},                           // unknown scan
+		{"-experiment", "fig1a", "-scale", "0"},                       // invalid scale
+		{"-objects", "sphere", "-vary", "cps"},                        // unknown object class
+		{"-objects", "box", "-vary", "bs"},                            // box grid has no buckets
+		{"-objects", "box", "-experiment", "fig1a"},                   // no predefined box sweeps
+		{"-objects", "box", "-vary", "cps", "-from", "9", "-to", "3"}, // inverted range
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+func TestBoxSweepRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size data sweep")
+	}
+	err := run([]string{
+		"-objects", "box", "-vary", "cps", "-from", "16", "-to", "48", "-step", "16",
+		"-scale", "0.02", "-csv",
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 

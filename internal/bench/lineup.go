@@ -105,6 +105,51 @@ func gridFactory(preset func() grid.Config) core.Factory {
 	}
 }
 
+// NamedBoxTechnique is NamedTechnique for the box-join (MBR) lineup.
+type NamedBoxTechnique struct {
+	Key         string
+	Description string
+	Make        core.BoxFactory
+}
+
+var namedBoxTechniques = []NamedBoxTechnique{
+	{
+		Key:         "boxbrute",
+		Description: "full-scan box-join oracle (no index); correctness baseline",
+		Make:        func(p core.Params) core.BoxIndex { return core.NewBruteForceBoxes() },
+	},
+	{
+		Key:         "boxgrid-csr",
+		Description: "CSR rectangle grid: per-cell MBR replication, counting-sort build, reference-point dedup",
+		Make: func(p core.Params) core.BoxIndex {
+			return grid.MustNewBoxGrid(grid.DefaultBoxCPS, p.Bounds, p.NumPoints)
+		},
+	},
+}
+
+// BoxTechniques returns every CLI-addressable box technique, sorted by
+// key.
+func BoxTechniques() []NamedBoxTechnique {
+	out := make([]NamedBoxTechnique, len(namedBoxTechniques))
+	copy(out, namedBoxTechniques)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// BoxTechniqueByKey resolves a CLI key to its box factory.
+func BoxTechniqueByKey(key string) (NamedBoxTechnique, error) {
+	for _, t := range namedBoxTechniques {
+		if t.Key == key {
+			return t, nil
+		}
+	}
+	keys := make([]string, 0, len(namedBoxTechniques))
+	for _, t := range namedBoxTechniques {
+		keys = append(keys, t.Key)
+	}
+	return NamedBoxTechnique{}, fmt.Errorf("unknown box technique %q (have: %s)", key, strings.Join(keys, ", "))
+}
+
 // Techniques returns every CLI-addressable technique, sorted by key.
 func Techniques() []NamedTechnique {
 	out := make([]NamedTechnique, len(namedTechniques))

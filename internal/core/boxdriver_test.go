@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/workload"
+)
+
+func testBoxConfig() workload.BoxConfig {
+	cfg := workload.DefaultUniformBoxes()
+	cfg.NumPoints = 700
+	cfg.Ticks = 10
+	cfg.SpaceSize = 2000
+	cfg.MaxSpeed = 50
+	cfg.QuerySize = 150
+	cfg.MinSide = 5
+	cfg.MaxSide = 240
+	return cfg
+}
+
+// boxLineup instantiates every BoxIndex implementation for the given
+// workload: the brute-force oracle plus the CSR box grid at several
+// granularities.
+func boxLineup(cfg workload.BoxConfig) []BoxIndex {
+	return []BoxIndex{
+		NewBruteForceBoxes(),
+		grid.MustNewBoxGrid(8, cfg.Bounds(), cfg.NumPoints),
+		grid.MustNewBoxGrid(32, cfg.Bounds(), cfg.NumPoints),
+	}
+}
+
+// TestBoxJoinDigestMatrix is the acceptance-criterion property test:
+// every BoxIndex implementation, under the sequential and the parallel
+// driver, across workload kinds and extent distributions, must produce
+// the identical (pairs, digest) join result. The brute-force oracle is
+// duplicate-free by construction, so digest equality also proves zero
+// duplicate emissions from the replicating grid.
+func TestBoxJoinDigestMatrix(t *testing.T) {
+	configs := []workload.BoxConfig{
+		testBoxConfig(),
+		func() workload.BoxConfig {
+			c := testBoxConfig()
+			c.Config.Kind = workload.Gaussian
+			c.Hotspots = 5
+			c.Extent = workload.ExtentGaussian
+			return c
+		}(),
+		func() workload.BoxConfig {
+			c := testBoxConfig()
+			c.Config.Kind = workload.Simulation
+			c.Hotspots = 4
+			return c
+		}(),
+	}
+	for _, cfg := range configs {
+		t.Run(fmt.Sprintf("%s-%s", cfg.Kind, cfg.Extent), func(t *testing.T) {
+			// The reference result: brute force under the sequential
+			// driver on a fresh (deterministic) generator.
+			ref := RunBoxes(NewBruteForceBoxes(), workload.MustNewBoxGenerator(cfg), Options{})
+			if ref.Pairs == 0 {
+				t.Fatal("reference run found no pairs; workload too sparse to be meaningful")
+			}
+			for _, idx := range boxLineup(cfg) {
+				res := RunBoxes(idx, workload.MustNewBoxGenerator(cfg), Options{})
+				if res.Pairs != ref.Pairs || res.Hash != ref.Hash {
+					t.Errorf("sequential %s: (%d, %#x), want (%d, %#x)",
+						res.Technique, res.Pairs, res.Hash, ref.Pairs, ref.Hash)
+				}
+			}
+			for _, workers := range []int{2, 4} {
+				for _, idx := range boxLineup(cfg) {
+					res := RunBoxesParallel(idx, workload.MustNewBoxGenerator(cfg), Options{}, workers)
+					if res.Pairs != ref.Pairs || res.Hash != ref.Hash {
+						t.Errorf("parallel(%d) %s: (%d, %#x), want (%d, %#x)",
+							workers, res.Technique, res.Pairs, res.Hash, ref.Pairs, ref.Hash)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBoxJoinDuplicateFreeEmission drives the full tick loop with pair
+// collection on and verifies no (querier, found) pair is reported twice
+// within a tick — the end-to-end form of the grid's duplicate-emission
+// regression test.
+func TestBoxJoinDuplicateFreeEmission(t *testing.T) {
+	cfg := testBoxConfig()
+	// Large extents relative to the space so MBRs span many cells.
+	cfg.MinSide = 200
+	cfg.MaxSide = 900
+	cfg.Ticks = 4
+	type pair struct{ q, id uint32 }
+	seen := make(map[pair]int)
+	idx := grid.MustNewBoxGrid(16, cfg.Bounds(), cfg.NumPoints)
+	res := RunBoxes(idx, workload.MustNewBoxGenerator(cfg), Options{
+		CollectPairs: func(q, id uint32) {
+			seen[pair{q, id}]++
+		},
+	})
+	// Each tick queries a fresh map would need per-tick delimiting; the
+	// workload issues each querier at most once per tick, so a pair can
+	// legitimately repeat across ticks but at most cfg.Ticks times.
+	for p, n := range seen {
+		if n > cfg.Ticks {
+			t.Fatalf("pair (%d, %d) reported %d times over %d ticks", p.q, p.id, n, cfg.Ticks)
+		}
+	}
+	// Cross-check against the oracle digest: duplicates would shift it.
+	ref := RunBoxes(NewBruteForceBoxes(), workload.MustNewBoxGenerator(cfg), Options{})
+	if res.Pairs != ref.Pairs || res.Hash != ref.Hash {
+		t.Fatalf("box grid digest (%d, %#x) disagrees with oracle (%d, %#x)",
+			res.Pairs, res.Hash, ref.Pairs, ref.Hash)
+	}
+}
+
+// TestBoxBatchUpdaterEngaged confirms the parallel driver actually takes
+// the batched update path at realistic batch sizes (guarding against the
+// gate silently disabling it).
+func TestBoxBatchUpdaterEngaged(t *testing.T) {
+	cfg := testBoxConfig()
+	cfg.NumPoints = 6000
+	bg := grid.MustNewBoxGrid(32, cfg.Bounds(), cfg.NumPoints)
+	var batcher BoxBatchUpdater = bg
+	if !batcher.CanBatchUpdates(cfg.NumPoints / 2) {
+		t.Fatalf("CanBatchUpdates(%d) = false; parallel ticks would never batch", cfg.NumPoints/2)
+	}
+	ref := RunBoxes(NewBruteForceBoxes(), workload.MustNewBoxGenerator(cfg), Options{})
+	res := RunBoxesParallel(bg, workload.MustNewBoxGenerator(cfg), Options{}, 4)
+	if res.Pairs != ref.Pairs || res.Hash != ref.Hash {
+		t.Fatalf("batched parallel run digest (%d, %#x) disagrees with oracle (%d, %#x)",
+			res.Pairs, res.Hash, ref.Pairs, ref.Hash)
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+// RunBoxes executes the iterated spatial join of a box index over an MBR
+// workload: the same three-phase tick loop as Run, with the object
+// geometry widened from points to rectangles. A join pair (q, id) means
+// object id's MBR intersects the range query of querier q; the result
+// digest is directly comparable across BoxIndex implementations.
+func RunBoxes(idx BoxIndex, src workload.BoxSource, opts Options) *Result {
+	return runTicks(boxEngine(idx, src), opts)
+}
+
+// RunBoxesParallel is RunParallel for box indexes: every phase of the
+// tick fans out over the given number of worker goroutines (0 selects
+// GOMAXPROCS), with queriers scheduled by the Morton code of their MBR
+// centre. The result digest matches RunBoxes bit for bit.
+func RunBoxesParallel(idx BoxIndex, src workload.BoxSource, opts Options, workers int) *Result {
+	return runTicksParallel(boxEngine(idx, src), opts, workers)
+}
+
+// boxEngine binds a box index and an MBR workload into the generic tick
+// engine.
+func boxEngine(idx BoxIndex, src workload.BoxSource) *engine[geom.Rect] {
+	cfg := src.Config()
+	e := &engine[geom.Rect]{
+		name:      idx.Name(),
+		ticks:     cfg.Ticks,
+		n:         src.NumBoxes(),
+		bounds:    cfg.Bounds(),
+		refresh:   src.RefreshRects,
+		build:     idx.Build,
+		query:     idx.Query,
+		queriers:  src.Queriers,
+		queryRect: src.QueryRect,
+		center:    geom.Rect.Center,
+	}
+	if builder, ok := idx.(BoxParallelBuilder); ok {
+		e.buildParallel = builder.BuildParallel
+	}
+	batcher, _ := idx.(BoxBatchUpdater)
+	var moves []geom.BoxMove
+	e.updatePhase = func(snap []geom.Rect, workers int) int {
+		batch := src.Updates()
+		if workers > 1 && batcher != nil && batcher.CanBatchUpdates(len(batch)) {
+			moves = moves[:0]
+			for _, u := range batch {
+				moves = append(moves, geom.BoxMove{ID: u.ID, Old: snap[u.ID], New: u.Rect})
+			}
+			batcher.UpdateBatch(moves, workers)
+		} else {
+			for _, u := range batch {
+				idx.Update(u.ID, snap[u.ID], u.Rect)
+			}
+		}
+		src.ApplyUpdates(batch)
+		return len(batch)
+	}
+	return e
+}

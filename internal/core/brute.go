@@ -33,3 +33,35 @@ func (b *BruteForce) Update(id uint32, old, new geom.Point) {}
 
 // Len implements Counter.
 func (b *BruteForce) Len() int { return len(b.pts) }
+
+// BruteForceBoxes is the box-join oracle: no index, every query scans
+// every MBR with a nested-loop intersection test. Trivially
+// duplicate-free, it is the reference all BoxIndex implementations are
+// validated against.
+type BruteForceBoxes struct {
+	rects []geom.Rect
+}
+
+// NewBruteForceBoxes returns the box oracle technique.
+func NewBruteForceBoxes() *BruteForceBoxes { return &BruteForceBoxes{} }
+
+// Name implements BoxIndex.
+func (b *BruteForceBoxes) Name() string { return "Brute Force Boxes" }
+
+// Build implements BoxIndex by retaining the snapshot.
+func (b *BruteForceBoxes) Build(rects []geom.Rect) { b.rects = rects }
+
+// Query implements BoxIndex with a full nested-loop scan.
+func (b *BruteForceBoxes) Query(r geom.Rect, emit func(id uint32)) {
+	for i := range b.rects {
+		if b.rects[i].Intersects(r) {
+			emit(uint32(i))
+		}
+	}
+}
+
+// Update implements BoxIndex; the snapshot refresh covers it.
+func (b *BruteForceBoxes) Update(id uint32, old, new geom.Rect) {}
+
+// Len implements Counter.
+func (b *BruteForceBoxes) Len() int { return len(b.rects) }

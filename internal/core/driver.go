@@ -109,68 +109,49 @@ func mixPair(h uint64, querier, found uint32) uint64 {
 //     move, and apply the batch to the base table at the very end, so
 //     queries only ever saw the previous tick's state.
 func Run(idx Index, src workload.Source, opts Options) *Result {
+	return runTicks(pointEngine(idx, src), opts)
+}
+
+// pointEngine binds a point index and a point workload into the generic
+// tick engine.
+func pointEngine(idx Index, src workload.Source) *engine[geom.Point] {
 	cfg := src.Config()
-	ticks := opts.Ticks
-	if ticks <= 0 || ticks > cfg.Ticks {
-		ticks = cfg.Ticks
+	e := &engine[geom.Point]{
+		name:   idx.Name(),
+		ticks:  cfg.Ticks,
+		n:      len(src.Objects()),
+		bounds: cfg.Bounds(),
+		refresh: func(dst []geom.Point, lo, hi int) {
+			refreshSnapshot(dst[lo:hi], src.Objects()[lo:hi])
+		},
+		build:     idx.Build,
+		query:     idx.Query,
+		queriers:  src.Queriers,
+		queryRect: src.QueryRect,
+		center:    func(p geom.Point) geom.Point { return p },
 	}
-	res := &Result{Technique: idx.Name(), Ticks: ticks}
-	if opts.KeepPerTick {
-		res.PerTick = make([]PhaseTimes, 0, ticks)
+	if builder, ok := idx.(ParallelBuilder); ok {
+		e.buildParallel = builder.BuildParallel
 	}
-
-	snapshot := make([]geom.Point, len(src.Objects()))
-
-	pairs := int64(0)
-	hash := uint64(0)
-	var emitQ uint32
-	emit := func(id uint32) {
-		pairs++
-		hash = mixPair(hash, emitQ, id)
-	}
-	if opts.CollectPairs != nil {
-		collect := opts.CollectPairs
-		emit = func(id uint32) {
-			pairs++
-			hash = mixPair(hash, emitQ, id)
-			collect(emitQ, id)
-		}
-	}
-
-	for t := 0; t < ticks; t++ {
-		var pt PhaseTimes
-
-		start := time.Now()
-		refreshSnapshot(snapshot, src.Objects())
-		idx.Build(snapshot)
-		pt.Build = time.Since(start)
-
-		start = time.Now()
-		queriers := src.Queriers()
-		for _, q := range queriers {
-			emitQ = q
-			idx.Query(src.QueryRect(q), emit)
-		}
-		pt.Query = time.Since(start)
-		res.Queries += int64(len(queriers))
-
-		start = time.Now()
+	batcher, _ := idx.(BatchUpdater)
+	var moves []geom.Move
+	e.updatePhase = func(snap []geom.Point, workers int) int {
 		batch := src.Updates()
-		for _, u := range batch {
-			idx.Update(u.ID, snapshot[u.ID], u.Pos)
+		if workers > 1 && batcher != nil && batcher.CanBatchUpdates(len(batch)) {
+			moves = moves[:0]
+			for _, u := range batch {
+				moves = append(moves, geom.Move{ID: u.ID, Old: snap[u.ID], New: u.Pos})
+			}
+			batcher.UpdateBatch(moves, workers)
+		} else {
+			for _, u := range batch {
+				idx.Update(u.ID, snap[u.ID], u.Pos)
+			}
 		}
 		src.ApplyUpdates(batch)
-		pt.Update = time.Since(start)
-		res.Updates += int64(len(batch))
-
-		res.Totals.add(pt)
-		if opts.KeepPerTick {
-			res.PerTick = append(res.PerTick, pt)
-		}
+		return len(batch)
 	}
-	res.Pairs = pairs
-	res.Hash = hash
-	return res
+	return e
 }
 
 func refreshSnapshot(dst []geom.Point, objs []workload.Object) {

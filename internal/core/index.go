@@ -61,6 +61,56 @@ type BatchUpdater interface {
 	CanBatchUpdates(n int) bool
 }
 
+// BoxIndex is the contract spatial join techniques over extended objects
+// (rectangles/MBRs) implement. It mirrors Index with the object geometry
+// widened from a point to an axis-aligned rectangle: the snapshot is one
+// MBR per object, and a range query reports every object whose MBR
+// intersects the query rectangle.
+//
+// The same secondary-index assumption applies: implementations store
+// object IDs and read extents from the snapshot passed to Build.
+type BoxIndex interface {
+	// Name identifies the technique in reports.
+	Name() string
+
+	// Build (re)constructs the index over the snapshot rects, where
+	// object i has MBR rects[i]. The slice remains valid and unchanged
+	// until the next Build call, so implementations may retain it.
+	Build(rects []geom.Rect)
+
+	// Query reports the ID of every object whose MBR intersects r
+	// (closed rectangles, so touching edges match), in unspecified
+	// order, by calling emit EXACTLY ONCE per matching object.
+	// Duplicate-free emission is part of the contract: techniques that
+	// replicate objects across partitions must deduplicate internally
+	// (e.g. by the reference-point method) rather than leave it to the
+	// caller.
+	Query(r geom.Rect, emit func(id uint32))
+
+	// Update informs the index that object id's MBR moved from old to
+	// new during the update phase.
+	Update(id uint32, old, new geom.Rect)
+}
+
+// BoxParallelBuilder is ParallelBuilder for box indexes: an optional
+// sharded Build whose result must be indistinguishable from Build(rects)
+// to every subsequent Query/Update call. workers <= 0 selects GOMAXPROCS.
+type BoxParallelBuilder interface {
+	BuildParallel(rects []geom.Rect, workers int)
+}
+
+// BoxBatchUpdater is BatchUpdater for box indexes: an optional bulk path
+// applying a whole tick's MBR moves at once. The batch contains at most
+// one move per object ID and the result must be indistinguishable from
+// calling Update(m.ID, m.Old, m.New) for each move in order.
+type BoxBatchUpdater interface {
+	UpdateBatch(moves []geom.BoxMove, workers int)
+	// CanBatchUpdates reports whether UpdateBatch would take a path that
+	// actually differs from per-move Update calls for a batch of n
+	// moves; drivers skip batch assembly when it returns false.
+	CanBatchUpdates(n int) bool
+}
+
 // Counter is an optional interface for indexes that can report their
 // cardinality, used by invariant checks in tests.
 type Counter interface {
@@ -78,7 +128,8 @@ type MemoryReporter interface {
 
 // Params carries the information factories need to size an index for a
 // workload. Space bounds matter for the grids and the KD-trie; NumPoints
-// lets implementations pre-size arenas.
+// lets implementations pre-size arenas (for box workloads it is the
+// number of objects, i.e. MBRs).
 type Params struct {
 	Bounds    geom.Rect
 	NumPoints int
@@ -86,3 +137,7 @@ type Params struct {
 
 // Factory constructs a fresh index instance for the given parameters.
 type Factory func(p Params) Index
+
+// BoxFactory constructs a fresh box index instance for the given
+// parameters.
+type BoxFactory func(p Params) BoxIndex

@@ -1,187 +1,13 @@
 package core
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-	"time"
-
-	"repro/internal/geom"
-	"repro/internal/parutil"
-	"repro/internal/sortutil"
-	"repro/internal/workload"
-)
-
-// mortonBits is the per-axis resolution of the querier scheduling codes.
-// 16 bits is far finer than any grid the study uses, so queriers that
-// sort together share cells at every granularity.
-const mortonBits = 16
-
-// queryBlock is the unit of the work-stealing querier schedule: workers
-// claim contiguous blocks of the Morton-sorted querier order, so each
-// block's queries touch neighbouring cells while the atomic cursor keeps
-// the load balanced under spatial skew.
-const queryBlock = 64
-
-// parallelRefreshMin gates the parallel snapshot refresh; below this the
-// copy is memory-bandwidth-trivial and goroutine fork/join dominates.
-const parallelRefreshMin = 1 << 14
-
-// padded keeps each worker's accumulator on its own cache line. Workers
-// accumulate into locals and write here once per tick, but without the
-// padding those final writes (and the main goroutine's reads) still
-// false-share 16-byte neighbours.
-type padded struct {
-	pairs int64
-	hash  uint64
-	_     [48]byte
-}
+import "repro/internal/workload"
 
 // RunParallel executes the iterated join like Run but fans every phase of
 // the tick out over the given number of worker goroutines (0 selects
-// GOMAXPROCS). This is an extension beyond the paper, whose study is
-// single-threaded.
-//
-//   - build: the snapshot refresh is copied in parallel shards, and
-//     indexes implementing ParallelBuilder (the CSR grid) build by
-//     sharded counting sort; others build sequentially as in Run.
-//   - query: the static index is immutable between Build and the first
-//     Update, so queriers partition trivially. Queriers are sorted by the
-//     Morton code of their position and workers claim contiguous blocks
-//     of that order through an atomic cursor: each worker sweeps the grid
-//     in cache-friendly Z-order while skew cannot idle anyone.
-//   - update: indexes implementing BatchUpdater (the CSR grid) apply the
-//     whole batch partitioned by target cell across workers; others
-//     update sequentially as in Run.
-//
-// The order-independent result digest makes the outcome comparable with
-// sequential runs bit for bit.
+// GOMAXPROCS); see runTicksParallel for the schedule. Indexes
+// implementing ParallelBuilder build by sharded counting sort, and
+// BatchUpdater implementations apply each tick's update batch partitioned
+// by target cell across workers.
 func RunParallel(idx Index, src workload.Source, opts Options, workers int) *Result {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers == 1 {
-		return Run(idx, src, opts)
-	}
-	if opts.CollectPairs != nil {
-		// Pair collection is inherently ordered; fall back to the
-		// sequential driver rather than interleave callbacks.
-		return Run(idx, src, opts)
-	}
-	cfg := src.Config()
-	ticks := opts.Ticks
-	if ticks <= 0 || ticks > cfg.Ticks {
-		ticks = cfg.Ticks
-	}
-	res := &Result{Technique: idx.Name(), Ticks: ticks}
-	if opts.KeepPerTick {
-		res.PerTick = make([]PhaseTimes, 0, ticks)
-	}
-	numObjects := len(src.Objects())
-	snapshot := make([]geom.Point, numObjects)
-
-	builder, _ := idx.(ParallelBuilder)
-	batcher, _ := idx.(BatchUpdater)
-
-	quant := geom.NewQuantizer(cfg.Bounds(), mortonBits)
-	// At 16 bits per axis a Morton code fits in 32 bits, so the cheaper
-	// 4-pass radix sort applies.
-	codes := make([]uint32, numObjects)
-	order := make([]uint32, 0, numObjects)
-	scratch := make([]uint32, numObjects)
-	var moves []geom.Move
-
-	parts := make([]padded, workers)
-
-	for t := 0; t < ticks; t++ {
-		var pt PhaseTimes
-
-		start := time.Now()
-		parallelRefresh(snapshot, src.Objects(), workers)
-		if builder != nil {
-			builder.BuildParallel(snapshot, workers)
-		} else {
-			idx.Build(snapshot)
-		}
-		pt.Build = time.Since(start)
-
-		start = time.Now()
-		queriers := src.Queriers()
-		order = append(order[:0], queriers...)
-		for _, q := range queriers {
-			codes[q] = uint32(quant.Code(snapshot[q]))
-		}
-		sortutil.ByKey32(order, codes, scratch)
-
-		var cursor atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				var pairs int64
-				var hash uint64
-				for {
-					lo := int(cursor.Add(queryBlock)) - queryBlock
-					if lo >= len(order) {
-						break
-					}
-					hi := lo + queryBlock
-					if hi > len(order) {
-						hi = len(order)
-					}
-					for _, q := range order[lo:hi] {
-						r := src.QueryRect(q)
-						idx.Query(r, func(id uint32) {
-							pairs++
-							hash = mixPair(hash, q, id)
-						})
-					}
-				}
-				parts[w].pairs = pairs
-				parts[w].hash = hash
-			}(w)
-		}
-		wg.Wait()
-		pt.Query = time.Since(start)
-		res.Queries += int64(len(queriers))
-		for w := range parts {
-			res.Pairs += parts[w].pairs
-			res.Hash += parts[w].hash
-		}
-
-		start = time.Now()
-		batch := src.Updates()
-		if batcher != nil && batcher.CanBatchUpdates(len(batch)) {
-			moves = moves[:0]
-			for _, u := range batch {
-				moves = append(moves, geom.Move{ID: u.ID, Old: snapshot[u.ID], New: u.Pos})
-			}
-			batcher.UpdateBatch(moves, workers)
-		} else {
-			for _, u := range batch {
-				idx.Update(u.ID, snapshot[u.ID], u.Pos)
-			}
-		}
-		src.ApplyUpdates(batch)
-		pt.Update = time.Since(start)
-		res.Updates += int64(len(batch))
-
-		res.Totals.add(pt)
-		if opts.KeepPerTick {
-			res.PerTick = append(res.PerTick, pt)
-		}
-	}
-	return res
-}
-
-// parallelRefresh is refreshSnapshot fanned out over contiguous shards.
-func parallelRefresh(dst []geom.Point, objs []workload.Object, workers int) {
-	if len(objs) < parallelRefreshMin || workers <= 1 {
-		refreshSnapshot(dst, objs)
-		return
-	}
-	parutil.ForEachShard(len(objs), workers, func(_, lo, hi int) {
-		refreshSnapshot(dst[lo:hi], objs[lo:hi])
-	})
+	return runTicksParallel(pointEngine(idx, src), opts, workers)
 }

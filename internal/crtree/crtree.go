@@ -365,22 +365,9 @@ func (t *Tree) MemoryBytes() int64 {
 }
 
 func pointMBR(pts []geom.Point, ids []uint32) geom.Rect {
-	p := pts[ids[0]]
-	r := geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
+	r := pts[ids[0]].Rect()
 	for _, id := range ids[1:] {
-		q := pts[id]
-		if q.X < r.MinX {
-			r.MinX = q.X
-		}
-		if q.X > r.MaxX {
-			r.MaxX = q.X
-		}
-		if q.Y < r.MinY {
-			r.MinY = q.Y
-		}
-		if q.Y > r.MaxY {
-			r.MaxY = q.Y
-		}
+		r = r.Stretch(pts[id])
 	}
 	return r
 }

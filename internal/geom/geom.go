@@ -34,6 +34,12 @@ func (p Point) In(r Rect) bool {
 // Add returns p translated by (dx, dy).
 func (p Point) Add(dx, dy float32) Point { return Point{X: p.X + dx, Y: p.Y + dy} }
 
+// Rect returns the degenerate rectangle covering exactly p. It is the
+// seed value for MBR accumulation via Rect.Stretch.
+func (p Point) Rect() Rect {
+	return Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
+}
+
 // Move describes one object relocation: the entry identified by ID leaves
 // position Old and arrives at position New. It is the unit of the batched
 // update path (core.BatchUpdater); it lives here so index packages can
@@ -42,6 +48,15 @@ type Move struct {
 	ID  uint32
 	Old Point
 	New Point
+}
+
+// BoxMove is Move for extended objects: the MBR identified by ID leaves
+// extent Old and arrives at extent New. It is the unit of the batched
+// box-update path (core.BoxBatchUpdater).
+type BoxMove struct {
+	ID  uint32
+	Old Rect
+	New Rect
 }
 
 // Rect is an axis-aligned rectangle given by its lower-left (MinX, MinY)
@@ -154,14 +169,18 @@ func RectOf(pts []Point) Rect {
 	if len(pts) == 0 {
 		panic("geom: RectOf of empty point set")
 	}
-	r := Rect{MinX: pts[0].X, MinY: pts[0].Y, MaxX: pts[0].X, MaxY: pts[0].Y}
+	r := pts[0].Rect()
 	for _, p := range pts[1:] {
-		r = r.stretch(p)
+		r = r.Stretch(p)
 	}
 	return r
 }
 
-func (r Rect) stretch(p Point) Rect {
+// Stretch returns r grown just enough to contain p. It is the inner step
+// of every MBR-accumulation loop (RectOf here, leaf packing in the
+// R-tree variants), centralized so the min/max comparisons are written
+// once.
+func (r Rect) Stretch(p Point) Rect {
 	if p.X < r.MinX {
 		r.MinX = p.X
 	}

@@ -127,6 +127,55 @@ func TestIntersectionAndUnion(t *testing.T) {
 	}
 }
 
+func TestPointRect(t *testing.T) {
+	p := Pt(3, -4)
+	r := p.Rect()
+	if r != R(3, -4, 3, -4) {
+		t.Fatalf("Point.Rect = %v, want degenerate rect at %v", r, p)
+	}
+	if !r.Valid() || r.Area() != 0 {
+		t.Fatalf("Point.Rect must be a valid zero-area rect, got %v", r)
+	}
+	if !p.In(r) {
+		t.Fatalf("point must lie in its own degenerate rect")
+	}
+}
+
+func TestStretch(t *testing.T) {
+	base := R(0, 0, 10, 10)
+	cases := []struct {
+		name string
+		p    Point
+		want Rect
+	}{
+		{"inside is identity", Pt(5, 5), base},
+		{"on corner is identity", Pt(10, 10), base},
+		{"left", Pt(-2, 5), R(-2, 0, 10, 10)},
+		{"right", Pt(12, 5), R(0, 0, 12, 10)},
+		{"below", Pt(5, -3), R(0, -3, 10, 10)},
+		{"above", Pt(5, 14), R(0, 0, 10, 14)},
+		{"diagonal", Pt(-1, 13), R(-1, 0, 10, 13)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := base.Stretch(c.p)
+			if got != c.want {
+				t.Errorf("%v.Stretch(%v) = %v, want %v", base, c.p, got, c.want)
+			}
+			if !c.p.In(got) {
+				t.Errorf("stretched rect %v must contain %v", got, c.p)
+			}
+			if !got.ContainsRect(base) {
+				t.Errorf("stretched rect %v must contain the original %v", got, base)
+			}
+			// Stretch agrees with Union of the degenerate point rect.
+			if u := base.Union(c.p.Rect()); u != got {
+				t.Errorf("Stretch %v disagrees with Union %v", got, u)
+			}
+		})
+	}
+}
+
 func TestRectOf(t *testing.T) {
 	pts := []Point{Pt(3, 7), Pt(-1, 2), Pt(5, 0)}
 	if got := RectOf(pts); got != R(-1, 0, 5, 7) {

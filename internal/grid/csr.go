@@ -139,8 +139,7 @@ func (st *csrStore) buildParallel(pts []geom.Point, workers int) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	// Below this population the fork/join overhead beats the win.
-	if workers == 1 || len(pts) < 4096 {
+	if workers == 1 || len(pts) < minParallelBuild {
 		st.build(pts)
 		return
 	}

@@ -352,15 +352,29 @@ func (g *Grid) Build(pts []geom.Point) {
 	}
 }
 
-// BuildParallel implements core.ParallelBuilder: the CSR layout builds by
-// sharded counting sort across the given number of workers (0 selects
-// GOMAXPROCS) and produces an arena bit-identical to Build; every other
-// layout falls back to the sequential Build, whose chained-bucket arenas
-// do not admit disjoint-range scatters.
+// minParallelBuild gates every sharded build path; below this population
+// the fork/join overhead beats the win.
+const minParallelBuild = 4096
+
+// BuildParallel implements core.ParallelBuilder across all layouts (0
+// workers selects GOMAXPROCS). The CSR layout builds by sharded counting
+// sort and produces an arena bit-identical to Build; the bucket layouts
+// (inline, linked, intrusive) build per-worker private chains spliced
+// per cell (see parbuild.go), indistinguishable to Query/Update though
+// chain order differs. Small populations fall back to the sequential
+// Build.
 func (g *Grid) BuildParallel(pts []geom.Point, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if g.csr != nil {
 		g.pts = pts
 		g.csr.buildParallel(pts, workers)
+		return
+	}
+	if sb, ok := g.st.(spliceBuildStore); ok && workers > 1 && len(pts) >= minParallelBuild {
+		g.pts = pts
+		sb.buildParallel(pts, g.mapper, workers)
 		return
 	}
 	g.Build(pts)

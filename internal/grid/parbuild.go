@@ -1,0 +1,352 @@
+package grid
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/parutil"
+)
+
+// This file implements parallel bulk builds for the bucket layouts
+// (inline, linked, intrusive), lifting the sequential fallback the CSR
+// layout never had: each worker builds private per-cell chains over its
+// contiguous chunk of the snapshot, and a sequential merge splices the
+// per-worker chains per cell — a pointer relink per (worker, cell), no
+// entry is ever moved. The resulting grid differs from the sequential
+// build only in chain order and bucket fill (each worker chain keeps its
+// own partial head bucket), both of which the store contracts leave
+// unspecified; queries, updates, and digests are indistinguishable.
+//
+// The inline and linked layouts pre-size their arenas exactly with a
+// counting pass (the same discipline as the CSR build), so workers
+// bump-allocate from disjoint regions and the build allocates nothing in
+// steady state. The intrusive layout has one node per object ID and
+// needs no sizing pass at all.
+
+// spliceBuildStore is the capability Grid.BuildParallel dispatches on
+// for non-CSR layouts.
+type spliceBuildStore interface {
+	buildParallel(pts []geom.Point, m cellMapper, workers int)
+}
+
+var (
+	_ spliceBuildStore = (*inlineStore)(nil)
+	_ spliceBuildStore = (*linkedStore)(nil)
+	_ spliceBuildStore = (*intrusiveStore)(nil)
+)
+
+// chainScratch holds the retained scratch of the counting pass shared by
+// the inline and linked parallel builds.
+type chainScratch struct {
+	cellOf      []uint32   // per-point cell index
+	shardCounts [][]uint32 // per-worker per-cell population
+}
+
+// count caches every point's cell in cellOf and tallies per-worker
+// per-cell populations, sharding the snapshot into contiguous chunks
+// (the same shard boundaries ForEachShard will produce again for the
+// insertion pass).
+func (s *chainScratch) count(pts []geom.Point, m cellMapper, cells, workers int) {
+	if cap(s.cellOf) < len(pts) {
+		s.cellOf = make([]uint32, len(pts))
+	} else {
+		s.cellOf = s.cellOf[:len(pts)]
+	}
+	if len(s.shardCounts) < workers {
+		s.shardCounts = make([][]uint32, workers)
+	}
+	for w := 0; w < workers; w++ {
+		if len(s.shardCounts[w]) < cells {
+			s.shardCounts[w] = make([]uint32, cells)
+		} else {
+			sc := s.shardCounts[w][:cells]
+			for i := range sc {
+				sc[i] = 0
+			}
+		}
+	}
+	parutil.ForEachShard(len(pts), workers, func(w, lo, hi int) {
+		sc := s.shardCounts[w][:cells]
+		for i := lo; i < hi; i++ {
+			c := uint32(m.cellIndexFor(pts[i]))
+			s.cellOf[i] = c
+			sc[c]++
+		}
+	})
+}
+
+// headTail32 is one worker's private chain table: head and tail bucket
+// offset (or node ID) per cell.
+type headTail32 struct {
+	head, tail []uint32
+}
+
+func resizeHeadTails(tables []headTail32, workers, cells int) []headTail32 {
+	if len(tables) < workers {
+		tables = append(tables, make([]headTail32, workers-len(tables))...)
+	}
+	for w := 0; w < workers; w++ {
+		if len(tables[w].head) < cells {
+			tables[w].head = make([]uint32, cells)
+			tables[w].tail = make([]uint32, cells)
+		}
+	}
+	return tables
+}
+
+// ---- inline layout ----
+
+func (st *inlineStore) buildParallel(pts []geom.Point, m cellMapper, workers int) {
+	st.reset(pts)
+	st.par.count(pts, m, len(st.cells), workers)
+	cells := len(st.cells)
+	st.chains = resizeHeadTails(st.chains, workers, cells)
+
+	// Exact arena sizing: worker w needs ceil(cnt/bs) buckets per cell.
+	// The same loop resets the chain tables (nilOff heads) so workers
+	// with empty chunks leave no stale state for the splice.
+	bs := uint32(st.bs)
+	if cap(st.slotBase) < workers+1 {
+		st.slotBase = make([]uint32, workers+1)
+	} else {
+		st.slotBase = st.slotBase[:workers+1]
+	}
+	var totalBuckets uint32
+	for w := 0; w < workers; w++ {
+		st.slotBase[w] = totalBuckets * uint32(st.slots)
+		sc := st.par.shardCounts[w][:cells]
+		heads := st.chains[w].head[:cells]
+		for c, cnt := range sc {
+			heads[c] = nilOff
+			totalBuckets += (cnt + bs - 1) / bs
+		}
+	}
+	st.slotBase[workers] = totalBuckets * uint32(st.slots)
+
+	need := int(totalBuckets) * st.slots
+	if cap(st.arena) < need {
+		st.arena = make([]uint32, need)
+	} else {
+		st.arena = st.arena[:need]
+	}
+
+	parutil.ForEachShard(len(pts), workers, func(w, lo, hi int) {
+		arena := st.arena
+		heads := st.chains[w].head
+		tails := st.chains[w].tail
+		cursor := st.slotBase[w]
+		for i := lo; i < hi; i++ {
+			c := st.par.cellOf[i]
+			off := heads[c]
+			if off == nilOff || arena[off+1] >= bs {
+				nb := cursor
+				cursor += uint32(st.slots)
+				arena[nb] = off
+				arena[nb+1] = 0
+				if off == nilOff {
+					tails[c] = nb
+				}
+				heads[c] = nb
+				off = nb
+			}
+			n := arena[off+1]
+			arena[off+2+n] = uint32(i)
+			if st.withXY {
+				xy := off + 2 + bs + 2*n
+				p := pts[i]
+				arena[xy] = math.Float32bits(p.X)
+				arena[xy+1] = math.Float32bits(p.Y)
+			}
+			arena[off+1] = n + 1
+		}
+	})
+
+	// Splice: per cell, link the worker chains in worker order. Each
+	// chain's tail (its first-allocated bucket) already terminates with
+	// the previous chain head it was seeded with — nilOff — so one write
+	// per non-empty (worker, cell) pair stitches the full chain.
+	for c := 0; c < cells; c++ {
+		prevTail := nilOff
+		for w := 0; w < workers; w++ {
+			head := st.chains[w].head[c]
+			if head == nilOff {
+				continue
+			}
+			if prevTail == nilOff {
+				st.cells[c] = head
+			} else {
+				st.arena[prevTail] = head
+			}
+			prevTail = st.chains[w].tail[c]
+		}
+	}
+
+	st.next = st.slotBase[workers]
+	st.live = int(totalBuckets)
+	st.entries = len(pts)
+}
+
+// ---- linked layout ----
+
+func (st *linkedStore) buildParallel(pts []geom.Point, m cellMapper, workers int) {
+	st.reset(pts)
+	st.par.count(pts, m, len(st.cells), workers)
+	cells := len(st.cells)
+
+	// One node per point, addressed by point index, so workers write
+	// disjoint arena entries with no allocation protocol at all.
+	if cap(st.nodeArena) < len(pts) {
+		st.nodeArena = make([]entryNode, len(pts))
+	} else {
+		st.nodeArena = st.nodeArena[:len(pts)]
+	}
+
+	// Exact bucket sizing, like the inline layout.
+	bs := uint32(st.bs)
+	if cap(st.bucketBase) < workers+1 {
+		st.bucketBase = make([]uint32, workers+1)
+	} else {
+		st.bucketBase = st.bucketBase[:workers+1]
+	}
+	st.chains = resizeChainPtrs(st.chains, workers, cells)
+	var totalBuckets uint32
+	for w := 0; w < workers; w++ {
+		st.bucketBase[w] = totalBuckets
+		sc := st.par.shardCounts[w][:cells]
+		heads := st.chains[w].head[:cells]
+		for c, cnt := range sc {
+			heads[c] = nil
+			totalBuckets += (cnt + bs - 1) / bs
+		}
+	}
+	st.bucketBase[workers] = totalBuckets
+	if cap(st.bucketArena) < int(totalBuckets) {
+		st.bucketArena = make([]linkedBucket, totalBuckets)
+	} else {
+		st.bucketArena = st.bucketArena[:totalBuckets]
+	}
+
+	parutil.ForEachShard(len(pts), workers, func(w, lo, hi int) {
+		heads := st.chains[w].head
+		tails := st.chains[w].tail
+		cursor := st.bucketBase[w]
+		for i := lo; i < hi; i++ {
+			c := st.par.cellOf[i]
+			b := heads[c]
+			if b == nil || b.count >= int32(st.bs) {
+				nb := &st.bucketArena[cursor]
+				cursor++
+				*nb = linkedBucket{next: b}
+				if b == nil {
+					tails[c] = nb
+				}
+				heads[c] = nb
+				b = nb
+			}
+			n := &st.nodeArena[i]
+			*n = entryNode{id: uint32(i), ptr: &pts[i], next: b.head}
+			if b.head != nil {
+				b.head.prev = n
+			}
+			b.head = n
+			b.count++
+		}
+	})
+
+	for c := 0; c < cells; c++ {
+		var prevTail *linkedBucket
+		var total int32
+		for w := 0; w < workers; w++ {
+			head := st.chains[w].head[c]
+			if head == nil {
+				continue
+			}
+			if prevTail == nil {
+				st.cells[c].head = head
+			} else {
+				prevTail.next = head
+			}
+			prevTail = st.chains[w].tail[c]
+			total += int32(st.par.shardCounts[w][c])
+		}
+		st.cells[c].count = total
+	}
+
+	st.entries = len(pts)
+}
+
+// chainPtrs is headTail32 with bucket pointers instead of offsets.
+type chainPtrs struct {
+	head, tail []*linkedBucket
+}
+
+func resizeChainPtrs(tables []chainPtrs, workers, cells int) []chainPtrs {
+	if len(tables) < workers {
+		tables = append(tables, make([]chainPtrs, workers-len(tables))...)
+	}
+	for w := 0; w < workers; w++ {
+		if len(tables[w].head) < cells {
+			tables[w].head = make([]*linkedBucket, cells)
+			tables[w].tail = make([]*linkedBucket, cells)
+		}
+	}
+	return tables
+}
+
+// ---- intrusive layout ----
+
+func (st *intrusiveStore) buildParallel(pts []geom.Point, m cellMapper, workers int) {
+	// No sizing pass: exactly one node per object ID, written in full by
+	// its owning worker, so the reset's unlink-marking loop is redundant
+	// too.
+	if cap(st.nodes) < len(pts) {
+		st.nodes = make([]iNode, len(pts))
+	}
+	st.nodes = st.nodes[:len(pts)]
+	st.pts = pts
+	cells := len(st.cells)
+	st.chains = resizeHeadTails(st.chains, workers, cells)
+	for w := 0; w < workers; w++ {
+		heads := st.chains[w].head[:cells]
+		for c := range heads {
+			heads[c] = nilOff // bit pattern of nilID in the uint32 table
+		}
+	}
+
+	parutil.ForEachShard(len(pts), workers, func(w, lo, hi int) {
+		heads := st.chains[w].head
+		tails := st.chains[w].tail
+		for i := lo; i < hi; i++ {
+			c := uint32(m.cellIndexFor(pts[i]))
+			head := heads[c]
+			st.nodes[i] = iNode{prev: nilID, next: int32(head), cell: int32(c)}
+			if int32(head) != nilID {
+				st.nodes[head].prev = int32(i)
+			} else {
+				tails[c] = uint32(i)
+			}
+			heads[c] = uint32(i)
+		}
+	})
+
+	for c := 0; c < cells; c++ {
+		prevTail := nilID
+		first := nilID
+		for w := 0; w < workers; w++ {
+			head := int32(st.chains[w].head[c])
+			if head == nilID {
+				continue
+			}
+			if prevTail == nilID {
+				first = head
+			} else {
+				st.nodes[prevTail].next = head
+				st.nodes[head].prev = prevTail
+			}
+			prevTail = int32(st.chains[w].tail[c])
+		}
+		st.cells[c] = first
+	}
+
+	st.entries = len(pts)
+}

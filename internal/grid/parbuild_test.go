@@ -1,0 +1,136 @@
+package grid
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+// queryIDs collects one grid query, sorted.
+func queryIDs(g *Grid, r geom.Rect) []uint32 {
+	var out []uint32
+	g.Query(r, func(id uint32) { out = append(out, id) })
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// parallelBuildConfigs covers every bucket layout (the CSR layout has
+// its own bit-identity test in csr_test.go) under both scan algorithms.
+func parallelBuildConfigs() []Config {
+	return []Config{
+		{Layout: LayoutInline, Scan: ScanRange, BS: 4, CPS: 16},
+		{Layout: LayoutInline, Scan: ScanFull, BS: 20, CPS: 8},
+		{Layout: LayoutInlineXY, Scan: ScanRange, BS: 7, CPS: 16},
+		{Layout: LayoutLinked, Scan: ScanRange, BS: 4, CPS: 16},
+		{Layout: LayoutLinked, Scan: ScanFull, BS: 3, CPS: 8},
+		{Layout: LayoutIntrusive, Scan: ScanRange, BS: 4, CPS: 16},
+	}
+}
+
+// TestBucketLayoutParallelBuildMatchesSequential: for every bucket
+// layout, a parallel build must be indistinguishable from a sequential
+// one to Query (same result sets), Len, and CellCount.
+func TestBucketLayoutParallelBuildMatchesSequential(t *testing.T) {
+	bounds := geom.R(0, 0, 3000, 3000)
+	rng := xrand.New(5)
+	// Above minParallelBuild so the spliced path actually runs.
+	pts := randomPoints(rng, 6000, bounds)
+	queries := make([]geom.Rect, 0, 60)
+	for i := 0; i < 56; i++ {
+		c := geom.Pt(rng.Range(0, 3000), rng.Range(0, 3000))
+		queries = append(queries, geom.Square(c, rng.Range(10, 700)))
+	}
+	queries = append(queries, bounds, bounds.Expand(100),
+		geom.R(0, 0, 1, 1), geom.R(2999, 2999, 3000, 3000))
+
+	for _, cfg := range parallelBuildConfigs() {
+		for _, workers := range []int{2, 3, 8} {
+			seq := MustNew(cfg, bounds, len(pts))
+			seq.Build(pts)
+			par := MustNew(cfg, bounds, len(pts))
+			par.BuildParallel(pts, workers)
+
+			if par.Len() != seq.Len() {
+				t.Fatalf("%s workers=%d: Len %d, want %d", cfg.DisplayName(), workers, par.Len(), seq.Len())
+			}
+			for i := 0; i < 50; i++ {
+				p := pts[rng.Intn(len(pts))]
+				if par.CellCount(p) != seq.CellCount(p) {
+					t.Fatalf("%s workers=%d: CellCount(%v) %d, want %d",
+						cfg.DisplayName(), workers, p, par.CellCount(p), seq.CellCount(p))
+				}
+			}
+			for _, q := range queries {
+				got := queryIDs(par, q)
+				want := queryIDs(seq, q)
+				if len(got) != len(want) {
+					t.Fatalf("%s workers=%d query %v: %d ids, want %d",
+						cfg.DisplayName(), workers, q, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s workers=%d query %v: id sets differ at %d",
+							cfg.DisplayName(), workers, q, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBucketLayoutParallelBuildThenUpdate: in-place maintenance must
+// keep working on a parallel-built grid (the chains it produced are
+// fill-irregular; removeAt/insertAt must not care).
+func TestBucketLayoutParallelBuildThenUpdate(t *testing.T) {
+	bounds := geom.R(0, 0, 3000, 3000)
+	rng := xrand.New(17)
+	pts := randomPoints(rng, 6000, bounds)
+
+	for _, cfg := range parallelBuildConfigs() {
+		seq := MustNew(cfg, bounds, len(pts))
+		seq.Build(pts)
+		par := MustNew(cfg, bounds, len(pts))
+		par.BuildParallel(pts, 4)
+
+		moved := append([]geom.Point(nil), pts...)
+		for i := 0; i < len(moved); i += 3 {
+			np := geom.Pt(rng.Range(0, 3000), rng.Range(0, 3000))
+			seq.Update(uint32(i), moved[i], np)
+			par.Update(uint32(i), moved[i], np)
+			moved[i] = np
+		}
+		// Both grids read coordinates through the original snapshot, so
+		// compare structurally: same residents per probed cell.
+		for i := 0; i < 200; i++ {
+			p := moved[rng.Intn(len(moved))]
+			if par.CellCount(p) != seq.CellCount(p) {
+				t.Fatalf("%s: after updates CellCount(%v) %d, want %d",
+					cfg.DisplayName(), p, par.CellCount(p), seq.CellCount(p))
+			}
+		}
+		if par.Len() != seq.Len() {
+			t.Fatalf("%s: Len %d after updates, want %d", cfg.DisplayName(), par.Len(), seq.Len())
+		}
+	}
+}
+
+// TestParallelBuildSmallPopulationFallsBack: below the gate the
+// sequential path must be taken (and stay correct).
+func TestParallelBuildSmallPopulationFallsBack(t *testing.T) {
+	bounds := geom.R(0, 0, 100, 100)
+	rng := xrand.New(3)
+	pts := randomPoints(rng, 200, bounds)
+	for _, cfg := range parallelBuildConfigs() {
+		g := MustNew(cfg, bounds, len(pts))
+		g.BuildParallel(pts, 8)
+		if g.Len() != len(pts) {
+			t.Fatalf("%s: Len %d, want %d", cfg.DisplayName(), g.Len(), len(pts))
+		}
+		got := queryIDs(g, bounds)
+		if len(got) != len(pts) {
+			t.Fatalf("%s: whole-space query returned %d ids, want %d", cfg.DisplayName(), len(got), len(pts))
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+// This file extends the moving-object workloads from points to extended
+// objects: every object carries a rectangular extent (an MBR) whose
+// centre moves exactly like the point workloads' objects. The related
+// systems the ROADMAP targets (two-layer space-oriented partitioning,
+// parallel in-memory spatial joins) all join rectangles; this generator
+// opens those workloads while reusing the paper's kinematics unchanged.
+
+// ExtentKind selects the distribution MBR side lengths are drawn from.
+type ExtentKind int
+
+const (
+	// ExtentUniform draws each side length uniformly from
+	// [MinSide, MaxSide]; width and height are independent, so objects
+	// are genuine rectangles, not squares.
+	ExtentUniform ExtentKind = iota
+	// ExtentGaussian draws each side length normally with mean
+	// (MinSide+MaxSide)/2 and sigma (MaxSide-MinSide)/6, clamped to
+	// [MinSide, MaxSide] (the 3-sigma range), giving a size population
+	// concentrated around the mean with rare extremes.
+	ExtentGaussian
+)
+
+// String implements fmt.Stringer.
+func (k ExtentKind) String() string {
+	switch k {
+	case ExtentUniform:
+		return "uniform"
+	case ExtentGaussian:
+		return "gaussian"
+	default:
+		return fmt.Sprintf("ExtentKind(%d)", int(k))
+	}
+}
+
+// Default extent bounds: at the paper's 22,000-unit space and cps=64
+// (cell side ~344) the mean 150-unit side replicates each MBR into ~2
+// cells, the regime the two-layer partitioning literature studies.
+const (
+	DefaultMinSide = 50
+	DefaultMaxSide = 250
+)
+
+// BoxConfig parameterizes an MBR workload: the embedded Config drives
+// the object centres (placement, movement, query and update selection)
+// exactly as for points, and the extent fields fix the per-object
+// rectangle sizes, drawn once at placement time and carried unchanged as
+// the object moves.
+type BoxConfig struct {
+	Config
+	// Extent selects the side-length distribution.
+	Extent ExtentKind
+	// MinSide and MaxSide bound the per-axis MBR side lengths.
+	MinSide, MaxSide float32
+}
+
+// DefaultUniformBoxes returns the default uniform box workload: uniform
+// centres and movement, uniform extents.
+func DefaultUniformBoxes() BoxConfig {
+	return BoxConfig{
+		Config:  DefaultUniform(),
+		Extent:  ExtentUniform,
+		MinSide: DefaultMinSide,
+		MaxSide: DefaultMaxSide,
+	}
+}
+
+// DefaultGaussianBoxes returns the default Gaussian box workload:
+// hotspot-clustered centres, Gaussian extents.
+func DefaultGaussianBoxes() BoxConfig {
+	return BoxConfig{
+		Config:  DefaultGaussian(),
+		Extent:  ExtentGaussian,
+		MinSide: DefaultMinSide,
+		MaxSide: DefaultMaxSide,
+	}
+}
+
+// Validate reports the first problem with the configuration, or nil.
+func (c BoxConfig) Validate() error {
+	if err := c.Config.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Extent != ExtentUniform && c.Extent != ExtentGaussian:
+		return fmt.Errorf("workload: unknown extent kind %d", int(c.Extent))
+	case c.MinSide < 0:
+		return fmt.Errorf("workload: MinSide must be non-negative, got %g", c.MinSide)
+	case c.MaxSide < c.MinSide:
+		return fmt.Errorf("workload: MaxSide %g below MinSide %g", c.MaxSide, c.MinSide)
+	case c.MaxSide > c.SpaceSize:
+		return fmt.Errorf("workload: MaxSide %g exceeds SpaceSize %g", c.MaxSide, c.SpaceSize)
+	}
+	return nil
+}
+
+// BoxUpdate is one entry of a tick's box update batch: object ID's MBR
+// moves to Rect. Pos and Vel carry the underlying kinematic state (the
+// MBR centre and its velocity) so the base table round-trips exactly.
+type BoxUpdate struct {
+	ID   uint32
+	Rect geom.Rect
+	Pos  geom.Point
+	Vel  geom.Point
+}
+
+// BoxSource is the per-tick event stream the box join driver consumes —
+// the Source contract with the object geometry widened to rectangles.
+type BoxSource interface {
+	// Config returns the kinematic workload parameters (tick count,
+	// bounds, query/update fractions).
+	Config() Config
+	// NumBoxes returns the number of objects.
+	NumBoxes() int
+	// RefreshRects writes the current MBR of every object in [lo, hi)
+	// into dst[lo:hi]; the driver calls it (possibly per shard) to
+	// refresh the per-tick snapshot box indexes are built over.
+	RefreshRects(dst []geom.Rect, lo, hi int)
+	// Queriers returns the IDs querying this tick (slice reused per
+	// tick).
+	Queriers() []uint32
+	// QueryRect returns the range query of the given querier.
+	QueryRect(id uint32) geom.Rect
+	// Updates returns this tick's update batch, advancing the tick. The
+	// batch is not yet applied to the base table.
+	Updates() []BoxUpdate
+	// ApplyUpdates installs a batch at the end of the tick.
+	ApplyUpdates([]BoxUpdate)
+}
+
+var _ BoxSource = (*BoxGenerator)(nil)
+
+// extentSeedSalt decorrelates the extent stream from the three streams
+// the inner point generator splits off the same seed.
+const extentSeedSalt = 0xb0c5a5d1e7f3909d
+
+// BoxGenerator produces a moving-MBR workload. It wraps the point
+// Generator — centres are exactly the point workload for the embedded
+// Config, byte for byte — and attaches a fixed half-extent per object,
+// drawn from its own random stream so the point streams are untouched.
+type BoxGenerator struct {
+	cfg          BoxConfig
+	gen          *Generator
+	halfW, halfH []float32
+	boxBuf       []BoxUpdate
+	ptBuf        []Update
+}
+
+// NewBoxGenerator creates a box generator and places the initial
+// population.
+func NewBoxGenerator(cfg BoxConfig) (*BoxGenerator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	gen, err := NewGenerator(cfg.Config)
+	if err != nil {
+		return nil, err
+	}
+	bg := &BoxGenerator{
+		cfg:   cfg,
+		gen:   gen,
+		halfW: make([]float32, cfg.NumPoints),
+		halfH: make([]float32, cfg.NumPoints),
+	}
+	r := xrand.New(cfg.Seed ^ extentSeedSalt)
+	for i := range bg.halfW {
+		bg.halfW[i] = bg.drawSide(r) / 2
+		bg.halfH[i] = bg.drawSide(r) / 2
+	}
+	return bg, nil
+}
+
+// MustNewBoxGenerator is NewBoxGenerator for known-good configurations;
+// it panics on error.
+func MustNewBoxGenerator(cfg BoxConfig) *BoxGenerator {
+	bg, err := NewBoxGenerator(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return bg
+}
+
+func (bg *BoxGenerator) drawSide(r *xrand.Rand) float32 {
+	switch bg.cfg.Extent {
+	case ExtentGaussian:
+		mean := (bg.cfg.MinSide + bg.cfg.MaxSide) / 2
+		sigma := (bg.cfg.MaxSide - bg.cfg.MinSide) / 6
+		s := r.Norm(mean, sigma)
+		if s < bg.cfg.MinSide {
+			return bg.cfg.MinSide
+		}
+		if s > bg.cfg.MaxSide {
+			return bg.cfg.MaxSide
+		}
+		return s
+	default:
+		return r.Range(bg.cfg.MinSide, bg.cfg.MaxSide)
+	}
+}
+
+// BoxConfig returns the full box configuration.
+func (bg *BoxGenerator) BoxConfig() BoxConfig { return bg.cfg }
+
+// Config implements BoxSource.
+func (bg *BoxGenerator) Config() Config { return bg.cfg.Config }
+
+// NumBoxes implements BoxSource.
+func (bg *BoxGenerator) NumBoxes() int { return bg.cfg.NumPoints }
+
+// rectAt is the MBR of object id centred at pos.
+func (bg *BoxGenerator) rectAt(id uint32, pos geom.Point) geom.Rect {
+	hw, hh := bg.halfW[id], bg.halfH[id]
+	return geom.Rect{MinX: pos.X - hw, MinY: pos.Y - hh, MaxX: pos.X + hw, MaxY: pos.Y + hh}
+}
+
+// RectOf returns the current MBR of object id.
+func (bg *BoxGenerator) RectOf(id uint32) geom.Rect {
+	return bg.rectAt(id, bg.gen.Objects()[id].Pos)
+}
+
+// RefreshRects implements BoxSource.
+func (bg *BoxGenerator) RefreshRects(dst []geom.Rect, lo, hi int) {
+	objs := bg.gen.Objects()
+	for i := lo; i < hi; i++ {
+		dst[i] = bg.rectAt(uint32(i), objs[i].Pos)
+	}
+}
+
+// Rects appends the current MBR of every object to dst and returns it —
+// the per-tick snapshot box indexes are built over.
+func (bg *BoxGenerator) Rects(dst []geom.Rect) []geom.Rect {
+	if cap(dst) < bg.cfg.NumPoints {
+		dst = make([]geom.Rect, bg.cfg.NumPoints)
+	}
+	dst = dst[:bg.cfg.NumPoints]
+	bg.RefreshRects(dst, 0, len(dst))
+	return dst
+}
+
+// Queriers implements BoxSource.
+func (bg *BoxGenerator) Queriers() []uint32 { return bg.gen.Queriers() }
+
+// QueryRect implements BoxSource: the square of side QuerySize centred
+// on the object's centre, the direct generalization of the point
+// workload's query shape (a point in the square becomes an MBR
+// intersecting it).
+func (bg *BoxGenerator) QueryRect(id uint32) geom.Rect { return bg.gen.QueryRect(id) }
+
+// Updates implements BoxSource: the inner point generator moves the
+// centres and the extents ride along unchanged.
+func (bg *BoxGenerator) Updates() []BoxUpdate {
+	pt := bg.gen.Updates()
+	bg.boxBuf = bg.boxBuf[:0]
+	for _, u := range pt {
+		bg.boxBuf = append(bg.boxBuf, BoxUpdate{
+			ID:   u.ID,
+			Rect: bg.rectAt(u.ID, u.Pos),
+			Pos:  u.Pos,
+			Vel:  u.Vel,
+		})
+	}
+	return bg.boxBuf
+}
+
+// ApplyUpdates implements BoxSource.
+func (bg *BoxGenerator) ApplyUpdates(batch []BoxUpdate) {
+	bg.ptBuf = bg.ptBuf[:0]
+	for _, u := range batch {
+		bg.ptBuf = append(bg.ptBuf, Update{ID: u.ID, Pos: u.Pos, Vel: u.Vel})
+	}
+	bg.gen.ApplyUpdates(bg.ptBuf)
+}
+
+// Tick returns the index of the next tick to be generated.
+func (bg *BoxGenerator) Tick() int { return bg.gen.Tick() }

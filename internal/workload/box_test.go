@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func testBoxConfig() BoxConfig {
+	cfg := DefaultUniformBoxes()
+	cfg.NumPoints = 600
+	cfg.Ticks = 8
+	cfg.SpaceSize = 2000
+	cfg.MaxSpeed = 40
+	cfg.QuerySize = 120
+	cfg.MinSide = 10
+	cfg.MaxSide = 200
+	return cfg
+}
+
+func TestBoxConfigValidate(t *testing.T) {
+	good := testBoxConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*BoxConfig)
+	}{
+		{"negative MinSide", func(c *BoxConfig) { c.MinSide = -1 }},
+		{"MaxSide below MinSide", func(c *BoxConfig) { c.MinSide = 50; c.MaxSide = 10 }},
+		{"MaxSide beyond space", func(c *BoxConfig) { c.MaxSide = c.SpaceSize * 2 }},
+		{"unknown extent kind", func(c *BoxConfig) { c.Extent = ExtentKind(99) }},
+		{"bad embedded config", func(c *BoxConfig) { c.NumPoints = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testBoxConfig()
+			tc.mut(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("want validation error, got nil")
+			}
+		})
+	}
+}
+
+// TestBoxGeneratorDeterminism: two generators from the same config must
+// produce identical rect snapshots, query streams, and update batches.
+func TestBoxGeneratorDeterminism(t *testing.T) {
+	for _, cfg := range []BoxConfig{testBoxConfig(), func() BoxConfig {
+		c := testBoxConfig()
+		c.Config.Kind = Gaussian
+		c.Hotspots = 4
+		c.Extent = ExtentGaussian
+		return c
+	}()} {
+		t.Run(cfg.Kind.String()+"/"+cfg.Extent.String(), func(t *testing.T) {
+			a := MustNewBoxGenerator(cfg)
+			b := MustNewBoxGenerator(cfg)
+			for tick := 0; tick < cfg.Ticks; tick++ {
+				ra := a.Rects(nil)
+				rb := b.Rects(nil)
+				for i := range ra {
+					if ra[i] != rb[i] {
+						t.Fatalf("tick %d: rect %d differs: %v vs %v", tick, i, ra[i], rb[i])
+					}
+				}
+				qa, qb := a.Queriers(), b.Queriers()
+				if len(qa) != len(qb) {
+					t.Fatalf("tick %d: querier counts differ", tick)
+				}
+				ua, ub := a.Updates(), b.Updates()
+				if len(ua) != len(ub) {
+					t.Fatalf("tick %d: update counts differ", tick)
+				}
+				for i := range ua {
+					if ua[i] != ub[i] {
+						t.Fatalf("tick %d: update %d differs", tick, i)
+					}
+				}
+				a.ApplyUpdates(ua)
+				b.ApplyUpdates(ub)
+			}
+		})
+	}
+}
+
+// TestBoxGeneratorExtents: every MBR's sides stay within the configured
+// bounds and ride along unchanged as the object moves.
+func TestBoxGeneratorExtents(t *testing.T) {
+	for _, extent := range []ExtentKind{ExtentUniform, ExtentGaussian} {
+		t.Run(extent.String(), func(t *testing.T) {
+			cfg := testBoxConfig()
+			cfg.Extent = extent
+			bg := MustNewBoxGenerator(cfg)
+			initial := bg.Rects(nil)
+			widths := make([]float32, len(initial))
+			heights := make([]float32, len(initial))
+			for i, r := range initial {
+				widths[i], heights[i] = r.Width(), r.Height()
+				const tol = 1e-3
+				if r.Width() < cfg.MinSide-tol || r.Width() > cfg.MaxSide+tol {
+					t.Fatalf("rect %d width %g outside [%g, %g]", i, r.Width(), cfg.MinSide, cfg.MaxSide)
+				}
+				if r.Height() < cfg.MinSide-tol || r.Height() > cfg.MaxSide+tol {
+					t.Fatalf("rect %d height %g outside [%g, %g]", i, r.Height(), cfg.MinSide, cfg.MaxSide)
+				}
+			}
+			for tick := 0; tick < 4; tick++ {
+				bg.Queriers()
+				bg.ApplyUpdates(bg.Updates())
+			}
+			// Extents are stored as half-widths; the reconstructed side
+			// (pos+h)-(pos-h) picks up an ulp of rounding as the centre
+			// moves, so compare with a small tolerance.
+			const drift = 1e-2
+			for i, r := range bg.Rects(nil) {
+				if dw := r.Width() - widths[i]; dw > drift || dw < -drift {
+					t.Fatalf("rect %d width changed while moving: %g -> %g", i, widths[i], r.Width())
+				}
+				if dh := r.Height() - heights[i]; dh > drift || dh < -drift {
+					t.Fatalf("rect %d height changed while moving: %g -> %g", i, heights[i], r.Height())
+				}
+			}
+		})
+	}
+}
+
+// TestBoxGeneratorTracksCentres: the box stream's MBR centres are the
+// inner point generator's positions, so point and box workloads with the
+// same seed share kinematics exactly.
+func TestBoxGeneratorTracksCentres(t *testing.T) {
+	cfg := testBoxConfig()
+	bg := MustNewBoxGenerator(cfg)
+	pg := MustNewGenerator(cfg.Config)
+	for tick := 0; tick < 4; tick++ {
+		rects := bg.Rects(nil)
+		for i, o := range pg.Objects() {
+			c := rects[i].Center()
+			// Centres reconstruct exactly: Min/Max are pos -+ half, so
+			// (Min+Max)/2 rounds back to pos when half extents are
+			// representable; allow an ulp of slack anyway.
+			if dx := c.X - o.Pos.X; dx > 1e-2 || dx < -1e-2 {
+				t.Fatalf("tick %d: rect %d centre x %g, point %g", tick, i, c.X, o.Pos.X)
+			}
+			if dy := c.Y - o.Pos.Y; dy > 1e-2 || dy < -1e-2 {
+				t.Fatalf("tick %d: rect %d centre y %g, point %g", tick, i, c.Y, o.Pos.Y)
+			}
+		}
+		if bq, pq := bg.Queriers(), pg.Queriers(); len(bq) != len(pq) {
+			t.Fatalf("tick %d: querier streams diverge", tick)
+		}
+		bu := bg.Updates()
+		pu := pg.Updates()
+		if len(bu) != len(pu) {
+			t.Fatalf("tick %d: update streams diverge", tick)
+		}
+		for i := range bu {
+			if bu[i].ID != pu[i].ID || bu[i].Pos != pu[i].Pos {
+				t.Fatalf("tick %d: update %d diverges", tick, i)
+			}
+		}
+		bg.ApplyUpdates(bu)
+		pg.ApplyUpdates(pu)
+	}
+}
+
+// TestBoxSourceRefreshShards: sharded refresh covers exactly the
+// requested range.
+func TestBoxSourceRefreshShards(t *testing.T) {
+	cfg := testBoxConfig()
+	bg := MustNewBoxGenerator(cfg)
+	want := bg.Rects(nil)
+	got := make([]geom.Rect, cfg.NumPoints)
+	for lo := 0; lo < len(got); lo += 100 {
+		hi := lo + 100
+		if hi > len(got) {
+			hi = len(got)
+		}
+		bg.RefreshRects(got, lo, hi)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sharded refresh differs at %d", i)
+		}
+	}
+}
