@@ -1,20 +1,30 @@
 // Command gridbench measures the grid's three operations — Build, Query,
-// Update — for the inline-bucket layout against the CSR layout and emits
-// the numbers as JSON, the machine-readable perf trajectory the CI smoke
-// bench tracks (BENCH_grid.json). With -objects point,box the report
-// additionally carries a "boxcsr" series: the CSR rectangle grid over
-// the default MBR workload at the same granularities.
+// Update — across physical layouts and emits the numbers as JSON, the
+// machine-readable perf trajectory the CI smoke bench tracks
+// (BENCH_grid.json). The point lineup compares the inline-bucket layout
+// against the CSR layout and the coordinates-inlined CSR variant
+// (csrxy); with -objects point,box the report additionally carries the
+// "boxcsr" series (the CSR rectangle grid with reference-point dedup)
+// and the "boxcsr2l" series (the two-layer class-partitioned grid with
+// inlined coordinates) over the default MBR workload.
+//
+// Every measured grid is first checked against the brute-force oracle:
+// the run fails if any layout's query digest diverges, so a perf number
+// can never be reported for a structure that returns wrong results.
 //
 // The workload mirrors the paper's standard setting: the default uniform
 // population with 50% queriers and 50% updaters per tick. Layouts are
 // compared at the paper's tuned granularity (cps=64) and at a much finer
-// grid (cps=256) where contiguity matters most.
+// grid (cps=256) where contiguity (and, for boxes, replication) matters
+// most. -qext adds a rect x rect window-join series per query extent, so
+// the class-partition win is visible across selectivities.
 //
 // Examples:
 //
 //	gridbench                          # defaults, JSON to stdout
 //	gridbench -iters 100 -out BENCH_grid.json
 //	gridbench -objects point,box       # include the box-join series
+//	gridbench -objects box -qext 100,400,1600
 package main
 
 import (
@@ -22,20 +32,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/workload"
 )
 
-// opResult is one (layout, cps, op) timing.
+// opResult is one (layout, cps, op) timing. Qext is set only for the
+// query-extent sweep series (-qext), where op is always "query".
 type opResult struct {
 	Layout  string  `json:"layout"`
 	CPS     int     `json:"cps"`
 	Op      string  `json:"op"`
 	NsPerOp float64 `json:"ns_per_op"`
+	Qext    float64 `json:"qext,omitempty"`
 }
 
 // report is the BENCH_grid.json schema.
@@ -47,6 +61,12 @@ type report struct {
 	// Summary ratios: inline time / csr time per operation and for the
 	// acceptance-criterion pairing build+query, at each granularity.
 	Speedups map[string]float64 `json:"csr_speedup_vs_inline"`
+	// XYSpeedups compares the coordinates-inlined CSR against plain CSR
+	// (csr time / csrxy time).
+	XYSpeedups map[string]float64 `json:"csrxy_speedup_vs_csr,omitempty"`
+	// Box2LSpeedups compares the two-layer classed rectangle grid against
+	// the reference-point one (boxcsr time / boxcsr2l time).
+	Box2LSpeedups map[string]float64 `json:"box2l_speedup_vs_boxcsr,omitempty"`
 	// BoxReplication maps "cps=N" to the rectangle grid's replication
 	// factor under the default box workload (present with -objects box).
 	BoxReplication map[string]float64 `json:"box_replication,omitempty"`
@@ -67,6 +87,7 @@ func run(args []string) error {
 		seed    = fs.Uint64("seed", 1, "workload random seed")
 		out     = fs.String("out", "", "write JSON here instead of stdout")
 		objects = fs.String("objects", "point", "comma-separated object classes to measure: point, box")
+		qext    = fs.String("qext", "", "comma-separated query side lengths: adds a box window-join query series per extent")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,6 +104,19 @@ func run(args []string) error {
 			wantBox = true
 		default:
 			return fmt.Errorf("unknown object class %q (have point, box)", o)
+		}
+	}
+	var qexts []float64
+	if *qext != "" {
+		if !wantBox {
+			return fmt.Errorf("-qext is a box window-join sweep; add box to -objects")
+		}
+		for _, tok := range strings.Split(*qext, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil || v <= 0 {
+				return fmt.Errorf("invalid query extent %q", tok)
+			}
+			qexts = append(qexts, v)
 		}
 	}
 
@@ -113,16 +147,24 @@ func run(args []string) error {
 		name   string
 	}
 	if wantPoint {
+		// The oracle digest the layouts must reproduce before being timed.
+		wantDigest := brutePointDigest(pts, queriers, wcfg.QuerySize)
 		ops := map[string]map[string]float64{} // op+cps key -> layout -> ns/op
 		for _, cps := range []int{64, 256} {
 			for _, c := range []contender{
 				{grid.LayoutInline, "inline"},
 				{grid.LayoutCSR, "csr"},
+				{grid.LayoutCSRXY, "csrxy"},
 			} {
 				gc := grid.Config{Layout: c.layout, Scan: grid.ScanRange, BS: grid.RefactoredBS, CPS: cps}
 				g, err := grid.New(gc, wcfg.Bounds(), len(pts))
 				if err != nil {
 					return err
+				}
+				g.Build(pts)
+				if got := pointDigest(g, pts, queriers, wcfg.QuerySize); got != wantDigest {
+					return fmt.Errorf("layout %s at cps=%d diverges from the brute-force oracle (digest %#x, want %#x)",
+						c.name, cps, got, wantDigest)
 				}
 				timings := measure(g, pts, queriers, updates, wcfg.QuerySize, *iters)
 				for op, ns := range timings {
@@ -135,10 +177,12 @@ func run(args []string) error {
 				}
 			}
 		}
+		rep.XYSpeedups = map[string]float64{}
 		for _, cps := range []int{64, 256} {
 			for _, op := range []string{"build", "query", "update"} {
 				key := fmt.Sprintf("%s/cps=%d", op, cps)
 				rep.Speedups[key] = ops[key]["inline"] / ops[key]["csr"]
+				rep.XYSpeedups[key] = ops[key]["csr"] / ops[key]["csrxy"]
 			}
 			bq := fmt.Sprintf("build+query/cps=%d", cps)
 			inline := ops[fmt.Sprintf("build/cps=%d", cps)]["inline"] + ops[fmt.Sprintf("query/cps=%d", cps)]["inline"]
@@ -162,17 +206,53 @@ func run(args []string) error {
 			return fmt.Errorf("box population %d yields %d queriers and %d updates per tick; raise -points",
 				len(rects), len(boxQueriers), len(boxUpdates))
 		}
+		wantDigest := bruteBoxDigest(rects, boxQueriers, bcfg.QuerySize)
 		rep.BoxReplication = map[string]float64{}
+		rep.Box2LSpeedups = map[string]float64{}
+		boxOps := map[string]map[string]float64{} // op+cps key -> layout -> ns/op
 		for _, cps := range []int{64, 256} {
-			bg, err := grid.NewBoxGrid(cps, bcfg.Bounds(), len(rects))
-			if err != nil {
-				return err
+			contenders := boxContenders(cps, bcfg.Bounds(), len(rects))
+			for _, bc := range contenders {
+				bc.index.Build(rects)
+				if got := boxDigest(bc.index, rects, boxQueriers, bcfg.QuerySize); got != wantDigest {
+					return fmt.Errorf("box layout %s at cps=%d diverges from the brute-force oracle (digest %#x, want %#x)",
+						bc.name, cps, got, wantDigest)
+				}
+				timings := measureBox(bc.index, rects, boxQueriers, boxUpdates, bcfg.QuerySize, *iters)
+				for op, ns := range timings {
+					rep.Results = append(rep.Results, opResult{Layout: bc.name, CPS: cps, Op: op, NsPerOp: ns})
+					key := fmt.Sprintf("%s/cps=%d", op, cps)
+					if boxOps[key] == nil {
+						boxOps[key] = map[string]float64{}
+					}
+					boxOps[key][bc.name] = ns
+				}
+				// The query-extent sweep: one window-join series per
+				// extent, over a fresh build (measureBox's update phase
+				// leaves the arena churned — swap-delete order, possible
+				// overflow — that a steady-state tick query never sees).
+				if len(qexts) > 0 {
+					bc.index.Build(rects)
+				}
+				for _, ext := range qexts {
+					ns := measureBoxQueries(bc.index, rects, boxQueriers, float32(ext), *iters)
+					rep.Results = append(rep.Results, opResult{
+						Layout: bc.name, CPS: cps, Op: "query", NsPerOp: ns, Qext: ext,
+					})
+				}
 			}
-			timings := measureBox(bg, rects, boxQueriers, boxUpdates, bcfg.QuerySize, *iters)
-			for op, ns := range timings {
-				rep.Results = append(rep.Results, opResult{Layout: "boxcsr", CPS: cps, Op: op, NsPerOp: ns})
+			// Replication is a property of the (workload, granularity)
+			// pair, not the structure — every contender replicates
+			// identically, so report it once per cps off the first.
+			rep.BoxReplication[fmt.Sprintf("cps=%d", cps)] = contenders[0].replication()
+			for _, op := range []string{"build", "query", "update"} {
+				key := fmt.Sprintf("%s/cps=%d", op, cps)
+				rep.Box2LSpeedups[key] = boxOps[key]["boxcsr"] / boxOps[key]["boxcsr2l"]
 			}
-			rep.BoxReplication[fmt.Sprintf("cps=%d", cps)] = bg.ReplicationFactor()
+			bq := fmt.Sprintf("build+query/cps=%d", cps)
+			legacy := boxOps[fmt.Sprintf("build/cps=%d", cps)]["boxcsr"] + boxOps[fmt.Sprintf("query/cps=%d", cps)]["boxcsr"]
+			classed := boxOps[fmt.Sprintf("build/cps=%d", cps)]["boxcsr2l"] + boxOps[fmt.Sprintf("query/cps=%d", cps)]["boxcsr2l"]
+			rep.Box2LSpeedups[bq] = legacy / classed
 		}
 	}
 
@@ -186,6 +266,79 @@ func run(args []string) error {
 		return err
 	}
 	return os.WriteFile(*out, enc, 0o644)
+}
+
+// boxIndex is the slice of the rectangle-grid API gridbench drives,
+// shared by grid.BoxGrid and grid.BoxGrid2L.
+type boxIndex interface {
+	core.BoxIndex
+	ReplicationFactor() float64
+}
+
+type boxContender struct {
+	name  string
+	index boxIndex
+}
+
+func (bc boxContender) replication() float64 { return bc.index.ReplicationFactor() }
+
+func boxContenders(cps int, bounds geom.Rect, n int) []boxContender {
+	return []boxContender{
+		{"boxcsr", grid.MustNewBoxGrid(cps, bounds, n)},
+		{"boxcsr2l", grid.MustNewBoxGrid2L(cps, bounds, n)},
+	}
+}
+
+// brutePointDigest is the oracle: every (querier, point-in-range) pair,
+// straight off the base table, folded with the driver's own digest
+// construction (core.MixPair) so a divergence here is exactly a
+// divergence there.
+func brutePointDigest(pts []geom.Point, queriers []uint32, querySize float32) uint64 {
+	var h uint64
+	for _, q := range queriers {
+		r := geom.Square(pts[q], querySize)
+		for i := range pts {
+			if pts[i].In(r) {
+				h = core.MixPair(h, q, uint32(i))
+			}
+		}
+	}
+	return h
+}
+
+func pointDigest(g *grid.Grid, pts []geom.Point, queriers []uint32, querySize float32) uint64 {
+	var h uint64
+	for _, q := range queriers {
+		g.Query(geom.Square(pts[q], querySize), func(id uint32) {
+			h = core.MixPair(h, q, id)
+		})
+	}
+	return h
+}
+
+// bruteBoxDigest is the rect x rect oracle: every (querier, intersecting
+// MBR) pair.
+func bruteBoxDigest(rects []geom.Rect, queriers []uint32, querySize float32) uint64 {
+	var h uint64
+	for _, q := range queriers {
+		r := geom.Square(rects[q].Center(), querySize)
+		for i := range rects {
+			if rects[i].Intersects(r) {
+				h = core.MixPair(h, q, uint32(i))
+			}
+		}
+	}
+	return h
+}
+
+func boxDigest(bg boxIndex, rects []geom.Rect, queriers []uint32, querySize float32) uint64 {
+	var h uint64
+	for _, q := range queriers {
+		bg.Query(geom.Square(rects[q].Center(), querySize), func(id uint32) {
+			h = core.MixPair(h, q, id)
+		})
+	}
+	return h
 }
 
 // measure times the three phases the way the driver's tick does: build
@@ -229,10 +382,10 @@ func measure(g *grid.Grid, pts []geom.Point, queriers []uint32, updates []worklo
 	return map[string]float64{"build": buildNs, "query": queryNs, "update": updateNs}
 }
 
-// measureBox is measure for the CSR rectangle grid: build over the MBR
+// measureBox is measure for the rectangle grids: build over the MBR
 // snapshot, one intersection query per querier, one MBR move per updater
 // (and back).
-func measureBox(bg *grid.BoxGrid, rects []geom.Rect, queriers []uint32, updates []workload.BoxUpdate, querySize float32, iters int) map[string]float64 {
+func measureBox(bg boxIndex, rects []geom.Rect, queriers []uint32, updates []workload.BoxUpdate, querySize float32, iters int) map[string]float64 {
 	bg.Build(rects)
 
 	start := time.Now()
@@ -241,15 +394,7 @@ func measureBox(bg *grid.BoxGrid, rects []geom.Rect, queriers []uint32, updates 
 	}
 	buildNs := float64(time.Since(start).Nanoseconds()) / float64(iters)
 
-	sink := 0
-	emit := func(uint32) { sink++ }
-	start = time.Now()
-	for i := 0; i < iters; i++ {
-		for _, q := range queriers {
-			bg.Query(geom.Square(rects[q].Center(), querySize), emit)
-		}
-	}
-	queryNs := float64(time.Since(start).Nanoseconds()) / float64(iters*len(queriers))
+	queryNs := measureBoxQueries(bg, rects, queriers, querySize, iters)
 
 	start = time.Now()
 	for i := 0; i < iters; i++ {
@@ -260,8 +405,22 @@ func measureBox(bg *grid.BoxGrid, rects []geom.Rect, queriers []uint32, updates 
 	}
 	updateNs := float64(time.Since(start).Nanoseconds()) / float64(2*iters*len(updates))
 
+	return map[string]float64{"build": buildNs, "query": queryNs, "update": updateNs}
+}
+
+// measureBoxQueries times the query phase alone at the given window
+// extent over a freshly built grid.
+func measureBoxQueries(bg boxIndex, rects []geom.Rect, queriers []uint32, querySize float32, iters int) float64 {
+	sink := 0
+	emit := func(uint32) { sink++ }
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		for _, q := range queriers {
+			bg.Query(geom.Square(rects[q].Center(), querySize), emit)
+		}
+	}
 	if sink < 0 {
 		panic("unreachable")
 	}
-	return map[string]float64{"build": buildNs, "query": queryNs, "update": updateNs}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters*len(queriers))
 }

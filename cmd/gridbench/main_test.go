@@ -36,9 +36,9 @@ func TestEmitsValidJSON(t *testing.T) {
 	if rep.Points != 5000 {
 		t.Fatalf("points = %d", rep.Points)
 	}
-	// 2 layouts x 2 granularities x 3 ops.
-	if len(rep.Results) != 12 {
-		t.Fatalf("results = %d, want 12", len(rep.Results))
+	// 3 layouts x 2 granularities x 3 ops.
+	if len(rep.Results) != 18 {
+		t.Fatalf("results = %d, want 18", len(rep.Results))
 	}
 	for _, key := range []string{"build+query/cps=64", "build+query/cps=256"} {
 		if rep.Speedups[key] <= 0 {
@@ -67,27 +67,83 @@ func TestBoxSeries(t *testing.T) {
 	}
 	var rep struct {
 		Results []struct {
-			Layout string `json:"layout"`
-			Op     string `json:"op"`
+			Layout string  `json:"layout"`
+			Op     string  `json:"op"`
+			Qext   float64 `json:"qext"`
 		} `json:"results"`
 		BoxReplication map[string]float64 `json:"box_replication"`
+		Box2LSpeedups  map[string]float64 `json:"box2l_speedup_vs_boxcsr"`
 	}
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		t.Fatal(err)
 	}
-	boxOps := 0
+	boxOps, box2LOps := 0, 0
 	for _, r := range rep.Results {
-		if r.Layout == "boxcsr" {
+		switch r.Layout {
+		case "boxcsr":
 			boxOps++
+		case "boxcsr2l":
+			box2LOps++
 		}
 	}
-	// 2 granularities x 3 ops.
-	if boxOps != 6 {
-		t.Fatalf("boxcsr results = %d, want 6", boxOps)
+	// 2 granularities x 3 ops per box layout.
+	if boxOps != 6 || box2LOps != 6 {
+		t.Fatalf("box results = %d boxcsr + %d boxcsr2l, want 6 + 6", boxOps, box2LOps)
 	}
 	for _, key := range []string{"cps=64", "cps=256"} {
 		if rep.BoxReplication[key] < 1 {
 			t.Fatalf("replication factor %s = %g, want >= 1", key, rep.BoxReplication[key])
 		}
+	}
+	for _, key := range []string{"query/cps=64", "query/cps=256"} {
+		if rep.Box2LSpeedups[key] <= 0 {
+			t.Fatalf("missing box2l speedup %s", key)
+		}
+	}
+}
+
+func TestQextSeries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured run")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-iters", "1", "-points", "5000", "-objects", "box", "-qext", "200,800", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Results []struct {
+			Layout string  `json:"layout"`
+			Op     string  `json:"op"`
+			Qext   float64 `json:"qext"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	// 2 layouts x 2 granularities x 2 extents, query op only.
+	qextOps := 0
+	for _, r := range rep.Results {
+		if r.Qext != 0 {
+			if r.Op != "query" {
+				t.Fatalf("qext series carries op %q", r.Op)
+			}
+			qextOps++
+		}
+	}
+	if qextOps != 8 {
+		t.Fatalf("qext results = %d, want 8", qextOps)
+	}
+}
+
+func TestQextRequiresBoxObjects(t *testing.T) {
+	if err := run([]string{"-qext", "100"}); err == nil {
+		t.Fatal("-qext without box objects accepted")
+	}
+	if err := run([]string{"-objects", "box", "-qext", "nope"}); err == nil {
+		t.Fatal("malformed -qext accepted")
 	}
 }

@@ -3,11 +3,17 @@
 // simulated cache hierarchy (the substitute for the paper's CPU
 // performance counters — see DESIGN.md).
 //
+// The two profiled configurations default to the paper's Before/After
+// pair but both the tuning and the simulated layout are flags, so any
+// kind pairing the simulator supports (original, refactored, intrusive)
+// can be profiled head to head.
+//
 // Examples:
 //
 //	profilegrid                          # paper configurations, scaled ticks
 //	profilegrid -scale 1.0               # full 100-tick replay (slow)
 //	profilegrid -before-cps 20 -after-cps 128
+//	profilegrid -after-kind intrusive    # refactored vs handle-based u-grid
 package main
 
 import (
@@ -30,22 +36,32 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("profilegrid", flag.ContinueOnError)
 	var (
-		points    = fs.Int("points", workload.DefaultNumPoints, "number of moving objects")
-		scale     = fs.Float64("scale", 0.1, "tick-count scale in (0,1]")
-		seed      = fs.Uint64("seed", 1, "workload random seed")
-		beforeBS  = fs.Int("before-bs", 4, "bucket size of the original grid")
-		beforeCPS = fs.Int("before-cps", 13, "cells per side of the original grid")
-		afterBS   = fs.Int("after-bs", 20, "bucket size of the refactored grid")
-		afterCPS  = fs.Int("after-cps", 64, "cells per side of the refactored grid")
-		l1KB      = fs.Int("l1-kb", 32, "L1d size in KiB")
-		l2KB      = fs.Int("l2-kb", 256, "L2 size in KiB")
-		l3MB      = fs.Int("l3-mb", 8, "L3 size in MiB")
+		points     = fs.Int("points", workload.DefaultNumPoints, "number of moving objects")
+		scale      = fs.Float64("scale", 0.1, "tick-count scale in (0,1]")
+		seed       = fs.Uint64("seed", 1, "workload random seed")
+		beforeBS   = fs.Int("before-bs", 4, "bucket size of the 'before' grid")
+		beforeCPS  = fs.Int("before-cps", 13, "cells per side of the 'before' grid")
+		beforeKind = fs.String("before-kind", "original", "simulated layout of the 'before' grid: original, refactored or intrusive")
+		afterBS    = fs.Int("after-bs", 20, "bucket size of the 'after' grid")
+		afterCPS   = fs.Int("after-cps", 64, "cells per side of the 'after' grid")
+		afterKind  = fs.String("after-kind", "refactored", "simulated layout of the 'after' grid: original, refactored or intrusive")
+		l1KB       = fs.Int("l1-kb", 32, "L1d size in KiB")
+		l2KB       = fs.Int("l2-kb", 256, "L2 size in KiB")
+		l3MB       = fs.Int("l3-mb", 8, "L3 size in MiB")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *scale <= 0 || *scale > 1 {
 		return fmt.Errorf("scale must be in (0,1], got %g", *scale)
+	}
+	bKind, err := parseKind(*beforeKind)
+	if err != nil {
+		return err
+	}
+	aKind, err := parseKind(*afterKind)
+	if err != nil {
+		return err
 	}
 
 	wcfg := workload.DefaultUniform()
@@ -66,15 +82,15 @@ func run(args []string) error {
 	hier.L2.SizeBytes = *l2KB << 10
 	hier.L3.SizeBytes = *l3MB << 20
 
-	before := memsim.GridSimConfig{Kind: memsim.GridOriginal, BS: *beforeBS, CPS: *beforeCPS}
-	after := memsim.GridSimConfig{Kind: memsim.GridRefactored, BS: *afterBS, CPS: *afterCPS}
+	before := memsim.GridSimConfig{Kind: bKind, BS: *beforeBS, CPS: *beforeCPS}
+	after := memsim.GridSimConfig{Kind: aKind, BS: *afterBS, CPS: *afterCPS}
 
-	fmt.Fprintf(os.Stderr, "profiling before (original, bs=%d cps=%d)...\n", before.BS, before.CPS)
+	fmt.Fprintf(os.Stderr, "profiling before (%s, bs=%d cps=%d)...\n", before.Kind, before.BS, before.CPS)
 	bres, err := memsim.ProfileGrid(before, trace, hier, 0)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "profiling after (refactored, bs=%d cps=%d)...\n", after.BS, after.CPS)
+	fmt.Fprintf(os.Stderr, "profiling after (%s, bs=%d cps=%d)...\n", after.Kind, after.BS, after.CPS)
 	ares, err := memsim.ProfileGrid(after, trace, hier, 0)
 	if err != nil {
 		return err
@@ -108,6 +124,18 @@ func run(args []string) error {
 		b.CPI, a.CPI)
 	fmt.Printf("join check: both implementations found %d pairs over %d queries\n", bres.Pairs, bres.Queries)
 	return nil
+}
+
+func parseKind(s string) (memsim.GridKind, error) {
+	switch s {
+	case "original":
+		return memsim.GridOriginal, nil
+	case "refactored":
+		return memsim.GridRefactored, nil
+	case "intrusive":
+		return memsim.GridIntrusive, nil
+	}
+	return 0, fmt.Errorf("unknown grid kind %q (have original, refactored, intrusive)", s)
 }
 
 func safeRatio(a, b float64) float64 {

@@ -10,6 +10,29 @@ func TestRejectsBadScale(t *testing.T) {
 	}
 }
 
+func TestRejectsBadKind(t *testing.T) {
+	if err := run([]string{"-before-kind", "csr2l"}); err == nil {
+		t.Fatal("unknown before-kind accepted")
+	}
+	if err := run([]string{"-after-kind", "hash"}); err == nil {
+		t.Fatal("unknown after-kind accepted")
+	}
+}
+
+func TestProfileIntrusiveKind(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory simulation run")
+	}
+	err := run([]string{
+		"-points", "2000", "-scale", "0.02",
+		"-before-kind", "refactored", "-before-bs", "20", "-before-cps", "64",
+		"-after-kind", "intrusive", "-after-bs", "1", "-after-cps", "64",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestProfileSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("memory simulation run")

@@ -1,13 +1,18 @@
 // Command sweep runs the grid-tuning parameter sweeps of Figures 1 and 5,
 // or an arbitrary one-parameter sweep over any grid configuration — for
-// point grids or, with -objects box, for the CSR rectangle grid (whose
-// granularity trades query work against MBR replication).
+// point grids or, with -objects box, for the rectangle grids (whose
+// granularity trades query work against MBR replication). Box sweeps
+// select the structure with -boxlayout: the reference-point CSR grid
+// (csr) or the two-layer class-partitioned one (2l), and can vary either
+// the granularity (-vary cps) or the query window extent (-vary qext,
+// the rect x rect window-join selectivity sweep).
 //
 // Examples:
 //
 //	sweep -experiment fig1b              # reproduce Figure 1b
 //	sweep -vary cps -from 4 -to 128 -step 8 -layout inline -scan range -bs 20
 //	sweep -objects box -vary cps -from 16 -to 128 -step 16
+//	sweep -objects box -boxlayout 2l -vary qext -from 100 -to 1600 -step 300
 package main
 
 import (
@@ -32,16 +37,17 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		objects    = fs.String("objects", "point", "object class: point or box (box sweeps cps of the CSR rectangle grid)")
+		objects    = fs.String("objects", "point", "object class: point or box (box sweeps cps or qext of a rectangle grid)")
 		experiment = fs.String("experiment", "", "predefined sweep: fig1a, fig1b, fig5a or fig5b")
-		vary       = fs.String("vary", "", "custom sweep parameter: bs or cps")
+		vary       = fs.String("vary", "", "custom sweep parameter: bs or cps (point), cps or qext (box)")
 		from       = fs.Int("from", 4, "custom sweep start")
 		to         = fs.Int("to", 32, "custom sweep end (inclusive)")
 		step       = fs.Int("step", 4, "custom sweep step")
-		layout     = fs.String("layout", "inline", "grid layout: linked, inline, inline-xy, intrusive or csr")
+		layout     = fs.String("layout", "inline", "grid layout: linked, inline, inline-xy, intrusive, csr or csr-xy")
+		boxLayout  = fs.String("boxlayout", "csr", "box grid structure: csr (reference-point dedup) or 2l (two-layer classes)")
 		scan       = fs.String("scan", "range", "query algorithm: full or range")
 		bs         = fs.Int("bs", grid.RefactoredBS, "fixed bucket size (when varying cps)")
-		cps        = fs.Int("cps", grid.OriginalCPS, "fixed cells per side (when varying bs)")
+		cps        = fs.Int("cps", grid.OriginalCPS, "fixed cells per side (when varying bs or qext)")
 		scale      = fs.Float64("scale", 0.1, "tick-count scale in (0,1]")
 		seed       = fs.Uint64("seed", 1, "workload random seed")
 		csv        = fs.Bool("csv", false, "emit CSV instead of an aligned table")
@@ -57,15 +63,18 @@ func run(args []string) error {
 	case "point":
 	case "box":
 		if *experiment != "" {
-			return fmt.Errorf("-objects box has no predefined experiments; use -vary cps")
+			return fmt.Errorf("-objects box has no predefined experiments; use -vary cps or -vary qext")
 		}
-		if *vary != "cps" {
-			return fmt.Errorf("-objects box sweeps cps only (the rectangle grid has no buckets)")
+		if *vary != "cps" && *vary != "qext" {
+			return fmt.Errorf("-objects box sweeps cps or qext (the rectangle grids have no buckets)")
+		}
+		if *boxLayout != "csr" && *boxLayout != "2l" {
+			return fmt.Errorf("unknown box layout %q (have csr, 2l)", *boxLayout)
 		}
 		if *step <= 0 || *from <= 0 || *to < *from {
 			return fmt.Errorf("invalid sweep range [%d, %d] step %d", *from, *to, *step)
 		}
-		return runBoxSweep(*from, *to, *step, *scale, *seed, *csv)
+		return runBoxSweep(*vary, *from, *to, *step, *cps, *boxLayout, *scale, *seed, *csv)
 	default:
 		return fmt.Errorf("unknown object class %q (have point, box)", *objects)
 	}
@@ -106,6 +115,8 @@ func run(args []string) error {
 		lay = grid.LayoutIntrusive
 	case "csr":
 		lay = grid.LayoutCSR
+	case "csr-xy":
+		lay = grid.LayoutCSRXY
 	default:
 		return fmt.Errorf("unknown layout %q", *layout)
 	}
@@ -166,11 +177,27 @@ func run(args []string) error {
 	return nil
 }
 
-// runBoxSweep sweeps the CSR rectangle grid's granularity over the
-// default uniform box workload. Finer grids shrink per-cell scan work
-// but replicate each MBR into more cells; the sweep exposes that
-// trade-off (the replication factor is reported per step).
-func runBoxSweep(from, to, step int, scale float64, seed uint64, csv bool) error {
+// boxSweepIndex is the slice of the rectangle-grid API the box sweep
+// needs, shared by grid.BoxGrid and grid.BoxGrid2L.
+type boxSweepIndex interface {
+	core.BoxIndex
+	ReplicationFactor() float64
+}
+
+func newBoxIndex(layout string, cps int, bcfg workload.BoxConfig) (boxSweepIndex, error) {
+	if layout == "2l" {
+		return grid.NewBoxGrid2L(cps, bcfg.Bounds(), bcfg.NumPoints)
+	}
+	return grid.NewBoxGrid(cps, bcfg.Bounds(), bcfg.NumPoints)
+}
+
+// runBoxSweep sweeps one parameter of a rectangle grid over the default
+// uniform box workload: the granularity (finer grids shrink per-cell
+// scan work but replicate each MBR into more cells; the replication
+// factor is reported per step) or the query window extent (the rect x
+// rect window-join selectivity, where the class partition pays off as
+// windows grow).
+func runBoxSweep(vary string, from, to, step, cps int, layout string, scale float64, seed uint64, csv bool) error {
 	bcfg := workload.DefaultUniformBoxes()
 	bcfg.Seed = seed
 	bcfg.Ticks = int(float64(bcfg.Ticks)*scale + 0.5)
@@ -178,28 +205,38 @@ func runBoxSweep(from, to, step int, scale float64, seed uint64, csv bool) error
 		bcfg.Ticks = 2
 	}
 
+	name := "boxgrid-csr"
+	if layout == "2l" {
+		name = "boxgrid-2l"
+	}
 	series := &stats.Series{
-		Title:  fmt.Sprintf("box grid sweep: cps from %d to %d (boxgrid-csr, uniform boxes)", from, to),
-		XLabel: "cps",
+		Title:  fmt.Sprintf("box grid sweep: %s from %d to %d (%s, uniform boxes)", vary, from, to, name),
+		XLabel: vary,
 		YLabel: "Avg. Time per Tick (s)",
 	}
 	var ys []float64
 	for x := from; x <= to; x += step {
-		bg, err := grid.NewBoxGrid(x, bcfg.Bounds(), bcfg.NumPoints)
+		gridCPS := cps
+		if vary == "cps" {
+			gridCPS = x
+		} else {
+			bcfg.QuerySize = float32(x)
+		}
+		bg, err := newBoxIndex(layout, gridCPS, bcfg)
 		if err != nil {
 			return err
 		}
 		res := core.RunBoxes(bg, workload.MustNewBoxGenerator(bcfg), core.Options{})
 		series.Xs = append(series.Xs, float64(x))
 		ys = append(ys, res.AvgTick().Seconds())
-		fmt.Fprintf(os.Stderr, "cps=%d: %.4fs/tick (replication %.2fx)\n",
-			x, res.AvgTick().Seconds(), bg.ReplicationFactor())
+		fmt.Fprintf(os.Stderr, "%s=%d: %.4fs/tick (replication %.2fx)\n",
+			vary, x, res.AvgTick().Seconds(), bg.ReplicationFactor())
 	}
 	if err := series.AddLine("Avg. Time per Tick (s)", ys); err != nil {
 		return err
 	}
 	if best := stats.ArgminIndex(ys); best >= 0 {
-		fmt.Fprintf(os.Stderr, "optimum: cps=%d (%.4fs/tick)\n", int(series.Xs[best]), ys[best])
+		fmt.Fprintf(os.Stderr, "optimum: %s=%d (%.4fs/tick)\n", vary, int(series.Xs[best]), ys[best])
 	}
 	if csv {
 		fmt.Print(series.CSV())

@@ -17,6 +17,8 @@ func TestRejectsBadFlags(t *testing.T) {
 		{"-objects", "box", "-vary", "bs"},                            // box grid has no buckets
 		{"-objects", "box", "-experiment", "fig1a"},                   // no predefined box sweeps
 		{"-objects", "box", "-vary", "cps", "-from", "9", "-to", "3"}, // inverted range
+		{"-objects", "box", "-vary", "cps", "-boxlayout", "rtree"},    // unknown box layout
+		{"-vary", "cps", "-layout", "csr-xy", "-scan", "spiral"},      // csr-xy parses, scan does not
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {
@@ -31,6 +33,20 @@ func TestBoxSweepRuns(t *testing.T) {
 	}
 	err := run([]string{
 		"-objects", "box", "-vary", "cps", "-from", "16", "-to", "48", "-step", "16",
+		"-scale", "0.02", "-csv",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxQextSweepRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size data sweep")
+	}
+	err := run([]string{
+		"-objects", "box", "-boxlayout", "2l", "-vary", "qext",
+		"-from", "200", "-to", "800", "-step", "300", "-cps", "64",
 		"-scale", "0.02", "-csv",
 	})
 	if err != nil {

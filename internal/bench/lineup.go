@@ -97,6 +97,11 @@ var namedTechniques = []NamedTechnique{
 			return grid.MustNew(cfg, p.Bounds, p.NumPoints)
 		},
 	},
+	{
+		Key:         "grid-csrxy",
+		Description: "extension: CSR grid with coordinates inlined next to the IDs (no base-table dereference on filtered cells)",
+		Make:        gridFactory(grid.CSRXY),
+	},
 }
 
 func gridFactory(preset func() grid.Config) core.Factory {
@@ -123,6 +128,13 @@ var namedBoxTechniques = []NamedBoxTechnique{
 		Description: "CSR rectangle grid: per-cell MBR replication, counting-sort build, reference-point dedup",
 		Make: func(p core.Params) core.BoxIndex {
 			return grid.MustNewBoxGrid(grid.DefaultBoxCPS, p.Bounds, p.NumPoints)
+		},
+	},
+	{
+		Key:         "boxgrid-2l",
+		Description: "two-layer classed rectangle grid: A/B/C/D class sub-spans, no per-candidate dedup, inlined coordinates",
+		Make: func(p core.Params) core.BoxIndex {
+			return grid.MustNewBoxGrid2L(grid.DefaultBoxCPS, p.Bounds, p.NumPoints)
 		},
 	},
 }

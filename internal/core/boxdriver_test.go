@@ -21,13 +21,15 @@ func testBoxConfig() workload.BoxConfig {
 }
 
 // boxLineup instantiates every BoxIndex implementation for the given
-// workload: the brute-force oracle plus the CSR box grid at several
-// granularities.
+// workload: the brute-force oracle plus the CSR box grid and its
+// two-layer class-partitioned variant at several granularities.
 func boxLineup(cfg workload.BoxConfig) []BoxIndex {
 	return []BoxIndex{
 		NewBruteForceBoxes(),
 		grid.MustNewBoxGrid(8, cfg.Bounds(), cfg.NumPoints),
 		grid.MustNewBoxGrid(32, cfg.Bounds(), cfg.NumPoints),
+		grid.MustNewBoxGrid2L(8, cfg.Bounds(), cfg.NumPoints),
+		grid.MustNewBoxGrid2L(32, cfg.Bounds(), cfg.NumPoints),
 	}
 }
 

@@ -83,10 +83,12 @@ func (r *Result) String() string {
 		r.AvgBuild().Seconds(), r.AvgQuery().Seconds(), r.AvgUpdate().Seconds(), r.Pairs)
 }
 
-// mixPair folds one (querier, found) pair into an order-independent
+// MixPair folds one (querier, found) pair into an order-independent
 // checksum: each pair is hashed individually and combined by addition, a
 // commutative monoid, so emission order cannot affect the digest.
-func mixPair(h uint64, querier, found uint32) uint64 {
+// Exported so out-of-driver oracle checks (cmd/gridbench) share the
+// exact digest construction rather than re-deriving it.
+func MixPair(h uint64, querier, found uint32) uint64 {
 	v := uint64(querier)<<32 | uint64(found)
 	v ^= v >> 33
 	v *= 0xff51afd7ed558ccd

@@ -99,13 +99,13 @@ func runTicks[P any](e *engine[P], opts Options) *Result {
 	var emitQ uint32
 	emit := func(id uint32) {
 		pairs++
-		hash = mixPair(hash, emitQ, id)
+		hash = MixPair(hash, emitQ, id)
 	}
 	if opts.CollectPairs != nil {
 		collect := opts.CollectPairs
 		emit = func(id uint32) {
 			pairs++
-			hash = mixPair(hash, emitQ, id)
+			hash = MixPair(hash, emitQ, id)
 			collect(emitQ, id)
 		}
 	}
@@ -228,7 +228,7 @@ func runTicksParallel[P any](e *engine[P], opts Options, workers int) *Result {
 						r := e.queryRect(q)
 						e.query(r, func(id uint32) {
 							pairs++
-							hash = mixPair(hash, q, id)
+							hash = MixPair(hash, q, id)
 						})
 					}
 				}

@@ -2,6 +2,7 @@ package grid
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 
 	"repro/internal/geom"
@@ -40,8 +41,10 @@ func csrContenders() []Config {
 	return []Config{
 		{Name: "inline/cps=64", Layout: LayoutInline, Scan: ScanRange, BS: RefactoredBS, CPS: 64},
 		{Name: "csr/cps=64", Layout: LayoutCSR, Scan: ScanRange, BS: 1, CPS: 64},
+		{Name: "csrxy/cps=64", Layout: LayoutCSRXY, Scan: ScanRange, BS: 1, CPS: 64},
 		{Name: "inline/cps=256", Layout: LayoutInline, Scan: ScanRange, BS: RefactoredBS, CPS: 256},
 		{Name: "csr/cps=256", Layout: LayoutCSR, Scan: ScanRange, BS: 1, CPS: 256},
+		{Name: "csrxy/cps=256", Layout: LayoutCSRXY, Scan: ScanRange, BS: 1, CPS: 256},
 	}
 }
 
@@ -178,6 +181,191 @@ func BenchmarkGridUpdate(b *testing.B) {
 			}
 		})
 	}
+}
+
+// benchBoxes mirrors the default box workload's shape scaled to the
+// bench space: extents around 1/150 of the space side, the regime where
+// each MBR replicates into ~2 cells at cps=64 and ~7 at cps=256.
+func benchBoxes(n int) []geom.Rect {
+	r := xrand.New(9)
+	return randomBoxes(r, n, testBounds, 2, 12)
+}
+
+// boxIndexUnderBench is the slice of the box-grid API the benchmarks
+// drive, shared by BoxGrid and BoxGrid2L.
+type boxIndexUnderBench interface {
+	Build([]geom.Rect)
+	Query(geom.Rect, func(uint32))
+	Update(uint32, geom.Rect, geom.Rect)
+}
+
+// BenchmarkBoxQuery pits the PR 2 reference-point grid against the
+// two-layer classed grid — the per-candidate dedup test and base-table
+// dereference vs class sub-spans over the inlined arena.
+func BenchmarkBoxQuery(b *testing.B) {
+	rects := benchBoxes(50000)
+	r := xrand.New(4)
+	queries := make([]geom.Rect, 256)
+	for i := range queries {
+		queries[i] = geom.Square(geom.Pt(r.Range(0, 1000), r.Range(0, 1000)), 18)
+	}
+	for _, cps := range []int{64, 256} {
+		for _, bi := range []struct {
+			name string
+			make func(cps int) boxIndexUnderBench
+		}{
+			{"boxcsr", func(cps int) boxIndexUnderBench { return MustNewBoxGrid(cps, testBounds, len(rects)) }},
+			{"boxcsr2l", func(cps int) boxIndexUnderBench { return MustNewBoxGrid2L(cps, testBounds, len(rects)) }},
+		} {
+			b.Run(fmt.Sprintf("%s/cps=%d", bi.name, cps), func(b *testing.B) {
+				bg := bi.make(cps)
+				bg.Build(rects)
+				n := 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					bg.Query(queries[i%len(queries)], func(uint32) { n++ })
+				}
+				if n == 0 {
+					b.Fatal("no results")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBoxBuild measures the class-refined counting sort against the
+// plain one (the acceptance bound: classed build within 1.2x).
+func BenchmarkBoxBuild(b *testing.B) {
+	rects := benchBoxes(50000)
+	for _, cps := range []int{64, 256} {
+		b.Run(fmt.Sprintf("boxcsr/cps=%d", cps), func(b *testing.B) {
+			bg := MustNewBoxGrid(cps, testBounds, len(rects))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bg.Build(rects)
+			}
+		})
+		b.Run(fmt.Sprintf("boxcsr2l/cps=%d", cps), func(b *testing.B) {
+			bg := MustNewBoxGrid2L(cps, testBounds, len(rects))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bg.Build(rects)
+			}
+		})
+	}
+}
+
+// querySwitched is the un-hoisted reference the class-dispatch
+// micro-bench compares against: one loop over each cell's whole segment
+// with a per-candidate class switch, instead of four tight sub-loops
+// over the class sub-spans. Results are identical; only the dispatch
+// placement differs.
+func (bg *BoxGrid2L) querySwitched(r geom.Rect, emit func(id uint32)) {
+	q := bg.mapper.spanOf(r)
+	cps := bg.cps
+	qx0, qx1 := int(q.x0), int(q.x1)
+	qy0, qy1 := int(q.y0), int(q.y1)
+	for cy := qy0; cy <= qy1; cy++ {
+		firstRow, lastRow := cy == qy0, cy == qy1
+		loY, hiY := float32(-boxInf), float32(boxInf)
+		if firstRow {
+			loY = r.MinY
+		}
+		if lastRow {
+			hiY = r.MaxY
+		}
+		base := cy * cps
+		for cx := qx0; cx <= qx1; cx++ {
+			c := base + cx
+			firstCol, lastCol := cx == qx0, cx == qx1
+			loX, hiX := float32(-boxInf), float32(boxInf)
+			if firstCol {
+				loX = r.MinX
+			}
+			if lastCol {
+				hiX = r.MaxX
+			}
+			for k := bg.starts[c]; k < bg.ends[bg.endIdx(c, 3)]; k++ {
+				var class int
+				switch {
+				case k < bg.ends[bg.endIdx(c, 0)]:
+					class = 0
+				case k < bg.ends[bg.endIdx(c, 1)]:
+					class = 1
+				case k < bg.ends[bg.endIdx(c, 2)]:
+					class = 2
+				default:
+					class = 3
+				}
+				rc := bg.rcts[k]
+				switch class {
+				case 0:
+					if rc.MaxX >= loX && rc.MinX <= hiX && rc.MaxY >= loY && rc.MinY <= hiY {
+						emit(bg.ids[k])
+					}
+				case 1:
+					if firstCol && rc.MaxX >= r.MinX && rc.MaxY >= loY && rc.MinY <= hiY {
+						emit(bg.ids[k])
+					}
+				case 2:
+					if firstRow && rc.MaxY >= r.MinY && rc.MaxX >= loX && rc.MinX <= hiX {
+						emit(bg.ids[k])
+					}
+				default:
+					if firstCol && firstRow && rc.MaxX >= r.MinX && rc.MaxY >= r.MinY {
+						emit(bg.ids[k])
+					}
+				}
+			}
+			if of := bg.overflow[c]; len(of) != 0 {
+				ofr := bg.overflowR[c]
+				for j, id := range of {
+					if refCell(bg.spans[id], uint16(cx), uint16(cy), q.x0, q.y0) && ofr[j].Intersects(r) {
+						emit(id)
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkBoxClassDispatch isolates the satellite claim: hoisting the
+// class dispatch out of the inner loop (four tight sub-loops) vs a
+// per-candidate switch over the identical structure.
+func BenchmarkBoxClassDispatch(b *testing.B) {
+	rects := benchBoxes(50000)
+	r := xrand.New(4)
+	queries := make([]geom.Rect, 256)
+	for i := range queries {
+		queries[i] = geom.Square(geom.Pt(r.Range(0, 1000), r.Range(0, 1000)), 18)
+	}
+	bg := MustNewBoxGrid2L(256, testBounds, len(rects))
+	bg.Build(rects)
+
+	// The two emission strategies must agree before being timed.
+	for _, q := range queries[:16] {
+		var hoisted, switched []uint32
+		bg.Query(q, func(id uint32) { hoisted = append(hoisted, id) })
+		bg.querySwitched(q, func(id uint32) { switched = append(switched, id) })
+		sort.Slice(hoisted, func(i, j int) bool { return hoisted[i] < hoisted[j] })
+		sort.Slice(switched, func(i, j int) bool { return switched[i] < switched[j] })
+		if !equalIDs(hoisted, switched) {
+			b.Fatalf("switched dispatch disagrees on %v", q)
+		}
+	}
+
+	b.Run("subloops", func(b *testing.B) {
+		n := 0
+		for i := 0; i < b.N; i++ {
+			bg.Query(queries[i%len(queries)], func(uint32) { n++ })
+		}
+	})
+	b.Run("switched", func(b *testing.B) {
+		n := 0
+		for i := 0; i < b.N; i++ {
+			bg.querySwitched(queries[i%len(queries)], func(uint32) { n++ })
+		}
+	})
 }
 
 func BenchmarkGridScanAlgorithms(b *testing.B) {

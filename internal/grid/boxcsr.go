@@ -3,7 +3,6 @@ package grid
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/geom"
@@ -56,15 +55,27 @@ type BoxGrid struct {
 
 	shardCounts [][]uint32 // build scratch: per-worker count arrays
 	moveSpans   []cellSpan // batch-update scratch: old/new spans per move
-	// batch-update scratch: (cell, move) pairs counting-sorted by shard
-	// plus the per-shard offset table (see shardedPass).
-	pairCell, pairMove, pairOff []uint32
+	// pairs is the batch-update scratch: (cell, move) pairs counting-
+	// sorted by owning shard (see spanpairs.go).
+	pairs spanPairs
 }
 
 // cellSpan is an inclusive cell range [x0,x1]x[y0,y1]. uint16 covers any
 // practical cps (the directory itself is cps² cells).
 type cellSpan struct {
 	x0, x1, y0, y1 uint16
+}
+
+// spanOf maps a rectangle to its inclusive cell span, clamping extents on
+// or outside the space boundary into the outermost cells exactly like the
+// point mapping does.
+func (m cellMapper) spanOf(r geom.Rect) cellSpan {
+	return cellSpan{
+		x0: uint16(m.axisCell(r.MinX - m.minX)),
+		x1: uint16(m.axisCell(r.MaxX - m.minX)),
+		y0: uint16(m.axisCell(r.MinY - m.minY)),
+		y1: uint16(m.axisCell(r.MaxY - m.minY)),
+	}
 }
 
 // DefaultBoxCPS is the default granularity for box grids: the paper's
@@ -75,20 +86,27 @@ const DefaultBoxCPS = RefactoredCPS
 // maxBoxCPS keeps cell coordinates within the uint16 span encoding.
 const maxBoxCPS = 1 << 16
 
+// validateBoxGridParams is the shared parameter validation of the box
+// grid constructors.
+func validateBoxGridParams(cps int, bounds geom.Rect) error {
+	switch {
+	case cps <= 0:
+		return fmt.Errorf("grid: cells per side must be positive, got %d", cps)
+	case cps > maxBoxCPS:
+		return fmt.Errorf("grid: cells per side %d exceeds the box grid limit %d", cps, maxBoxCPS)
+	case !bounds.Valid() || bounds.Width() <= 0 || bounds.Height() <= 0:
+		return fmt.Errorf("grid: invalid bounds %v", bounds)
+	case bounds.Width() != bounds.Height():
+		return fmt.Errorf("grid: space must be square, got %v", bounds)
+	}
+	return nil
+}
+
 // NewBoxGrid constructs a box grid for the given space. numBoxes sizes
 // the arenas; it is a hint, not a limit.
 func NewBoxGrid(cps int, bounds geom.Rect, numBoxes int) (*BoxGrid, error) {
-	if cps <= 0 {
-		return nil, fmt.Errorf("grid: cells per side must be positive, got %d", cps)
-	}
-	if cps > maxBoxCPS {
-		return nil, fmt.Errorf("grid: cells per side %d exceeds the box grid limit %d", cps, maxBoxCPS)
-	}
-	if !bounds.Valid() || bounds.Width() <= 0 || bounds.Height() <= 0 {
-		return nil, fmt.Errorf("grid: invalid bounds %v", bounds)
-	}
-	if bounds.Width() != bounds.Height() {
-		return nil, fmt.Errorf("grid: space must be square, got %v", bounds)
+	if err := validateBoxGridParams(cps, bounds); err != nil {
+		return nil, err
 	}
 	bg := &BoxGrid{
 		cps:      cps,
@@ -131,18 +149,8 @@ func (bg *BoxGrid) CPS() int { return bg.cps }
 // Bounds returns the indexed space.
 func (bg *BoxGrid) Bounds() geom.Rect { return bg.bounds }
 
-// spanOf maps a rectangle to its inclusive cell span, clamping extents
-// on or outside the space boundary into the outermost cells exactly like
-// the point mapper does.
-func (bg *BoxGrid) spanOf(r geom.Rect) cellSpan {
-	m := bg.mapper
-	return cellSpan{
-		x0: uint16(m.axisCell(r.MinX - m.minX)),
-		x1: uint16(m.axisCell(r.MaxX - m.minX)),
-		y0: uint16(m.axisCell(r.MinY - m.minY)),
-		y1: uint16(m.axisCell(r.MaxY - m.minY)),
-	}
-}
+// spanOf maps a rectangle to its inclusive cell span.
+func (bg *BoxGrid) spanOf(r geom.Rect) cellSpan { return bg.mapper.spanOf(r) }
 
 // prepare sizes the snapshot-dependent state for a bulk build.
 func (bg *BoxGrid) prepare(rects []geom.Rect) {
@@ -473,7 +481,7 @@ func (bg *BoxGrid) UpdateBatch(moves []geom.BoxMove, workers int) {
 
 	var missing atomic.Int64
 	missing.Store(-1)
-	bg.shardedPass(moves, oldSpans, workers, func(c int, i uint32) {
+	bg.pairs.run(oldSpans, bg.cps, workers, func(c int, i uint32) {
 		if !bg.removeLocal(c, moves[i].ID) {
 			missing.CompareAndSwap(-1, int64(i))
 		}
@@ -490,81 +498,9 @@ func (bg *BoxGrid) UpdateBatch(moves []geom.BoxMove, workers int) {
 		bg.spans[moves[i].ID] = newSpans[i]
 	}
 
-	bg.shardedPass(moves, newSpans, workers, func(c int, i uint32) {
+	bg.pairs.run(newSpans, bg.cps, workers, func(c int, i uint32) {
 		bg.insertLocal(c, moves[i].ID)
 	})
-}
-
-// shardedPass expands the moves' spans into (cell, move) pairs bucketed
-// by owning shard via a counting sort, then runs apply over each shard's
-// contiguous pair run on its own goroutine. Within a shard, pairs keep
-// batch order (and span order within a move), so per-cell processing is
-// deterministic.
-func (bg *BoxGrid) shardedPass(moves []geom.BoxMove, spans []cellSpan, workers int, apply func(c int, move uint32)) {
-	if cap(bg.pairOff) < workers+1 {
-		bg.pairOff = make([]uint32, workers+1)
-	} else {
-		bg.pairOff = bg.pairOff[:workers+1]
-	}
-	off := bg.pairOff
-	for w := range off {
-		off[w] = 0
-	}
-	cps := bg.cps
-	for i := range spans {
-		s := spans[i]
-		for cy := int(s.y0); cy <= int(s.y1); cy++ {
-			base := cy * cps
-			for cx := int(s.x0); cx <= int(s.x1); cx++ {
-				off[(base+cx)%workers+1]++
-			}
-		}
-	}
-	for w := 0; w < workers; w++ {
-		off[w+1] += off[w]
-	}
-	total := int(off[workers])
-	if cap(bg.pairCell) < total {
-		bg.pairCell = make([]uint32, total)
-		bg.pairMove = make([]uint32, total)
-	} else {
-		bg.pairCell = bg.pairCell[:total]
-		bg.pairMove = bg.pairMove[:total]
-	}
-	for i := range spans {
-		s := spans[i]
-		for cy := int(s.y0); cy <= int(s.y1); cy++ {
-			base := cy * cps
-			for cx := int(s.x0); cx <= int(s.x1); cx++ {
-				c := base + cx
-				sh := c % workers
-				k := off[sh]
-				bg.pairCell[k] = uint32(c)
-				bg.pairMove[k] = uint32(i)
-				off[sh] = k + 1
-			}
-		}
-	}
-	// off[w] now holds end(w) == start(w+1); shift right to restore
-	// exclusive starts (the bucketByShard trick).
-	copy(off[1:], off[:workers])
-	off[0] = 0
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo, hi := off[w], off[w+1]
-		if lo == hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi uint32) {
-			defer wg.Done()
-			for k := lo; k < hi; k++ {
-				apply(int(bg.pairCell[k]), bg.pairMove[k])
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
 }
 
 // Len implements core.Counter: the number of indexed objects, not

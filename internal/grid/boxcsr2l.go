@@ -1,0 +1,707 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/geom"
+	"repro/internal/parutil"
+)
+
+// BoxGrid2L is the two-layer class-partitioned CSR rectangle grid: the
+// second layer of Tsitsigkos et al.'s space-oriented partitioning laid
+// over BoxGrid's counting-sort arena, plus inlined coordinates.
+//
+// First layer (same as BoxGrid): an MBR overlapping k cells is
+// replicated into all k of them. Second layer: within every cell, the
+// replicas are partitioned into four classes by where the rectangle's
+// span BEGINS relative to the cell —
+//
+//	class A: the rect's reference cell (span starts here on both axes)
+//	class B: the rect entered from the left (same span row, earlier column)
+//	class C: the rect entered from below (same span column, earlier row)
+//	class D: interior — the rect entered diagonally (earlier on both axes)
+//
+// The classes are stored as four contiguous sub-spans of the cell's
+// arena segment, produced by one class-refined counting sort over the
+// key cell*4+class (the "second counting-sort pass" folded into the
+// first). The payoff is on the query path: for a query span Q,
+//
+//   - class A passes the reference-cell dedup test in EVERY cell of Q
+//     (its span starts here, so the first shared cell is this one);
+//   - class B can pass only in Q's first column, class C only in Q's
+//     first row, class D only in Q's corner cell — everywhere else the
+//     whole sub-span is skipped without looking at a single element.
+//
+// The per-candidate reference-cell test of BoxGrid is gone entirely, and
+// most of the intersection test goes with it: by monotonicity of the
+// cell mapping, a comparison between a query edge and a rect edge is
+// decided for free whenever their cell coordinates differ. In a cell
+// interior to Q (not in its first/last row/column), class A needs NO
+// comparison at all — the emit loop copies IDs straight out of the
+// arena. On Q's boundary rows/columns the surviving comparisons are
+// evaluated against coordinates inlined in a rect arena parallel to the
+// ID arena (xlo,ylo,xhi,yhi next to each ID), so the base MBR table is
+// never dereferenced. Class D keeps a two-comparison max-corner test in
+// the corner cell: probe rectangles are not cell-aligned, so a rect
+// ending inside the corner cell can still miss the query by less than a
+// cell (the tile-to-tile join of the source paper can drop class D
+// outright only because there both sides are partitioned).
+//
+// Updates maintain the class partition in place: removals cascade the
+// hole rightward through the class runs (one element move per run),
+// insertions cascade slack leftward, both O(4); post-build inserts that
+// find no slack land in a per-cell overflow emitted with the full
+// reference-cell + intersection predicate.
+//
+// BoxGrid2L implements core.BoxIndex, core.BoxParallelBuilder,
+// core.BoxBatchUpdater, core.Counter, and core.MemoryReporter, and is
+// digest-identical to BoxGrid and the brute-force oracle.
+type BoxGrid2L struct {
+	cps      int
+	cells    int
+	bounds   geom.Rect
+	cellSize float32
+	mapper   cellMapper
+
+	starts []uint32 // len cells+1; segment capacity of c is starts[c+1]-starts[c]
+	// ends holds the exclusive end of every class run in PAIR-MAJOR
+	// layout (see endIdx): the first 2*cells entries pair the first-row
+	// classes per cell ([2c]=A, [2c+1]=B), the second half pairs the
+	// rest-row classes ([2cells+2c]=C, [2cells+2c+1]=D). The runs are
+	// contiguous in the arena in A,B,C,D order, so run j of cell c is
+	// [end(j-1), end(j)) with end(-1) = starts[c]; the live count is
+	// end(D)-starts[c] and slack lives between end(D) and starts[c+1].
+	// The layout matches the build scratch so a span row touches one
+	// plane, and the sequential build takes ends from the scatter
+	// cursors with a single copy.
+	ends []uint32
+	ids  []uint32    // one contiguous arena of replicated entry IDs
+	rcts []geom.Rect // inlined coordinates, parallel to ids
+
+	overflow  [][]uint32    // per-cell post-build inserts that found no slack
+	overflowR [][]geom.Rect // their coordinates, parallel to overflow
+
+	boxes int         // number of indexed objects (not replicas)
+	rects []geom.Rect // the retained snapshot
+
+	// spans caches each object's cell span (recomputed on Update): the
+	// overflow emit path deduplicates with it and updates know which
+	// cells and classes to edit.
+	spans []cellSpan
+
+	counts4     []uint32   // build scratch: per-(cell,class) counts / scatter cursors
+	shardCounts [][]uint32 // build scratch: per-worker counts4 arrays
+	moveSpans   []cellSpan // batch-update scratch: old/new spans per move
+	pairs       spanPairs  // batch-update scratch: sharded (cell, move) pairs
+}
+
+// NewBoxGrid2L constructs a class-partitioned box grid for the given
+// space. numBoxes sizes the arenas; it is a hint, not a limit.
+func NewBoxGrid2L(cps int, bounds geom.Rect, numBoxes int) (*BoxGrid2L, error) {
+	if err := validateBoxGridParams(cps, bounds); err != nil {
+		return nil, err
+	}
+	bg := &BoxGrid2L{
+		cps:      cps,
+		cells:    cps * cps,
+		bounds:   bounds,
+		cellSize: bounds.Width() / float32(cps),
+	}
+	bg.mapper = cellMapper{
+		minX:    bounds.MinX,
+		minY:    bounds.MinY,
+		invCell: 1 / bg.cellSize,
+		cps:     cps,
+	}
+	bg.starts = make([]uint32, bg.cells+1)
+	bg.ends = make([]uint32, 4*bg.cells)
+	bg.overflow = make([][]uint32, bg.cells)
+	bg.overflowR = make([][]geom.Rect, bg.cells)
+	if numBoxes > 0 {
+		bg.ids = make([]uint32, 0, 2*numBoxes)
+		bg.rcts = make([]geom.Rect, 0, 2*numBoxes)
+		bg.spans = make([]cellSpan, 0, numBoxes)
+	}
+	return bg, nil
+}
+
+// MustNewBoxGrid2L is NewBoxGrid2L for known-good parameters; it panics
+// on error.
+func MustNewBoxGrid2L(cps int, bounds geom.Rect, numBoxes int) *BoxGrid2L {
+	bg, err := NewBoxGrid2L(cps, bounds, numBoxes)
+	if err != nil {
+		panic(err)
+	}
+	return bg
+}
+
+// Name implements core.BoxIndex.
+func (bg *BoxGrid2L) Name() string { return fmt.Sprintf("boxgrid-2l(cps=%d)", bg.cps) }
+
+// CPS returns the grid granularity.
+func (bg *BoxGrid2L) CPS() int { return bg.cps }
+
+// Bounds returns the indexed space.
+func (bg *BoxGrid2L) Bounds() geom.Rect { return bg.bounds }
+
+// classAt returns the class of a replica of span s in cell (cx, cy):
+// 0=A, 1=B, 2=C, 3=D (bit 0: entered horizontally, bit 1: vertically).
+func classAt(s cellSpan, cx, cy int) int {
+	k := 0
+	if cx > int(s.x0) {
+		k = 1
+	}
+	if cy > int(s.y0) {
+		k |= 2
+	}
+	return k
+}
+
+// endIdx maps (cell, class) to its slot in the pair-major ends layout.
+func (bg *BoxGrid2L) endIdx(c, j int) int {
+	return (j&2)*bg.cells + 2*c + (j & 1)
+}
+
+// prepare sizes the snapshot-dependent state for a bulk build.
+func (bg *BoxGrid2L) prepare(rects []geom.Rect) {
+	bg.rects = rects
+	bg.boxes = len(rects)
+	for c, of := range bg.overflow {
+		if len(of) > 0 {
+			bg.overflow[c] = of[:0]
+			bg.overflowR[c] = bg.overflowR[c][:0]
+		}
+	}
+	if cap(bg.spans) < len(rects) {
+		bg.spans = make([]cellSpan, len(rects))
+	} else {
+		bg.spans = bg.spans[:len(rects)]
+	}
+	if cap(bg.counts4) < 4*bg.cells {
+		bg.counts4 = make([]uint32, 4*bg.cells)
+	} else {
+		bg.counts4 = bg.counts4[:4*bg.cells]
+		for i := range bg.counts4 {
+			bg.counts4[i] = 0
+		}
+	}
+}
+
+// sizeArena grows the ID and coordinate arenas to hold total replicas.
+func (bg *BoxGrid2L) sizeArena(total uint32) {
+	if cap(bg.ids) < int(total) {
+		bg.ids = make([]uint32, total)
+		bg.rcts = make([]geom.Rect, total)
+	} else {
+		bg.ids = bg.ids[:total]
+		bg.rcts = bg.rcts[:total]
+	}
+}
+
+// countSpan adds one slot per (cell, class) of the span to the
+// pair-major scratch counts4. A span row is all first-row classes (A at
+// the head, B after) or all rest-row classes (C head, D after), and the
+// pair-major layout keeps a row's head and tail counters in ONE plane
+// region — [2c] for the head class, [2c+1] stride-2 for the rest — so
+// each span row touches a single contiguous stretch of scratch, like
+// the unclassed grid's count pass. (Runs here are 2-4 cells, so the
+// stride-2 walk costs nothing over a dense one; locality is what
+// matters.)
+func countSpan(counts4 []uint32, s cellSpan, cps, cells int) {
+	fr := counts4[: 2*cells : 2*cells]
+	rr := counts4[2*cells:]
+	for cy := int(s.y0); cy <= int(s.y1); cy++ {
+		plane := rr
+		if cy == int(s.y0) {
+			plane = fr
+		}
+		base := 2 * (cy*cps + int(s.x0))
+		plane[base]++
+		last := 2*(cy*cps+int(s.x1)) + 1
+		for i := base + 3; i <= last; i += 2 {
+			plane[i]++
+		}
+	}
+}
+
+// scatterSpan places one replica of id into every (cell, class) slot of
+// the span, advancing the absolute pair-major cursors in cur. Only the
+// 4-byte ID is scattered — the 16-byte coordinates are filled by a
+// separate streaming pass (fillRects), because random 16-byte writes
+// into the full-size arena cost ~3x the whole unclassed build, while a
+// sequential arena sweep reading the (cache-resident) base table is
+// nearly free.
+func scatterSpan(cur []uint32, s cellSpan, cps, cells int, id uint32, ids []uint32) {
+	fr := cur[: 2*cells : 2*cells]
+	rr := cur[2*cells:]
+	for cy := int(s.y0); cy <= int(s.y1); cy++ {
+		plane := rr
+		if cy == int(s.y0) {
+			plane = fr
+		}
+		base := 2 * (cy*cps + int(s.x0))
+		pos := plane[base]
+		plane[base] = pos + 1
+		ids[pos] = id
+		last := 2*(cy*cps+int(s.x1)) + 1
+		for i := base + 3; i <= last; i += 2 {
+			pos = plane[i]
+			plane[i] = pos + 1
+			ids[pos] = id
+		}
+	}
+}
+
+// fillRects inlines the coordinates of arena slots [lo, hi): a
+// sequential write of the rect arena against random reads of the base
+// table.
+func (bg *BoxGrid2L) fillRects(rects []geom.Rect, lo, hi int) {
+	ids := bg.ids[lo:hi]
+	rcts := bg.rcts[lo:hi]
+	for k, id := range ids {
+		rcts[k] = rects[id]
+	}
+}
+
+// Build implements core.BoxIndex: the class-refined two-pass counting
+// sort. Pass 1 counts one slot per (overlapped cell, class); the
+// exclusive prefix sum over the key cell*4+class fixes both the cell
+// segments and the class sub-spans; pass 2 replicates each (ID, rect)
+// into its slots. Arenas are retained across builds, so steady-state
+// builds allocate nothing.
+func (bg *BoxGrid2L) Build(rects []geom.Rect) {
+	bg.prepare(rects)
+	cps := bg.cps
+	counts4 := bg.counts4
+	for i := range rects {
+		s := bg.mapper.spanOf(rects[i])
+		bg.spans[i] = s
+		countSpan(counts4, s, cps, bg.cells)
+	}
+	// Exclusive prefix sum in (cell, class) order; counts4 becomes the
+	// absolute scatter cursor. The two pair planes are walked as separate
+	// streams with the per-cell class quad unrolled.
+	cells := bg.cells
+	fr := counts4[:2*cells]
+	rr := counts4[2*cells:]
+	var sum uint32
+	for c := 0; c < cells; c++ {
+		bg.starts[c] = sum
+		c2 := 2 * c
+		n := fr[c2]
+		fr[c2] = sum
+		sum += n
+		n = fr[c2+1]
+		fr[c2+1] = sum
+		sum += n
+		n = rr[c2]
+		rr[c2] = sum
+		sum += n
+		n = rr[c2+1]
+		rr[c2+1] = sum
+		sum += n
+	}
+	bg.starts[cells] = sum
+	bg.sizeArena(sum)
+	for i := range rects {
+		scatterSpan(counts4, bg.spans[i], cps, bg.cells, uint32(i), bg.ids)
+	}
+	// The scatter cursors have advanced to the exclusive end of their
+	// runs, and the cursor layout IS the ends layout: one copy publishes
+	// the class boundaries.
+	copy(bg.ends, counts4)
+	bg.fillRects(rects, 0, len(bg.ids))
+}
+
+// BuildParallel implements core.BoxParallelBuilder: the sharded variant
+// of Build. Workers count their contiguous chunk of rects into private
+// (cell, class) count arrays, the global prefix sum over (key, worker)
+// turns them into per-worker scatter bases, and each worker replicates
+// its chunk into its disjoint ranges. Within a (cell, class) run,
+// entries appear in ascending ID order — exactly the layout the
+// sequential Build produces, so the arena is bit-identical.
+func (bg *BoxGrid2L) BuildParallel(rects []geom.Rect, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(rects) < minParallelBoxBuild {
+		bg.Build(rects)
+		return
+	}
+	bg.prepare(rects)
+	cps := bg.cps
+	keys := 4 * bg.cells
+	if len(bg.shardCounts) < workers {
+		bg.shardCounts = make([][]uint32, workers)
+	}
+	for w := 0; w < workers; w++ {
+		if len(bg.shardCounts[w]) < keys {
+			bg.shardCounts[w] = make([]uint32, keys)
+		} else {
+			sc := bg.shardCounts[w][:keys]
+			for i := range sc {
+				sc[i] = 0
+			}
+		}
+	}
+
+	parutil.ForEachShard(len(rects), workers, func(w, lo, hi int) {
+		sc := bg.shardCounts[w][:keys]
+		for i := lo; i < hi; i++ {
+			s := bg.mapper.spanOf(rects[i])
+			bg.spans[i] = s
+			countSpan(sc, s, cps, bg.cells)
+		}
+	})
+
+	// Merge: global exclusive prefix sum across (cell, class, worker) in
+	// worker order, rewriting each shard count into that shard's scatter
+	// base. Unlike the sequential build, no single cursor set ends at the
+	// run boundaries, so the merge publishes ends directly.
+	var sum uint32
+	for c := 0; c < bg.cells; c++ {
+		bg.starts[c] = sum
+		for j := 0; j < 4; j++ {
+			key := bg.endIdx(c, j)
+			for w := 0; w < workers; w++ {
+				n := bg.shardCounts[w][key]
+				bg.shardCounts[w][key] = sum
+				sum += n
+			}
+			bg.ends[key] = sum
+		}
+	}
+	bg.starts[bg.cells] = sum
+	bg.sizeArena(sum)
+
+	parutil.ForEachShard(len(rects), workers, func(w, lo, hi int) {
+		sc := bg.shardCounts[w][:keys]
+		for i := lo; i < hi; i++ {
+			scatterSpan(sc, bg.spans[i], cps, bg.cells, uint32(i), bg.ids)
+		}
+	})
+	// The coordinate fill shards over disjoint arena ranges, so it is
+	// bit-identical to the sequential fill by construction.
+	parutil.ForEachShard(len(bg.ids), workers, func(_, lo, hi int) {
+		bg.fillRects(rects, lo, hi)
+	})
+}
+
+// boxInf bounds any finite float32 coordinate; comparisons against it
+// stand in for "no test needed on this edge".
+const boxInf = math.MaxFloat32
+
+// Query implements core.BoxIndex: visit the cells overlapping r and
+// report every object whose MBR intersects r, exactly once, driving the
+// per-class emit loops described on the type. All predicates read the
+// inlined rect arena; the base table is never touched.
+func (bg *BoxGrid2L) Query(r geom.Rect, emit func(id uint32)) {
+	// The query's span comes from the same mapping as the stored class
+	// partition — the per-class predicates depend on the two never
+	// diverging.
+	q := bg.mapper.spanOf(r)
+	cps := bg.cps
+	half := 2 * bg.cells
+	qx0, qx1 := int(q.x0), int(q.x1)
+	qy0, qy1 := int(q.y0), int(q.y1)
+	for cy := qy0; cy <= qy1; cy++ {
+		firstRow, lastRow := cy == qy0, cy == qy1
+		loY, hiY := float32(-boxInf), float32(boxInf)
+		if firstRow {
+			loY = r.MinY
+		}
+		if lastRow {
+			hiY = r.MaxY
+		}
+		base := cy * cps
+		for cx := qx0; cx <= qx1; cx++ {
+			c := base + cx
+			c2 := 2 * c
+			a0, aEnd := bg.starts[c], bg.ends[c2]
+			firstCol, lastCol := cx == qx0, cx == qx1
+			if !firstCol && !lastCol && !firstRow && !lastRow {
+				// Cell interior to the query span: every class-A replica
+				// is a guaranteed hit (its reference corner lies in a cell
+				// the query fully covers on both axes), and no other class
+				// can pass the reference-cell criterion here — emit the A
+				// run verbatim, skip B/C/D without looking.
+				for _, id := range bg.ids[a0:aEnd] {
+					emit(id)
+				}
+			} else {
+				loX, hiX := float32(-boxInf), float32(boxInf)
+				if firstCol {
+					loX = r.MinX
+				}
+				if lastCol {
+					hiX = r.MaxX
+				}
+				// Class A: dedup-free everywhere; only the query-boundary
+				// edges still need a comparison.
+				for k := a0; k < aEnd; k++ {
+					rc := bg.rcts[k]
+					if rc.MaxX >= loX && rc.MinX <= hiX && rc.MaxY >= loY && rc.MinY <= hiY {
+						emit(bg.ids[k])
+					}
+				}
+				// Class B entered from the left: its reference cell under
+				// this query is in the first column, and rc.MinX <= r.MaxX
+				// holds by construction (the span started in an earlier
+				// column).
+				if firstCol {
+					for k := aEnd; k < bg.ends[c2+1]; k++ {
+						rc := bg.rcts[k]
+						if rc.MaxX >= r.MinX && rc.MaxY >= loY && rc.MinY <= hiY {
+							emit(bg.ids[k])
+						}
+					}
+				}
+				// Class C entered from below: symmetric, first row only.
+				if firstRow {
+					for k := bg.ends[c2+1]; k < bg.ends[half+c2]; k++ {
+						rc := bg.rcts[k]
+						if rc.MaxY >= r.MinY && rc.MaxX >= loX && rc.MinX <= hiX {
+							emit(bg.ids[k])
+						}
+					}
+				}
+				// Class D entered diagonally: corner cell only, and only
+				// the max-corner comparisons survive.
+				if firstCol && firstRow {
+					for k := bg.ends[half+c2]; k < bg.ends[half+c2+1]; k++ {
+						rc := bg.rcts[k]
+						if rc.MaxX >= r.MinX && rc.MaxY >= r.MinY {
+							emit(bg.ids[k])
+						}
+					}
+				}
+			}
+			// Overflow (post-build inserts): position encodes no class, so
+			// fall back to the full reference-cell + intersection test.
+			if of := bg.overflow[c]; len(of) != 0 {
+				ofr := bg.overflowR[c]
+				for j, id := range of {
+					if refCell(bg.spans[id], uint16(cx), uint16(cy), q.x0, q.y0) && ofr[j].Intersects(r) {
+						emit(id)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Update implements core.BoxIndex: remove the replica from every cell of
+// its old span and insert it into every cell of the new one, maintaining
+// the class partition in place.
+func (bg *BoxGrid2L) Update(id uint32, old, new geom.Rect) {
+	os := bg.spans[id]
+	ns := bg.mapper.spanOf(new)
+	cps := bg.cps
+	for cy := int(os.y0); cy <= int(os.y1); cy++ {
+		base := cy * cps
+		for cx := int(os.x0); cx <= int(os.x1); cx++ {
+			if !bg.removeLocal(base+cx, classAt(os, cx, cy), id) {
+				// The replica must exist: Build placed one in every span
+				// cell and the workload issues at most one update per
+				// object per tick.
+				panic(fmt.Sprintf("grid: box update of unknown entry %d at %v", id, old))
+			}
+		}
+	}
+	bg.spans[id] = ns
+	for cy := int(ns.y0); cy <= int(ns.y1); cy++ {
+		base := cy * cps
+		for cx := int(ns.x0); cx <= int(ns.x1); cx++ {
+			bg.insertLocal(base+cx, classAt(ns, cx, cy), id, new)
+		}
+	}
+}
+
+// insertLocal adds one replica of (id, r) to class run k of cell c. With
+// slack at the segment end, the runs above k each donate their first
+// slot by moving it past their last (one element move per run) so the
+// freed slot lands at the end of run k; without slack the replica goes
+// to overflow. It only touches cell-c state, so distinct cells may be
+// processed concurrently.
+func (bg *BoxGrid2L) insertLocal(c, k int, id uint32, r geom.Rect) {
+	if bg.ends[bg.endIdx(c, 3)] >= bg.starts[c+1] {
+		bg.overflow[c] = append(bg.overflow[c], id)
+		bg.overflowR[c] = append(bg.overflowR[c], r)
+		return
+	}
+	for j := 3; j > k; j-- {
+		ej := bg.endIdx(c, j)
+		e := bg.ends[ej]
+		f := bg.ends[bg.endIdx(c, j-1)] // first slot of run j
+		bg.ids[e] = bg.ids[f]
+		bg.rcts[e] = bg.rcts[f]
+		bg.ends[ej] = e + 1
+	}
+	ek := bg.endIdx(c, k)
+	pos := bg.ends[ek]
+	bg.ids[pos] = id
+	bg.rcts[pos] = r
+	bg.ends[ek] = pos + 1
+}
+
+// removeLocal deletes one replica of id from class run k of cell c (or
+// from the cell's overflow), reporting whether it was present. The hole
+// cascades rightward through the runs above k — each run's last element
+// fills the hole left in the run below — so every class run stays
+// contiguous. It only touches cell-c state.
+func (bg *BoxGrid2L) removeLocal(c, k int, id uint32) bool {
+	lo := bg.starts[c]
+	if k > 0 {
+		lo = bg.ends[bg.endIdx(c, k-1)]
+	}
+	for p := lo; p < bg.ends[bg.endIdx(c, k)]; p++ {
+		if bg.ids[p] != id {
+			continue
+		}
+		prev := p
+		for j := k; j < 4; j++ {
+			ej := bg.endIdx(c, j)
+			last := bg.ends[ej] - 1
+			bg.ids[prev] = bg.ids[last]
+			bg.rcts[prev] = bg.rcts[last]
+			bg.ends[ej] = last
+			prev = last
+		}
+		return true
+	}
+	of := bg.overflow[c]
+	for j, v := range of {
+		if v != id {
+			continue
+		}
+		ofr := bg.overflowR[c]
+		of[j] = of[len(of)-1]
+		ofr[j] = ofr[len(ofr)-1]
+		bg.overflow[c] = of[:len(of)-1]
+		bg.overflowR[c] = ofr[:len(ofr)-1]
+		return true
+	}
+	return false
+}
+
+// CanBatchUpdates implements core.BoxBatchUpdater: the sharded path pays
+// off only for batches large enough to beat the fork/join overhead.
+func (bg *BoxGrid2L) CanBatchUpdates(n int) bool { return n >= minParallelMoves }
+
+// UpdateBatch implements core.BoxBatchUpdater: the same sharded
+// (cell, move) discipline as BoxGrid.UpdateBatch — all removals first
+// (sharded by old-span cell), a barrier, then all insertions — with the
+// per-cell operations maintaining the class partition. Per-cell state is
+// never touched by two workers, so the result is indistinguishable from
+// per-move Update calls.
+func (bg *BoxGrid2L) UpdateBatch(moves []geom.BoxMove, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(moves) < minParallelMoves {
+		for i := range moves {
+			bg.Update(moves[i].ID, moves[i].Old, moves[i].New)
+		}
+		return
+	}
+
+	need := 2 * len(moves)
+	if cap(bg.moveSpans) < need {
+		bg.moveSpans = make([]cellSpan, need)
+	} else {
+		bg.moveSpans = bg.moveSpans[:need]
+	}
+	oldSpans := bg.moveSpans[:len(moves)]
+	newSpans := bg.moveSpans[len(moves):]
+	parutil.ForEachShard(len(moves), workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			oldSpans[i] = bg.spans[moves[i].ID]
+			newSpans[i] = bg.mapper.spanOf(moves[i].New)
+		}
+	})
+
+	cps := bg.cps
+	var missing atomic.Int64
+	missing.Store(-1)
+	bg.pairs.run(oldSpans, cps, workers, func(c int, i uint32) {
+		if !bg.removeLocal(c, classAt(oldSpans[i], c%cps, c/cps), moves[i].ID) {
+			missing.CompareAndSwap(-1, int64(i))
+		}
+	})
+	if i := missing.Load(); i >= 0 {
+		// Same contract as Update: the replica must exist.
+		panic(fmt.Sprintf("grid: box update of unknown entry %d at %v",
+			moves[i].ID, moves[i].Old))
+	}
+
+	// Record the new spans between the passes: reads are done, inserts
+	// have not started.
+	for i := range moves {
+		bg.spans[moves[i].ID] = newSpans[i]
+	}
+
+	bg.pairs.run(newSpans, cps, workers, func(c int, i uint32) {
+		bg.insertLocal(c, classAt(newSpans[i], c%cps, c/cps), moves[i].ID, moves[i].New)
+	})
+}
+
+// Len implements core.Counter: the number of indexed objects, not
+// replicas.
+func (bg *BoxGrid2L) Len() int { return bg.boxes }
+
+// Replicas returns the total number of (object, cell) entries currently
+// in the dense arena and overflow.
+func (bg *BoxGrid2L) Replicas() int {
+	total := 0
+	for c := 0; c < bg.cells; c++ {
+		total += int(bg.ends[bg.endIdx(c, 3)]-bg.starts[c]) + len(bg.overflow[c])
+	}
+	return total
+}
+
+// ReplicationFactor returns replicas per object.
+func (bg *BoxGrid2L) ReplicationFactor() float64 {
+	if bg.boxes == 0 {
+		return 0
+	}
+	return float64(bg.Replicas()) / float64(bg.boxes)
+}
+
+// ClassCounts returns the total number of dense-arena replicas per class
+// (A, B, C, D), exposed for tests and the class-mix diagnostics.
+func (bg *BoxGrid2L) ClassCounts() [4]int {
+	var out [4]int
+	for c := 0; c < bg.cells; c++ {
+		lo := bg.starts[c]
+		for j := 0; j < 4; j++ {
+			hi := bg.ends[bg.endIdx(c, j)]
+			out[j] += int(hi - lo)
+			lo = hi
+		}
+	}
+	return out
+}
+
+// MemoryBytes implements core.MemoryReporter: directory, both arenas,
+// span cache, overflow capacity, and retained build scratch.
+func (bg *BoxGrid2L) MemoryBytes() int64 {
+	total := int64(len(bg.starts)+len(bg.ends)+cap(bg.ids)+cap(bg.counts4)) * 4
+	total += int64(cap(bg.rcts)) * 16
+	total += int64(cap(bg.spans)) * 8
+	total += int64(len(bg.overflow)) * 24
+	for _, of := range bg.overflow {
+		total += int64(cap(of)) * 4
+	}
+	total += int64(len(bg.overflowR)) * 24
+	for _, ofr := range bg.overflowR {
+		total += int64(cap(ofr)) * 16
+	}
+	for _, sc := range bg.shardCounts {
+		total += int64(cap(sc)) * 4
+	}
+	total += int64(cap(bg.moveSpans)) * 8
+	return total
+}

@@ -1,0 +1,374 @@
+package grid
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+// Tests for the two-layer class-partitioned rectangle grid: brute-force
+// agreement, the class-partition property (A∪B∪C∪D covers every cell
+// span exactly, pairwise disjoint), bit-identical parallel builds, and
+// class maintenance under in-place and batched updates.
+
+func TestBoxGrid2LMatchesBruteForce(t *testing.T) {
+	bounds := geom.R(0, 0, 1000, 1000)
+	rng := xrand.New(7)
+	for _, tc := range []struct {
+		name             string
+		n                int
+		minSide, maxSide float32
+		cps              int
+	}{
+		{"small boxes", 500, 0, 40, 16},
+		{"mixed sizes", 400, 0, 300, 16},
+		{"huge boxes", 60, 200, 900, 8},
+		{"degenerate points", 300, 0, 0, 16},
+		{"fine grid", 400, 0, 120, 64},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rects := randomBoxes(rng, tc.n, bounds, tc.minSide, tc.maxSide)
+			bg := MustNewBoxGrid2L(tc.cps, bounds, tc.n)
+			bg.Build(rects)
+			if bg.Len() != tc.n {
+				t.Fatalf("Len = %d, want %d", bg.Len(), tc.n)
+			}
+			for _, q := range testQueries(rng, 50, bounds) {
+				got := collectQuery(t, bg, q)
+				want := bruteBoxQuery(rects, q)
+				if !equalIDs(got, want) {
+					t.Fatalf("query %v: got %d ids, want %d", q, len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
+// TestBoxGrid2LAgreesWithBoxGrid pins the classed grid to the PR 2
+// reference-point grid on identical inputs, including spanning rects
+// queried by spanning queries.
+func TestBoxGrid2LAgreesWithBoxGrid(t *testing.T) {
+	bounds := geom.R(0, 0, 1024, 1024)
+	rng := xrand.New(13)
+	rects := randomBoxes(rng, 600, bounds, 0, 400)
+	rects = append(rects,
+		geom.R(0, 0, 1024, 1024),
+		geom.R(0, 500, 1024, 510),
+		geom.R(500, 0, 510, 1024),
+	)
+	ref := MustNewBoxGrid(32, bounds, len(rects))
+	ref.Build(rects)
+	cl := MustNewBoxGrid2L(32, bounds, len(rects))
+	cl.Build(rects)
+	for _, q := range testQueries(rng, 60, bounds) {
+		got := collectQuery(t, cl, q)
+		want := collectQuery(t, ref, q)
+		if !equalIDs(got, want) {
+			t.Fatalf("query %v: classed and reference grids disagree (%d vs %d ids)",
+				q, len(got), len(want))
+		}
+	}
+}
+
+// checkClassPartition verifies the structural invariant of the second
+// layer: per cell, the four class runs are contiguous, ordered, within
+// the segment, and every element sits in the run matching its computed
+// class; per object, the (cell, class) replicas partition the cached
+// cell span exactly — one class-A replica at the reference cell, class B
+// exactly along the rest of the first span row, class C along the rest
+// of the first span column, class D in the interior, nothing else and
+// nothing missing (overflow entries are accounted separately).
+func checkClassPartition(t *testing.T, bg *BoxGrid2L) {
+	t.Helper()
+	type slot struct{ cx, cy, class int }
+	placed := make(map[uint32][]slot)
+	for c := 0; c < bg.cells; c++ {
+		lo := bg.starts[c]
+		if end3 := bg.ends[bg.endIdx(c, 3)]; end3 > bg.starts[c+1] {
+			t.Fatalf("cell %d: runs end at %d beyond segment capacity %d", c, end3, bg.starts[c+1])
+		}
+		cx, cy := c%bg.cps, c/bg.cps
+		for j := 0; j < 4; j++ {
+			hi := bg.ends[bg.endIdx(c, j)]
+			if hi < lo {
+				t.Fatalf("cell %d: class run %d inverted [%d, %d)", c, j, lo, hi)
+			}
+			for p := lo; p < hi; p++ {
+				id := bg.ids[p]
+				if got := classAt(bg.spans[id], cx, cy); got != j {
+					t.Fatalf("cell %d: entry %d stored in class %d, classAt = %d", c, id, j, got)
+				}
+				if bg.rcts[p] != bg.rects[id] {
+					t.Fatalf("cell %d: entry %d inlined rect %v != snapshot %v", c, id, bg.rcts[p], bg.rects[id])
+				}
+				placed[id] = append(placed[id], slot{cx, cy, j})
+			}
+			lo = hi
+		}
+		for _, id := range bg.overflow[c] {
+			// Overflow carries no class; count it against the span with a
+			// class recomputed from position so the coverage check below
+			// still applies.
+			placed[id] = append(placed[id], slot{cx, cy, classAt(bg.spans[id], cx, cy)})
+		}
+	}
+	for id, slots := range placed {
+		s := bg.spans[id]
+		want := (int(s.x1-s.x0) + 1) * (int(s.y1-s.y0) + 1)
+		if len(slots) != want {
+			t.Fatalf("entry %d: %d replicas, span %v needs %d", id, len(slots), s, want)
+		}
+		seen := make(map[[2]int]int, len(slots))
+		for _, sl := range slots {
+			key := [2]int{sl.cx, sl.cy}
+			if _, dup := seen[key]; dup {
+				t.Fatalf("entry %d: duplicate replica in cell (%d, %d)", id, sl.cx, sl.cy)
+			}
+			seen[key] = sl.class
+			if sl.cx < int(s.x0) || sl.cx > int(s.x1) || sl.cy < int(s.y0) || sl.cy > int(s.y1) {
+				t.Fatalf("entry %d: replica outside span at (%d, %d)", id, sl.cx, sl.cy)
+			}
+			if got, want := sl.class, classAt(s, sl.cx, sl.cy); got != want {
+				t.Fatalf("entry %d at (%d, %d): class %d, want %d", id, sl.cx, sl.cy, got, want)
+			}
+		}
+		// Every cell of the span is covered (with the per-cell class
+		// checked above, A∪B∪C∪D == span and the classes are disjoint by
+		// cell uniqueness).
+		if a, ok := seen[[2]int{int(s.x0), int(s.y0)}]; !ok || a != 0 {
+			t.Fatalf("entry %d: reference cell not class A (ok=%v class=%d)", id, ok, a)
+		}
+	}
+	if total, replicas := len(placed), bg.Replicas(); replicas > 0 && total == 0 {
+		t.Fatalf("%d replicas but no objects placed", replicas)
+	}
+}
+
+func TestBoxGrid2LClassPartitionProperty(t *testing.T) {
+	bounds := geom.R(0, 0, 1000, 1000)
+	rng := xrand.New(29)
+	for _, tc := range []struct {
+		name             string
+		n                int
+		minSide, maxSide float32
+		cps              int
+	}{
+		{"small", 700, 0, 60, 16},
+		{"mixed", 500, 0, 350, 16},
+		{"spanning", 80, 300, 1000, 8},
+		{"points", 300, 0, 0, 16},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rects := randomBoxes(rng, tc.n, bounds, tc.minSide, tc.maxSide)
+			bg := MustNewBoxGrid2L(tc.cps, bounds, tc.n)
+			bg.Build(rects)
+			checkClassPartition(t, bg)
+
+			// The partition must survive in-place maintenance too.
+			moved, moves := moveBoxes(rng, rects, 250)
+			for _, m := range moves {
+				bg.Update(m.ID, m.Old, m.New)
+			}
+			bg.rects = moved
+			checkClassPartition(t, bg)
+		})
+	}
+}
+
+func TestBoxGrid2LParallelBuildBitIdentical(t *testing.T) {
+	bounds := geom.R(0, 0, 2000, 2000)
+	rng := xrand.New(11)
+	// Above the gate so the parallel path actually runs.
+	rects := randomBoxes(rng, 6000, bounds, 0, 150)
+
+	seq := MustNewBoxGrid2L(32, bounds, len(rects))
+	seq.Build(rects)
+	for _, workers := range []int{2, 3, 8} {
+		par := MustNewBoxGrid2L(32, bounds, len(rects))
+		par.BuildParallel(rects, workers)
+		if par.Replicas() != seq.Replicas() {
+			t.Fatalf("workers=%d: %d replicas, want %d", workers, par.Replicas(), seq.Replicas())
+		}
+		for c := range seq.starts {
+			if seq.starts[c] != par.starts[c] {
+				t.Fatalf("workers=%d: cell %d segment differs", workers, c)
+			}
+		}
+		for k := range seq.ends {
+			if seq.ends[k] != par.ends[k] {
+				t.Fatalf("workers=%d: class run %d differs", workers, k)
+			}
+		}
+		for i := range seq.ids {
+			if seq.ids[i] != par.ids[i] || seq.rcts[i] != par.rcts[i] {
+				t.Fatalf("workers=%d: arena differs at slot %d", workers, i)
+			}
+		}
+	}
+}
+
+func TestBoxGrid2LUpdateMatchesRebuild(t *testing.T) {
+	bounds := geom.R(0, 0, 1000, 1000)
+	rng := xrand.New(23)
+	rects := randomBoxes(rng, 800, bounds, 0, 120)
+	bg := MustNewBoxGrid2L(16, bounds, len(rects))
+	bg.Build(rects)
+
+	moved, moves := moveBoxes(rng, rects, 200)
+	for _, m := range moves {
+		bg.Update(m.ID, m.Old, m.New)
+	}
+	// Unlike BoxGrid, queries read the inlined arena, which Update keeps
+	// fresh — no snapshot poke needed for the dense entries; the oracle
+	// runs over the moved population.
+	for _, q := range testQueries(rng, 40, bounds) {
+		got := collectQuery(t, bg, q)
+		want := bruteBoxQuery(moved, q)
+		if !equalIDs(got, want) {
+			t.Fatalf("after updates, query %v: got %d ids, want %d", q, len(got), len(want))
+		}
+	}
+	if bg.Len() != len(rects) {
+		t.Fatalf("Len = %d after updates, want %d", bg.Len(), len(rects))
+	}
+}
+
+// TestBoxGrid2LOverflowPath forces post-build inserts past the segment
+// capacity of a cell and verifies overflow entries keep emitting exactly
+// once with correct geometry, then drain on removal.
+func TestBoxGrid2LOverflowPath(t *testing.T) {
+	bounds := geom.R(0, 0, 100, 100)
+	bg := MustNewBoxGrid2L(2, bounds, 4) // 2x2 cells of side 50
+	rects := []geom.Rect{
+		geom.R(10, 10, 20, 20), // cell (0,0)
+		geom.R(60, 10, 70, 20), // cell (1,0)
+		geom.R(60, 60, 70, 70), // cell (1,1)
+	}
+	bg.Build(rects)
+	// Move everything into cell (0,0): capacity 1 there, so two inserts
+	// overflow.
+	updated := append([]geom.Rect(nil), rects...)
+	for id := uint32(1); id <= 2; id++ {
+		to := geom.R(5+float32(id), 5, 15+float32(id), 15)
+		bg.Update(id, rects[id], to)
+		updated[id] = to
+	}
+	if len(bg.overflow[0]) == 0 {
+		t.Fatal("expected overflow in cell 0")
+	}
+	got := collectQuery(t, bg, geom.R(0, 0, 30, 30))
+	if !equalIDs(got, []uint32{0, 1, 2}) {
+		t.Fatalf("overflow query returned %v", got)
+	}
+	// Remove an overflow resident and re-query.
+	bg.Update(2, updated[2], geom.R(60, 60, 70, 70))
+	got = collectQuery(t, bg, geom.R(0, 0, 30, 30))
+	if !equalIDs(got, []uint32{0, 1}) {
+		t.Fatalf("after draining overflow, query returned %v", got)
+	}
+}
+
+func TestBoxGrid2LUpdateBatchMatchesSequentialUpdates(t *testing.T) {
+	bounds := geom.R(0, 0, 4000, 4000)
+	rng := xrand.New(31)
+	rects := randomBoxes(rng, 6000, bounds, 0, 200)
+
+	seq := MustNewBoxGrid2L(32, bounds, len(rects))
+	seq.Build(rects)
+	par := MustNewBoxGrid2L(32, bounds, len(rects))
+	par.Build(rects)
+
+	moved, moves := moveBoxes(rng, rects, 400)
+	if len(moves) < minParallelMoves {
+		t.Fatalf("only %d moves; need >= %d for the parallel path", len(moves), minParallelMoves)
+	}
+	for _, m := range moves {
+		seq.Update(m.ID, m.Old, m.New)
+	}
+	if !par.CanBatchUpdates(len(moves)) {
+		t.Fatalf("CanBatchUpdates(%d) = false", len(moves))
+	}
+	par.UpdateBatch(moves, 4)
+
+	seq.rects = moved
+	par.rects = moved
+	checkClassPartition(t, par)
+	for _, q := range testQueries(rng, 30, bounds) {
+		got := collectQuery(t, par, q)
+		want := collectQuery(t, seq, q)
+		if !equalIDs(got, want) {
+			t.Fatalf("batch vs sequential updates disagree on query %v", q)
+		}
+	}
+}
+
+func TestBoxGrid2LRejectsBadParameters(t *testing.T) {
+	bounds := geom.R(0, 0, 100, 100)
+	if _, err := NewBoxGrid2L(0, bounds, 10); err == nil {
+		t.Error("cps=0 must be rejected")
+	}
+	if _, err := NewBoxGrid2L(16, geom.R(0, 0, 100, 50), 10); err == nil {
+		t.Error("non-square space must be rejected")
+	}
+	if _, err := NewBoxGrid2L(1<<17, bounds, 10); err == nil {
+		t.Error("cps beyond the uint16 span encoding must be rejected")
+	}
+}
+
+func TestBoxGrid2LClassCounts(t *testing.T) {
+	bounds := geom.R(0, 0, 100, 100)
+	bg := MustNewBoxGrid2L(4, bounds, 2) // 4x4 cells of side 25
+	// One rect spanning 3x2 cells: classes A=1, B=2 (rest of first row),
+	// C=1 (rest of first column), D=2 (interior); one single-cell rect.
+	bg.Build([]geom.Rect{
+		geom.R(10, 10, 60, 40),
+		geom.R(80, 80, 90, 90),
+	})
+	got := bg.ClassCounts()
+	want := [4]int{2, 2, 1, 2}
+	if got != want {
+		t.Fatalf("class counts = %v, want %v", got, want)
+	}
+	if f := bg.ReplicationFactor(); f != 3.5 {
+		t.Fatalf("replication factor = %g, want 3.5", f)
+	}
+}
+
+// TestBoxGrid2LUnknownEntryPanics mirrors the BoxGrid contract on the
+// classed layout's batched path.
+func TestBoxGrid2LUnknownEntryPanics(t *testing.T) {
+	bounds := geom.R(0, 0, 1000, 1000)
+	rng := xrand.New(37)
+	rects := randomBoxes(rng, minParallelMoves*2, bounds, 0, 50)
+	bg := MustNewBoxGrid2L(16, bounds, len(rects))
+	bg.Build(rects)
+	moves := make([]geom.BoxMove, minParallelMoves)
+	for i := range moves {
+		moves[i] = geom.BoxMove{ID: uint32(i), Old: rects[i], New: rects[i]}
+	}
+	// Violate the at-most-one-move-per-ID contract: the second removal of
+	// the duplicated entry finds no replica left and must be reported.
+	moves[7] = moves[6]
+	defer func() {
+		if recover() == nil {
+			t.Fatal("UpdateBatch with duplicated entry did not panic")
+		}
+	}()
+	bg.UpdateBatch(moves, 4)
+}
+
+func TestBoxGrid2LNameAndAccessors(t *testing.T) {
+	bounds := geom.R(0, 0, 100, 100)
+	bg := MustNewBoxGrid2L(8, bounds, 0)
+	if want := fmt.Sprintf("boxgrid-2l(cps=%d)", 8); bg.Name() != want {
+		t.Fatalf("Name = %q, want %q", bg.Name(), want)
+	}
+	if bg.CPS() != 8 || bg.Bounds() != bounds {
+		t.Fatalf("accessors: cps=%d bounds=%v", bg.CPS(), bg.Bounds())
+	}
+	if bg.MemoryBytes() <= 0 {
+		t.Fatal("MemoryBytes must count the directory")
+	}
+}

@@ -33,9 +33,15 @@ func bruteBoxQuery(rects []geom.Rect, r geom.Rect) []uint32 {
 	return out
 }
 
-// collectQuery runs one BoxGrid query, failing the test on any duplicate
-// emission, and returns the sorted IDs.
-func collectQuery(t *testing.T, bg *BoxGrid, r geom.Rect) []uint32 {
+// boxQuerier is the slice of the BoxIndex contract the query tests
+// exercise, satisfied by both BoxGrid and BoxGrid2L.
+type boxQuerier interface {
+	Query(r geom.Rect, emit func(id uint32))
+}
+
+// collectQuery runs one box grid query, failing the test on any
+// duplicate emission, and returns the sorted IDs.
+func collectQuery(t *testing.T, bg boxQuerier, r geom.Rect) []uint32 {
 	t.Helper()
 	seen := make(map[uint32]int)
 	var out []uint32

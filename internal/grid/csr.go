@@ -36,7 +36,16 @@ type csrStore struct {
 	counts []uint32 // live entries in each cell's dense segment
 	ids    []uint32 // one contiguous arena of entry IDs, len == len(pts) at build
 
+	// xy, when non-nil, inlines each entry's coordinates next to its ID:
+	// slot k of the ID arena owns xy[2k] (x) and xy[2k+1] (y). Filtered
+	// cells then test containment against this arena instead of the base
+	// table (LayoutCSRXY; see csrxy.go).
+	xy []float32
+
 	overflow [][]uint32 // per-cell post-build inserts that found no slack
+	// overflowXY mirrors overflow with two float32 per entry when xy is
+	// enabled, so overflow entries filter arena-locally too.
+	overflowXY [][]float32
 
 	entries int
 	pts     []geom.Point
@@ -45,12 +54,16 @@ type csrStore struct {
 	shardCounts [][]uint32 // build scratch: per-worker count arrays
 }
 
-func newCSRStore(cells int, mapper cellMapper, numPoints int) *csrStore {
+func newCSRStore(cells int, mapper cellMapper, numPoints int, withXY bool) *csrStore {
 	st := &csrStore{
 		mapper:   mapper,
 		starts:   make([]uint32, cells+1),
 		counts:   make([]uint32, cells),
 		overflow: make([][]uint32, cells),
+	}
+	if withXY {
+		st.xy = make([]float32, 0, 2*numPoints)
+		st.overflowXY = make([][]float32, cells)
 	}
 	if numPoints > 0 {
 		st.ids = make([]uint32, 0, numPoints)
@@ -83,6 +96,11 @@ func (st *csrStore) clearOverflow() {
 			st.overflow[c] = of[:0]
 		}
 	}
+	for c, oxy := range st.overflowXY {
+		if len(oxy) > 0 {
+			st.overflowXY[c] = oxy[:0]
+		}
+	}
 }
 
 // prepare sizes the arena and scratch for a bulk build over pts.
@@ -99,6 +117,13 @@ func (st *csrStore) prepare(pts []geom.Point) {
 		st.cellOf = make([]uint32, len(pts))
 	} else {
 		st.cellOf = st.cellOf[:len(pts)]
+	}
+	if st.xy != nil {
+		if cap(st.xy) < 2*len(pts) {
+			st.xy = make([]float32, 2*len(pts))
+		} else {
+			st.xy = st.xy[:2*len(pts)]
+		}
 	}
 }
 
@@ -122,6 +147,17 @@ func (st *csrStore) build(pts []geom.Point) {
 		counts[c] = 0
 	}
 	st.starts[len(counts)] = sum
+	if st.xy != nil {
+		for i := range pts {
+			c := st.cellOf[i]
+			k := st.starts[c] + counts[c]
+			st.ids[k] = uint32(i)
+			st.xy[2*k] = pts[i].X
+			st.xy[2*k+1] = pts[i].Y
+			counts[c]++
+		}
+		return
+	}
 	for i := range pts {
 		c := st.cellOf[i]
 		st.ids[st.starts[c]+counts[c]] = uint32(i)
@@ -183,6 +219,17 @@ func (st *csrStore) buildParallel(pts []geom.Point, workers int) {
 
 	parutil.ForEachShard(len(pts), workers, func(w, lo, hi int) {
 		sc := st.shardCounts[w][:cells]
+		if st.xy != nil {
+			for i := lo; i < hi; i++ {
+				c := st.cellOf[i]
+				k := sc[c]
+				st.ids[k] = uint32(i)
+				st.xy[2*k] = pts[i].X
+				st.xy[2*k+1] = pts[i].Y
+				sc[c] = k + 1
+			}
+			return
+		}
 		for i := lo; i < hi; i++ {
 			c := st.cellOf[i]
 			st.ids[sc[c]] = uint32(i)
@@ -196,21 +243,28 @@ func (st *csrStore) buildParallel(pts []geom.Point, workers int) {
 }
 
 func (st *csrStore) insertAt(c int, id uint32, p geom.Point) {
-	st.insertLocal(c, id)
+	st.insertLocal(c, id, p)
 	st.entries++
 }
 
 // insertLocal is insertAt without the shared entries counter; the batched
 // parallel update path calls it from per-cell-shard workers (a move nets
 // zero entries, so the counter needs no touch there).
-func (st *csrStore) insertLocal(c int, id uint32) {
+func (st *csrStore) insertLocal(c int, id uint32, p geom.Point) {
 	base, n := st.starts[c], st.counts[c]
 	if base+n < st.starts[c+1] {
 		st.ids[base+n] = id
+		if st.xy != nil {
+			st.xy[2*(base+n)] = p.X
+			st.xy[2*(base+n)+1] = p.Y
+		}
 		st.counts[c] = n + 1
 		return
 	}
 	st.overflow[c] = append(st.overflow[c], id)
+	if st.xy != nil {
+		st.overflowXY[c] = append(st.overflowXY[c], p.X, p.Y)
+	}
 }
 
 func (st *csrStore) removeAt(c int, id uint32) bool {
@@ -231,12 +285,24 @@ func (st *csrStore) removeLocal(c int, id uint32) bool {
 		if v != id {
 			continue
 		}
+		hole := 2 * (base + uint32(j))
 		if of := st.overflow[c]; len(of) > 0 {
 			// Refill the hole from overflow to keep the dense segment full.
 			seg[j] = of[len(of)-1]
 			st.overflow[c] = of[:len(of)-1]
+			if st.xy != nil {
+				oxy := st.overflowXY[c]
+				st.xy[hole] = oxy[len(oxy)-2]
+				st.xy[hole+1] = oxy[len(oxy)-1]
+				st.overflowXY[c] = oxy[:len(oxy)-2]
+			}
 		} else {
 			seg[j] = seg[n-1]
+			if st.xy != nil {
+				last := 2 * (base + n - 1)
+				st.xy[hole] = st.xy[last]
+				st.xy[hole+1] = st.xy[last+1]
+			}
 			st.counts[c] = n - 1
 		}
 		return true
@@ -248,6 +314,12 @@ func (st *csrStore) removeLocal(c int, id uint32) bool {
 		}
 		of[j] = of[len(of)-1]
 		st.overflow[c] = of[:len(of)-1]
+		if st.xy != nil {
+			oxy := st.overflowXY[c]
+			oxy[2*j] = oxy[len(oxy)-2]
+			oxy[2*j+1] = oxy[len(oxy)-1]
+			st.overflowXY[c] = oxy[:len(oxy)-2]
+		}
 		return true
 	}
 	return false
@@ -264,6 +336,10 @@ func (st *csrStore) scanCell(c int, emit func(id uint32)) {
 }
 
 func (st *csrStore) filterCell(c int, r geom.Rect, emit func(id uint32)) {
+	if st.xy != nil {
+		st.filterCellXY(c, r, emit)
+		return
+	}
 	base := st.starts[c]
 	for _, id := range st.ids[base : base+st.counts[c]] {
 		if st.pts[id].In(r) {
@@ -286,7 +362,8 @@ func (st *csrStore) totalEntries() int { return st.entries }
 // memoryBytes counts the directory (starts + counts + the per-cell
 // overflow slice headers, 24 bytes each), the ID arena, the retained
 // build scratch, and overflow capacity — everything the store keeps
-// alive between ticks.
+// alive between ticks. The xy variant adds its coordinate arena and the
+// overflow coordinate mirror.
 func (st *csrStore) memoryBytes() int64 {
 	total := int64(len(st.starts)+len(st.counts)+cap(st.ids)+cap(st.cellOf)) * 4
 	total += int64(len(st.overflow)) * 24
@@ -295,6 +372,13 @@ func (st *csrStore) memoryBytes() int64 {
 	}
 	for _, sc := range st.shardCounts {
 		total += int64(cap(sc)) * 4
+	}
+	if st.xy != nil {
+		total += int64(cap(st.xy)) * 4
+		total += int64(len(st.overflowXY)) * 24
+		for _, oxy := range st.overflowXY {
+			total += int64(cap(oxy)) * 4
+		}
 	}
 	return total
 }

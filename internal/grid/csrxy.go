@@ -1,0 +1,45 @@
+package grid
+
+import "repro/internal/geom"
+
+// LayoutCSRXY: the CSR layout with coordinates inlined next to the IDs.
+//
+// The paper's Section 3.1 mentions — and declines — storing each entry's
+// coordinates beside its ID so that filtering a cell never dereferences
+// the base table; LayoutInlineXY replays that refinement on the bucketed
+// layout. This file replays it on the contiguous layout: the build
+// scatters x,y into a float32 arena parallel to the ID arena (slot k owns
+// xy[2k], xy[2k+1]), so a filtered cell is two sequential streams — IDs
+// and coordinates — with zero random access. Updates keep the arena
+// coherent (insertLocal/removeLocal move coordinate pairs alongside IDs,
+// overflow entries carry their coordinates in overflowXY), and the
+// sharded parallel build writes coordinates in the same disjoint ranges
+// as the IDs, preserving the bit-identical-arena guarantee.
+//
+// The cost is the doubled arena (12 bytes per entry instead of 4) and
+// the loss of the secondary-index property: coordinates are duplicated
+// into the index, which is why the paper declines the refinement and why
+// it stays an opt-in layout here.
+
+// filterCellXY is filterCell against the inlined coordinate arena: the
+// containment predicate reads xy[2k], xy[2k+1] instead of pts[id], so the
+// base table is never touched.
+func (st *csrStore) filterCellXY(c int, r geom.Rect, emit func(id uint32)) {
+	base := st.starts[c]
+	n := st.counts[c]
+	ids := st.ids[base : base+n]
+	xy := st.xy[2*base : 2*(base+n)]
+	for j, id := range ids {
+		x, y := xy[2*j], xy[2*j+1]
+		if x >= r.MinX && x <= r.MaxX && y >= r.MinY && y <= r.MaxY {
+			emit(id)
+		}
+	}
+	oxy := st.overflowXY[c]
+	for j, id := range st.overflow[c] {
+		x, y := oxy[2*j], oxy[2*j+1]
+		if x >= r.MinX && x <= r.MaxX && y >= r.MinY && y <= r.MaxY {
+			emit(id)
+		}
+	}
+}

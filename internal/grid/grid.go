@@ -57,6 +57,12 @@ const (
 	// in-place updates run on segment slack plus a small per-cell
 	// overflow. BS is irrelevant to this layout.
 	LayoutCSR
+	// LayoutCSRXY is LayoutCSR with each entry's coordinates scattered
+	// into a float32 arena parallel to the ID arena, so filtered cells
+	// test containment against arena-local data and never dereference the
+	// base table — the Section 3.1 refinement the paper declines
+	// (LayoutInlineXY), replayed on the contiguous layout.
+	LayoutCSRXY
 )
 
 // String implements fmt.Stringer.
@@ -72,6 +78,8 @@ func (l Layout) String() string {
 		return "intrusive"
 	case LayoutCSR:
 		return "csr"
+	case LayoutCSRXY:
+		return "csr+xy"
 	default:
 		return fmt.Sprintf("Layout(%d)", int(l))
 	}
@@ -159,6 +167,12 @@ func CSR() Config {
 	return Config{Name: "+csr", Layout: LayoutCSR, Scan: ScanRange, BS: RefactoredBS, CPS: RefactoredCPS}
 }
 
+// CSRXY is CSR with coordinates inlined next to the IDs, removing the
+// base-table dereference from filtered cells.
+func CSRXY() Config {
+	return Config{Name: "+csr xy", Layout: LayoutCSRXY, Scan: ScanRange, BS: RefactoredBS, CPS: RefactoredCPS}
+}
+
 // AblationChain returns the five configurations of Figure 4 and the lower
 // half of Table 2, in paper order.
 func AblationChain() []Config {
@@ -174,7 +188,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("grid: cells per side must be positive, got %d", c.CPS)
 	case c.Layout != LayoutLinked && c.Layout != LayoutInline &&
 		c.Layout != LayoutInlineXY && c.Layout != LayoutIntrusive &&
-		c.Layout != LayoutCSR:
+		c.Layout != LayoutCSR && c.Layout != LayoutCSRXY:
 		return fmt.Errorf("grid: unknown layout %d", int(c.Layout))
 	case c.Scan != ScanFull && c.Scan != ScanRange:
 		return fmt.Errorf("grid: unknown scan %d", int(c.Scan))
@@ -302,7 +316,10 @@ func New(cfg Config, bounds geom.Rect, numPoints int) (*Grid, error) {
 		g.st = newIntrusiveStore(g.cells, numPoints)
 	case LayoutCSR:
 		// The CSR layout has no buckets either; BS is irrelevant to it.
-		g.csr = newCSRStore(g.cells, g.mapper, numPoints)
+		g.csr = newCSRStore(g.cells, g.mapper, numPoints, false)
+		g.st = g.csr
+	case LayoutCSRXY:
+		g.csr = newCSRStore(g.cells, g.mapper, numPoints, true)
 		g.st = g.csr
 	}
 	return g, nil
@@ -479,7 +496,7 @@ func (g *Grid) UpdateBatch(moves []geom.Move, workers int) {
 		go func(w int) {
 			defer wg.Done()
 			for _, i := range newIdx[newOff[w]:newOff[w+1]] {
-				cs.insertLocal(int(newCells[i]), moves[i].ID)
+				cs.insertLocal(int(newCells[i]), moves[i].ID, moves[i].New)
 			}
 		}(w)
 	}

@@ -24,6 +24,8 @@ func allConfigs() []Config {
 		CSR(),
 		Config{Name: "csr-full", Layout: LayoutCSR, Scan: ScanFull, BS: 1, CPS: 16},
 		Config{Name: "csr-one-cell", Layout: LayoutCSR, Scan: ScanRange, BS: 1, CPS: 1},
+		CSRXY(),
+		Config{Name: "csr-xy-full", Layout: LayoutCSRXY, Scan: ScanFull, BS: 1, CPS: 16},
 	)
 	return cfgs
 }

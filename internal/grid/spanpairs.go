@@ -1,0 +1,83 @@
+package grid
+
+import "sync"
+
+// spanPairs is the sharded span-expansion pass shared by the batched
+// update paths of the box grids: a batch of cell spans (one per move) is
+// expanded into (cell, move) pairs counting-sorted by owning shard
+// (cell % workers), and each shard's contiguous pair run is applied on
+// its own goroutine. Within a shard, pairs keep batch order (and span
+// order within a move), so per-cell processing is deterministic, and no
+// cell is ever touched by two workers. The scratch slices are retained
+// across calls, so steady-state batches allocate nothing.
+type spanPairs struct {
+	cell, move, off []uint32
+}
+
+// run expands spans into pairs and invokes apply(cell, moveIndex) for
+// each, sharded by cell ownership across workers.
+func (sp *spanPairs) run(spans []cellSpan, cps, workers int, apply func(c int, move uint32)) {
+	if cap(sp.off) < workers+1 {
+		sp.off = make([]uint32, workers+1)
+	} else {
+		sp.off = sp.off[:workers+1]
+	}
+	off := sp.off
+	for w := range off {
+		off[w] = 0
+	}
+	for i := range spans {
+		s := spans[i]
+		for cy := int(s.y0); cy <= int(s.y1); cy++ {
+			base := cy * cps
+			for cx := int(s.x0); cx <= int(s.x1); cx++ {
+				off[(base+cx)%workers+1]++
+			}
+		}
+	}
+	for w := 0; w < workers; w++ {
+		off[w+1] += off[w]
+	}
+	total := int(off[workers])
+	if cap(sp.cell) < total {
+		sp.cell = make([]uint32, total)
+		sp.move = make([]uint32, total)
+	} else {
+		sp.cell = sp.cell[:total]
+		sp.move = sp.move[:total]
+	}
+	for i := range spans {
+		s := spans[i]
+		for cy := int(s.y0); cy <= int(s.y1); cy++ {
+			base := cy * cps
+			for cx := int(s.x0); cx <= int(s.x1); cx++ {
+				c := base + cx
+				sh := c % workers
+				k := off[sh]
+				sp.cell[k] = uint32(c)
+				sp.move[k] = uint32(i)
+				off[sh] = k + 1
+			}
+		}
+	}
+	// off[w] now holds end(w) == start(w+1); shift right to restore
+	// exclusive starts (the bucketByShard trick).
+	copy(off[1:], off[:workers])
+	off[0] = 0
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := off[w], off[w+1]
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi uint32) {
+			defer wg.Done()
+			for k := lo; k < hi; k++ {
+				apply(int(sp.cell[k]), sp.move[k])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
