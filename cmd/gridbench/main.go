@@ -4,13 +4,16 @@
 // (BENCH_grid.json). The point lineup compares the inline-bucket layout
 // against the CSR layout and the coordinates-inlined CSR variant
 // (csrxy); with -objects point,box the report additionally carries the
-// "boxcsr" series (the CSR rectangle grid with reference-point dedup)
-// and the "boxcsr2l" series (the two-layer class-partitioned grid with
-// inlined coordinates) over the default MBR workload.
+// "boxcsr" series (the CSR rectangle grid with reference-point dedup),
+// the "boxcsr2l" series (the two-layer class-partitioned grid with
+// inlined coordinates), the "boxrtree" series (the STR bulk-loaded box
+// R-tree — the competing index family), and a one-pass "boxbrute" floor
+// over the default MBR workload.
 //
-// Every measured grid is first checked against the brute-force oracle:
-// the run fails if any layout's query digest diverges, so a perf number
-// can never be reported for a structure that returns wrong results.
+// Every measured structure is first checked against the brute-force
+// oracle: the run fails if any contender's query digest diverges, so a
+// perf number can never be reported for a structure that returns wrong
+// results.
 //
 // The workload mirrors the paper's standard setting: the default uniform
 // population with 50% queriers and 50% updaters per tick. Layouts are
@@ -39,6 +42,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/grid"
+	"repro/internal/rtree"
 	"repro/internal/workload"
 )
 
@@ -67,6 +71,14 @@ type report struct {
 	// Box2LSpeedups compares the two-layer classed rectangle grid against
 	// the reference-point one (boxcsr time / boxcsr2l time).
 	Box2LSpeedups map[string]float64 `json:"box2l_speedup_vs_boxcsr,omitempty"`
+	// BoxRTreeVsBrute compares the STR box R-tree against the
+	// brute-force oracle (boxbrute time / boxrtree time; query only —
+	// the oracle has no build or update work to compare).
+	BoxRTreeVsBrute map[string]float64 `json:"boxrtree_speedup_vs_boxbrute,omitempty"`
+	// BoxRTreeVsBox2L compares the STR box R-tree against the two-layer
+	// classed grid at each granularity (boxcsr2l time / boxrtree time) —
+	// the grid-vs-R-tree axis of the study for extended objects.
+	BoxRTreeVsBox2L map[string]float64 `json:"boxrtree_speedup_vs_box2l,omitempty"`
 	// BoxReplication maps "cps=N" to the rectangle grid's replication
 	// factor under the default box workload (present with -objects box).
 	BoxReplication map[string]float64 `json:"box_replication,omitempty"`
@@ -210,6 +222,51 @@ func run(args []string) error {
 		rep.BoxReplication = map[string]float64{}
 		rep.Box2LSpeedups = map[string]float64{}
 		boxOps := map[string]map[string]float64{} // op+cps key -> layout -> ns/op
+
+		// Grid-independent contenders, measured once: the brute-force
+		// floor (a single pass; its per-query cost is an average over
+		// thousands of full scans already) and the STR box R-tree — the
+		// second index family, whose overlap-free packing vs the grids'
+		// replication is the axis of the study for extended objects.
+		bruteNs := map[string]float64{}
+		rtreeNs := map[string]float64{}
+		for _, bc := range []boxContender{
+			{"boxbrute", core.NewBruteForceBoxes()},
+			{"boxrtree", rtree.MustNewBoxTree(rtree.DefaultFanout)},
+		} {
+			bc.index.Build(rects)
+			if got := boxDigest(bc.index, rects, boxQueriers, bcfg.QuerySize); got != wantDigest {
+				return fmt.Errorf("box technique %s diverges from the brute-force oracle (digest %#x, want %#x)",
+					bc.name, got, wantDigest)
+			}
+			ops := *iters
+			if bc.name == "boxbrute" {
+				ops = 1
+			}
+			timings := measureBox(bc.index, rects, boxQueriers, boxUpdates, bcfg.QuerySize, ops)
+			for op, ns := range timings {
+				rep.Results = append(rep.Results, opResult{Layout: bc.name, Op: op, NsPerOp: ns})
+				if bc.name == "boxbrute" {
+					bruteNs[op] = ns
+				} else {
+					rtreeNs[op] = ns
+				}
+			}
+			if bc.name == "boxrtree" {
+				if len(qexts) > 0 {
+					bc.index.Build(rects)
+				}
+				for _, ext := range qexts {
+					ns := measureBoxQueries(bc.index, rects, boxQueriers, float32(ext), *iters)
+					rep.Results = append(rep.Results, opResult{
+						Layout: bc.name, Op: "query", NsPerOp: ns, Qext: ext,
+					})
+				}
+			}
+		}
+		rep.BoxRTreeVsBrute = map[string]float64{"query": bruteNs["query"] / rtreeNs["query"]}
+		rep.BoxRTreeVsBox2L = map[string]float64{}
+
 		for _, cps := range []int{64, 256} {
 			contenders := boxContenders(cps, bcfg.Bounds(), len(rects))
 			for _, bc := range contenders {
@@ -248,11 +305,13 @@ func run(args []string) error {
 			for _, op := range []string{"build", "query", "update"} {
 				key := fmt.Sprintf("%s/cps=%d", op, cps)
 				rep.Box2LSpeedups[key] = boxOps[key]["boxcsr"] / boxOps[key]["boxcsr2l"]
+				rep.BoxRTreeVsBox2L[key] = boxOps[key]["boxcsr2l"] / rtreeNs[op]
 			}
 			bq := fmt.Sprintf("build+query/cps=%d", cps)
 			legacy := boxOps[fmt.Sprintf("build/cps=%d", cps)]["boxcsr"] + boxOps[fmt.Sprintf("query/cps=%d", cps)]["boxcsr"]
 			classed := boxOps[fmt.Sprintf("build/cps=%d", cps)]["boxcsr2l"] + boxOps[fmt.Sprintf("query/cps=%d", cps)]["boxcsr2l"]
 			rep.Box2LSpeedups[bq] = legacy / classed
+			rep.BoxRTreeVsBox2L[bq] = classed / (rtreeNs["build"] + rtreeNs["query"])
 		}
 	}
 
@@ -268,19 +327,19 @@ func run(args []string) error {
 	return os.WriteFile(*out, enc, 0o644)
 }
 
-// boxIndex is the slice of the rectangle-grid API gridbench drives,
-// shared by grid.BoxGrid and grid.BoxGrid2L.
-type boxIndex interface {
-	core.BoxIndex
-	ReplicationFactor() float64
-}
-
 type boxContender struct {
 	name  string
-	index boxIndex
+	index core.BoxIndex
 }
 
-func (bc boxContender) replication() float64 { return bc.index.ReplicationFactor() }
+// replication reports the contender's replication factor (1 for
+// structures that store each object exactly once).
+func (bc boxContender) replication() float64 {
+	if rep, ok := bc.index.(interface{ ReplicationFactor() float64 }); ok {
+		return rep.ReplicationFactor()
+	}
+	return 1
+}
 
 func boxContenders(cps int, bounds geom.Rect, n int) []boxContender {
 	return []boxContender{
@@ -331,7 +390,7 @@ func bruteBoxDigest(rects []geom.Rect, queriers []uint32, querySize float32) uin
 	return h
 }
 
-func boxDigest(bg boxIndex, rects []geom.Rect, queriers []uint32, querySize float32) uint64 {
+func boxDigest(bg core.BoxIndex, rects []geom.Rect, queriers []uint32, querySize float32) uint64 {
 	var h uint64
 	for _, q := range queriers {
 		bg.Query(geom.Square(rects[q].Center(), querySize), func(id uint32) {
@@ -385,7 +444,7 @@ func measure(g *grid.Grid, pts []geom.Point, queriers []uint32, updates []worklo
 // measureBox is measure for the rectangle grids: build over the MBR
 // snapshot, one intersection query per querier, one MBR move per updater
 // (and back).
-func measureBox(bg boxIndex, rects []geom.Rect, queriers []uint32, updates []workload.BoxUpdate, querySize float32, iters int) map[string]float64 {
+func measureBox(bg core.BoxIndex, rects []geom.Rect, queriers []uint32, updates []workload.BoxUpdate, querySize float32, iters int) map[string]float64 {
 	bg.Build(rects)
 
 	start := time.Now()
@@ -410,7 +469,7 @@ func measureBox(bg boxIndex, rects []geom.Rect, queriers []uint32, updates []wor
 
 // measureBoxQueries times the query phase alone at the given window
 // extent over a freshly built grid.
-func measureBoxQueries(bg boxIndex, rects []geom.Rect, queriers []uint32, querySize float32, iters int) float64 {
+func measureBoxQueries(bg core.BoxIndex, rects []geom.Rect, queriers []uint32, querySize float32, iters int) float64 {
 	sink := 0
 	emit := func(uint32) { sink++ }
 	start := time.Now()

@@ -71,24 +71,34 @@ func TestBoxSeries(t *testing.T) {
 			Op     string  `json:"op"`
 			Qext   float64 `json:"qext"`
 		} `json:"results"`
-		BoxReplication map[string]float64 `json:"box_replication"`
-		Box2LSpeedups  map[string]float64 `json:"box2l_speedup_vs_boxcsr"`
+		BoxReplication  map[string]float64 `json:"box_replication"`
+		Box2LSpeedups   map[string]float64 `json:"box2l_speedup_vs_boxcsr"`
+		BoxRTreeVsBrute map[string]float64 `json:"boxrtree_speedup_vs_boxbrute"`
+		BoxRTreeVsBox2L map[string]float64 `json:"boxrtree_speedup_vs_box2l"`
 	}
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		t.Fatal(err)
 	}
-	boxOps, box2LOps := 0, 0
+	boxOps, box2LOps, rtreeOps, bruteOps := 0, 0, 0, 0
 	for _, r := range rep.Results {
 		switch r.Layout {
 		case "boxcsr":
 			boxOps++
 		case "boxcsr2l":
 			box2LOps++
+		case "boxrtree":
+			rtreeOps++
+		case "boxbrute":
+			bruteOps++
 		}
 	}
-	// 2 granularities x 3 ops per box layout.
+	// 2 granularities x 3 ops per box grid; 3 ops each for the
+	// grid-independent R-tree and brute-force series.
 	if boxOps != 6 || box2LOps != 6 {
 		t.Fatalf("box results = %d boxcsr + %d boxcsr2l, want 6 + 6", boxOps, box2LOps)
+	}
+	if rtreeOps != 3 || bruteOps != 3 {
+		t.Fatalf("box results = %d boxrtree + %d boxbrute, want 3 + 3", rtreeOps, bruteOps)
 	}
 	for _, key := range []string{"cps=64", "cps=256"} {
 		if rep.BoxReplication[key] < 1 {
@@ -99,6 +109,13 @@ func TestBoxSeries(t *testing.T) {
 		if rep.Box2LSpeedups[key] <= 0 {
 			t.Fatalf("missing box2l speedup %s", key)
 		}
+		if rep.BoxRTreeVsBox2L[key] <= 0 {
+			t.Fatalf("missing boxrtree speedup %s", key)
+		}
+	}
+	if rep.BoxRTreeVsBrute["query"] <= 1 {
+		t.Fatalf("boxrtree query speedup vs brute = %g, want > 1",
+			rep.BoxRTreeVsBrute["query"])
 	}
 }
 
@@ -124,7 +141,8 @@ func TestQextSeries(t *testing.T) {
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		t.Fatal(err)
 	}
-	// 2 layouts x 2 granularities x 2 extents, query op only.
+	// 2 grid layouts x 2 granularities x 2 extents, plus the
+	// grid-independent R-tree x 2 extents, query op only.
 	qextOps := 0
 	for _, r := range rep.Results {
 		if r.Qext != 0 {
@@ -134,8 +152,8 @@ func TestQextSeries(t *testing.T) {
 			qextOps++
 		}
 	}
-	if qextOps != 8 {
-		t.Fatalf("qext results = %d, want 8", qextOps)
+	if qextOps != 10 {
+		t.Fatalf("qext results = %d, want 10", qextOps)
 	}
 }
 

@@ -5,8 +5,9 @@
 //
 // The two profiled configurations default to the paper's Before/After
 // pair but both the tuning and the simulated layout are flags, so any
-// kind pairing the simulator supports (original, refactored, intrusive)
-// can be profiled head to head.
+// kind pairing the simulator supports (original, refactored, intrusive,
+// rtree — the STR R-tree, putting the study's grid-vs-R-tree axis on
+// the same footing) can be profiled head to head.
 //
 // Examples:
 //
@@ -14,6 +15,7 @@
 //	profilegrid -scale 1.0               # full 100-tick replay (slow)
 //	profilegrid -before-cps 20 -after-cps 128
 //	profilegrid -after-kind intrusive    # refactored vs handle-based u-grid
+//	profilegrid -after-kind rtree -after-bs 16  # tuned grid vs STR R-tree
 package main
 
 import (
@@ -41,10 +43,10 @@ func run(args []string) error {
 		seed       = fs.Uint64("seed", 1, "workload random seed")
 		beforeBS   = fs.Int("before-bs", 4, "bucket size of the 'before' grid")
 		beforeCPS  = fs.Int("before-cps", 13, "cells per side of the 'before' grid")
-		beforeKind = fs.String("before-kind", "original", "simulated layout of the 'before' grid: original, refactored or intrusive")
+		beforeKind = fs.String("before-kind", "original", "simulated layout of the 'before' technique: original, refactored, intrusive or rtree (rtree reads the fanout from -before-bs)")
 		afterBS    = fs.Int("after-bs", 20, "bucket size of the 'after' grid")
 		afterCPS   = fs.Int("after-cps", 64, "cells per side of the 'after' grid")
-		afterKind  = fs.String("after-kind", "refactored", "simulated layout of the 'after' grid: original, refactored or intrusive")
+		afterKind  = fs.String("after-kind", "refactored", "simulated layout of the 'after' technique: original, refactored, intrusive or rtree (rtree reads the fanout from -after-bs)")
 		l1KB       = fs.Int("l1-kb", 32, "L1d size in KiB")
 		l2KB       = fs.Int("l2-kb", 256, "L2 size in KiB")
 		l3MB       = fs.Int("l3-mb", 8, "L3 size in MiB")
@@ -134,8 +136,10 @@ func parseKind(s string) (memsim.GridKind, error) {
 		return memsim.GridRefactored, nil
 	case "intrusive":
 		return memsim.GridIntrusive, nil
+	case "rtree":
+		return memsim.GridRTree, nil
 	}
-	return 0, fmt.Errorf("unknown grid kind %q (have original, refactored, intrusive)", s)
+	return 0, fmt.Errorf("unknown grid kind %q (have original, refactored, intrusive, rtree)", s)
 }
 
 func safeRatio(a, b float64) float64 {

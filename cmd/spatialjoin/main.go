@@ -10,6 +10,7 @@
 //	spatialjoin -list                                # show all techniques
 //	spatialjoin -technique crtree -trace w.sjtr      # replay a recorded trace
 //	spatialjoin -objects box -technique boxgrid-csr  # MBR workload, rectangle grid
+//	spatialjoin -objects box -technique boxrtree     # MBR workload, STR box R-tree
 //	spatialjoin -objects box -compare all            # box-join digest race
 package main
 

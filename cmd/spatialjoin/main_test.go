@@ -144,6 +144,17 @@ func TestBoxModeSingleTechniqueParallel(t *testing.T) {
 	}
 }
 
+func TestBoxModeRTreeParallel(t *testing.T) {
+	err := run([]string{
+		"-objects", "box", "-technique", "boxrtree",
+		"-points", "400", "-ticks", "2", "-space", "1500",
+		"-workers", "4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestBoxModeList(t *testing.T) {
 	if err := run([]string{"-objects", "box", "-list"}); err != nil {
 		t.Fatal(err)

@@ -1,11 +1,13 @@
 // Command sweep runs the grid-tuning parameter sweeps of Figures 1 and 5,
 // or an arbitrary one-parameter sweep over any grid configuration — for
-// point grids or, with -objects box, for the rectangle grids (whose
-// granularity trades query work against MBR replication). Box sweeps
-// select the structure with -boxlayout: the reference-point CSR grid
-// (csr) or the two-layer class-partitioned one (2l), and can vary either
-// the granularity (-vary cps) or the query window extent (-vary qext,
-// the rect x rect window-join selectivity sweep).
+// point grids or, with -objects box, for the box indexes (whose
+// structural parameter trades query work against replication or packing
+// quality). Box sweeps select the structure with -boxlayout: the
+// reference-point CSR grid (csr), the two-layer class-partitioned one
+// (2l), or the STR box R-tree (rtree), and can vary either the
+// structural parameter (-vary cps; for the R-tree this sweeps the
+// fanout) or the query window extent (-vary qext, the rect x rect
+// window-join selectivity sweep).
 //
 // Examples:
 //
@@ -13,6 +15,8 @@
 //	sweep -vary cps -from 4 -to 128 -step 8 -layout inline -scan range -bs 20
 //	sweep -objects box -vary cps -from 16 -to 128 -step 16
 //	sweep -objects box -boxlayout 2l -vary qext -from 100 -to 1600 -step 300
+//	sweep -objects box -boxlayout rtree -vary qext -from 100 -to 1600 -step 300
+//	sweep -objects box -boxlayout rtree -vary cps -from 4 -to 64 -step 4
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/grid"
+	"repro/internal/rtree"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -44,7 +49,7 @@ func run(args []string) error {
 		to         = fs.Int("to", 32, "custom sweep end (inclusive)")
 		step       = fs.Int("step", 4, "custom sweep step")
 		layout     = fs.String("layout", "inline", "grid layout: linked, inline, inline-xy, intrusive, csr or csr-xy")
-		boxLayout  = fs.String("boxlayout", "csr", "box grid structure: csr (reference-point dedup) or 2l (two-layer classes)")
+		boxLayout  = fs.String("boxlayout", "csr", "box structure: csr (reference-point grid), 2l (two-layer classed grid) or rtree (STR box R-tree; -vary cps sweeps its fanout)")
 		scan       = fs.String("scan", "range", "query algorithm: full or range")
 		bs         = fs.Int("bs", grid.RefactoredBS, "fixed bucket size (when varying cps)")
 		cps        = fs.Int("cps", grid.OriginalCPS, "fixed cells per side (when varying bs or qext)")
@@ -55,6 +60,12 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	cpsSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "cps" {
+			cpsSet = true
+		}
+	})
 	cfg := bench.Config{Scale: *scale, Seed: *seed}
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -68,13 +79,21 @@ func run(args []string) error {
 		if *vary != "cps" && *vary != "qext" {
 			return fmt.Errorf("-objects box sweeps cps or qext (the rectangle grids have no buckets)")
 		}
-		if *boxLayout != "csr" && *boxLayout != "2l" {
-			return fmt.Errorf("unknown box layout %q (have csr, 2l)", *boxLayout)
+		if *boxLayout != "csr" && *boxLayout != "2l" && *boxLayout != "rtree" {
+			return fmt.Errorf("unknown box layout %q (have csr, 2l, rtree)", *boxLayout)
 		}
 		if *step <= 0 || *from <= 0 || *to < *from {
 			return fmt.Errorf("invalid sweep range [%d, %d] step %d", *from, *to, *step)
 		}
-		return runBoxSweep(*vary, *from, *to, *step, *cps, *boxLayout, *scale, *seed, *csv)
+		fixed := *cps
+		if *boxLayout == "rtree" && *vary == "qext" && !cpsSet {
+			// The fixed-parameter default is a grid granularity; the
+			// R-tree's counterpart default is its tuned fanout. An
+			// explicit -cps (even one equal to the default) is honoured
+			// as the fanout.
+			fixed = rtree.DefaultFanout
+		}
+		return runBoxSweep(*vary, *from, *to, *step, fixed, *boxLayout, *scale, *seed, *csv)
 	default:
 		return fmt.Errorf("unknown object class %q (have point, box)", *objects)
 	}
@@ -177,26 +196,25 @@ func run(args []string) error {
 	return nil
 }
 
-// boxSweepIndex is the slice of the rectangle-grid API the box sweep
-// needs, shared by grid.BoxGrid and grid.BoxGrid2L.
-type boxSweepIndex interface {
-	core.BoxIndex
-	ReplicationFactor() float64
-}
-
-func newBoxIndex(layout string, cps int, bcfg workload.BoxConfig) (boxSweepIndex, error) {
-	if layout == "2l" {
+func newBoxIndex(layout string, cps int, bcfg workload.BoxConfig) (core.BoxIndex, error) {
+	switch layout {
+	case "2l":
 		return grid.NewBoxGrid2L(cps, bcfg.Bounds(), bcfg.NumPoints)
+	case "rtree":
+		// The box R-tree has no grid; the swept structural parameter is
+		// its fanout.
+		return rtree.NewBoxTree(cps)
+	default:
+		return grid.NewBoxGrid(cps, bcfg.Bounds(), bcfg.NumPoints)
 	}
-	return grid.NewBoxGrid(cps, bcfg.Bounds(), bcfg.NumPoints)
 }
 
-// runBoxSweep sweeps one parameter of a rectangle grid over the default
-// uniform box workload: the granularity (finer grids shrink per-cell
-// scan work but replicate each MBR into more cells; the replication
-// factor is reported per step) or the query window extent (the rect x
-// rect window-join selectivity, where the class partition pays off as
-// windows grow).
+// runBoxSweep sweeps one parameter of a box index over the default
+// uniform box workload: the structural parameter (grid granularity —
+// finer grids shrink per-cell scan work but replicate each MBR into more
+// cells, with the replication factor reported per step — or the R-tree
+// fanout) or the query window extent (the rect x rect window-join
+// selectivity, where packing quality vs replication decides the winner).
 func runBoxSweep(vary string, from, to, step, cps int, layout string, scale float64, seed uint64, csv bool) error {
 	bcfg := workload.DefaultUniformBoxes()
 	bcfg.Seed = seed
@@ -206,31 +224,41 @@ func runBoxSweep(vary string, from, to, step, cps int, layout string, scale floa
 	}
 
 	name := "boxgrid-csr"
-	if layout == "2l" {
+	switch layout {
+	case "2l":
 		name = "boxgrid-2l"
+	case "rtree":
+		name = "boxrtree-str"
+		if vary == "cps" {
+			vary = "fanout"
+		}
 	}
 	series := &stats.Series{
-		Title:  fmt.Sprintf("box grid sweep: %s from %d to %d (%s, uniform boxes)", vary, from, to, name),
+		Title:  fmt.Sprintf("box index sweep: %s from %d to %d (%s, uniform boxes)", vary, from, to, name),
 		XLabel: vary,
 		YLabel: "Avg. Time per Tick (s)",
 	}
 	var ys []float64
 	for x := from; x <= to; x += step {
-		gridCPS := cps
-		if vary == "cps" {
-			gridCPS = x
-		} else {
+		structural := cps
+		if vary == "qext" {
 			bcfg.QuerySize = float32(x)
+		} else {
+			structural = x
 		}
-		bg, err := newBoxIndex(layout, gridCPS, bcfg)
+		bg, err := newBoxIndex(layout, structural, bcfg)
 		if err != nil {
 			return err
 		}
 		res := core.RunBoxes(bg, workload.MustNewBoxGenerator(bcfg), core.Options{})
 		series.Xs = append(series.Xs, float64(x))
 		ys = append(ys, res.AvgTick().Seconds())
-		fmt.Fprintf(os.Stderr, "%s=%d: %.4fs/tick (replication %.2fx)\n",
-			vary, x, res.AvgTick().Seconds(), bg.ReplicationFactor())
+		if rep, ok := bg.(interface{ ReplicationFactor() float64 }); ok {
+			fmt.Fprintf(os.Stderr, "%s=%d: %.4fs/tick (replication %.2fx)\n",
+				vary, x, res.AvgTick().Seconds(), rep.ReplicationFactor())
+		} else {
+			fmt.Fprintf(os.Stderr, "%s=%d: %.4fs/tick\n", vary, x, res.AvgTick().Seconds())
+		}
 	}
 	if err := series.AddLine("Avg. Time per Tick (s)", ys); err != nil {
 		return err

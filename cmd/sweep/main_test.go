@@ -17,7 +17,7 @@ func TestRejectsBadFlags(t *testing.T) {
 		{"-objects", "box", "-vary", "bs"},                            // box grid has no buckets
 		{"-objects", "box", "-experiment", "fig1a"},                   // no predefined box sweeps
 		{"-objects", "box", "-vary", "cps", "-from", "9", "-to", "3"}, // inverted range
-		{"-objects", "box", "-vary", "cps", "-boxlayout", "rtree"},    // unknown box layout
+		{"-objects", "box", "-vary", "cps", "-boxlayout", "quadtree"}, // unknown box layout
 		{"-vary", "cps", "-layout", "csr-xy", "-scan", "spiral"},      // csr-xy parses, scan does not
 	}
 	for _, args := range cases {
@@ -47,6 +47,29 @@ func TestBoxQextSweepRuns(t *testing.T) {
 	err := run([]string{
 		"-objects", "box", "-boxlayout", "2l", "-vary", "qext",
 		"-from", "200", "-to", "800", "-step", "300", "-cps", "64",
+		"-scale", "0.02", "-csv",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxRTreeSweepRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size data sweep")
+	}
+	err := run([]string{
+		"-objects", "box", "-boxlayout", "rtree", "-vary", "qext",
+		"-from", "200", "-to", "500", "-step", "300",
+		"-scale", "0.02", "-csv",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// -vary cps sweeps the R-tree's fanout.
+	err = run([]string{
+		"-objects", "box", "-boxlayout", "rtree", "-vary", "cps",
+		"-from", "8", "-to", "16", "-step", "8",
 		"-scale", "0.02", "-csv",
 	})
 	if err != nil {

@@ -5,22 +5,27 @@
 // corridor (its MBR). Every frame, every drone must know which other
 // corridors overlap its own: the classic spatial self-join over
 // rectangles, the operation at the heart of R-tree join and partitioning
-// papers. The example runs it two ways on identical MBRs:
+// papers. The example runs it three ways on identical MBRs:
 //
 //   - brute force: every drone tests every other (the oracle);
-//   - the CSR rectangle grid: MBRs replicated per overlapped cell by a
-//     counting-sort build, overlap pairs found by probing each drone's
-//     own MBR, duplicates suppressed by the reference-point method.
+//   - the two-layer classed rectangle grid: MBRs replicated per
+//     overlapped cell by a counting-sort build, interior query cells
+//     emitted test-free thanks to the class partition;
+//   - the STR-packed box R-tree: no replication, each corridor in
+//     exactly one leaf of a bulk-loaded packing.
 //
-// Both must find the identical pair set; the grid just gets there two
-// orders of magnitude sooner.
+// All three must find the identical pair set; the real indexes just get
+// there orders of magnitude sooner — and which of the two *wins* is the
+// paper's "implementation matters" question in miniature.
 //
 // Run with:
 //
-//	go run ./examples/boxjoin
+//	go run ./examples/boxjoin            # full size
+//	go run ./examples/boxjoin -quick     # tiny smoke-test parameters
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -28,20 +33,23 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/grid"
+	"repro/internal/rtree"
 	"repro/internal/workload"
 )
 
-const (
-	drones = 12_000
-	space  = 22_000
-	frames = 8
-	cps    = 64
-)
+const cps = 64
 
 func main() {
+	quick := flag.Bool("quick", false, "tiny population and frame count (CI smoke run)")
+	flag.Parse()
+	drones, frames := 12_000, 8
+	if *quick {
+		drones, frames = 800, 2
+	}
+
 	cfg := workload.DefaultUniformBoxes()
 	cfg.NumPoints = drones
-	cfg.SpaceSize = space
+	cfg.SpaceSize = 22_000
 	cfg.Ticks = frames
 	cfg.MinSide = 80  // smallest corridor
 	cfg.MaxSide = 600 // largest corridor
@@ -53,26 +61,33 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// The two-layer classed rectangle grid: class sub-spans make interior
-	// query cells test-free, the fastest BoxIndex in the lineup.
+	// The two-layer classed rectangle grid vs the STR box R-tree — the
+	// grid-vs-R-tree pairing of the study, with brute force as oracle.
 	bg := grid.MustNewBoxGrid2L(cps, cfg.Bounds(), drones)
+	bt := rtree.MustNewBoxTree(rtree.DefaultFanout)
 	oracle := core.NewBruteForceBoxes()
 
-	fmt.Printf("boxjoin: %d drone corridors (%g-%g units) over %d frames, grid %dx%d\n\n",
-		drones, cfg.MinSide, cfg.MaxSide, frames, cps, cps)
-	fmt.Printf("%8s  %12s  %12s  %10s  %s\n", "frame", "grid", "brute force", "overlaps", "check")
+	fmt.Printf("boxjoin: %d drone corridors (%g-%g units) over %d frames, grid %dx%d, rtree fanout %d\n\n",
+		drones, cfg.MinSide, cfg.MaxSide, frames, cps, cps, bt.Fanout())
+	fmt.Printf("%8s  %12s  %12s  %12s  %10s  %s\n", "frame", "grid", "rtree", "brute force", "overlaps", "check")
 
 	var rects []geom.Rect
-	var gridTotal, bruteTotal time.Duration
+	var gridTotal, rtreeTotal, bruteTotal time.Duration
 	for frame := 0; frame < frames; frame++ {
 		rects = src.Rects(rects)
 
-		// Self-join via the rectangle grid: build once, probe each MBR.
+		// Self-join per index: build once, probe each MBR.
 		start := time.Now()
 		bg.Build(rects)
 		gridPairs, gridSum := selfJoin(bg, rects)
 		gridTime := time.Since(start)
 		gridTotal += gridTime
+
+		start = time.Now()
+		bt.Build(rects)
+		rtreePairs, rtreeSum := selfJoin(bt, rects)
+		rtreeTime := time.Since(start)
+		rtreeTotal += rtreeTime
 
 		start = time.Now()
 		oracle.Build(rects)
@@ -81,24 +96,28 @@ func main() {
 		bruteTotal += bruteTime
 
 		check := "OK"
-		if gridPairs != brutePairs || gridSum != bruteSum {
+		if gridPairs != brutePairs || gridSum != bruteSum ||
+			rtreePairs != brutePairs || rtreeSum != bruteSum {
 			check = "MISMATCH"
 		}
-		fmt.Printf("%8d  %12s  %12s  %10d  %s\n", frame, gridTime.Round(time.Microsecond),
-			bruteTime.Round(time.Microsecond), gridPairs, check)
+		fmt.Printf("%8d  %12s  %12s  %12s  %10d  %s\n", frame, gridTime.Round(time.Microsecond),
+			rtreeTime.Round(time.Microsecond), bruteTime.Round(time.Microsecond), gridPairs, check)
 		if check != "OK" {
-			log.Fatalf("frame %d: grid found %d pairs (sum %d), oracle %d (sum %d)",
-				frame, gridPairs, gridSum, brutePairs, bruteSum)
+			log.Fatalf("frame %d: grid (%d, %d), rtree (%d, %d), oracle (%d, %d)",
+				frame, gridPairs, gridSum, rtreePairs, rtreeSum, brutePairs, bruteSum)
 		}
 
 		// Advance the fleet.
 		src.ApplyUpdates(src.Updates())
 	}
 
-	fmt.Printf("\nreplication factor: %.2f cells per corridor\n", bg.ReplicationFactor())
-	fmt.Printf("totals: grid %s, brute force %s (%.0fx)\n",
-		gridTotal.Round(time.Millisecond), bruteTotal.Round(time.Millisecond),
-		float64(bruteTotal)/float64(gridTotal))
+	fmt.Printf("\nreplication factor: %.2f cells per corridor (rtree: 1.00 by construction)\n",
+		bg.ReplicationFactor())
+	fmt.Printf("totals: grid %s, rtree %s, brute force %s (grid %.0fx, rtree %.0fx vs brute)\n",
+		gridTotal.Round(time.Millisecond), rtreeTotal.Round(time.Millisecond),
+		bruteTotal.Round(time.Millisecond),
+		float64(bruteTotal)/float64(gridTotal), float64(bruteTotal)/float64(rtreeTotal))
+	fmt.Println("all frames verified against brute force")
 }
 
 // selfJoin probes idx with every MBR and counts unordered overlap pairs

@@ -11,9 +11,11 @@
 // Run with:
 //
 //	go run ./examples/collisions
+//	go run ./examples/collisions -quick   # tiny smoke-test parameters
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -32,6 +34,13 @@ const (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "tiny population and frame count (CI smoke run)")
+	flag.Parse()
+	particles, frames := particles, frames
+	if *quick {
+		particles, frames = 600, 3
+	}
+
 	cfg := workload.DefaultUniform()
 	cfg.NumPoints = particles
 	cfg.SpaceSize = arena

@@ -11,10 +11,12 @@
 // Run with:
 //
 //	go run ./examples/fishtank
+//	go run ./examples/fishtank -quick   # tiny smoke-test parameters
 package main
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
 	"log"
 
@@ -31,6 +33,13 @@ const (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "tiny population and tick count (CI smoke run)")
+	flag.Parse()
+	fish, ticks := fish, ticks
+	if *quick {
+		fish, ticks = 900, 4
+	}
+
 	cfg := workload.DefaultSimulation()
 	cfg.NumPoints = fish
 	cfg.SpaceSize = tank

@@ -11,9 +11,11 @@
 // Run with:
 //
 //	go run ./examples/geofence
+//	go run ./examples/geofence -quick   # tiny smoke-test parameters
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"sort"
@@ -32,6 +34,13 @@ const (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "tiny population and tick count (CI smoke run)")
+	flag.Parse()
+	objects, ticks := objects, ticks
+	if *quick {
+		objects, ticks = 1_500, 4
+	}
+
 	cfg := workload.DefaultUniform()
 	cfg.NumPoints = objects
 	cfg.SpaceSize = region

@@ -7,9 +7,11 @@
 // Run with:
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart -quick   # tiny smoke-test parameters
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -20,6 +22,9 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "tiny population and tick count (CI smoke run)")
+	flag.Parse()
+
 	// 1. A workload: 10K objects in a 10K x 10K space, 20 ticks, half of
 	// the objects querying and half updating per tick (a scaled-down
 	// version of the paper's Table 1 defaults).
@@ -27,6 +32,10 @@ func main() {
 	cfg.NumPoints = 10_000
 	cfg.SpaceSize = 10_000
 	cfg.Ticks = 20
+	if *quick {
+		cfg.NumPoints = 1_000
+		cfg.Ticks = 3
+	}
 
 	gen, err := workload.NewGenerator(cfg)
 	if err != nil {

@@ -1,0 +1,44 @@
+// Package examples holds no library code — each subdirectory is a
+// runnable main. This test RUNS every example binary with its -quick
+// parameters and asserts a zero exit and the expected closing output,
+// so API drift in the library breaks the build here instead of on the
+// first user who copies an example. CI used to only compile these; the
+// PR 2 box-API redesign showed that compiling alone lets behavioural
+// breakage through silently.
+package examples
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// smokeRuns maps each example directory to a line its -quick run must
+// print — the final verification or summary line, so a crash, a
+// mismatch, or an early exit all fail the assertion.
+var smokeRuns = map[string]string{
+	"quickstart":     "objects within the central 500x500 square after the run:",
+	"boxjoin":        "all frames verified against brute force",
+	"collisions":     "agreement verified",
+	"geofence":       "final occupancy (top 5):",
+	"fishtank":       "mean local density:",
+	"trafficmonitor": "zone counts verified against the brute-force oracle",
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run per example")
+	}
+	for dir, want := range smokeRuns {
+		t.Run(dir, func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./"+dir, "-quick")
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./%s -quick failed: %v\n%s", dir, err, out)
+			}
+			if !strings.Contains(string(out), want) {
+				t.Fatalf("go run ./%s -quick output lacks %q:\n%s", dir, want, out)
+			}
+		})
+	}
+}

@@ -10,9 +10,11 @@
 // Run with:
 //
 //	go run ./examples/trafficmonitor
+//	go run ./examples/trafficmonitor -quick   # tiny smoke-test parameters
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -32,6 +34,13 @@ const (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "tiny population and tick count (CI smoke run)")
+	flag.Parse()
+	vehicles, ticks := vehicles, ticks
+	if *quick {
+		vehicles, ticks = 1_200, 4
+	}
+
 	cfg := workload.DefaultGaussian()
 	cfg.NumPoints = vehicles
 	cfg.SpaceSize = citySize

@@ -137,6 +137,13 @@ var namedBoxTechniques = []NamedBoxTechnique{
 			return grid.MustNewBoxGrid2L(grid.DefaultBoxCPS, p.Bounds, p.NumPoints)
 		},
 	},
+	{
+		Key:         "boxrtree",
+		Description: "STR bulk-loaded box R-tree (Leutenegger et al. 1997): overlap-free packing, no replication, bottom-up MBR refit updates",
+		Make: func(p core.Params) core.BoxIndex {
+			return rtree.MustNewBoxTree(rtree.DefaultFanout)
+		},
+	},
 }
 
 // BoxTechniques returns every CLI-addressable box technique, sorted by

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/grid"
+	"repro/internal/rtree"
 	"repro/internal/workload"
 )
 
@@ -21,8 +22,9 @@ func testBoxConfig() workload.BoxConfig {
 }
 
 // boxLineup instantiates every BoxIndex implementation for the given
-// workload: the brute-force oracle plus the CSR box grid and its
-// two-layer class-partitioned variant at several granularities.
+// workload: the brute-force oracle, the CSR box grid and its two-layer
+// class-partitioned variant at several granularities, and the STR box
+// R-tree at several fanouts.
 func boxLineup(cfg workload.BoxConfig) []BoxIndex {
 	return []BoxIndex{
 		NewBruteForceBoxes(),
@@ -30,6 +32,8 @@ func boxLineup(cfg workload.BoxConfig) []BoxIndex {
 		grid.MustNewBoxGrid(32, cfg.Bounds(), cfg.NumPoints),
 		grid.MustNewBoxGrid2L(8, cfg.Bounds(), cfg.NumPoints),
 		grid.MustNewBoxGrid2L(32, cfg.Bounds(), cfg.NumPoints),
+		rtree.MustNewBoxTree(4),
+		rtree.MustNewBoxTree(rtree.DefaultFanout),
 	}
 }
 

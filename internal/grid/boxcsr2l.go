@@ -75,8 +75,9 @@ type BoxGrid2L struct {
 	// [end(j-1), end(j)) with end(-1) = starts[c]; the live count is
 	// end(D)-starts[c] and slack lives between end(D) and starts[c+1].
 	// The layout matches the build scratch so a span row touches one
-	// plane, and the sequential build takes ends from the scatter
-	// cursors with a single copy.
+	// plane, and the sequential build uses ends AS the scatter cursor
+	// array (prefixClassedCursors pre-loads the run bases here, the
+	// scatter advances them to the run ends in place — no publish copy).
 	ends []uint32
 	ids  []uint32    // one contiguous arena of replicated entry IDs
 	rcts []geom.Rect // inlined coordinates, parallel to ids
@@ -92,8 +93,16 @@ type BoxGrid2L struct {
 	// cells and classes to edit.
 	spans []cellSpan
 
-	counts4     []uint32   // build scratch: per-(cell,class) counts / scatter cursors
-	shardCounts [][]uint32 // build scratch: per-worker counts4 arrays
+	// counts16/counts4 is the count-pass scratch in pair-major layout.
+	// A (cell, class) count is bounded by the population (each object
+	// contributes at most one replica per cell), so whenever the
+	// population fits uint16 the count pass runs on the half-width
+	// plane — at cps=256 that is 512 KiB of randomly-incremented
+	// scratch instead of 1 MiB, the difference between staying L2
+	// resident and spilling (see Build).
+	counts16    []uint16
+	counts4     []uint32   // full-width fallback for populations > 65535
+	shardCounts [][]uint32 // build scratch: per-worker count arrays
 	moveSpans   []cellSpan // batch-update scratch: old/new spans per move
 	pairs       spanPairs  // batch-update scratch: sharded (cell, move) pairs
 }
@@ -165,7 +174,10 @@ func (bg *BoxGrid2L) endIdx(c, j int) int {
 	return (j&2)*bg.cells + 2*c + (j & 1)
 }
 
-// prepare sizes the snapshot-dependent state for a bulk build.
+// prepare sizes the snapshot-dependent state for a bulk build. Count
+// scratch is sized and zeroed by the build paths themselves: the
+// sequential build picks the counter width by population, the sharded
+// build uses per-worker arrays instead.
 func (bg *BoxGrid2L) prepare(rects []geom.Rect) {
 	bg.rects = rects
 	bg.boxes = len(rects)
@@ -180,14 +192,18 @@ func (bg *BoxGrid2L) prepare(rects []geom.Rect) {
 	} else {
 		bg.spans = bg.spans[:len(rects)]
 	}
-	if cap(bg.counts4) < 4*bg.cells {
-		bg.counts4 = make([]uint32, 4*bg.cells)
-	} else {
-		bg.counts4 = bg.counts4[:4*bg.cells]
-		for i := range bg.counts4 {
-			bg.counts4[i] = 0
-		}
+}
+
+// resetCounts returns the zeroed pair-major count scratch of width C.
+func resetCounts[C uint16 | uint32](buf []C, n int) []C {
+	if cap(buf) < n {
+		return make([]C, n)
 	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
 }
 
 // sizeArena grows the ID and coordinate arenas to hold total replicas.
@@ -210,46 +226,55 @@ func (bg *BoxGrid2L) sizeArena(total uint32) {
 // the unclassed grid's count pass. (Runs here are 2-4 cells, so the
 // stride-2 walk costs nothing over a dense one; locality is what
 // matters.)
-func countSpan(counts4 []uint32, s cellSpan, cps, cells int) {
-	fr := counts4[: 2*cells : 2*cells]
-	rr := counts4[2*cells:]
+// The fr/rr planes are sliced once per build by the caller — per-call
+// re-slicing was a measurable fraction of the walk at the default
+// granularity, where most spans are one or two cells.
+func countSpan[C uint16 | uint32](fr, rr []C, s cellSpan, cps int) {
+	w := 2 * (int(s.x1) - int(s.x0))
 	for cy := int(s.y0); cy <= int(s.y1); cy++ {
 		plane := rr
 		if cy == int(s.y0) {
 			plane = fr
 		}
 		base := 2 * (cy*cps + int(s.x0))
-		plane[base]++
-		last := 2*(cy*cps+int(s.x1)) + 1
-		for i := base + 3; i <= last; i += 2 {
-			plane[i]++
+		// Reslice the span row once so the stride-2 walk is
+		// bounds-check-free (len(row) is loop-invariant).
+		row := plane[base : base+w+2]
+		row[0]++
+		for i := 3; i < len(row); i += 2 {
+			row[i]++
 		}
 	}
 }
 
 // scatterSpan places one replica of id into every (cell, class) slot of
-// the span, advancing the absolute pair-major cursors in cur. Only the
-// 4-byte ID is scattered — the 16-byte coordinates are filled by a
-// separate streaming pass (fillRects), because random 16-byte writes
-// into the full-size arena cost ~3x the whole unclassed build, while a
-// sequential arena sweep reading the (cache-resident) base table is
-// nearly free.
-func scatterSpan(cur []uint32, s cellSpan, cps, cells int, id uint32, ids []uint32) {
-	fr := cur[: 2*cells : 2*cells]
-	rr := cur[2*cells:]
+// the span, advancing the absolute pair-major cursors in cur (the ends
+// array, pre-loaded with the run bases by prefixClassedCursors). Only
+// the 4-byte ID is scattered — the 16-byte coordinates are filled by a
+// separate streaming pass (fillRects). Fusing the rect write into this
+// walk was re-measured for the build-tax fix and lost again, 1.5-1.6x
+// slower end to end at cps=256, both naively (the random 16-byte
+// stores stride the whole multi-megabyte arena) and as a
+// band-bucketed cache-resident tile pass (the bucket materialization
+// burns the bandwidth the banding saves); a sequential arena sweep
+// against (mostly cached) random base-table reads stays the cheapest
+// way to inline coordinates on every machine measured.
+func scatterSpan(fr, rr []uint32, s cellSpan, cps int, id uint32, ids []uint32) {
+	w := 2 * (int(s.x1) - int(s.x0))
 	for cy := int(s.y0); cy <= int(s.y1); cy++ {
 		plane := rr
 		if cy == int(s.y0) {
 			plane = fr
 		}
 		base := 2 * (cy*cps + int(s.x0))
-		pos := plane[base]
-		plane[base] = pos + 1
+		// Same bounds-check-free row reslice as countSpan.
+		row := plane[base : base+w+2]
+		pos := row[0]
+		row[0] = pos + 1
 		ids[pos] = id
-		last := 2*(cy*cps+int(s.x1)) + 1
-		for i := base + 3; i <= last; i += 2 {
-			pos = plane[i]
-			plane[i] = pos + 1
+		for i := 3; i < len(row); i += 2 {
+			pos = row[i]
+			row[i] = pos + 1
 			ids[pos] = id
 		}
 	}
@@ -266,55 +291,87 @@ func (bg *BoxGrid2L) fillRects(rects []geom.Rect, lo, hi int) {
 	}
 }
 
+// prefixClassedCursors is the exclusive prefix sum in (cell, class)
+// order: counts are read from the pair-major count plane and the
+// resulting absolute scatter cursors are written STRAIGHT INTO the
+// pair-major ends array (the cursor layout IS the ends layout, and the
+// scatter leaves each cursor at its run's exclusive end) — so no
+// separate cursor buffer exists and no post-scatter copy publishes the
+// class boundaries. The two pair planes are walked as separate streams
+// with the per-cell class quad unrolled.
+func prefixClassedCursors[C uint16 | uint32](counts []C, starts, ends []uint32, cells int) uint32 {
+	cfr := counts[:2*cells]
+	crr := counts[2*cells:]
+	efr := ends[:2*cells]
+	errr := ends[2*cells:]
+	var sum uint32
+	for c := 0; c < cells; c++ {
+		starts[c] = sum
+		c2 := 2 * c
+		n := uint32(cfr[c2])
+		efr[c2] = sum
+		sum += n
+		n = uint32(cfr[c2+1])
+		efr[c2+1] = sum
+		sum += n
+		n = uint32(crr[c2])
+		errr[c2] = sum
+		sum += n
+		n = uint32(crr[c2+1])
+		errr[c2+1] = sum
+		sum += n
+	}
+	starts[cells] = sum
+	return sum
+}
+
 // Build implements core.BoxIndex: the class-refined two-pass counting
 // sort. Pass 1 counts one slot per (overlapped cell, class); the
 // exclusive prefix sum over the key cell*4+class fixes both the cell
-// segments and the class sub-spans; pass 2 replicates each (ID, rect)
-// into its slots. Arenas are retained across builds, so steady-state
+// segments and the class sub-spans; pass 2 replicates each ID into its
+// slots while a streaming third pass inlines the coordinates (measured
+// faster than fusing the 16-byte writes into the scatter — see
+// scatterSpan). Arenas are retained across builds, so steady-state
 // builds allocate nothing.
 func (bg *BoxGrid2L) Build(rects []geom.Rect) {
 	bg.prepare(rects)
 	cps := bg.cps
-	counts4 := bg.counts4
-	for i := range rects {
-		s := bg.mapper.spanOf(rects[i])
-		bg.spans[i] = s
-		countSpan(counts4, s, cps, bg.cells)
-	}
-	// Exclusive prefix sum in (cell, class) order; counts4 becomes the
-	// absolute scatter cursor. The two pair planes are walked as separate
-	// streams with the per-cell class quad unrolled.
 	cells := bg.cells
-	fr := counts4[:2*cells]
-	rr := counts4[2*cells:]
 	var sum uint32
-	for c := 0; c < cells; c++ {
-		bg.starts[c] = sum
-		c2 := 2 * c
-		n := fr[c2]
-		fr[c2] = sum
-		sum += n
-		n = fr[c2+1]
-		fr[c2+1] = sum
-		sum += n
-		n = rr[c2]
-		rr[c2] = sum
-		sum += n
-		n = rr[c2+1]
-		rr[c2+1] = sum
-		sum += n
+	// A (cell, class) count never exceeds the population, so small-enough
+	// populations count on the half-width plane — half the randomly
+	// incremented scratch footprint, which is where the classed count's
+	// cost over the unclassed one lives.
+	if len(rects) <= maxUint16Boxes {
+		bg.counts16 = resetCounts(bg.counts16, 4*cells)
+		fr, rr := bg.counts16[:2*cells:2*cells], bg.counts16[2*cells:]
+		for i := range rects {
+			s := bg.mapper.spanOf(rects[i])
+			bg.spans[i] = s
+			countSpan(fr, rr, s, cps)
+		}
+		sum = prefixClassedCursors(bg.counts16, bg.starts, bg.ends, cells)
+	} else {
+		bg.counts4 = resetCounts(bg.counts4, 4*cells)
+		fr, rr := bg.counts4[:2*cells:2*cells], bg.counts4[2*cells:]
+		for i := range rects {
+			s := bg.mapper.spanOf(rects[i])
+			bg.spans[i] = s
+			countSpan(fr, rr, s, cps)
+		}
+		sum = prefixClassedCursors(bg.counts4, bg.starts, bg.ends, cells)
 	}
-	bg.starts[cells] = sum
 	bg.sizeArena(sum)
+	efr, erest := bg.ends[:2*cells:2*cells], bg.ends[2*cells:]
 	for i := range rects {
-		scatterSpan(counts4, bg.spans[i], cps, bg.cells, uint32(i), bg.ids)
+		scatterSpan(efr, erest, bg.spans[i], cps, uint32(i), bg.ids)
 	}
-	// The scatter cursors have advanced to the exclusive end of their
-	// runs, and the cursor layout IS the ends layout: one copy publishes
-	// the class boundaries.
-	copy(bg.ends, counts4)
 	bg.fillRects(rects, 0, len(bg.ids))
 }
+
+// maxUint16Boxes is the largest population whose per-(cell, class)
+// counts provably fit the half-width count plane.
+const maxUint16Boxes = 1<<16 - 1
 
 // BuildParallel implements core.BoxParallelBuilder: the sharded variant
 // of Build. Workers count their contiguous chunk of rects into private
@@ -350,10 +407,11 @@ func (bg *BoxGrid2L) BuildParallel(rects []geom.Rect, workers int) {
 
 	parutil.ForEachShard(len(rects), workers, func(w, lo, hi int) {
 		sc := bg.shardCounts[w][:keys]
+		fr, rr := sc[:2*bg.cells:2*bg.cells], sc[2*bg.cells:]
 		for i := lo; i < hi; i++ {
 			s := bg.mapper.spanOf(rects[i])
 			bg.spans[i] = s
-			countSpan(sc, s, cps, bg.cells)
+			countSpan(fr, rr, s, cps)
 		}
 	})
 
@@ -379,8 +437,9 @@ func (bg *BoxGrid2L) BuildParallel(rects []geom.Rect, workers int) {
 
 	parutil.ForEachShard(len(rects), workers, func(w, lo, hi int) {
 		sc := bg.shardCounts[w][:keys]
+		fr, rr := sc[:2*bg.cells:2*bg.cells], sc[2*bg.cells:]
 		for i := lo; i < hi; i++ {
-			scatterSpan(sc, bg.spans[i], cps, bg.cells, uint32(i), bg.ids)
+			scatterSpan(fr, rr, bg.spans[i], cps, uint32(i), bg.ids)
 		}
 	})
 	// The coordinate fill shards over disjoint arena ranges, so it is
@@ -689,6 +748,7 @@ func (bg *BoxGrid2L) ClassCounts() [4]int {
 // span cache, overflow capacity, and retained build scratch.
 func (bg *BoxGrid2L) MemoryBytes() int64 {
 	total := int64(len(bg.starts)+len(bg.ends)+cap(bg.ids)+cap(bg.counts4)) * 4
+	total += int64(cap(bg.counts16)) * 2
 	total += int64(cap(bg.rcts)) * 16
 	total += int64(cap(bg.spans)) * 8
 	total += int64(len(bg.overflow)) * 24

@@ -372,3 +372,27 @@ func TestBoxGrid2LNameAndAccessors(t *testing.T) {
 		t.Fatal("MemoryBytes must count the directory")
 	}
 }
+
+// TestBoxGrid2LWideCountFallback exercises the full-width count plane:
+// populations past the uint16 bound must build through the uint32 path
+// and stay digest-identical to the reference-point grid.
+func TestBoxGrid2LWideCountFallback(t *testing.T) {
+	bounds := geom.R(0, 0, 4000, 4000)
+	rng := xrand.New(41)
+	n := maxUint16Boxes + 500
+	rects := randomBoxes(rng, n, bounds, 0, 12)
+	bg := MustNewBoxGrid2L(16, bounds, n)
+	bg.Build(rects)
+	if bg.Len() != n {
+		t.Fatalf("Len = %d, want %d", bg.Len(), n)
+	}
+	ref := MustNewBoxGrid(16, bounds, n)
+	ref.Build(rects)
+	for _, q := range testQueries(rng, 12, bounds) {
+		got := collectQuery(t, bg, q)
+		want := collectQuery(t, ref, q)
+		if !equalIDs(got, want) {
+			t.Fatalf("wide-count build disagrees with boxcsr on query %v", q)
+		}
+	}
+}

@@ -234,14 +234,19 @@ type cellMapper struct {
 }
 
 func (m cellMapper) axisCell(d float32) int {
-	c := int(d * m.invCell)
-	if c < 0 {
+	// Clamp in float space BEFORE truncating: converting an out-of-range
+	// float to int is implementation-specific in Go (amd64 yields the
+	// minimum int), so a coordinate far past the boundary would otherwise
+	// clamp to the WRONG side — inverting the cell span of an MBR whose
+	// other edge is in range. In-range values are unaffected.
+	f := d * m.invCell
+	if !(f > 0) { // also catches NaN
 		return 0
 	}
-	if c >= m.cps {
+	if f >= float32(m.cps) {
 		return m.cps - 1
 	}
-	return c
+	return int(f)
 }
 
 // cellIndexFor maps a point to its cell index, clamping coordinates that

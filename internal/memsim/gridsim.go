@@ -22,6 +22,11 @@ const (
 	// Table 3 row, but the hardware-level completion of the update-path
 	// ablation (bench extension "ext-handles").
 	GridIntrusive
+	// GridRTree is not a grid at all: the static STR-packed R-tree
+	// (internal/rtree, simulated in rtreesim.go), so the profiler can
+	// put the study's grid-vs-R-tree axis on Table-3 footing. BS is the
+	// fanout; CPS is ignored.
+	GridRTree
 )
 
 // String implements fmt.Stringer.
@@ -31,6 +36,8 @@ func (k GridKind) String() string {
 		return "original"
 	case GridIntrusive:
 		return "intrusive"
+	case GridRTree:
+		return "rtree"
 	default:
 		return "refactored"
 	}
@@ -53,6 +60,12 @@ func PaperAfter() GridSimConfig { return GridSimConfig{Kind: GridRefactored, BS:
 
 // Validate reports the first problem with the configuration, or nil.
 func (c GridSimConfig) Validate() error {
+	if c.Kind == GridRTree {
+		if c.BS < 2 {
+			return fmt.Errorf("memsim: rtree fanout (bs) must be >= 2, got %d", c.BS)
+		}
+		return nil
+	}
 	if c.BS <= 0 || c.CPS <= 0 {
 		return fmt.Errorf("memsim: bs and cps must be positive, got bs=%d cps=%d", c.BS, c.CPS)
 	}
@@ -195,14 +208,18 @@ func (g *simGrid) alloc(size uint64) uint64 {
 }
 
 func (g *simGrid) axisCell(d float32) int {
-	c := int(d * g.invCell)
-	if c < 0 {
+	// Clamp in float space before truncating, mirroring the real grid's
+	// cellMapper: out-of-range float -> int conversion is
+	// implementation-specific and would clamp far-out coordinates to the
+	// wrong side.
+	f := d * g.invCell
+	if !(f > 0) {
 		return 0
 	}
-	if c >= g.cfg.CPS {
+	if f >= float32(g.cfg.CPS) {
 		return g.cfg.CPS - 1
 	}
-	return c
+	return int(f)
 }
 
 func (g *simGrid) cellIndexFor(p geom.Point) int {
@@ -613,6 +630,15 @@ type ProfileResult struct {
 	Updates int64
 }
 
+// simIndex is the slice of the simulated-technique API the replay
+// drives, implemented by simGrid and simRTree.
+type simIndex interface {
+	build(pts []geom.Point)
+	query(r geom.Rect) int
+	remove(id uint32, p geom.Point)
+	insert(id uint32, p geom.Point)
+}
+
 // ProfileGrid replays the trace's full build/query/update cycle on the
 // simulated implementation and returns the profile — one Table 3 row.
 // ticks caps the replay (0 = all recorded ticks).
@@ -628,7 +654,12 @@ func ProfileGrid(cfg GridSimConfig, trace *workload.Trace, hcfg HierarchyConfig,
 		ticks = len(trace.Ticks)
 	}
 	bounds := trace.Config.Bounds()
-	g := newSimGrid(cfg, h, bounds, len(trace.Initial))
+	var g simIndex
+	if cfg.Kind == GridRTree {
+		g = newSimRTree(cfg.BS, h, len(trace.Initial))
+	} else {
+		g = newSimGrid(cfg, h, bounds, len(trace.Initial))
+	}
 	player := workload.NewPlayer(trace)
 	snapshot := make([]geom.Point, len(trace.Initial))
 	var res ProfileResult

@@ -1,0 +1,322 @@
+package memsim
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/sortutil"
+)
+
+// This file simulates the study's other technique family on the cache
+// hierarchy: the static STR-packed R-tree (internal/rtree), so
+// profilegrid can put grid-vs-R-tree on the same Table-3 footing the
+// paper puts its grid before/after pair. Like gridsim, the simulator
+// keeps a functional shadow of the structure — the per-tick STR bulk
+// load (radix sorts, slab sorts, leaf packing) and the query traversal
+// are replayed access by access, so result counts are exact, not
+// statistical.
+//
+// Simulated object sizes mirror the real implementation: flat node
+// records of 28 bytes (four float32 MBR edges, first, count, leaf flag),
+// a 4-byte entry reference per point in leaf order, and the 4-byte key
+// and scratch arrays of the radix sort.
+const (
+	rtreeNodeBytes = 28
+	keyBytes       = 4
+	entryBytes     = 4
+)
+
+// Instruction costs of the R-tree's abstract operations, on the same
+// scale as the grid's (the profile's message lives in the ratios).
+const (
+	insKeyFill     = 3  // load coordinate, order-preserving bit fiddle, store
+	insSortCount   = 3  // per element per counting sweep: load key, bucket add
+	insSortScatter = 5  // per element per executed pass: load, bucket, store
+	insNodePack    = 6  // MBR stretch + node field writes, per packed entry
+	insNodeVisit   = 9  // node fetch, rectangle intersection test, stack push
+)
+
+// simRNode mirrors rtree's flat node record.
+type simRNode struct {
+	mbr   geom.Rect
+	first int32
+	count int32
+	leaf  bool
+}
+
+// simRTree replays STR R-tree operations against the cache hierarchy.
+type simRTree struct {
+	h      *Hierarchy
+	fanout int
+	pts    []geom.Point
+
+	heap        uint64
+	baseAddr    uint64
+	entriesAddr uint64
+	keysAddr    uint64
+	scratchAddr uint64
+	nodesAddr   uint64
+
+	entries []uint32
+	keys    []uint32
+	scratch []uint32
+	nodes   []simRNode
+	root    int
+}
+
+func newSimRTree(fanout int, h *Hierarchy, numPoints int) *simRTree {
+	g := &simRTree{h: h, fanout: fanout, root: -1}
+	g.baseAddr = g.alloc(uint64(numPoints) * pointBytes)
+	g.entriesAddr = g.alloc(uint64(numPoints) * entryBytes)
+	g.keysAddr = g.alloc(uint64(numPoints) * keyBytes)
+	g.scratchAddr = g.alloc(uint64(numPoints) * entryBytes)
+	// Fully packed levels sum to < n/(f-1) nodes above the leaves.
+	maxNodes := numPoints/max(1, fanout-1) + numPoints/max(1, fanout) + 4
+	g.nodesAddr = g.alloc(uint64(maxNodes) * rtreeNodeBytes)
+	g.entries = make([]uint32, numPoints)
+	g.keys = make([]uint32, numPoints)
+	g.scratch = make([]uint32, numPoints)
+	return g
+}
+
+// alloc hands out 16-byte-aligned synthetic addresses.
+func (g *simRTree) alloc(size uint64) uint64 {
+	addr := g.heap
+	g.heap += (size + 15) &^ 15
+	return addr
+}
+
+func (g *simRTree) nodeAddr(ni int) uint64 { return g.nodesAddr + uint64(ni)*rtreeNodeBytes }
+
+// simSort shadows sortutil.ByKey32 over ids (a slice of the entry array
+// starting at element offset idsOff), threading every memory touch: the
+// counting sweep reads the run and one key per element, and each
+// executed pass re-reads the run, chases the per-element key, and
+// scatters into the ping-pong buffer. Skipped passes (all keys sharing
+// a byte) cost nothing, exactly like the real sort.
+func (g *simRTree) simSort(ids []uint32, idsOff int) {
+	n := len(ids)
+	if n < 2 {
+		return
+	}
+	srcAddr := g.entriesAddr + uint64(idsOff)*entryBytes
+	dstAddr := g.scratchAddr
+	src, dst := ids, g.scratch[:n]
+
+	var counts [4][256]int
+	g.h.Read(srcAddr, uint64(n)*entryBytes)
+	for _, id := range src {
+		g.h.Read(g.keysAddr+uint64(id)*keyBytes, keyBytes)
+		k := g.keys[id]
+		counts[0][k&0xff]++
+		counts[1][k>>8&0xff]++
+		counts[2][k>>16&0xff]++
+		counts[3][k>>24]++
+	}
+	g.h.Exec(n * insSortCount)
+
+	for pass := 0; pass < 4; pass++ {
+		c := &counts[pass]
+		shift := 8 * uint(pass)
+		if c[g.keys[src[0]]>>shift&0xff] == n {
+			continue
+		}
+		pos := 0
+		var offsets [256]int
+		for b := 0; b < 256; b++ {
+			offsets[b] = pos
+			pos += c[b]
+		}
+		g.h.Read(srcAddr, uint64(n)*entryBytes)
+		for _, id := range src {
+			g.h.Read(g.keysAddr+uint64(id)*keyBytes, keyBytes)
+			b := g.keys[id] >> shift & 0xff
+			g.h.Write(dstAddr+uint64(offsets[b])*entryBytes, entryBytes)
+			dst[offsets[b]] = id
+			offsets[b]++
+		}
+		g.h.Exec(n * insSortScatter)
+		src, dst = dst, src
+		srcAddr, dstAddr = dstAddr, srcAddr
+	}
+	if &src[0] != &ids[0] {
+		g.h.Read(srcAddr, uint64(n)*entryBytes)
+		g.h.Write(dstAddr, uint64(n)*entryBytes)
+		copy(ids, src)
+	}
+}
+
+// fillKeys streams the base table into the key array with the given
+// coordinate extractor.
+func (g *simRTree) fillKeys(coord func(geom.Point) float32) {
+	n := len(g.pts)
+	for i, p := range g.pts {
+		g.keys[i] = sortutil.Float32Key(coord(p))
+	}
+	g.h.Read(g.baseAddr, uint64(n)*pointBytes)
+	g.h.Write(g.keysAddr, uint64(n)*keyBytes)
+	g.h.Exec(n * insKeyFill)
+}
+
+// build mirrors rtree.Tree.Build: snapshot refresh, x sort, per-slab y
+// sorts, leaf packing over the tiled entry order, then upper levels
+// packed over node centres.
+func (g *simRTree) build(pts []geom.Point) {
+	g.pts = pts
+	n := len(pts)
+	g.h.Write(g.baseAddr, uint64(n)*pointBytes)
+	g.h.Exec(n * insSnapshotPer)
+	g.nodes = g.nodes[:0]
+	g.root = -1
+	if n == 0 {
+		return
+	}
+
+	for i := range g.entries[:n] {
+		g.entries[i] = uint32(i)
+	}
+	g.h.Write(g.entriesAddr, uint64(n)*entryBytes)
+	g.fillKeys(func(p geom.Point) float32 { return p.X })
+	g.simSort(g.entries[:n], 0)
+
+	leaves := (n + g.fanout - 1) / g.fanout
+	slabs := int(math.Ceil(math.Sqrt(float64(leaves))))
+	slabSize := slabs * g.fanout
+	g.fillKeys(func(p geom.Point) float32 { return p.Y })
+	for start := 0; start < n; start += slabSize {
+		end := min(start+slabSize, n)
+		g.simSort(g.entries[start:end], start)
+	}
+
+	// Leaf packing: stream the entry run, chase each point, emit the
+	// node record.
+	for start := 0; start < n; start += g.fanout {
+		end := min(start+g.fanout, n)
+		g.h.Read(g.entriesAddr+uint64(start)*entryBytes, uint64(end-start)*entryBytes)
+		mbr := g.pts[g.entries[start]].Rect()
+		g.h.Read(g.baseAddr+uint64(g.entries[start])*pointBytes, pointBytes)
+		for _, id := range g.entries[start+1 : end] {
+			g.h.Read(g.baseAddr+uint64(id)*pointBytes, pointBytes)
+			mbr = mbr.Stretch(g.pts[id])
+		}
+		g.h.Exec((end - start) * insNodePack)
+		g.h.Write(g.nodeAddr(len(g.nodes)), rtreeNodeBytes)
+		g.nodes = append(g.nodes, simRNode{mbr: mbr, first: int32(start), count: int32(end - start), leaf: true})
+	}
+
+	levelStart, levelCount := 0, len(g.nodes)
+	for levelCount > 1 {
+		nextStart := len(g.nodes)
+		g.packLevel(levelStart, levelCount)
+		levelStart, levelCount = nextStart, len(g.nodes)-nextStart
+	}
+	g.root = len(g.nodes) - 1
+}
+
+// packLevel packs one upper level, STR-tiling the child level by node
+// centres. Upper levels hold n/fanout of the data, so the tiling sorts
+// are charged as bulk sweeps over the level's node records rather than
+// replayed element by element.
+func (g *simRTree) packLevel(start, count int) {
+	level := g.nodes[start : start+count]
+	idx := make([]uint32, count)
+	keys := make([]uint32, count)
+	for i := range idx {
+		idx[i] = uint32(i)
+	}
+	for i, nd := range level {
+		keys[i] = sortutil.Float32Key(nd.mbr.Center().X)
+	}
+	// Centre-x sweep + sort traffic: read every node record, rewrite the
+	// (local, small) index array per executed pass.
+	g.h.Read(g.nodeAddr(start), uint64(count)*rtreeNodeBytes)
+	g.h.Exec(count * (insKeyFill + insSortScatter))
+	scratch := make([]uint32, count)
+	sortutil.ByKey32(idx, keys, scratch)
+
+	parents := (count + g.fanout - 1) / g.fanout
+	slabs := int(math.Ceil(math.Sqrt(float64(parents))))
+	slabSize := slabs * g.fanout
+	for i, nd := range level {
+		keys[i] = sortutil.Float32Key(nd.mbr.Center().Y)
+	}
+	g.h.Read(g.nodeAddr(start), uint64(count)*rtreeNodeBytes)
+	g.h.Exec(count * (insKeyFill + insSortScatter))
+	for s := 0; s < count; s += slabSize {
+		e := min(s+slabSize, count)
+		sortutil.ByKey32(idx[s:e], keys, scratch)
+	}
+
+	reordered := make([]simRNode, count)
+	for i, j := range idx {
+		reordered[i] = level[j]
+	}
+	copy(level, reordered)
+	g.h.Read(g.nodeAddr(start), uint64(count)*rtreeNodeBytes)
+	g.h.Write(g.nodeAddr(start), uint64(count)*rtreeNodeBytes)
+
+	for s := 0; s < count; s += g.fanout {
+		e := min(s+g.fanout, count)
+		mbr := level[s].mbr
+		for _, nd := range level[s+1 : e] {
+			mbr = mbr.Union(nd.mbr)
+		}
+		g.h.Exec((e - s) * insNodePack)
+		g.h.Write(g.nodeAddr(len(g.nodes)), rtreeNodeBytes)
+		g.nodes = append(g.nodes, simRNode{mbr: mbr, first: int32(start + s), count: int32(e - s)})
+	}
+}
+
+// query mirrors rtree.Tree.Query: a traversal from the root, reporting
+// leaf runs without per-point tests when the leaf MBR is contained in
+// r. The root's record fetch is charged here; every other node's fetch
+// and intersection test is charged exactly once, by the parent's child
+// scan in queryNode — descending into a child costs nothing extra.
+func (g *simRTree) query(r geom.Rect) int {
+	g.h.Exec(insQuerySetup)
+	if g.root < 0 {
+		return 0
+	}
+	g.h.Read(g.nodeAddr(g.root), rtreeNodeBytes)
+	g.h.Exec(insNodeVisit)
+	return g.queryNode(g.root, r)
+}
+
+// queryNode reports node ni's subtree. The caller has already charged
+// ni's own record fetch and visit.
+func (g *simRTree) queryNode(ni int, r geom.Rect) int {
+	nd := &g.nodes[ni]
+	found := 0
+	if nd.leaf {
+		g.h.Read(g.entriesAddr+uint64(nd.first)*entryBytes, uint64(nd.count)*entryBytes)
+		if r.ContainsRect(nd.mbr) {
+			g.h.Exec(int(nd.count) * insEmit)
+			return int(nd.count)
+		}
+		for _, id := range g.entries[nd.first : nd.first+int32(nd.count)] {
+			g.h.Read(g.baseAddr+uint64(id)*pointBytes, pointBytes)
+			g.h.Exec(insPointTest)
+			if g.pts[id].In(r) {
+				g.h.Exec(insEmit)
+				found++
+			}
+		}
+		return found
+	}
+	for c := nd.first; c < nd.first+nd.count; c++ {
+		g.h.Read(g.nodeAddr(int(c)), rtreeNodeBytes)
+		g.h.Exec(insNodeVisit)
+		if r.Intersects(g.nodes[c].mbr) {
+			found += g.queryNode(int(c), r)
+		}
+	}
+	return found
+}
+
+// remove implements simIndex: the static R-tree buffers nothing — the
+// move is picked up by the next per-tick rebuild, exactly like the real
+// technique's no-op Update.
+func (g *simRTree) remove(id uint32, p geom.Point) {}
+
+// insert implements simIndex; see remove.
+func (g *simRTree) insert(id uint32, p geom.Point) {}

@@ -1,0 +1,70 @@
+package memsim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rtree"
+	"repro/internal/workload"
+)
+
+// TestRTreeSimMatchesRealRTree is the functional anchor of the R-tree
+// simulation: the instrumented replay must compute the exact same join
+// result as the real STR R-tree run by the real driver.
+func TestRTreeSimMatchesRealRTree(t *testing.T) {
+	cfg := simTestConfig()
+	trace, err := workload.Record(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ProfileGrid(GridSimConfig{Kind: GridRTree, BS: rtree.DefaultFanout},
+		trace, DefaultHierarchy(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	real := core.Run(rtree.MustNew(rtree.DefaultFanout), workload.NewPlayer(trace), core.Options{})
+	if res.Pairs != real.Pairs {
+		t.Fatalf("simulated R-tree found %d pairs, real one %d", res.Pairs, real.Pairs)
+	}
+	if res.Queries != real.Queries {
+		t.Fatalf("simulated %d queries, real %d", res.Queries, real.Queries)
+	}
+	if res.Profile.Instructions == 0 || res.Profile.L1Misses == 0 {
+		t.Fatalf("empty profile: %+v", res.Profile)
+	}
+}
+
+// TestRTreeSimAgreesWithGridSim pins the cross-technique comparison the
+// new kind exists for: both simulated techniques must report the
+// identical join over the same trace.
+func TestRTreeSimAgreesWithGridSim(t *testing.T) {
+	cfg := simTestConfig()
+	trace, err := workload.Record(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rres, err := ProfileGrid(GridSimConfig{Kind: GridRTree, BS: 16}, trace, DefaultHierarchy(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gres, err := ProfileGrid(PaperAfter(), trace, DefaultHierarchy(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rres.Pairs != gres.Pairs {
+		t.Fatalf("rtree sim found %d pairs, grid sim %d", rres.Pairs, gres.Pairs)
+	}
+}
+
+func TestRTreeSimConfigValidation(t *testing.T) {
+	if err := (GridSimConfig{Kind: GridRTree, BS: 1}).Validate(); err == nil {
+		t.Fatal("fanout 1 accepted")
+	}
+	// CPS is ignored for the R-tree kind; zero must be fine.
+	if err := (GridSimConfig{Kind: GridRTree, BS: 16}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if GridRTree.String() != "rtree" {
+		t.Fatalf("String() = %q", GridRTree.String())
+	}
+}

@@ -1,0 +1,527 @@
+package rtree
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+// randomBoxes generates n rects in bounds with sides in [minSide,
+// maxSide], including degenerate (point) rects when minSide is 0.
+func randomBoxes(r *xrand.Rand, n int, bounds geom.Rect, minSide, maxSide float32) []geom.Rect {
+	out := make([]geom.Rect, n)
+	for i := range out {
+		cx := r.Range(bounds.MinX, bounds.MaxX)
+		cy := r.Range(bounds.MinY, bounds.MaxY)
+		hw := r.Range(minSide, maxSide) / 2
+		hh := r.Range(minSide, maxSide) / 2
+		out[i] = geom.Rect{MinX: cx - hw, MinY: cy - hh, MaxX: cx + hw, MaxY: cy + hh}
+	}
+	return out
+}
+
+// bruteBoxQuery is the oracle: IDs of all rects intersecting r, sorted.
+func bruteBoxQuery(rects []geom.Rect, r geom.Rect) []uint32 {
+	var out []uint32
+	for i := range rects {
+		if rects[i].Intersects(r) {
+			out = append(out, uint32(i))
+		}
+	}
+	return out
+}
+
+// collectBoxQuery runs one query, failing the test on any duplicate
+// emission (part of the BoxIndex contract), and returns the sorted IDs.
+func collectBoxQuery(t *testing.T, bt *BoxTree, r geom.Rect) []uint32 {
+	t.Helper()
+	seen := make(map[uint32]int)
+	var out []uint32
+	bt.Query(r, func(id uint32) {
+		seen[id]++
+		out = append(out, id)
+	})
+	for id, n := range seen {
+		if n > 1 {
+			t.Fatalf("query %v emitted id %d %d times (duplicate-free contract)", r, id, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalIDs(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func boxTestQueries(r *xrand.Rand, n int, bounds geom.Rect) []geom.Rect {
+	queries := make([]geom.Rect, 0, n+4)
+	for i := 0; i < n; i++ {
+		cx := r.Range(bounds.MinX, bounds.MaxX)
+		cy := r.Range(bounds.MinY, bounds.MaxY)
+		side := r.Range(1, bounds.Width()/3)
+		queries = append(queries, geom.Square(geom.Pt(cx, cy), side))
+	}
+	// Edge cases: the whole space, a query poking outside it, a
+	// degenerate point query, and a sliver.
+	queries = append(queries,
+		bounds,
+		bounds.Expand(bounds.Width()/4),
+		geom.Pt((bounds.MinX+bounds.MaxX)/2, (bounds.MinY+bounds.MaxY)/2).Rect(),
+		geom.R(bounds.MinX+1, bounds.MinY+1, bounds.MinX+2, bounds.MinY+2),
+	)
+	return queries
+}
+
+func TestNewBoxTreeRejectsBadFanout(t *testing.T) {
+	for _, f := range []int{-3, 0, 1} {
+		if _, err := NewBoxTree(f); err == nil {
+			t.Errorf("fanout %d must be rejected", f)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewBoxTree(1) must panic")
+		}
+	}()
+	MustNewBoxTree(1)
+}
+
+func TestBoxTreeMatchesBruteForce(t *testing.T) {
+	bounds := geom.R(0, 0, 1000, 1000)
+	rng := xrand.New(7)
+	for _, tc := range []struct {
+		name             string
+		n                int
+		minSide, maxSide float32
+		fanout           int
+	}{
+		{"small boxes", 500, 0, 40, 16},
+		{"mixed sizes", 400, 0, 300, 16},
+		{"huge boxes", 60, 200, 900, 4},
+		{"degenerate points", 300, 0, 0, 16},
+		{"tiny fanout", 400, 0, 120, 2},
+		{"wide fanout", 400, 0, 120, 64},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rects := randomBoxes(rng, tc.n, bounds, tc.minSide, tc.maxSide)
+			bt := MustNewBoxTree(tc.fanout)
+			bt.Build(rects)
+			if bt.Len() != tc.n {
+				t.Fatalf("Len = %d, want %d", bt.Len(), tc.n)
+			}
+			for _, q := range boxTestQueries(rng, 50, bounds) {
+				got := collectBoxQuery(t, bt, q)
+				want := bruteBoxQuery(rects, q)
+				if !equalIDs(got, want) {
+					t.Fatalf("query %v: got %d ids, want %d", q, len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
+// checkSTRInvariants verifies the packing invariants of a bulk-loaded or
+// refit tree: every node within fanout (and full except the last of its
+// level group), leaf entry runs tiling the entry arena exactly once,
+// parent MBRs covering their children, and the parent/leafPos indexes
+// agreeing with the arena layout.
+func checkSTRInvariants(t *testing.T, bt *BoxTree, rects []geom.Rect) {
+	t.Helper()
+	n := len(rects)
+	if n == 0 {
+		if bt.root != -1 {
+			t.Fatalf("empty tree has root %d", bt.root)
+		}
+		return
+	}
+	if int(bt.root) != len(bt.nodes)-1 {
+		t.Fatalf("root %d is not the last node (%d nodes)", bt.root, len(bt.nodes))
+	}
+	// Every entry appears in exactly one leaf and leaf runs tile the
+	// arena.
+	covered := make([]int, n)
+	leafSeen := 0
+	for ni, nd := range bt.nodes {
+		if nd.count <= 0 || int(nd.count) > bt.fanout {
+			t.Fatalf("node %d has count %d (fanout %d)", ni, nd.count, bt.fanout)
+		}
+		if !nd.leaf {
+			// Parent MBR covers children; children point back via parents.
+			for c := nd.first; c < nd.first+nd.count; c++ {
+				if !nd.mbr.ContainsRect(bt.nodes[c].mbr) {
+					t.Fatalf("node %d MBR %v does not cover child %d MBR %v",
+						ni, nd.mbr, c, bt.nodes[c].mbr)
+				}
+				if bt.parents[c] != int32(ni) {
+					t.Fatalf("child %d has parent %d, want %d", c, bt.parents[c], ni)
+				}
+			}
+			continue
+		}
+		leafSeen++
+		if ni >= bt.leaves {
+			t.Fatalf("leaf node %d beyond the leaf level (%d leaves)", ni, bt.leaves)
+		}
+		if int(nd.first)%bt.fanout != 0 {
+			t.Fatalf("leaf %d starts mid-run at entry %d", ni, nd.first)
+		}
+		if bt.leafPos[int(nd.first)/bt.fanout] != int32(ni) {
+			t.Fatalf("leafPos[%d] = %d, want %d",
+				int(nd.first)/bt.fanout, bt.leafPos[int(nd.first)/bt.fanout], ni)
+		}
+		for k := nd.first; k < nd.first+nd.count; k++ {
+			id := bt.entries[k]
+			covered[id]++
+			if bt.slots[id] != uint32(k) {
+				t.Fatalf("slots[%d] = %d, want %d", id, bt.slots[id], k)
+			}
+			if !nd.mbr.ContainsRect(bt.entryRects[k]) {
+				t.Fatalf("leaf %d MBR %v does not cover entry %d rect %v",
+					ni, nd.mbr, id, bt.entryRects[k])
+			}
+		}
+	}
+	if leafSeen != bt.leaves {
+		t.Fatalf("%d leaf nodes, want %d", leafSeen, bt.leaves)
+	}
+	for id, c := range covered {
+		if c != 1 {
+			t.Fatalf("object %d appears in %d leaf runs", id, c)
+		}
+	}
+	if bt.parents[bt.root] != -1 {
+		t.Fatalf("root parent = %d, want -1", bt.parents[bt.root])
+	}
+}
+
+func TestBoxTreeSTRPackingInvariants(t *testing.T) {
+	bounds := geom.R(0, 0, 2000, 2000)
+	rng := xrand.New(17)
+	for _, n := range []int{1, 2, 15, 16, 17, 255, 256, 257, 3000} {
+		rects := randomBoxes(rng, n, bounds, 0, 150)
+		bt := MustNewBoxTree(16)
+		bt.Build(rects)
+		checkSTRInvariants(t, bt, rects)
+	}
+}
+
+func TestBoxTreeParallelBuildBitIdentical(t *testing.T) {
+	bounds := geom.R(0, 0, 4000, 4000)
+	rng := xrand.New(11)
+	// Above the gate so the parallel path actually runs.
+	rects := randomBoxes(rng, 6000, bounds, 0, 200)
+
+	seq := MustNewBoxTree(16)
+	seq.Build(rects)
+	for _, workers := range []int{2, 3, 8} {
+		par := MustNewBoxTree(16)
+		par.BuildParallel(rects, workers)
+		if len(par.nodes) != len(seq.nodes) {
+			t.Fatalf("workers=%d: %d nodes, want %d", workers, len(par.nodes), len(seq.nodes))
+		}
+		for i := range seq.nodes {
+			if seq.nodes[i] != par.nodes[i] || seq.parents[i] != par.parents[i] {
+				t.Fatalf("workers=%d: node %d differs: %+v vs %+v",
+					workers, i, par.nodes[i], seq.nodes[i])
+			}
+		}
+		for k := range seq.entries {
+			if seq.entries[k] != par.entries[k] || seq.entryRects[k] != par.entryRects[k] {
+				t.Fatalf("workers=%d: entry slot %d differs", workers, k)
+			}
+		}
+		for id := range seq.slots {
+			if seq.slots[id] != par.slots[id] {
+				t.Fatalf("workers=%d: slots[%d] = %d, want %d",
+					workers, id, par.slots[id], seq.slots[id])
+			}
+		}
+		for l := range seq.leafPos {
+			if seq.leafPos[l] != par.leafPos[l] {
+				t.Fatalf("workers=%d: leafPos[%d] differs", workers, l)
+			}
+		}
+	}
+}
+
+// moveBoxes returns a moved copy of rects: roughly half the objects
+// translated (and sometimes resized) by random offsets.
+func moveBoxes(r *xrand.Rand, rects []geom.Rect, maxShift float32) ([]geom.Rect, []geom.BoxMove) {
+	out := append([]geom.Rect(nil), rects...)
+	var moves []geom.BoxMove
+	for i := range out {
+		if r.Bool(0.5) {
+			continue
+		}
+		dx := r.Range(-maxShift, maxShift)
+		dy := r.Range(-maxShift, maxShift)
+		grow := r.Range(0, maxShift/4)
+		nr := geom.Rect{
+			MinX: out[i].MinX + dx, MinY: out[i].MinY + dy,
+			MaxX: out[i].MaxX + dx + grow, MaxY: out[i].MaxY + dy + grow,
+		}
+		moves = append(moves, geom.BoxMove{ID: uint32(i), Old: out[i], New: nr})
+		out[i] = nr
+	}
+	return out, moves
+}
+
+func TestBoxTreeUpdateMatchesRebuild(t *testing.T) {
+	bounds := geom.R(0, 0, 1000, 1000)
+	rng := xrand.New(23)
+	rects := randomBoxes(rng, 800, bounds, 0, 120)
+	bt := MustNewBoxTree(16)
+	bt.Build(rects)
+
+	moved, moves := moveBoxes(rng, rects, 200)
+	for _, m := range moves {
+		bt.Update(m.ID, m.Old, m.New)
+	}
+	// The refit tree must answer queries over the moved population
+	// exactly like a fresh build would.
+	for _, q := range boxTestQueries(rng, 40, bounds) {
+		got := collectBoxQuery(t, bt, q)
+		want := bruteBoxQuery(moved, q)
+		if !equalIDs(got, want) {
+			t.Fatalf("after updates, query %v: got %d ids, want %d", q, len(got), len(want))
+		}
+	}
+	checkSTRInvariants(t, bt, moved)
+	if bt.Len() != len(rects) {
+		t.Fatalf("Len = %d after updates, want %d", bt.Len(), len(rects))
+	}
+}
+
+// TestBoxTreeRebuildFallbackEngages drives enough update cycles without
+// an interleaved Build to cross the dirtiness threshold and verifies the
+// self-rebuild both happened and preserved correctness.
+func TestBoxTreeRebuildFallbackEngages(t *testing.T) {
+	bounds := geom.R(0, 0, 1000, 1000)
+	rng := xrand.New(29)
+	rects := randomBoxes(rng, 300, bounds, 0, 80)
+	bt := MustNewBoxTree(8)
+	bt.Build(rects)
+
+	cur := rects
+	rebuilt := false
+	for cycle := 0; cycle < 5; cycle++ {
+		moved, moves := moveBoxes(rng, cur, 150)
+		before := bt.refitted
+		for _, m := range moves {
+			bt.Update(m.ID, m.Old, m.New)
+		}
+		if bt.refitted < before {
+			rebuilt = true
+		}
+		cur = moved
+		for _, q := range boxTestQueries(rng, 15, bounds) {
+			got := collectBoxQuery(t, bt, q)
+			want := bruteBoxQuery(cur, q)
+			if !equalIDs(got, want) {
+				t.Fatalf("cycle %d: query %v: got %d ids, want %d", cycle, q, len(got), len(want))
+			}
+		}
+	}
+	if !rebuilt {
+		t.Fatalf("refitted reached %d over 5 half-population cycles without a rebuild (threshold %d)",
+			bt.refitted, bt.rebuildAt())
+	}
+	checkSTRInvariants(t, bt, cur)
+}
+
+func TestBoxTreeUpdateBatchMatchesSequentialUpdates(t *testing.T) {
+	bounds := geom.R(0, 0, 4000, 4000)
+	rng := xrand.New(31)
+	rects := randomBoxes(rng, 12000, bounds, 0, 200)
+
+	seq := MustNewBoxTree(16)
+	seq.Build(rects)
+	par := MustNewBoxTree(16)
+	par.Build(rects)
+
+	moved, moves := moveBoxes(rng, rects, 50)
+	// Keep the batch under the dirtiness threshold so the refit path
+	// (not the rebuild) is what's compared.
+	if len(moves) < minBoxTreeBatch {
+		t.Fatalf("only %d moves; need >= %d for the batched path", len(moves), minBoxTreeBatch)
+	}
+	if !par.CanBatchUpdates(len(moves)) {
+		t.Fatalf("CanBatchUpdates(%d) = false", len(moves))
+	}
+	for _, m := range moves {
+		seq.Update(m.ID, m.Old, m.New)
+	}
+	par.UpdateBatch(moves, 4)
+
+	for i := range seq.nodes {
+		if seq.nodes[i].mbr != par.nodes[i].mbr {
+			t.Fatalf("node %d MBR differs after batch vs sequential refit", i)
+		}
+	}
+	for _, q := range boxTestQueries(rng, 30, bounds) {
+		got := collectBoxQuery(t, par, q)
+		want := bruteBoxQuery(moved, q)
+		if !equalIDs(got, want) {
+			t.Fatalf("batch updates disagree with oracle on query %v", q)
+		}
+	}
+}
+
+// TestBoxTreeUpdateBatchRebuildFallback crosses the dirtiness threshold
+// in one batch and verifies the sharded rebuild path answers correctly.
+func TestBoxTreeUpdateBatchRebuildFallback(t *testing.T) {
+	bounds := geom.R(0, 0, 4000, 4000)
+	rng := xrand.New(37)
+	rects := randomBoxes(rng, 6000, bounds, 0, 200)
+	bt := MustNewBoxTree(16)
+	bt.Build(rects)
+
+	// Move every object: one batch >= the threshold.
+	moved := make([]geom.Rect, len(rects))
+	moves := make([]geom.BoxMove, len(rects))
+	for i := range rects {
+		dx, dy := rng.Range(-300, 300), rng.Range(-300, 300)
+		nr := geom.Rect{
+			MinX: rects[i].MinX + dx, MinY: rects[i].MinY + dy,
+			MaxX: rects[i].MaxX + dx, MaxY: rects[i].MaxY + dy,
+		}
+		moved[i] = nr
+		moves[i] = geom.BoxMove{ID: uint32(i), Old: rects[i], New: nr}
+	}
+	bt.UpdateBatch(moves, 4)
+	if bt.refitted != 0 {
+		t.Fatalf("full-population batch did not take the rebuild path (refitted=%d)", bt.refitted)
+	}
+	checkSTRInvariants(t, bt, moved)
+	for _, q := range boxTestQueries(rng, 30, bounds) {
+		got := collectBoxQuery(t, bt, q)
+		want := bruteBoxQuery(moved, q)
+		if !equalIDs(got, want) {
+			t.Fatalf("post-rebuild query %v: got %d ids, want %d", q, len(got), len(want))
+		}
+	}
+}
+
+func TestBoxTreeEmptyAndDegenerate(t *testing.T) {
+	bt := MustNewBoxTree(16)
+	bt.Build(nil)
+	if bt.Len() != 0 || bt.Height() != 0 {
+		t.Fatalf("empty tree: Len=%d Height=%d", bt.Len(), bt.Height())
+	}
+	bt.Query(geom.R(0, 0, 100, 100), func(id uint32) {
+		t.Fatalf("empty tree emitted %d", id)
+	})
+	if bt.MBR() != (geom.Rect{}) {
+		t.Fatalf("empty tree MBR = %v", bt.MBR())
+	}
+
+	one := []geom.Rect{geom.R(5, 5, 10, 10)}
+	bt.Build(one)
+	if bt.Len() != 1 || bt.Height() != 1 {
+		t.Fatalf("singleton tree: Len=%d Height=%d", bt.Len(), bt.Height())
+	}
+	got := collectBoxQuery(t, bt, geom.R(0, 0, 6, 6))
+	if !equalIDs(got, []uint32{0}) {
+		t.Fatalf("singleton query got %v", got)
+	}
+	if bt.MBR() != one[0] {
+		t.Fatalf("singleton MBR = %v, want %v", bt.MBR(), one[0])
+	}
+}
+
+func TestBoxTreeHeightAndMemory(t *testing.T) {
+	bounds := geom.R(0, 0, 1000, 1000)
+	rects := randomBoxes(xrand.New(3), 5000, bounds, 0, 50)
+	bt := MustNewBoxTree(16)
+	bt.Build(rects)
+	// 5000 entries at fanout 16: 313 leaves, 20 level-1 nodes, 2
+	// level-2, 1 root = height 4.
+	if h := bt.Height(); h != 4 {
+		t.Fatalf("Height = %d, want 4", h)
+	}
+	if bt.MemoryBytes() <= 0 {
+		t.Fatal("MemoryBytes must be positive")
+	}
+	if bt.Fanout() != 16 {
+		t.Fatalf("Fanout = %d", bt.Fanout())
+	}
+}
+
+// FuzzBoxTreeMatchesOracle drives BoxTree and the brute-force oracle
+// through fuzzer-chosen build -> query -> update -> query cycles and
+// fails on any digest divergence — the box-tree mirror of the grid's
+// oracle checks. Run as a plain test it covers the seed corpus;
+// `go test -fuzz=FuzzBoxTreeMatchesOracle ./internal/rtree` explores
+// further.
+func FuzzBoxTreeMatchesOracle(f *testing.F) {
+	f.Add(uint64(1), uint16(300), uint8(16), uint8(2), uint8(120))
+	f.Add(uint64(7), uint16(40), uint8(2), uint8(3), uint8(0))
+	f.Add(uint64(42), uint16(900), uint8(64), uint8(1), uint8(255))
+	f.Add(uint64(99), uint16(1), uint8(5), uint8(4), uint8(40))
+	f.Fuzz(func(t *testing.T, seed uint64, nObjs uint16, fanByte, cycles, sideByte uint8) {
+		n := int(nObjs)
+		if n == 0 {
+			return
+		}
+		fanout := 2 + int(fanByte)%63
+		rng := xrand.New(seed)
+		bounds := geom.R(0, 0, 2000, 2000)
+		rects := randomBoxes(rng, n, bounds, 0, 1+float32(sideByte)*3)
+
+		bt := MustNewBoxTree(fanout)
+		oracle := core.NewBruteForceBoxes()
+		bt.BuildParallel(rects, 1+int(seed%4))
+		oracle.Build(rects)
+
+		digest := func(idx core.BoxIndex, queriers []geom.Rect) (int, uint64) {
+			var pairs int
+			var h uint64
+			for q, r := range queriers {
+				idx.Query(r, func(id uint32) {
+					pairs++
+					h = core.MixPair(h, uint32(q), id)
+				})
+			}
+			return pairs, h
+		}
+		cyc := 1 + int(cycles)%4
+		cur := rects
+		for c := 0; c < cyc; c++ {
+			queriers := boxTestQueries(rng, 12, bounds)
+			wantPairs, wantHash := digest(oracle, queriers)
+			gotPairs, gotHash := digest(bt, queriers)
+			if gotPairs != wantPairs || gotHash != wantHash {
+				t.Fatalf("cycle %d pre-update: (%d, %#x), oracle (%d, %#x) [seed=%d n=%d fanout=%d]",
+					c, gotPairs, gotHash, wantPairs, wantHash, seed, n, fanout)
+			}
+
+			moved, moves := moveBoxes(rng, cur, 400)
+			for _, m := range moves {
+				bt.Update(m.ID, m.Old, m.New)
+			}
+			// The oracle reads the snapshot it retains; hand it the
+			// moved one (its Update is a no-op by design).
+			oracle.Build(moved)
+			cur = moved
+
+			wantPairs, wantHash = digest(oracle, queriers)
+			gotPairs, gotHash = digest(bt, queriers)
+			if gotPairs != wantPairs || gotHash != wantHash {
+				t.Fatalf("cycle %d post-update: (%d, %#x), oracle (%d, %#x) [seed=%d n=%d fanout=%d]",
+					c, gotPairs, gotHash, wantPairs, wantHash, seed, n, fanout)
+			}
+		}
+	})
+}

@@ -120,9 +120,7 @@ func (t *Tree) Build(pts []geom.Point) {
 	}
 	sortutil.ByKey32(t.entries, keys, t.scratchIDs)
 
-	leaves := (n + t.fanout - 1) / t.fanout
-	slabs := int(math.Ceil(math.Sqrt(float64(leaves))))
-	slabSize := slabs * t.fanout
+	slabSize := strSlabSize(n, t.fanout)
 
 	for i := range pts {
 		keys[i] = sortutil.Float32Key(pts[i].Y)
@@ -164,41 +162,15 @@ func (t *Tree) Build(pts []geom.Point) {
 func (t *Tree) packLevel(start, count int) {
 	idx := resizeU32(t.levelIdx, count)
 	t.levelIdx = idx
-	for i := range idx {
-		idx[i] = uint32(i)
-	}
 	keys := resizeU32(t.scratchKeys, count)
 	t.scratchKeys = keys
 	scratch := resizeU32(t.scratchIDs, count)
 	t.scratchIDs = scratch
-
-	level := t.nodes[start : start+count]
-	for i, nd := range level {
-		keys[i] = sortutil.Float32Key(nd.mbr.Center().X)
-	}
-	sortutil.ByKey32(idx, keys, scratch)
-
-	parents := (count + t.fanout - 1) / t.fanout
-	slabs := int(math.Ceil(math.Sqrt(float64(parents))))
-	slabSize := slabs * t.fanout
-	for i, nd := range level {
-		keys[i] = sortutil.Float32Key(nd.mbr.Center().Y)
-	}
-	for s := 0; s < count; s += slabSize {
-		e := s + slabSize
-		if e > count {
-			e = count
-		}
-		sortutil.ByKey32(idx[s:e], keys, scratch)
-	}
-
-	// Apply the permutation to the level (copy out, then back in order).
 	reordered := resizeNodes(t.levelNodes, count)
 	t.levelNodes = reordered
-	for i, j := range idx {
-		reordered[i] = level[j]
-	}
-	copy(level, reordered)
+
+	level := t.nodes[start : start+count]
+	strTileOrder(level, strSlabSize(count, t.fanout), idx, keys, scratch, reordered)
 
 	for s := 0; s < count; s += t.fanout {
 		e := s + t.fanout
@@ -211,6 +183,50 @@ func (t *Tree) packLevel(start, count int) {
 		}
 		t.nodes = append(t.nodes, node{mbr: mbr, first: int32(start + s), count: int32(e - s)})
 	}
+}
+
+// strSlabSize returns the STR tile width (in items) for packing count
+// items into fanout-sized groups: with p = ceil(count/fanout) groups,
+// the tiling uses ceil(sqrt(p)) vertical slabs of ceil(sqrt(p))*fanout
+// items each (Leutenegger et al., ICDE 1997).
+func strSlabSize(count, fanout int) int {
+	groups := (count + fanout - 1) / fanout
+	slabs := int(math.Ceil(math.Sqrt(float64(groups))))
+	return slabs * fanout
+}
+
+// strTileOrder reorders one whole tree level in place into STR tile
+// order: by MBR centre-x into vertical slabs of slabSize nodes, then by
+// centre-y within each slab. idx, keys, scratch, and reorder are
+// caller-owned scratch of at least len(level); the machinery is shared
+// by the point tree and the box tree so the packing discipline is
+// written once.
+func strTileOrder(level []node, slabSize int, idx, keys, scratch []uint32, reorder []node) {
+	count := len(level)
+	for i := range idx[:count] {
+		idx[i] = uint32(i)
+	}
+	for i, nd := range level {
+		keys[i] = sortutil.Float32Key(nd.mbr.Center().X)
+	}
+	sortutil.ByKey32(idx[:count], keys, scratch)
+
+	for i, nd := range level {
+		keys[i] = sortutil.Float32Key(nd.mbr.Center().Y)
+	}
+	for s := 0; s < count; s += slabSize {
+		e := s + slabSize
+		if e > count {
+			e = count
+		}
+		sortutil.ByKey32(idx[s:e], keys, scratch)
+	}
+
+	// Apply the permutation to the level (copy out, then back in order).
+	for i, j := range idx[:count] {
+		reorder[i] = level[j]
+	}
+	copy(level, reorder[:count])
 }
 
 // Query implements core.Index with an explicit-stack traversal. Nodes
