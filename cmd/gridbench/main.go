@@ -22,6 +22,15 @@
 // most. -qext adds a rect x rect window-join series per query extent, so
 // the class-partition win is visible across selectivities.
 //
+// Both object classes additionally measure the adaptive selector
+// (internal/tune, lineup keys auto/boxauto) under the same oracle
+// digest gate, and -objects box runs three contrasting workloads
+// (query-heavy small-extent, update-heavy, coarse-window join) where
+// auto races every static family: the per-workload regret — auto's
+// total tick time over the best static's — lands in the
+// auto_regret_vs_best_static series, with the pick and the measured
+// best recorded next to it in auto_choice.
+//
 // Examples:
 //
 //	gridbench                          # defaults, JSON to stdout
@@ -34,26 +43,34 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/rtree"
+	"repro/internal/tune"
 	"repro/internal/workload"
 )
 
 // opResult is one (layout, cps, op) timing. Qext is set only for the
-// query-extent sweep series (-qext), where op is always "query".
+// query-extent sweep series (-qext), where op is always "query";
+// Workload is set only for the contrasting-workload regret series,
+// whose rows are not part of the default-workload matrix. For the
+// auto series, CPS carries the tuned structural parameter of whichever
+// family was picked (grid cps, or R-tree fanout).
 type opResult struct {
-	Layout  string  `json:"layout"`
-	CPS     int     `json:"cps"`
-	Op      string  `json:"op"`
-	NsPerOp float64 `json:"ns_per_op"`
-	Qext    float64 `json:"qext,omitempty"`
+	Layout   string  `json:"layout"`
+	CPS      int     `json:"cps"`
+	Op       string  `json:"op"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	Qext     float64 `json:"qext,omitempty"`
+	Workload string  `json:"workload,omitempty"`
 }
 
 // report is the BENCH_grid.json schema.
@@ -82,6 +99,16 @@ type report struct {
 	// BoxReplication maps "cps=N" to the rectangle grid's replication
 	// factor under the default box workload (present with -objects box).
 	BoxReplication map[string]float64 `json:"box_replication,omitempty"`
+	// AutoRegret maps a workload key to the adaptive selector's
+	// measured regret vs the best static contender on that workload:
+	// auto's total tick time (build + queries + updates) over the best
+	// static's, minus 1. Negative = auto beat every static family it
+	// was allowed to pick from (it may tune parameters the static
+	// ladder does not include).
+	AutoRegret map[string]float64 `json:"auto_regret_vs_best_static,omitempty"`
+	// AutoChoices records, per workload key, what the selector picked
+	// and which static contender actually measured best.
+	AutoChoices map[string]string `json:"auto_choice,omitempty"`
 }
 
 func main() {
@@ -148,10 +175,12 @@ func run(args []string) error {
 	}
 
 	rep := &report{
-		Tool:     "cmd/gridbench",
-		Points:   len(pts),
-		Iters:    *iters,
-		Speedups: map[string]float64{},
+		Tool:        "cmd/gridbench",
+		Points:      len(pts),
+		Iters:       *iters,
+		Speedups:    map[string]float64{},
+		AutoRegret:  map[string]float64{},
+		AutoChoices: map[string]string{},
 	}
 
 	type contender struct {
@@ -201,6 +230,35 @@ func run(args []string) error {
 			csr := ops[fmt.Sprintf("build/cps=%d", cps)]["csr"] + ops[fmt.Sprintf("query/cps=%d", cps)]["csr"]
 			rep.Speedups[bq] = inline / csr
 		}
+
+		// The adaptive selector, under the same digest gate, with its
+		// regret vs the best contender of the static matrix above.
+		auto := tune.NewAuto(core.ParamsFor(wcfg))
+		auto.Build(pts)
+		if got := pointDigest(auto, pts, queriers, wcfg.QuerySize); got != wantDigest {
+			return fmt.Errorf("auto layout diverges from the brute-force oracle (digest %#x, want %#x)", got, wantDigest)
+		}
+		choice, _ := auto.Choice()
+		autoOps := measure(auto, pts, queriers, updates, wcfg.QuerySize, *iters)
+		for op, ns := range autoOps {
+			rep.Results = append(rep.Results, opResult{Layout: "auto", CPS: choice.CPS, Op: op, NsPerOp: ns})
+		}
+		autoTotal := tickTotal(autoOps, len(queriers), len(updates))
+		best, bestKey := math.Inf(1), ""
+		for _, cps := range []int{64, 256} {
+			for _, layout := range []string{"inline", "csr", "csrxy"} {
+				t := tickTotal(map[string]float64{
+					"build":  ops[fmt.Sprintf("build/cps=%d", cps)][layout],
+					"query":  ops[fmt.Sprintf("query/cps=%d", cps)][layout],
+					"update": ops[fmt.Sprintf("update/cps=%d", cps)][layout],
+				}, len(queriers), len(updates))
+				if t < best {
+					best, bestKey = t, fmt.Sprintf("%s/cps=%d", layout, cps)
+				}
+			}
+		}
+		rep.AutoRegret["point-default"] = autoTotal/best - 1
+		rep.AutoChoices["point-default"] = fmt.Sprintf("%s (best static %s)", choice, bestKey)
 	}
 
 	if wantBox {
@@ -313,6 +371,46 @@ func run(args []string) error {
 			rep.Box2LSpeedups[bq] = legacy / classed
 			rep.BoxRTreeVsBox2L[bq] = classed / (rtreeNs["build"] + rtreeNs["query"])
 		}
+
+		// The adaptive cross-family selector on the default box
+		// workload, digest-gated like every other contender, with its
+		// regret vs the best static of the matrix above.
+		auto := tune.NewAutoBox(core.ParamsFor(bcfg.Config))
+		auto.Build(rects)
+		if got := boxDigest(auto, rects, boxQueriers, bcfg.QuerySize); got != wantDigest {
+			return fmt.Errorf("boxauto diverges from the brute-force oracle (digest %#x, want %#x)", got, wantDigest)
+		}
+		choice, _ := auto.Choice()
+		autoOps := measureBox(auto, rects, boxQueriers, boxUpdates, bcfg.QuerySize, *iters)
+		for op, ns := range autoOps {
+			// Param() is the tuned structural parameter whatever the
+			// family: grid cps, or fanout when the pick is the R-tree.
+			rep.Results = append(rep.Results, opResult{Layout: "boxauto", CPS: choice.Param(), Op: op, NsPerOp: ns})
+		}
+		autoTotal := tickTotal(autoOps, len(boxQueriers), len(boxUpdates))
+		best := tickTotal(rtreeNs, len(boxQueriers), len(boxUpdates))
+		bestKey := fmt.Sprintf("boxrtree/fanout=%d", rtree.DefaultFanout)
+		for _, cps := range []int{64, 256} {
+			for _, layout := range []string{"boxcsr", "boxcsr2l"} {
+				t := tickTotal(map[string]float64{
+					"build":  boxOps[fmt.Sprintf("build/cps=%d", cps)][layout],
+					"query":  boxOps[fmt.Sprintf("query/cps=%d", cps)][layout],
+					"update": boxOps[fmt.Sprintf("update/cps=%d", cps)][layout],
+				}, len(boxQueriers), len(boxUpdates))
+				if t < best {
+					best, bestKey = t, fmt.Sprintf("%s/cps=%d", layout, cps)
+				}
+			}
+		}
+		rep.AutoRegret["box-default"] = autoTotal/best - 1
+		rep.AutoChoices["box-default"] = fmt.Sprintf("%s (best static %s)", choice, bestKey)
+
+		// The three contrasting workloads of the adaptive-selection
+		// acceptance criterion, each racing auto against every static
+		// family at a reduced iteration count.
+		if err := runAutoRegret(rep, *points, *seed, *iters); err != nil {
+			return err
+		}
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -325,6 +423,137 @@ func run(args []string) error {
 		return err
 	}
 	return os.WriteFile(*out, enc, 0o644)
+}
+
+// tickTotal combines per-op nanoseconds into one modelled tick: one
+// build, the tick's queries, the tick's updates — the total the regret
+// series compares structures on.
+func tickTotal(ops map[string]float64, queries, updates int) float64 {
+	return ops["build"] + float64(queries)*ops["query"] + float64(updates)*ops["update"]
+}
+
+// runAutoRegret measures the adaptive selector's regret on three
+// contrasting box workloads — query-heavy with small extents,
+// update-heavy, and a coarse-window join — against every static family
+// at both benchmark granularities plus the default-fanout R-tree. Every
+// contender (auto included) is digest-gated against the brute-force
+// oracle on each workload before being timed.
+func runAutoRegret(rep *report, points int, seed uint64, iters int) error {
+	// The contrasting workloads sanity-check the selector, not the
+	// micro-timings; a twentieth of the main matrix's iterations per
+	// round (two interleaved rounds, see below) keeps the added wall
+	// time in check.
+	regretIters := iters / 20
+	if regretIters < 1 {
+		regretIters = 1
+	}
+	mk := func(mut func(*workload.BoxConfig)) workload.BoxConfig {
+		c := workload.DefaultUniformBoxes()
+		c.Seed = seed
+		c.NumPoints = points
+		mut(&c)
+		return c
+	}
+	workloads := []struct {
+		key string
+		cfg workload.BoxConfig
+	}{
+		{"box-queryheavy-smallext", mk(func(c *workload.BoxConfig) {
+			c.Queriers, c.Updaters = 0.9, 0.1
+			c.MinSide, c.MaxSide = 20, 80
+		})},
+		{"box-updateheavy", mk(func(c *workload.BoxConfig) {
+			c.Queriers, c.Updaters = 0.1, 0.9
+		})},
+		{"box-coarsejoin", mk(func(c *workload.BoxConfig) {
+			c.QuerySize = 1600
+		})},
+	}
+	statics := []struct {
+		key    string
+		layout string
+		param  int
+	}{
+		{"boxcsr/cps=64", "csr", 64},
+		{"boxcsr/cps=256", "csr", 256},
+		{"boxcsr2l/cps=64", "2l", 64},
+		{"boxcsr2l/cps=256", "2l", 256},
+		{fmt.Sprintf("boxrtree/fanout=%d", rtree.DefaultFanout), "rtree", rtree.DefaultFanout},
+	}
+	// Regret compares contenders AGAINST EACH OTHER, so the measurement
+	// rounds are interleaved across all of them (statics and auto
+	// alike) with a per-contender minimum: a thermal dip or background
+	// burst during one contender's dedicated window would otherwise
+	// read as regret (or as a phantom win).
+	const regretRounds = 2
+	for _, wl := range workloads {
+		gen, err := workload.NewBoxGenerator(wl.cfg)
+		if err != nil {
+			return err
+		}
+		rects := gen.Rects(nil)
+		queriers := append([]uint32(nil), gen.Queriers()...)
+		updates := append([]workload.BoxUpdate(nil), gen.Updates()...)
+		if len(queriers) == 0 || len(updates) == 0 {
+			return fmt.Errorf("%s: %d queriers and %d updates per tick; raise -points", wl.key, len(queriers), len(updates))
+		}
+		wantDigest := bruteBoxDigest(rects, queriers, wl.cfg.QuerySize)
+		params := core.ParamsFor(wl.cfg.Config)
+
+		auto := tune.NewAutoBox(params)
+		type entry struct {
+			key   string
+			index core.BoxIndex
+			total float64
+			ops   map[string]float64
+		}
+		contenders := make([]*entry, 0, len(statics)+1)
+		for _, st := range statics {
+			idx, err := bench.NewBoxLayout(st.layout, st.param, params)
+			if err != nil {
+				return err
+			}
+			contenders = append(contenders, &entry{key: st.key, index: idx, total: math.Inf(1)})
+		}
+		contenders = append(contenders, &entry{key: "boxauto", index: auto, total: math.Inf(1)})
+
+		for _, c := range contenders {
+			c.index.Build(rects)
+			if got := boxDigest(c.index, rects, queriers, wl.cfg.QuerySize); got != wantDigest {
+				return fmt.Errorf("%s on %s diverges from the brute-force oracle (digest %#x, want %#x)",
+					c.key, wl.key, got, wantDigest)
+			}
+		}
+		for round := 0; round < regretRounds; round++ {
+			for _, c := range contenders {
+				ops := measureBox(c.index, rects, queriers, updates, wl.cfg.QuerySize, regretIters)
+				if t := tickTotal(ops, len(queriers), len(updates)); t < c.total {
+					c.total, c.ops = t, ops
+				}
+			}
+		}
+
+		best, bestKey := math.Inf(1), ""
+		var autoEntry *entry
+		for _, c := range contenders {
+			if c.key == "boxauto" {
+				autoEntry = c
+				continue
+			}
+			if c.total < best {
+				best, bestKey = c.total, c.key
+			}
+		}
+		choice, _ := auto.Choice()
+		for op, ns := range autoEntry.ops {
+			rep.Results = append(rep.Results, opResult{
+				Layout: "boxauto", CPS: choice.Param(), Op: op, NsPerOp: ns, Workload: wl.key,
+			})
+		}
+		rep.AutoRegret[wl.key] = autoEntry.total/best - 1
+		rep.AutoChoices[wl.key] = fmt.Sprintf("%s (best static %s)", choice, bestKey)
+	}
+	return nil
 }
 
 type boxContender struct {
@@ -342,9 +571,18 @@ func (bc boxContender) replication() float64 {
 }
 
 func boxContenders(cps int, bounds geom.Rect, n int) []boxContender {
+	params := core.Params{Bounds: bounds, NumPoints: n}
+	csr, err := bench.NewBoxLayout("csr", cps, params)
+	if err != nil {
+		panic(err)
+	}
+	twoLayer, err := bench.NewBoxLayout("2l", cps, params)
+	if err != nil {
+		panic(err)
+	}
 	return []boxContender{
-		{"boxcsr", grid.MustNewBoxGrid(cps, bounds, n)},
-		{"boxcsr2l", grid.MustNewBoxGrid2L(cps, bounds, n)},
+		{"boxcsr", csr},
+		{"boxcsr2l", twoLayer},
 	}
 }
 
@@ -365,7 +603,7 @@ func brutePointDigest(pts []geom.Point, queriers []uint32, querySize float32) ui
 	return h
 }
 
-func pointDigest(g *grid.Grid, pts []geom.Point, queriers []uint32, querySize float32) uint64 {
+func pointDigest(g core.Index, pts []geom.Point, queriers []uint32, querySize float32) uint64 {
 	var h uint64
 	for _, q := range queriers {
 		g.Query(geom.Square(pts[q], querySize), func(id uint32) {
@@ -405,7 +643,7 @@ func boxDigest(bg core.BoxIndex, rects []geom.Rect, queriers []uint32, querySize
 // back, so the population is iteration-invariant). Returned map keys are
 // build/query/update; values are ns per operation (per build, per query,
 // per update).
-func measure(g *grid.Grid, pts []geom.Point, queriers []uint32, updates []workload.Update, querySize float32, iters int) map[string]float64 {
+func measure(g core.Index, pts []geom.Point, queriers []uint32, updates []workload.Update, querySize float32, iters int) map[string]float64 {
 	// Warm up arenas so steady-state builds allocate nothing.
 	g.Build(pts)
 

@@ -29,6 +29,8 @@ func TestEmitsValidJSON(t *testing.T) {
 		Points   int                `json:"points"`
 		Results  []json.RawMessage  `json:"results"`
 		Speedups map[string]float64 `json:"csr_speedup_vs_inline"`
+		Regret   map[string]float64 `json:"auto_regret_vs_best_static"`
+		Choices  map[string]string  `json:"auto_choice"`
 	}
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		t.Fatal(err)
@@ -36,14 +38,20 @@ func TestEmitsValidJSON(t *testing.T) {
 	if rep.Points != 5000 {
 		t.Fatalf("points = %d", rep.Points)
 	}
-	// 3 layouts x 2 granularities x 3 ops.
-	if len(rep.Results) != 18 {
-		t.Fatalf("results = %d, want 18", len(rep.Results))
+	// 3 layouts x 2 granularities x 3 ops, plus the auto series (3 ops).
+	if len(rep.Results) != 21 {
+		t.Fatalf("results = %d, want 21", len(rep.Results))
 	}
 	for _, key := range []string{"build+query/cps=64", "build+query/cps=256"} {
 		if rep.Speedups[key] <= 0 {
 			t.Fatalf("missing speedup %s", key)
 		}
+	}
+	if _, ok := rep.Regret["point-default"]; !ok {
+		t.Fatal("missing auto_regret_vs_best_static[point-default]")
+	}
+	if rep.Choices["point-default"] == "" {
+		t.Fatal("missing auto_choice[point-default]")
 	}
 }
 
@@ -67,19 +75,22 @@ func TestBoxSeries(t *testing.T) {
 	}
 	var rep struct {
 		Results []struct {
-			Layout string  `json:"layout"`
-			Op     string  `json:"op"`
-			Qext   float64 `json:"qext"`
+			Layout   string  `json:"layout"`
+			Op       string  `json:"op"`
+			Qext     float64 `json:"qext"`
+			Workload string  `json:"workload"`
 		} `json:"results"`
 		BoxReplication  map[string]float64 `json:"box_replication"`
 		Box2LSpeedups   map[string]float64 `json:"box2l_speedup_vs_boxcsr"`
 		BoxRTreeVsBrute map[string]float64 `json:"boxrtree_speedup_vs_boxbrute"`
 		BoxRTreeVsBox2L map[string]float64 `json:"boxrtree_speedup_vs_box2l"`
+		Regret          map[string]float64 `json:"auto_regret_vs_best_static"`
+		Choices         map[string]string  `json:"auto_choice"`
 	}
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		t.Fatal(err)
 	}
-	boxOps, box2LOps, rtreeOps, bruteOps := 0, 0, 0, 0
+	boxOps, box2LOps, rtreeOps, bruteOps, autoDefaultOps, autoWorkloadOps := 0, 0, 0, 0, 0, 0
 	for _, r := range rep.Results {
 		switch r.Layout {
 		case "boxcsr":
@@ -90,6 +101,12 @@ func TestBoxSeries(t *testing.T) {
 			rtreeOps++
 		case "boxbrute":
 			bruteOps++
+		case "boxauto":
+			if r.Workload == "" {
+				autoDefaultOps++
+			} else {
+				autoWorkloadOps++
+			}
 		}
 	}
 	// 2 granularities x 3 ops per box grid; 3 ops each for the
@@ -99,6 +116,19 @@ func TestBoxSeries(t *testing.T) {
 	}
 	if rtreeOps != 3 || bruteOps != 3 {
 		t.Fatalf("box results = %d boxrtree + %d boxbrute, want 3 + 3", rtreeOps, bruteOps)
+	}
+	// The adaptive selector: 3 ops on the default workload plus 3 ops
+	// on each of the three contrasting regret workloads.
+	if autoDefaultOps != 3 || autoWorkloadOps != 9 {
+		t.Fatalf("box results = %d default + %d workload boxauto ops, want 3 + 9", autoDefaultOps, autoWorkloadOps)
+	}
+	for _, key := range []string{"box-default", "box-queryheavy-smallext", "box-updateheavy", "box-coarsejoin"} {
+		if _, ok := rep.Regret[key]; !ok {
+			t.Fatalf("missing auto_regret_vs_best_static[%s]", key)
+		}
+		if rep.Choices[key] == "" {
+			t.Fatalf("missing auto_choice[%s]", key)
+		}
 	}
 	for _, key := range []string{"cps=64", "cps=256"} {
 		if rep.BoxReplication[key] < 1 {

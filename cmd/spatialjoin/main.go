@@ -12,6 +12,8 @@
 //	spatialjoin -objects box -technique boxgrid-csr  # MBR workload, rectangle grid
 //	spatialjoin -objects box -technique boxrtree     # MBR workload, STR box R-tree
 //	spatialjoin -objects box -compare all            # box-join digest race
+//	spatialjoin -technique auto                      # adaptive layout selection (internal/tune)
+//	spatialjoin -objects box -technique boxauto      # adaptive cross-family box selection
 package main
 
 import (
@@ -193,7 +195,7 @@ func run(args []string) error {
 		wcfg.Kind, wcfg.NumPoints, wcfg.Ticks, wcfg.Queriers*100, wcfg.Updaters*100)
 
 	return raceReport(len(techs), *perTick, func(i int) (*core.Result, string) {
-		idx := techs[i].Make(core.Params{Bounds: wcfg.Bounds(), NumPoints: wcfg.NumPoints})
+		idx := techs[i].Make(core.ParamsFor(wcfg))
 		if *parallel || *workers > 1 {
 			return core.RunParallel(idx, workload.NewPlayer(trace), opts, *workers), techs[i].Key
 		}
@@ -282,7 +284,7 @@ func runBoxMode(bcfg workload.BoxConfig, techniqueKey, compare string, parallel 
 	// Each technique gets a fresh generator, so all runs see the
 	// byte-identical stream.
 	return raceReport(len(techs), perTick, func(i int) (*core.Result, string) {
-		idx := techs[i].Make(core.Params{Bounds: bcfg.Bounds(), NumPoints: bcfg.NumPoints})
+		idx := techs[i].Make(core.ParamsFor(bcfg.Config))
 		src := workload.MustNewBoxGenerator(bcfg)
 		if parallel {
 			return core.RunBoxesParallel(idx, src, opts, workers), techs[i].Key

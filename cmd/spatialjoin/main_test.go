@@ -38,7 +38,7 @@ func TestRunSmallGaussianPerTickParallel(t *testing.T) {
 
 func TestRunEveryTechniqueKey(t *testing.T) {
 	for _, key := range []string{"brute", "binsearch", "rtree", "crtree", "kdtrie",
-		"grid", "grid-restructured", "grid-querying", "grid-bs", "grid-tuned", "grid-xy", "grid-intrusive"} {
+		"grid", "grid-restructured", "grid-querying", "grid-bs", "grid-tuned", "grid-xy", "grid-intrusive", "auto"} {
 		err := run([]string{
 			"-technique", key,
 			"-points", "300", "-ticks", "2", "-space", "1500",
@@ -136,6 +136,17 @@ func TestBoxModeSingleTechniqueParallel(t *testing.T) {
 	err := run([]string{
 		"-objects", "box", "-technique", "boxgrid-csr",
 		"-workload", "gaussian", "-hotspots", "3", "-extent", "gaussian",
+		"-points", "400", "-ticks", "2", "-space", "1500",
+		"-workers", "4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxModeAutoParallel(t *testing.T) {
+	err := run([]string{
+		"-objects", "box", "-technique", "boxauto",
 		"-points", "400", "-ticks", "2", "-space", "1500",
 		"-workers", "4",
 	})

@@ -9,14 +9,24 @@
 // fanout) or the query window extent (-vary qext, the rect x rect
 // window-join selectivity sweep).
 //
+// Both object classes accept the adaptive selector (-layout auto /
+// -boxlayout auto, backed by internal/tune): it samples each step's
+// workload, picks the family + tuning from the calibrated cost model,
+// and the sweep reports which structure it chose per step — the
+// natural harness for watching the selector walk the decision surface
+// as the query window (or mix) shifts. Because auto tunes its own
+// structural parameter, it only supports -vary qext.
+//
 // Examples:
 //
 //	sweep -experiment fig1b              # reproduce Figure 1b
 //	sweep -vary cps -from 4 -to 128 -step 8 -layout inline -scan range -bs 20
+//	sweep -vary qext -from 100 -to 1600 -step 300 -layout auto
 //	sweep -objects box -vary cps -from 16 -to 128 -step 16
 //	sweep -objects box -boxlayout 2l -vary qext -from 100 -to 1600 -step 300
 //	sweep -objects box -boxlayout rtree -vary qext -from 100 -to 1600 -step 300
 //	sweep -objects box -boxlayout rtree -vary cps -from 4 -to 64 -step 4
+//	sweep -objects box -boxlayout auto -vary qext -from 100 -to 1600 -step 300
 package main
 
 import (
@@ -44,12 +54,12 @@ func run(args []string) error {
 	var (
 		objects    = fs.String("objects", "point", "object class: point or box (box sweeps cps or qext of a rectangle grid)")
 		experiment = fs.String("experiment", "", "predefined sweep: fig1a, fig1b, fig5a or fig5b")
-		vary       = fs.String("vary", "", "custom sweep parameter: bs or cps (point), cps or qext (box)")
+		vary       = fs.String("vary", "", "custom sweep parameter: bs, cps or qext (point), cps or qext (box)")
 		from       = fs.Int("from", 4, "custom sweep start")
 		to         = fs.Int("to", 32, "custom sweep end (inclusive)")
 		step       = fs.Int("step", 4, "custom sweep step")
-		layout     = fs.String("layout", "inline", "grid layout: linked, inline, inline-xy, intrusive, csr or csr-xy")
-		boxLayout  = fs.String("boxlayout", "csr", "box structure: csr (reference-point grid), 2l (two-layer classed grid) or rtree (STR box R-tree; -vary cps sweeps its fanout)")
+		layout     = fs.String("layout", "inline", "point structure: a grid layout ("+bench.PointLayoutKeys()+")")
+		boxLayout  = fs.String("boxlayout", "csr", "box structure ("+bench.BoxLayoutKeys()+"): csr = reference-point grid, 2l = two-layer classed grid, rtree = STR box R-tree (-vary cps sweeps its fanout), auto = adaptive selector")
 		scan       = fs.String("scan", "range", "query algorithm: full or range")
 		bs         = fs.Int("bs", grid.RefactoredBS, "fixed bucket size (when varying cps)")
 		cps        = fs.Int("cps", grid.OriginalCPS, "fixed cells per side (when varying bs or qext)")
@@ -79,8 +89,11 @@ func run(args []string) error {
 		if *vary != "cps" && *vary != "qext" {
 			return fmt.Errorf("-objects box sweeps cps or qext (the rectangle grids have no buckets)")
 		}
-		if *boxLayout != "csr" && *boxLayout != "2l" && *boxLayout != "rtree" {
-			return fmt.Errorf("unknown box layout %q (have csr, 2l, rtree)", *boxLayout)
+		if !bench.KnownBoxLayout(*boxLayout) {
+			return fmt.Errorf("unknown box layout %q (have %s)", *boxLayout, bench.BoxLayoutKeys())
+		}
+		if *boxLayout == "auto" && *vary != "qext" {
+			return fmt.Errorf("-boxlayout auto tunes its own structural parameter; sweep -vary qext instead")
 		}
 		if *step <= 0 || *from <= 0 || *to < *from {
 			return fmt.Errorf("invalid sweep range [%d, %d] step %d", *from, *to, *step)
@@ -116,37 +129,22 @@ func run(args []string) error {
 		return nil
 	}
 
-	if *vary != "bs" && *vary != "cps" {
-		return fmt.Errorf("need -experiment or -vary bs|cps")
+	if *vary != "bs" && *vary != "cps" && *vary != "qext" {
+		return fmt.Errorf("need -experiment or -vary bs|cps|qext")
+	}
+	if *layout == "auto" && *vary != "qext" {
+		return fmt.Errorf("-layout auto tunes bs and cps itself; sweep -vary qext instead")
 	}
 	if *step <= 0 || *from <= 0 || *to < *from {
 		return fmt.Errorf("invalid sweep range [%d, %d] step %d", *from, *to, *step)
 	}
-	var lay grid.Layout
-	switch *layout {
-	case "linked":
-		lay = grid.LayoutLinked
-	case "inline":
-		lay = grid.LayoutInline
-	case "inline-xy":
-		lay = grid.LayoutInlineXY
-	case "intrusive":
-		lay = grid.LayoutIntrusive
-	case "csr":
-		lay = grid.LayoutCSR
-	case "csr-xy":
-		lay = grid.LayoutCSRXY
-	default:
-		return fmt.Errorf("unknown layout %q", *layout)
+	if *layout != "auto" {
+		if _, err := bench.ParsePointLayout(*layout); err != nil {
+			return err
+		}
 	}
-	var sc grid.Scan
-	switch *scan {
-	case "full":
-		sc = grid.ScanFull
-	case "range":
-		sc = grid.ScanRange
-	default:
-		return fmt.Errorf("unknown scan %q", *scan)
+	if _, err := bench.ParseScan(*scan); err != nil {
+		return err
 	}
 
 	wcfg := workload.DefaultUniform()
@@ -155,9 +153,14 @@ func run(args []string) error {
 	if wcfg.Ticks < 2 {
 		wcfg.Ticks = 2
 	}
-	trace, err := workload.Record(wcfg)
-	if err != nil {
-		return err
+	var trace *workload.Trace
+	var err error
+	if *vary != "qext" {
+		// The qext sweep re-records per step (the query shape is part of
+		// the trace); parameter sweeps share one trace across steps.
+		if trace, err = workload.Record(wcfg); err != nil {
+			return err
+		}
 	}
 
 	series := &stats.Series{
@@ -167,20 +170,32 @@ func run(args []string) error {
 	}
 	var ys []float64
 	for x := *from; x <= *to; x += *step {
-		gc := grid.Config{Layout: lay, Scan: sc, BS: *bs, CPS: *cps}
-		if *vary == "bs" {
-			gc.BS = x
-		} else {
-			gc.CPS = x
+		wc := wcfg
+		bsv, cpsv := *bs, *cps
+		switch *vary {
+		case "bs":
+			bsv = x
+		case "cps":
+			cpsv = x
+		case "qext":
+			wc.QuerySize = float32(x)
+			if trace, err = workload.Record(wc); err != nil {
+				return err
+			}
 		}
-		g, err := grid.New(gc, wcfg.Bounds(), wcfg.NumPoints)
+		idx, err := bench.NewPointLayout(*layout, *scan, bsv, cpsv, core.ParamsFor(wc))
 		if err != nil {
 			return err
 		}
-		res := core.Run(g, workload.NewPlayer(trace), core.Options{})
+		res := core.Run(idx, workload.NewPlayer(trace), core.Options{})
 		series.Xs = append(series.Xs, float64(x))
 		ys = append(ys, res.AvgTick().Seconds())
-		fmt.Fprintf(os.Stderr, "%s=%d: %.4fs/tick\n", *vary, x, res.AvgTick().Seconds())
+		if *layout == "auto" {
+			// idx.Name() carries the per-step decision after the run.
+			fmt.Fprintf(os.Stderr, "%s=%d: %.4fs/tick (%s)\n", *vary, x, res.AvgTick().Seconds(), idx.Name())
+		} else {
+			fmt.Fprintf(os.Stderr, "%s=%d: %.4fs/tick\n", *vary, x, res.AvgTick().Seconds())
+		}
 	}
 	if err := series.AddLine("Avg. Time per Tick (s)", ys); err != nil {
 		return err
@@ -194,19 +209,6 @@ func run(args []string) error {
 		fmt.Print(series.Format())
 	}
 	return nil
-}
-
-func newBoxIndex(layout string, cps int, bcfg workload.BoxConfig) (core.BoxIndex, error) {
-	switch layout {
-	case "2l":
-		return grid.NewBoxGrid2L(cps, bcfg.Bounds(), bcfg.NumPoints)
-	case "rtree":
-		// The box R-tree has no grid; the swept structural parameter is
-		// its fanout.
-		return rtree.NewBoxTree(cps)
-	default:
-		return grid.NewBoxGrid(cps, bcfg.Bounds(), bcfg.NumPoints)
-	}
 }
 
 // runBoxSweep sweeps one parameter of a box index over the default
@@ -232,6 +234,8 @@ func runBoxSweep(vary string, from, to, step, cps int, layout string, scale floa
 		if vary == "cps" {
 			vary = "fanout"
 		}
+	case "auto":
+		name = "boxauto"
 	}
 	series := &stats.Series{
 		Title:  fmt.Sprintf("box index sweep: %s from %d to %d (%s, uniform boxes)", vary, from, to, name),
@@ -246,18 +250,24 @@ func runBoxSweep(vary string, from, to, step, cps int, layout string, scale floa
 		} else {
 			structural = x
 		}
-		bg, err := newBoxIndex(layout, structural, bcfg)
+		bg, err := bench.NewBoxLayout(layout, structural, core.ParamsFor(bcfg.Config))
 		if err != nil {
 			return err
 		}
 		res := core.RunBoxes(bg, workload.MustNewBoxGenerator(bcfg), core.Options{})
 		series.Xs = append(series.Xs, float64(x))
 		ys = append(ys, res.AvgTick().Seconds())
-		if rep, ok := bg.(interface{ ReplicationFactor() float64 }); ok {
-			fmt.Fprintf(os.Stderr, "%s=%d: %.4fs/tick (replication %.2fx)\n",
-				vary, x, res.AvgTick().Seconds(), rep.ReplicationFactor())
-		} else {
-			fmt.Fprintf(os.Stderr, "%s=%d: %.4fs/tick\n", vary, x, res.AvgTick().Seconds())
+		switch {
+		case layout == "auto":
+			// bg.Name() carries the per-step decision after the run.
+			fmt.Fprintf(os.Stderr, "%s=%d: %.4fs/tick (%s)\n", vary, x, res.AvgTick().Seconds(), bg.Name())
+		default:
+			if rep, ok := bg.(interface{ ReplicationFactor() float64 }); ok {
+				fmt.Fprintf(os.Stderr, "%s=%d: %.4fs/tick (replication %.2fx)\n",
+					vary, x, res.AvgTick().Seconds(), rep.ReplicationFactor())
+			} else {
+				fmt.Fprintf(os.Stderr, "%s=%d: %.4fs/tick\n", vary, x, res.AvgTick().Seconds())
+			}
 		}
 	}
 	if err := series.AddLine("Avg. Time per Tick (s)", ys); err != nil {

@@ -19,6 +19,9 @@ func TestRejectsBadFlags(t *testing.T) {
 		{"-objects", "box", "-vary", "cps", "-from", "9", "-to", "3"}, // inverted range
 		{"-objects", "box", "-vary", "cps", "-boxlayout", "quadtree"}, // unknown box layout
 		{"-vary", "cps", "-layout", "csr-xy", "-scan", "spiral"},      // csr-xy parses, scan does not
+		{"-vary", "cps", "-layout", "auto"},                           // auto tunes cps itself
+		{"-vary", "bs", "-layout", "auto"},                            // auto tunes bs itself
+		{"-objects", "box", "-vary", "cps", "-boxlayout", "auto"},     // box auto tunes cps itself
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {
@@ -70,6 +73,27 @@ func TestBoxRTreeSweepRuns(t *testing.T) {
 	err = run([]string{
 		"-objects", "box", "-boxlayout", "rtree", "-vary", "cps",
 		"-from", "8", "-to", "16", "-step", "8",
+		"-scale", "0.02", "-csv",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAutoQextSweepsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size data sweep")
+	}
+	err := run([]string{
+		"-vary", "qext", "-from", "200", "-to", "500", "-step", "300",
+		"-layout", "auto", "-scale", "0.02", "-csv",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{
+		"-objects", "box", "-boxlayout", "auto", "-vary", "qext",
+		"-from", "200", "-to", "500", "-step", "300",
 		"-scale", "0.02", "-csv",
 	})
 	if err != nil {

@@ -8,15 +8,24 @@
 // papers. The example runs it three ways on identical MBRs:
 //
 //   - brute force: every drone tests every other (the oracle);
+//
 //   - the two-layer classed rectangle grid: MBRs replicated per
 //     overlapped cell by a counting-sort build, interior query cells
 //     emitted test-free thanks to the class partition;
+//
 //   - the STR-packed box R-tree: no replication, each corridor in
 //     exactly one leaf of a bulk-loaded packing.
 //
-// All three must find the identical pair set; the real indexes just get
-// there orders of magnitude sooner — and which of the two *wins* is the
-// paper's "implementation matters" question in miniature.
+//   - the adaptive selector (internal/tune): samples the corridors on
+//     its first build, prices every family with a calibrated cost
+//     model, and becomes whichever structure it predicts fastest —
+//     the example prints which one it picked and the statistics that
+//     drove the decision.
+//
+// All four must find the identical pair set; the real indexes just get
+// there orders of magnitude sooner — and which of them *wins* is the
+// paper's "implementation matters" question in miniature, answered
+// per-workload by the selector.
 //
 // Run with:
 //
@@ -34,6 +43,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/rtree"
+	"repro/internal/tune"
 	"repro/internal/workload"
 )
 
@@ -62,17 +72,38 @@ func main() {
 	}
 
 	// The two-layer classed rectangle grid vs the STR box R-tree — the
-	// grid-vs-R-tree pairing of the study, with brute force as oracle.
+	// grid-vs-R-tree pairing of the study — plus the adaptive selector
+	// racing as its own contender, with brute force as oracle. The
+	// self-join probes every corridor with its own MBR, so the hints
+	// describe a 100%-querier tick with corridor-sized windows; and
+	// because each frame rebuilds from scratch (motion enters through
+	// the generator, never through Update calls), the update fraction
+	// the index will see is zero.
 	bg := grid.MustNewBoxGrid2L(cps, cfg.Bounds(), drones)
 	bt := rtree.MustNewBoxTree(rtree.DefaultFanout)
+	auto := tune.NewAutoBox(core.Params{
+		Bounds:    cfg.Bounds(),
+		NumPoints: drones,
+		Hints: core.WorkloadHints{
+			QuerySize: (cfg.MinSide + cfg.MaxSide) / 2,
+			Queriers:  1,
+			Updaters:  0,
+			Ticks:     frames,
+		},
+	})
 	oracle := core.NewBruteForceBoxes()
 
-	fmt.Printf("boxjoin: %d drone corridors (%g-%g units) over %d frames, grid %dx%d, rtree fanout %d\n\n",
+	// Fit the cost model before the race so frame 0 times the index,
+	// not the once-per-process calibration microbenchmarks.
+	calStart := time.Now()
+	tune.Calibrate()
+	fmt.Printf("boxjoin: %d drone corridors (%g-%g units) over %d frames, grid %dx%d, rtree fanout %d\n",
 		drones, cfg.MinSide, cfg.MaxSide, frames, cps, cps, bt.Fanout())
-	fmt.Printf("%8s  %12s  %12s  %12s  %10s  %s\n", "frame", "grid", "rtree", "brute force", "overlaps", "check")
+	fmt.Printf("cost model calibrated in %s (once per process)\n\n", time.Since(calStart).Round(time.Millisecond))
+	fmt.Printf("%8s  %12s  %12s  %12s  %12s  %10s  %s\n", "frame", "grid", "rtree", "auto", "brute force", "overlaps", "check")
 
 	var rects []geom.Rect
-	var gridTotal, rtreeTotal, bruteTotal time.Duration
+	var gridTotal, rtreeTotal, autoTotal, bruteTotal time.Duration
 	for frame := 0; frame < frames; frame++ {
 		rects = src.Rects(rects)
 
@@ -90,6 +121,12 @@ func main() {
 		rtreeTotal += rtreeTime
 
 		start = time.Now()
+		auto.Build(rects)
+		autoPairs, autoSum := selfJoin(auto, rects)
+		autoTime := time.Since(start)
+		autoTotal += autoTime
+
+		start = time.Now()
 		oracle.Build(rects)
 		brutePairs, bruteSum := selfJoin(oracle, rects)
 		bruteTime := time.Since(start)
@@ -97,26 +134,34 @@ func main() {
 
 		check := "OK"
 		if gridPairs != brutePairs || gridSum != bruteSum ||
-			rtreePairs != brutePairs || rtreeSum != bruteSum {
+			rtreePairs != brutePairs || rtreeSum != bruteSum ||
+			autoPairs != brutePairs || autoSum != bruteSum {
 			check = "MISMATCH"
 		}
-		fmt.Printf("%8d  %12s  %12s  %12s  %10d  %s\n", frame, gridTime.Round(time.Microsecond),
-			rtreeTime.Round(time.Microsecond), bruteTime.Round(time.Microsecond), gridPairs, check)
+		fmt.Printf("%8d  %12s  %12s  %12s  %12s  %10d  %s\n", frame, gridTime.Round(time.Microsecond),
+			rtreeTime.Round(time.Microsecond), autoTime.Round(time.Microsecond),
+			bruteTime.Round(time.Microsecond), gridPairs, check)
 		if check != "OK" {
-			log.Fatalf("frame %d: grid (%d, %d), rtree (%d, %d), oracle (%d, %d)",
-				frame, gridPairs, gridSum, rtreePairs, rtreeSum, brutePairs, bruteSum)
+			log.Fatalf("frame %d: grid (%d, %d), rtree (%d, %d), auto (%d, %d), oracle (%d, %d)",
+				frame, gridPairs, gridSum, rtreePairs, rtreeSum, autoPairs, autoSum, brutePairs, bruteSum)
 		}
 
 		// Advance the fleet.
 		src.ApplyUpdates(src.Updates())
 	}
 
+	choice, ok := auto.Choice()
+	if !ok {
+		log.Fatal("auto never selected a structure")
+	}
+	fmt.Printf("\nadaptive selector (what it saw and why it chose):\n%s\n", choice.Explain())
 	fmt.Printf("\nreplication factor: %.2f cells per corridor (rtree: 1.00 by construction)\n",
 		bg.ReplicationFactor())
-	fmt.Printf("totals: grid %s, rtree %s, brute force %s (grid %.0fx, rtree %.0fx vs brute)\n",
+	fmt.Printf("totals: grid %s, rtree %s, auto %s, brute force %s (grid %.0fx, rtree %.0fx, auto %.0fx vs brute)\n",
 		gridTotal.Round(time.Millisecond), rtreeTotal.Round(time.Millisecond),
-		bruteTotal.Round(time.Millisecond),
-		float64(bruteTotal)/float64(gridTotal), float64(bruteTotal)/float64(rtreeTotal))
+		autoTotal.Round(time.Millisecond), bruteTotal.Round(time.Millisecond),
+		float64(bruteTotal)/float64(gridTotal), float64(bruteTotal)/float64(rtreeTotal),
+		float64(bruteTotal)/float64(autoTotal))
 	fmt.Println("all frames verified against brute force")
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/kdtrie"
 	"repro/internal/rtree"
+	"repro/internal/tune"
 )
 
 // NamedTechnique couples a CLI-addressable key with a description and an
@@ -102,6 +103,11 @@ var namedTechniques = []NamedTechnique{
 		Description: "extension: CSR grid with coordinates inlined next to the IDs (no base-table dereference on filtered cells)",
 		Make:        gridFactory(grid.CSRXY),
 	},
+	{
+		Key:         "auto",
+		Description: "adaptive: samples the first snapshot and picks inline/csr/csrxy + a tuned cps from a calibrated cost model (internal/tune)",
+		Make:        tune.AutoFactory,
+	},
 }
 
 func gridFactory(preset func() grid.Config) core.Factory {
@@ -144,6 +150,106 @@ var namedBoxTechniques = []NamedBoxTechnique{
 			return rtree.MustNewBoxTree(rtree.DefaultFanout)
 		},
 	},
+	{
+		Key:         "boxauto",
+		Description: "adaptive: samples the first MBR snapshot and picks boxcsr/boxcsr2l/boxrtree + tuned cps or fanout from a calibrated cost model (internal/tune)",
+		Make:        tune.AutoBoxFactory,
+	},
+}
+
+// Layout-key parsing and structure construction shared by the
+// command-line tools (spatialjoin, sweep, gridbench), so each layout —
+// including "auto" — is registered exactly once.
+
+// PointLayoutKeys lists the -layout keys NewPointLayout accepts.
+func PointLayoutKeys() string {
+	return "linked, inline, inline-xy, intrusive, csr, csr-xy, auto"
+}
+
+// ParsePointLayout maps a -layout key to the grid layout. Both the
+// sweep spellings (inline-xy, csr-xy) and the bench-series spellings
+// (inlinexy, csrxy) are accepted. "auto" is NOT a grid layout; use
+// NewPointLayout for it.
+func ParsePointLayout(key string) (grid.Layout, error) {
+	switch key {
+	case "linked":
+		return grid.LayoutLinked, nil
+	case "inline":
+		return grid.LayoutInline, nil
+	case "inline-xy", "inlinexy":
+		return grid.LayoutInlineXY, nil
+	case "intrusive":
+		return grid.LayoutIntrusive, nil
+	case "csr":
+		return grid.LayoutCSR, nil
+	case "csr-xy", "csrxy":
+		return grid.LayoutCSRXY, nil
+	default:
+		return 0, fmt.Errorf("unknown layout %q (have %s)", key, PointLayoutKeys())
+	}
+}
+
+// ParseScan maps a -scan key to the query algorithm.
+func ParseScan(key string) (grid.Scan, error) {
+	switch key {
+	case "full":
+		return grid.ScanFull, nil
+	case "range":
+		return grid.ScanRange, nil
+	default:
+		return 0, fmt.Errorf("unknown scan %q (have full, range)", key)
+	}
+}
+
+// NewPointLayout constructs the point index a -layout key names: one of
+// the grid layouts at the given (scan, bs, cps), or the adaptive index
+// for "auto" (which tunes scan and cps itself and reads the workload
+// hints from p).
+func NewPointLayout(key, scan string, bs, cps int, p core.Params) (core.Index, error) {
+	if key == "auto" {
+		return tune.NewAuto(p), nil
+	}
+	lay, err := ParsePointLayout(key)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := ParseScan(scan)
+	if err != nil {
+		return nil, err
+	}
+	return grid.New(grid.Config{Layout: lay, Scan: sc, BS: bs, CPS: cps}, p.Bounds, p.NumPoints)
+}
+
+// BoxLayoutKeys lists the -boxlayout keys NewBoxLayout accepts.
+func BoxLayoutKeys() string { return "csr, 2l, rtree, auto" }
+
+// KnownBoxLayout reports whether key is a valid -boxlayout key, for
+// upfront flag validation.
+func KnownBoxLayout(key string) bool {
+	switch key {
+	case "csr", "2l", "rtree", "auto":
+		return true
+	}
+	return false
+}
+
+// NewBoxLayout constructs the box structure a -boxlayout key names.
+// param is the structural parameter: grid cells-per-side for csr/2l,
+// fanout for rtree; ignored by auto (which tunes its own and reads the
+// workload hints from p).
+func NewBoxLayout(key string, param int, p core.Params) (core.BoxIndex, error) {
+	switch key {
+	case "csr":
+		return grid.NewBoxGrid(param, p.Bounds, p.NumPoints)
+	case "2l":
+		return grid.NewBoxGrid2L(param, p.Bounds, p.NumPoints)
+	case "rtree":
+		return rtree.NewBoxTree(param)
+	case "auto":
+		return tune.NewAutoBox(p), nil
+	default:
+		return nil, fmt.Errorf("unknown box layout %q (have %s)", key, BoxLayoutKeys())
+	}
 }
 
 // BoxTechniques returns every CLI-addressable box technique, sorted by

@@ -98,6 +98,23 @@ func MixPair(h uint64, querier, found uint32) uint64 {
 	return h + v
 }
 
+// ParamsFor derives the factory parameters — space bounds, population,
+// and workload hints — from a workload configuration. All the command-
+// line tools construct their Params through it so adaptive factories
+// see the same view of the workload everywhere.
+func ParamsFor(cfg workload.Config) Params {
+	return Params{
+		Bounds:    cfg.Bounds(),
+		NumPoints: cfg.NumPoints,
+		Hints: WorkloadHints{
+			QuerySize: cfg.QuerySize,
+			Queriers:  cfg.Queriers,
+			Updaters:  cfg.Updaters,
+			Ticks:     cfg.Ticks,
+		},
+	}
+}
+
 // Run executes the iterated spatial join of idx over src and returns the
 // timing breakdown and result digest.
 //

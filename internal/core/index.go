@@ -126,6 +126,23 @@ type MemoryReporter interface {
 	MemoryBytes() int64
 }
 
+// WorkloadHints describes the observable per-tick workload mix, for
+// factories that tune or select an index from it (the `auto` technique
+// in internal/tune). All fields are hints: zero values mean "unknown"
+// and consumers must fall back to sensible defaults. Static factories
+// ignore them entirely.
+type WorkloadHints struct {
+	// QuerySize is the side length of the square range-query windows.
+	QuerySize float32
+	// Queriers and Updaters are the fractions of objects querying and
+	// updating per tick.
+	Queriers, Updaters float64
+	// Ticks is how many ticks the index will live through (the build
+	// cost is paid once per tick regardless, but a hint of 1 marks a
+	// one-shot join where update costs never materialize).
+	Ticks int
+}
+
 // Params carries the information factories need to size an index for a
 // workload. Space bounds matter for the grids and the KD-trie; NumPoints
 // lets implementations pre-size arenas (for box workloads it is the
@@ -133,6 +150,9 @@ type MemoryReporter interface {
 type Params struct {
 	Bounds    geom.Rect
 	NumPoints int
+	// Hints optionally describes the workload mix for adaptive
+	// factories; the zero value means "unknown".
+	Hints WorkloadHints
 }
 
 // Factory constructs a fresh index instance for the given parameters.

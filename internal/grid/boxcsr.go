@@ -83,8 +83,13 @@ func (m cellMapper) spanOf(r geom.Rect) cellSpan {
 // MBR into ~2 cells.
 const DefaultBoxCPS = RefactoredCPS
 
+// MaxBoxCPS is the finest granularity the box grids accept: cell
+// coordinates must fit the uint16 span encoding. Exported so parameter
+// tuners (internal/tune) can clamp against the same limit.
+const MaxBoxCPS = 1 << 16
+
 // maxBoxCPS keeps cell coordinates within the uint16 span encoding.
-const maxBoxCPS = 1 << 16
+const maxBoxCPS = MaxBoxCPS
 
 // validateBoxGridParams is the shared parameter validation of the box
 // grid constructors.

@@ -1,0 +1,239 @@
+package tune
+
+import (
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Auto is the adaptive point index: a core.Index that defers choosing
+// its structure until the first Build, when it samples the actual
+// snapshot, runs the calibrated selector, and instantiates the winner.
+// Every subsequent call delegates, so Auto's output is bit-identical to
+// the chosen static family by construction — the digest tests lean on
+// exactly that.
+//
+// The selection is made once per Auto instance (the drivers construct a
+// fresh index per run, so one run = one decision; re-deciding mid-run
+// would re-pay the structure's warm-up on every drift of the sample).
+type Auto struct {
+	params core.Params
+	inner  core.Index
+	choice Choice
+}
+
+var (
+	_ core.Index           = (*Auto)(nil)
+	_ core.ParallelBuilder = (*Auto)(nil)
+	_ core.BatchUpdater    = (*Auto)(nil)
+)
+
+// NewAuto returns an adaptive point index for the given parameters. The
+// hints in p seed the sampler with the query/update mix; zero hints
+// fall back to the defaults documented on Stats.sanitize.
+//
+// Construction forces the once-per-process calibration so its
+// microbenchmarks run OUTSIDE any timed region: drivers time Build,
+// and the first Build is where selection (but not calibration) happens.
+func NewAuto(p core.Params) *Auto {
+	Calibrate()
+	return &Auto{params: p}
+}
+
+// AutoFactory is the core.Factory of the adaptive point index — the
+// lineup's "auto" key.
+func AutoFactory(p core.Params) core.Index { return NewAuto(p) }
+
+// Name implements core.Index. Before the first Build it is just
+// "auto"; afterwards it carries the decision.
+func (a *Auto) Name() string {
+	if a.inner == nil {
+		return "auto"
+	}
+	return "auto(" + a.choice.String() + ")"
+}
+
+// ensure samples the snapshot and instantiates the chosen structure on
+// the first build.
+func (a *Auto) ensure(pts []geom.Point) {
+	if a.inner != nil {
+		return
+	}
+	s := SamplePoints(pts, a.params.Bounds, a.params.Hints)
+	a.choice = ChoosePoint(s)
+	a.inner = a.choice.NewPointIndex(a.params)
+}
+
+// Build implements core.Index.
+func (a *Auto) Build(pts []geom.Point) {
+	a.ensure(pts)
+	a.inner.Build(pts)
+}
+
+// BuildParallel implements core.ParallelBuilder, delegating to the
+// chosen structure's sharded build when it has one.
+func (a *Auto) BuildParallel(pts []geom.Point, workers int) {
+	a.ensure(pts)
+	if pb, ok := a.inner.(core.ParallelBuilder); ok {
+		pb.BuildParallel(pts, workers)
+		return
+	}
+	a.inner.Build(pts)
+}
+
+// Query implements core.Index.
+func (a *Auto) Query(r geom.Rect, emit func(id uint32)) { a.inner.Query(r, emit) }
+
+// Update implements core.Index.
+func (a *Auto) Update(id uint32, old, new geom.Point) { a.inner.Update(id, old, new) }
+
+// CanBatchUpdates implements core.BatchUpdater.
+func (a *Auto) CanBatchUpdates(n int) bool {
+	if a.inner == nil {
+		return false
+	}
+	bu, ok := a.inner.(core.BatchUpdater)
+	return ok && bu.CanBatchUpdates(n)
+}
+
+// UpdateBatch implements core.BatchUpdater.
+func (a *Auto) UpdateBatch(moves []geom.Move, workers int) {
+	if bu, ok := a.inner.(core.BatchUpdater); ok {
+		bu.UpdateBatch(moves, workers)
+		return
+	}
+	for i := range moves {
+		a.inner.Update(moves[i].ID, moves[i].Old, moves[i].New)
+	}
+}
+
+// Len implements core.Counter (0 before the first build).
+func (a *Auto) Len() int {
+	if c, ok := a.inner.(core.Counter); ok {
+		return c.Len()
+	}
+	return 0
+}
+
+// MemoryBytes implements core.MemoryReporter.
+func (a *Auto) MemoryBytes() int64 {
+	if r, ok := a.inner.(core.MemoryReporter); ok {
+		return r.MemoryBytes()
+	}
+	return 0
+}
+
+// Choice returns the decision, and whether one has been made yet.
+func (a *Auto) Choice() (Choice, bool) { return a.choice, a.inner != nil }
+
+// AutoBox is Auto for extended objects: a core.BoxIndex choosing among
+// the box grid families and the STR R-tree on first Build.
+type AutoBox struct {
+	params core.Params
+	inner  core.BoxIndex
+	choice Choice
+}
+
+var (
+	_ core.BoxIndex           = (*AutoBox)(nil)
+	_ core.BoxParallelBuilder = (*AutoBox)(nil)
+	_ core.BoxBatchUpdater    = (*AutoBox)(nil)
+)
+
+// NewAutoBox returns an adaptive box index for the given parameters.
+// Like NewAuto, it forces calibration at construction time so the
+// microbenchmarks never land inside a driver's timed build phase.
+func NewAutoBox(p core.Params) *AutoBox {
+	Calibrate()
+	return &AutoBox{params: p}
+}
+
+// AutoBoxFactory is the core.BoxFactory of the adaptive box index — the
+// lineup's "boxauto" key.
+func AutoBoxFactory(p core.Params) core.BoxIndex { return NewAutoBox(p) }
+
+// Name implements core.BoxIndex.
+func (a *AutoBox) Name() string {
+	if a.inner == nil {
+		return "boxauto"
+	}
+	return "boxauto(" + a.choice.String() + ")"
+}
+
+func (a *AutoBox) ensure(rects []geom.Rect) {
+	if a.inner != nil {
+		return
+	}
+	s := SampleBoxes(rects, a.params.Bounds, a.params.Hints)
+	a.choice = ChooseBox(s)
+	a.inner = a.choice.NewBoxIndex(a.params)
+}
+
+// Build implements core.BoxIndex.
+func (a *AutoBox) Build(rects []geom.Rect) {
+	a.ensure(rects)
+	a.inner.Build(rects)
+}
+
+// BuildParallel implements core.BoxParallelBuilder.
+func (a *AutoBox) BuildParallel(rects []geom.Rect, workers int) {
+	a.ensure(rects)
+	if pb, ok := a.inner.(core.BoxParallelBuilder); ok {
+		pb.BuildParallel(rects, workers)
+		return
+	}
+	a.inner.Build(rects)
+}
+
+// Query implements core.BoxIndex.
+func (a *AutoBox) Query(r geom.Rect, emit func(id uint32)) { a.inner.Query(r, emit) }
+
+// Update implements core.BoxIndex.
+func (a *AutoBox) Update(id uint32, old, new geom.Rect) { a.inner.Update(id, old, new) }
+
+// CanBatchUpdates implements core.BoxBatchUpdater.
+func (a *AutoBox) CanBatchUpdates(n int) bool {
+	if a.inner == nil {
+		return false
+	}
+	bu, ok := a.inner.(core.BoxBatchUpdater)
+	return ok && bu.CanBatchUpdates(n)
+}
+
+// UpdateBatch implements core.BoxBatchUpdater.
+func (a *AutoBox) UpdateBatch(moves []geom.BoxMove, workers int) {
+	if bu, ok := a.inner.(core.BoxBatchUpdater); ok {
+		bu.UpdateBatch(moves, workers)
+		return
+	}
+	for i := range moves {
+		a.inner.Update(moves[i].ID, moves[i].Old, moves[i].New)
+	}
+}
+
+// Len implements core.Counter (0 before the first build).
+func (a *AutoBox) Len() int {
+	if c, ok := a.inner.(core.Counter); ok {
+		return c.Len()
+	}
+	return 0
+}
+
+// MemoryBytes implements core.MemoryReporter.
+func (a *AutoBox) MemoryBytes() int64 {
+	if r, ok := a.inner.(core.MemoryReporter); ok {
+		return r.MemoryBytes()
+	}
+	return 0
+}
+
+// ReplicationFactor reports the chosen structure's replication (1
+// before the first build and for replication-free structures).
+func (a *AutoBox) ReplicationFactor() float64 {
+	if r, ok := a.inner.(interface{ ReplicationFactor() float64 }); ok {
+		return r.ReplicationFactor()
+	}
+	return 1
+}
+
+// Choice returns the decision, and whether one has been made yet.
+func (a *AutoBox) Choice() (Choice, bool) { return a.choice, a.inner != nil }
