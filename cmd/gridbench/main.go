@@ -51,6 +51,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/epoch"
 	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/rtree"
@@ -109,6 +110,31 @@ type report struct {
 	// AutoChoices records, per workload key, what the selector picked
 	// and which static contender actually measured best.
 	AutoChoices map[string]string `json:"auto_choice,omitempty"`
+	// Concurrent carries the service-mode series (-concurrent): per-query
+	// latency percentiles measured while the epoch-published wrapper
+	// applies the update stream concurrently, one row per object class.
+	Concurrent []concurrentReport `json:"concurrent,omitempty"`
+}
+
+// concurrentReport is one epoch-published service-mode measurement. The
+// baseline is the stop-the-world matrix's per-tick query phase (per-query
+// ns x queriers per tick) for the same inner structure; P99VsTickPhase
+// is the headline gate — a loaded query must never stall anywhere near a
+// whole stop-the-world phase, i.e. the ratio stays well under 2.
+type concurrentReport struct {
+	Layout          string  `json:"layout"`
+	Readers         int     `json:"readers"`
+	Ticks           int     `json:"ticks"`
+	QueryP50Ns      float64 `json:"concurrent_query_p50_ns"`
+	QueryP95Ns      float64 `json:"concurrent_query_p95_ns"`
+	QueryP99Ns      float64 `json:"concurrent_query_p99_ns"`
+	TickQueryNs     float64 `json:"baseline_tick_query_ns"`
+	P99VsTickPhase  float64 `json:"p99_vs_tick_query_phase"`
+	EpochsPublished uint64  `json:"epochs_published"`
+	DegradedTicks   uint64  `json:"degraded_ticks"`
+	PanicsContained uint64  `json:"panics_contained"`
+	FailedTicks     int     `json:"failed_ticks"`
+	Violations      int64   `json:"violations"`
 }
 
 func main() {
@@ -127,6 +153,9 @@ func run(args []string) error {
 		out     = fs.String("out", "", "write JSON here instead of stdout")
 		objects = fs.String("objects", "point", "comma-separated object classes to measure: point, box")
 		qext    = fs.String("qext", "", "comma-separated query side lengths: adds a box window-join query series per extent")
+		conc    = fs.Bool("concurrent", true, "measure the epoch-published service mode (query latency under update load)")
+		cticks  = fs.Int("concurrent-ticks", 8, "ticks for the -concurrent measurement")
+		readers = fs.Int("readers", 0, "query workers for -concurrent (0 = all CPUs minus one)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -259,6 +288,27 @@ func run(args []string) error {
 		}
 		rep.AutoRegret["point-default"] = autoTotal/best - 1
 		rep.AutoChoices["point-default"] = fmt.Sprintf("%s (best static %s)", choice, bestKey)
+
+		// Service mode: the epoch-published wrapper over the tuned CSR
+		// grid, queries overlapped with the update stream. The baseline is
+		// the same structure's stop-the-world query phase from the matrix
+		// above.
+		if *conc && *cticks > 0 {
+			cgen, err := workload.NewGenerator(wcfg)
+			if err != nil {
+				return err
+			}
+			x := epoch.NewIndex(func() core.Index {
+				gc := grid.Config{Layout: grid.LayoutCSR, Scan: grid.ScanRange, BS: grid.RefactoredBS, CPS: 64}
+				return grid.MustNew(gc, wcfg.Bounds(), len(pts))
+			}, epoch.Options{})
+			cres := core.RunConcurrent(x, cgen, core.ConcurrentOptions{Ticks: *cticks, Readers: *readers})
+			if cres.Violations != 0 {
+				return fmt.Errorf("concurrent point run: %d queries observed an unpublished epoch", cres.Violations)
+			}
+			tickQueryNs := ops["query/cps=64"]["csr"] * float64(len(queriers))
+			rep.Concurrent = append(rep.Concurrent, concurrentRow("csr/cps=64", cres, tickQueryNs))
+		}
 	}
 
 	if wantBox {
@@ -411,6 +461,23 @@ func run(args []string) error {
 		if err := runAutoRegret(rep, *points, *seed, *iters); err != nil {
 			return err
 		}
+
+		// Box service mode, over the two-layer classed grid.
+		if *conc && *cticks > 0 {
+			cgen, err := workload.NewBoxGenerator(bcfg)
+			if err != nil {
+				return err
+			}
+			x := epoch.NewBoxIndex(func() core.BoxIndex {
+				return grid.MustNewBoxGrid2L(64, bcfg.Bounds(), len(rects))
+			}, epoch.Options{})
+			cres := core.RunBoxesConcurrent(x, cgen, core.ConcurrentOptions{Ticks: *cticks, Readers: *readers})
+			if cres.Violations != 0 {
+				return fmt.Errorf("concurrent box run: %d queries observed an unpublished epoch", cres.Violations)
+			}
+			tickQueryNs := boxOps["query/cps=64"]["boxcsr2l"] * float64(len(boxQueriers))
+			rep.Concurrent = append(rep.Concurrent, concurrentRow("boxcsr2l/cps=64", cres, tickQueryNs))
+		}
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -423,6 +490,28 @@ func run(args []string) error {
 		return err
 	}
 	return os.WriteFile(*out, enc, 0o644)
+}
+
+// concurrentRow folds a concurrent run into the report schema.
+func concurrentRow(layout string, res *core.ConcurrentResult, tickQueryNs float64) concurrentReport {
+	row := concurrentReport{
+		Layout:          layout,
+		Readers:         res.Readers,
+		Ticks:           res.Ticks,
+		QueryP50Ns:      float64(res.QueryP50.Nanoseconds()),
+		QueryP95Ns:      float64(res.QueryP95.Nanoseconds()),
+		QueryP99Ns:      float64(res.QueryP99.Nanoseconds()),
+		TickQueryNs:     tickQueryNs,
+		EpochsPublished: res.Stats.Epochs,
+		DegradedTicks:   res.Stats.Degraded,
+		PanicsContained: res.Stats.PanicsContained,
+		FailedTicks:     res.FailedTicks,
+		Violations:      res.Violations,
+	}
+	if tickQueryNs > 0 {
+		row.P99VsTickPhase = row.QueryP99Ns / tickQueryNs
+	}
+	return row
 }
 
 // tickTotal combines per-op nanoseconds into one modelled tick: one

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/epoch"
 	"repro/internal/workload"
 )
 
@@ -59,6 +60,8 @@ func run(args []string) error {
 		parallel     = fs.Bool("parallel", false, "parallelize the tick pipeline over all CPUs")
 		workers      = fs.Int("workers", 0, "worker goroutines for -parallel (0 = all CPUs; >1 implies -parallel)")
 		perTick      = fs.Bool("per-tick", false, "print per-tick phase times")
+		concurrent   = fs.Bool("concurrent", false, "service mode: epoch-published index, queries overlap updates, reports latency percentiles")
+		readers      = fs.Int("readers", 0, "query worker goroutines for -concurrent (0 = all CPUs minus one)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -121,7 +124,7 @@ func run(args []string) error {
 			return err
 		}
 		return runBoxMode(bcfg, *techniqueKey, *compare,
-			*parallel || *workers > 1, *workers, *perTick)
+			*parallel || *workers > 1, *workers, *perTick, *concurrent, *readers)
 	}
 
 	var techs []bench.NamedTechnique
@@ -194,6 +197,18 @@ func run(args []string) error {
 	fmt.Printf("workload  : %s, %d points, %d ticks, %.0f%% queriers, %.0f%% updaters\n",
 		wcfg.Kind, wcfg.NumPoints, wcfg.Ticks, wcfg.Queriers*100, wcfg.Updaters*100)
 
+	if *concurrent {
+		if len(techs) != 1 {
+			return fmt.Errorf("-concurrent runs a single technique; drop -compare")
+		}
+		t := techs[0]
+		x := epoch.NewIndex(func() core.Index {
+			return t.Make(core.ParamsFor(wcfg))
+		}, epoch.Options{})
+		res := core.RunConcurrent(x, workload.NewPlayer(trace), core.ConcurrentOptions{Readers: *readers})
+		return reportConcurrent(res)
+	}
+
 	return raceReport(len(techs), *perTick, func(i int) (*core.Result, string) {
 		idx := techs[i].Make(core.ParamsFor(wcfg))
 		if *parallel || *workers > 1 {
@@ -246,10 +261,30 @@ func raceReport(n int, perTick bool, run func(i int) (*core.Result, string)) err
 	return nil
 }
 
+// reportConcurrent prints the service-mode run: latency percentiles
+// under update load plus the epoch lifecycle counters. A non-zero
+// violation count (a query observing an unpublished epoch) is an error.
+func reportConcurrent(res *core.ConcurrentResult) error {
+	fmt.Printf("technique : %s (concurrent, %d readers)\n", res.Technique, res.Readers)
+	fmt.Printf("avg/tick  : %.4fs wall over %d ticks\n", res.AvgTick().Seconds(), res.Ticks)
+	fmt.Printf("query lat : p50 %s  p95 %s  p99 %s  (under update load)\n",
+		res.QueryP50, res.QueryP95, res.QueryP99)
+	fmt.Printf("epochs    : %d published, %d degraded ticks, %d retries, %d panics contained, %d failed ticks\n",
+		res.Stats.Epochs, res.Stats.Degraded, res.Stats.Retries,
+		res.Stats.PanicsContained, res.FailedTicks)
+	fmt.Printf("join      : %d pairs over %d queries (epoch-dependent; not digest-comparable)\n",
+		res.Pairs, res.Queries)
+	if res.Violations != 0 {
+		return fmt.Errorf("%d queries observed an unpublished epoch", res.Violations)
+	}
+	fmt.Println("epoch consistency verified: every query observed exactly one published epoch")
+	return nil
+}
+
 // runBoxMode runs the MBR workload: one technique or a digest race.
 // Each technique gets a fresh generator from the same configuration, so
 // all runs see the byte-identical stream.
-func runBoxMode(bcfg workload.BoxConfig, techniqueKey, compare string, parallel bool, workers int, perTick bool) error {
+func runBoxMode(bcfg workload.BoxConfig, techniqueKey, compare string, parallel bool, workers int, perTick bool, concurrent bool, readers int) error {
 	var techs []bench.NamedBoxTechnique
 	if compare != "" {
 		if compare == "all" {
@@ -279,6 +314,19 @@ func runBoxMode(bcfg workload.BoxConfig, techniqueKey, compare string, parallel 
 	fmt.Printf("workload  : %s boxes (%s extents %g-%g), %d objects, %d ticks, %.0f%% queriers, %.0f%% updaters\n",
 		bcfg.Kind, bcfg.Extent, bcfg.MinSide, bcfg.MaxSide,
 		bcfg.NumPoints, bcfg.Ticks, bcfg.Queriers*100, bcfg.Updaters*100)
+
+	if concurrent {
+		if len(techs) != 1 {
+			return fmt.Errorf("-concurrent runs a single technique; drop -compare")
+		}
+		t := techs[0]
+		x := epoch.NewBoxIndex(func() core.BoxIndex {
+			return t.Make(core.ParamsFor(bcfg.Config))
+		}, epoch.Options{})
+		res := core.RunBoxesConcurrent(x, workload.MustNewBoxGenerator(bcfg),
+			core.ConcurrentOptions{Readers: readers})
+		return reportConcurrent(res)
+	}
 
 	opts := core.Options{KeepPerTick: perTick}
 	// Each technique gets a fresh generator, so all runs see the

@@ -1,12 +1,17 @@
 // Geofence: an enter/exit alerting service over moving objects.
 //
 // A logistics operator defines rectangular geofences (depots, restricted
-// areas). Objects move continuously; every tick the service must emit an
-// event whenever an object enters or leaves a fence. The spatial index
-// answers one range query per fence per tick, and simple set differencing
-// over consecutive ticks yields the events — a direct application of the
-// study's query pattern with fence-centred rather than object-centred
-// queries.
+// areas). Objects move continuously; the service must emit an event
+// whenever an object enters or leaves a fence. The spatial index answers
+// one range query per fence per sweep, and set differencing over
+// consecutive sweeps yields the events.
+//
+// Unlike the paper's stop-the-world tick loop, this example runs the
+// index as a service: the grid is wrapped in internal/epoch, so fence
+// sweeps keep draining on the live epoch while each tick's update batch
+// applies to the shadow copy in the background. Every fence query
+// observes exactly one published epoch — never a half-applied batch —
+// which is what makes the enter/exit diffs trustworthy.
 //
 // Run with:
 //
@@ -20,6 +25,8 @@ import (
 	"log"
 	"sort"
 
+	"repro/internal/core"
+	"repro/internal/epoch"
 	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/workload"
@@ -62,28 +69,32 @@ func main() {
 		fenceRects[i] = geom.Square(c, r.Range(400, 1600))
 	}
 
-	idx, err := grid.New(grid.CPSTuned(), cfg.Bounds(), cfg.NumPoints)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// The epoch-published wrapper around the paper's tuned grid: fence
+	// queries stay lock-free on the live copy while ApplyBatch maintains
+	// the shadow.
+	x := epoch.NewIndex(func() core.Index {
+		return grid.MustNew(grid.CPSTuned(), cfg.Bounds(), cfg.NumPoints)
+	}, epoch.Options{})
 
-	inside := make([]map[uint32]bool, fences) // previous tick's membership
+	snapshot := make([]geom.Point, objects)
+	objs := gen.Objects()
+	for i := range objs {
+		snapshot[i] = objs[i].Pos
+	}
+	x.Build(snapshot)
+
+	inside := make([]map[uint32]bool, fences) // previous sweep's membership
 	for i := range inside {
 		inside[i] = map[uint32]bool{}
 	}
-	snapshot := make([]geom.Point, objects)
 
 	var enters, exits int
-	for tick := 0; tick < ticks; tick++ {
-		objs := gen.Objects()
-		for i := range objs {
-			snapshot[i] = objs[i].Pos
-		}
-		idx.Build(snapshot)
-
+	// sweep runs one fence scan on whatever epoch is live and diffs it
+	// against the previous sweep.
+	sweep := func(tick int) {
 		for fi, fence := range fenceRects {
 			now := make(map[uint32]bool)
-			idx.Query(fence, func(id uint32) { now[id] = true })
+			x.Query(fence, func(id uint32) { now[id] = true })
 			for id := range now {
 				if !inside[fi][id] {
 					enters++
@@ -98,17 +109,52 @@ func main() {
 			}
 			inside[fi] = now
 		}
-
-		gen.Queriers() // advance the (empty) query stream
-		batch := gen.Updates()
-		for _, u := range batch {
-			idx.Update(u.ID, snapshot[u.ID], u.Pos)
-		}
-		gen.ApplyUpdates(batch)
 	}
 
+	sweeps, overlapped := 0, 0
+	moves := make([]geom.Move, 0, objects)
+	for tick := 0; tick < ticks; tick++ {
+		gen.Queriers() // advance the (empty) query stream
+		batch := gen.Updates()
+		moves = moves[:0]
+		for _, u := range batch {
+			moves = append(moves, geom.Move{ID: u.ID, Old: snapshot[u.ID], New: u.Pos})
+		}
+
+		// Apply the tick's batch in the background; the alerting loop
+		// keeps sweeping the live epoch while it lands.
+		done := make(chan error, 1)
+		go func() { _, err := x.ApplyBatch(moves); done <- err }()
+		applying := true
+		for applying {
+			sweep(tick)
+			sweeps++
+			select {
+			case err := <-done:
+				if err != nil {
+					log.Fatal(err)
+				}
+				applying = false
+			default:
+				overlapped++
+			}
+		}
+
+		gen.ApplyUpdates(batch)
+		for _, u := range batch {
+			snapshot[u.ID] = u.Pos
+		}
+	}
+	// One closing sweep on the final epoch, so the occupancy report
+	// reflects every published batch.
+	sweep(ticks)
+	sweeps++
+
+	st := x.Stats()
 	fmt.Printf("\n%d ticks, %d objects, %d fences\n", ticks, objects, fences)
 	fmt.Printf("events: %d enters, %d exits\n", enters, exits)
+	fmt.Printf("service: %d sweeps (%d while a batch was applying), %d epochs published, %d degraded\n",
+		sweeps, overlapped, st.Epochs, st.Degraded)
 
 	// Final occupancy report, largest fences first.
 	type occ struct {

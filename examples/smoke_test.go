@@ -13,31 +13,35 @@ import (
 	"testing"
 )
 
-// smokeRuns maps each example directory to a line its -quick run must
-// print — the final verification or summary line, so a crash, a
-// mismatch, or an early exit all fail the assertion.
-var smokeRuns = map[string]string{
-	"quickstart":     "objects within the central 500x500 square after the run:",
-	"boxjoin":        "all frames verified against brute force",
-	"collisions":     "agreement verified",
-	"geofence":       "final occupancy (top 5):",
-	"fishtank":       "mean local density:",
-	"trafficmonitor": "zone counts verified against the brute-force oracle",
+// smokeRuns maps each example directory to lines its -quick run must
+// print — the final verification or summary lines, so a crash, a
+// mismatch, or an early exit all fail the assertion. geofence runs on
+// the epoch-published wrapper, so its service line also proves the
+// concurrent publication path works end to end.
+var smokeRuns = map[string][]string{
+	"quickstart":     {"objects within the central 500x500 square after the run:"},
+	"boxjoin":        {"all frames verified against brute force"},
+	"collisions":     {"agreement verified"},
+	"geofence":       {"final occupancy (top 5):", "epochs published"},
+	"fishtank":       {"mean local density:"},
+	"trafficmonitor": {"zone counts verified against the brute-force oracle"},
 }
 
 func TestExamplesRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns go run per example")
 	}
-	for dir, want := range smokeRuns {
+	for dir, wants := range smokeRuns {
 		t.Run(dir, func(t *testing.T) {
 			cmd := exec.Command("go", "run", "./"+dir, "-quick")
 			out, err := cmd.CombinedOutput()
 			if err != nil {
 				t.Fatalf("go run ./%s -quick failed: %v\n%s", dir, err, out)
 			}
-			if !strings.Contains(string(out), want) {
-				t.Fatalf("go run ./%s -quick output lacks %q:\n%s", dir, want, out)
+			for _, want := range wants {
+				if !strings.Contains(string(out), want) {
+					t.Fatalf("go run ./%s -quick output lacks %q:\n%s", dir, want, out)
+				}
 			}
 		})
 	}

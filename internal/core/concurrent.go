@@ -1,0 +1,339 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/parutil"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// This file holds the concurrent tick driver: queries drain against an
+// epoch-published index while the tick's update batch applies in the
+// background, measuring per-query latency under update load. It is the
+// service-mode counterpart of the stop-the-world loop in engine.go,
+// where each tick's phases run strictly one after another.
+
+// EpochStats counts an epoch-published wrapper's lifecycle events (see
+// internal/epoch, whose Stats type aliases this one). All fields are
+// monotonic.
+type EpochStats struct {
+	// Epochs is the number of successfully published epochs (swaps),
+	// not counting the initial build (epoch 0).
+	Epochs uint64
+	// Degraded counts ticks that entered degradation (at least one
+	// failed apply/validate/swap attempt).
+	Degraded uint64
+	// Retries counts publish retry attempts across all ticks.
+	Retries uint64
+	// PanicsContained counts panics recovered at the containment
+	// barrier.
+	PanicsContained uint64
+}
+
+// EpochIndex is the epoch-published point index contract the concurrent
+// driver runs against (implemented by epoch.Index). Queries are safe to
+// call concurrently with ApplyBatch; ApplyBatch itself is single-writer.
+type EpochIndex interface {
+	Name() string
+	// Build initializes the wrapper over the snapshot and publishes
+	// epoch 0.
+	Build(pts []geom.Point)
+	// ApplyBatch applies one tick of moves and publishes the next
+	// epoch. On error the batch was NOT applied: the previous epoch
+	// stays live and the caller may merge the batch into the next tick.
+	ApplyBatch(moves []geom.Move) (uint64, error)
+	// Query probes the live epoch, returning the epoch number and
+	// consistency digest the query observed.
+	Query(r geom.Rect, emit func(id uint32)) (epoch, digest uint64)
+	// Epoch returns the live epoch number and digest.
+	Epoch() (uint64, uint64)
+	Stats() EpochStats
+}
+
+// EpochBoxIndex is EpochIndex over rectangles (implemented by
+// epoch.BoxIndex).
+type EpochBoxIndex interface {
+	Name() string
+	Build(rects []geom.Rect)
+	ApplyBatch(moves []geom.BoxMove) (uint64, error)
+	Query(r geom.Rect, emit func(id uint32)) (epoch, digest uint64)
+	Epoch() (uint64, uint64)
+	Stats() EpochStats
+}
+
+// ConcurrentOptions tunes a RunConcurrent.
+type ConcurrentOptions struct {
+	// Ticks caps the number of ticks executed; 0 means the workload's
+	// configured tick count.
+	Ticks int
+	// Readers is the number of query worker goroutines draining each
+	// tick's queriers; 0 selects GOMAXPROCS-1 (one core is left for the
+	// updater), minimum 1.
+	Readers int
+}
+
+// ConcurrentResult aggregates a concurrent run. Join pairs and the hash
+// are reported for sanity but are NOT comparable across runs: a query
+// legitimately observes either of the two epochs adjacent to its
+// execution window, so the result depends on scheduling. The epoch
+// consistency contract is what is checked instead (Violations).
+type ConcurrentResult struct {
+	Technique string
+	Ticks     int
+	Readers   int
+	Elapsed   time.Duration
+
+	Queries int64
+	Updates int64
+	Pairs   int64
+	Hash    uint64
+
+	// QueryP50/P95/P99 are per-query latency percentiles measured while
+	// the update stream applies concurrently.
+	QueryP50, QueryP95, QueryP99 time.Duration
+
+	// FailedTicks counts ticks whose batch exhausted the wrapper's
+	// retries and carried over into the next tick.
+	FailedTicks int
+	// Violations counts queries whose (epoch, digest) pair did not
+	// match a published epoch. Any non-zero value is a bug.
+	Violations int64
+
+	Stats EpochStats
+}
+
+// AvgTick returns the average wall time per tick.
+func (r *ConcurrentResult) AvgTick() time.Duration {
+	if r.Ticks == 0 {
+		return 0
+	}
+	return r.Elapsed / time.Duration(r.Ticks)
+}
+
+// concurrentEngine adapts one object class to the concurrent tick loop,
+// mirroring engine[P] for the stop-the-world drivers.
+type concurrentEngine[M any] struct {
+	name      string
+	ticks     int
+	queriers  func() []uint32
+	queryRect func(q uint32) geom.Rect
+	// fetchBatch advances the workload one tick and converts its update
+	// batch to index moves WITHOUT applying it to the base table.
+	fetchBatch func() []M
+	// commitBatch installs the fetched batch into the base table; called
+	// after the tick's queries have drained, preserving the framework's
+	// "queries read the previous tick's state" contract.
+	commitBatch func()
+	apply       func(moves []M) (uint64, error)
+	query       func(r geom.Rect, emit func(id uint32)) (uint64, uint64)
+	epochNow    func() (uint64, uint64)
+	stats       func() EpochStats
+}
+
+// runConcurrent overlaps each tick's query drain with its update batch:
+// one updater goroutine calls ApplyBatch while reader workers claim
+// blocks of the querier stream through an atomic cursor. Per-query
+// latencies are collected for the percentile series, and every query's
+// (epoch, digest) observation is checked against the published oracle.
+func runConcurrent[M any](e *concurrentEngine[M], opts ConcurrentOptions) *ConcurrentResult {
+	readers := opts.Readers
+	if readers <= 0 {
+		readers = runtime.GOMAXPROCS(0) - 1
+	}
+	if readers < 1 {
+		readers = 1
+	}
+	ticks := e.ticks
+	if opts.Ticks > 0 && opts.Ticks < ticks {
+		ticks = opts.Ticks
+	}
+	res := &ConcurrentResult{Technique: e.name, Ticks: ticks, Readers: readers}
+
+	// Per-reader state, merged after the run. seen records every
+	// distinct (epoch, digest) observation; a same-epoch digest
+	// mismatch is a violation counted immediately.
+	type readerState struct {
+		lat   []time.Duration
+		seen  map[uint64]uint64
+		pairs int64
+		hash  uint64
+		bad   int64
+	}
+	states := make([]*readerState, readers)
+	for w := range states {
+		states[w] = &readerState{seen: make(map[uint64]uint64, ticks+1)}
+	}
+
+	// oracle holds the digest of every published epoch, recorded by the
+	// (single-threaded) driver after each successful publish; readers
+	// are verified against it after the run, so publish/observe ordering
+	// cannot race.
+	oracle := make(map[uint64]uint64, ticks+1)
+	ep, dg := e.epochNow()
+	oracle[ep] = dg
+
+	var pending []M
+	start := time.Now()
+	for t := 0; t < ticks; t++ {
+		queriers := e.queriers()
+		batch := e.fetchBatch()
+		moves := batch
+		if len(pending) > 0 {
+			moves = append(pending, batch...)
+		}
+
+		updDone := make(chan error, 1)
+		go func(mv []M) {
+			_, err := e.apply(mv)
+			updDone <- err
+		}(moves)
+
+		var cursor atomic.Int64
+		var g parutil.Group
+		for w := 0; w < readers; w++ {
+			st := states[w]
+			g.Go(func() {
+				for {
+					lo := int(cursor.Add(queryBlock)) - queryBlock
+					if lo >= len(queriers) {
+						break
+					}
+					hi := lo + queryBlock
+					if hi > len(queriers) {
+						hi = len(queriers)
+					}
+					for _, q := range queriers[lo:hi] {
+						r := e.queryRect(q)
+						qs := time.Now()
+						qe, qd := e.query(r, func(id uint32) {
+							st.pairs++
+							st.hash = MixPair(st.hash, q, id)
+						})
+						st.lat = append(st.lat, time.Since(qs))
+						if prev, ok := st.seen[qe]; ok && prev != qd {
+							st.bad++
+						} else {
+							st.seen[qe] = qd
+						}
+					}
+				}
+			})
+		}
+		g.Wait()
+		err := <-updDone
+		e.commitBatch()
+		if err != nil {
+			res.FailedTicks++
+			// Copy: moves may alias fetchBatch's reused buffer, which the
+			// next tick overwrites.
+			pending = append([]M(nil), moves...)
+		} else {
+			pending = nil
+			ep, dg := e.epochNow()
+			oracle[ep] = dg
+		}
+		res.Queries += int64(len(queriers))
+		res.Updates += int64(len(batch))
+	}
+	res.Elapsed = time.Since(start)
+
+	var lat []float64
+	for _, st := range states {
+		res.Pairs += st.pairs
+		res.Hash += st.hash
+		res.Violations += st.bad
+		for e, d := range st.seen {
+			if want, ok := oracle[e]; !ok || want != d {
+				res.Violations++
+			}
+		}
+		for _, d := range st.lat {
+			lat = append(lat, float64(d))
+		}
+	}
+	res.QueryP50 = time.Duration(stats.Percentile(lat, 0.50))
+	res.QueryP95 = time.Duration(stats.Percentile(lat, 0.95))
+	res.QueryP99 = time.Duration(stats.Percentile(lat, 0.99))
+	res.Stats = e.stats()
+	return res
+}
+
+// RunConcurrent executes the iterated spatial join of an epoch-published
+// point index over src with queries and updates overlapped per tick.
+// The index is built once from the initial snapshot (epoch 0) and then
+// maintained incrementally — the service-mode regime the epoch wrapper
+// exists for — rather than rebuilt per tick.
+func RunConcurrent(x EpochIndex, src workload.Source, opts ConcurrentOptions) *ConcurrentResult {
+	cfg := src.Config()
+	snap := make([]geom.Point, len(src.Objects()))
+	refreshSnapshot(snap, src.Objects())
+	x.Build(snap)
+
+	var batch []workload.Update
+	var moves []geom.Move
+	e := &concurrentEngine[geom.Move]{
+		name:      x.Name(),
+		ticks:     cfg.Ticks,
+		queriers:  src.Queriers,
+		queryRect: src.QueryRect,
+		fetchBatch: func() []geom.Move {
+			batch = src.Updates()
+			moves = moves[:0]
+			for _, u := range batch {
+				moves = append(moves, geom.Move{ID: u.ID, Old: snap[u.ID], New: u.Pos})
+			}
+			return moves
+		},
+		commitBatch: func() {
+			src.ApplyUpdates(batch)
+			for _, u := range batch {
+				snap[u.ID] = u.Pos
+			}
+		},
+		apply:    x.ApplyBatch,
+		query:    x.Query,
+		epochNow: x.Epoch,
+		stats:    x.Stats,
+	}
+	return runConcurrent(e, opts)
+}
+
+// RunBoxesConcurrent is RunConcurrent for epoch-published box indexes.
+func RunBoxesConcurrent(x EpochBoxIndex, src workload.BoxSource, opts ConcurrentOptions) *ConcurrentResult {
+	cfg := src.Config()
+	snap := make([]geom.Rect, src.NumBoxes())
+	src.RefreshRects(snap, 0, len(snap))
+	x.Build(snap)
+
+	var batch []workload.BoxUpdate
+	var moves []geom.BoxMove
+	e := &concurrentEngine[geom.BoxMove]{
+		name:      x.Name(),
+		ticks:     cfg.Ticks,
+		queriers:  src.Queriers,
+		queryRect: src.QueryRect,
+		fetchBatch: func() []geom.BoxMove {
+			batch = src.Updates()
+			moves = moves[:0]
+			for _, u := range batch {
+				moves = append(moves, geom.BoxMove{ID: u.ID, Old: snap[u.ID], New: u.Rect})
+			}
+			return moves
+		},
+		commitBatch: func() {
+			src.ApplyUpdates(batch)
+			for _, u := range batch {
+				snap[u.ID] = u.Rect
+			}
+		},
+		apply:    x.ApplyBatch,
+		query:    x.Query,
+		epochNow: x.Epoch,
+		stats:    x.Stats,
+	}
+	return runConcurrent(e, opts)
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -208,11 +207,10 @@ func runTicksParallel[P any](e *engine[P], opts Options, workers int) *Result {
 		sortutil.ByKey32(order, codes, scratch)
 
 		var cursor atomic.Int64
-		var wg sync.WaitGroup
+		var g parutil.Group
 		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
+			w := w
+			g.Go(func() {
 				var pairs int64
 				var hash uint64
 				for {
@@ -234,9 +232,9 @@ func runTicksParallel[P any](e *engine[P], opts Options, workers int) *Result {
 				}
 				parts[w].pairs = pairs
 				parts[w].hash = hash
-			}(w)
+			})
 		}
-		wg.Wait()
+		g.Wait()
 		pt.Query = time.Since(start)
 		res.Queries += int64(len(queriers))
 		for w := range parts {

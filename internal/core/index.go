@@ -126,6 +126,18 @@ type MemoryReporter interface {
 	MemoryBytes() int64
 }
 
+// InvariantChecker is an optional interface for indexes that can audit
+// their own structural invariants (CSR offset monotonicity, class
+// sub-span partitioning, slack/overflow accounting, STR packing, ...).
+// The epoch publisher calls it before publishing a shadow buffer, and the
+// fault-injection harness calls it after every injected fault to prove
+// containment. A nil return means the structure is internally consistent;
+// the error describes the first violation found. Implementations may be
+// O(n) — callers treat this as a validation pass, not a fast path.
+type InvariantChecker interface {
+	CheckInvariants() error
+}
+
 // WorkloadHints describes the observable per-tick workload mix, for
 // factories that tune or select an index from it (the `auto` technique
 // in internal/tune). All fields are hints: zero values mean "unknown"

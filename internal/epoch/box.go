@@ -1,0 +1,114 @@
+package epoch
+
+import (
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// BoxIndex is the epoch-published wrapper around a box (MBR) index —
+// Index's counterpart over core.BoxIndex. See the package comment for
+// the protocol.
+type BoxIndex struct {
+	pub[geom.Rect, geom.BoxMove]
+	newInner func() core.BoxIndex
+}
+
+// NewBoxIndex wraps the box index family produced by newInner. The
+// factory is invoked once per buffer at Build, so it must return fresh
+// instances.
+func NewBoxIndex(newInner func() core.BoxIndex, opts Options) *BoxIndex {
+	x := &BoxIndex{newInner: newInner}
+	x.opts = opts.withDefaults()
+	x.moveID = func(m geom.BoxMove) uint32 { return m.ID }
+	x.moveNew = func(m geom.BoxMove) geom.Rect { return m.New }
+	x.fold = FoldBoxMoves
+	x.probePresent = func(ops indexOps[geom.Rect], m geom.BoxMove) bool {
+		return boxAt(ops, m.New, m.ID)
+	}
+	// Absence at the old rectangle is only assertable when old and new
+	// are disjoint: an intersecting query cannot distinguish "still
+	// stored at old" from "stored at new, which also intersects old".
+	x.probeAbsent = func(ops indexOps[geom.Rect], m geom.BoxMove) bool {
+		if m.Old.Intersects(m.New) {
+			return true
+		}
+		return !boxAt(ops, m.Old, m.ID)
+	}
+	return x
+}
+
+// boxAt reports whether the index emits id for a query of rect r.
+func boxAt(ops indexOps[geom.Rect], r geom.Rect, id uint32) bool {
+	found := false
+	ops.query(r, func(got uint32) {
+		if got == id {
+			found = true
+		}
+	})
+	return found
+}
+
+func newBoxBuffer(idx core.BoxIndex, n int) *buffer[geom.Rect] {
+	b := &buffer[geom.Rect]{snap: make([]geom.Rect, n)}
+	b.ops = indexOps[geom.Rect]{
+		name:   idx.Name,
+		build:  idx.Build,
+		update: idx.Update,
+		query:  idx.Query,
+	}
+	if c, ok := idx.(core.Counter); ok {
+		b.ops.length = c.Len
+	} else {
+		b.ops.length = func() int { return len(b.snap) }
+	}
+	if ic, ok := idx.(core.InvariantChecker); ok {
+		b.ops.check = ic.CheckInvariants
+	}
+	return b
+}
+
+// Name reports the wrapped family.
+func (x *BoxIndex) Name() string {
+	if b := x.live.Load(); b != nil {
+		return "epoch(" + b.ops.name() + ")"
+	}
+	return "epoch"
+}
+
+// Build initializes both buffers from the snapshot and publishes
+// epoch 0.
+func (x *BoxIndex) Build(rects []geom.Rect) {
+	a := newBoxBuffer(x.newInner(), len(rects))
+	b := newBoxBuffer(x.newInner(), len(rects))
+	copy(a.snap, rects)
+	copy(b.snap, rects)
+	x.build(a, b, SnapshotDigestBoxes(rects))
+}
+
+// ApplyBatch applies one tick of box moves to the shadow and publishes
+// it, returning the new epoch. Error semantics match Index.ApplyBatch.
+func (x *BoxIndex) ApplyBatch(moves []geom.BoxMove) (uint64, error) {
+	return x.applyBatch(moves)
+}
+
+// Query implements core.EpochBoxIndex: one lock-free probe on the live
+// epoch, returning the epoch number and consistency digest it observed.
+func (x *BoxIndex) Query(r geom.Rect, emit func(id uint32)) (uint64, uint64) {
+	return x.query(r, emit)
+}
+
+// Epoch returns the live epoch number and digest.
+func (x *BoxIndex) Epoch() (uint64, uint64) { return x.epochNow() }
+
+// Stats returns the lifecycle counters.
+func (x *BoxIndex) Stats() Stats { return x.stats() }
+
+// Len implements core.Counter for the live epoch.
+func (x *BoxIndex) Len() int {
+	b := x.pin()
+	if b == nil {
+		return 0
+	}
+	defer b.active.Add(-1)
+	return b.ops.length()
+}

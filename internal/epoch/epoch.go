@@ -1,0 +1,417 @@
+// Package epoch wraps any core.Index/core.BoxIndex in an epoch-published
+// double buffer so queries drain lock-free on an immutable live copy
+// while the tick's update batch applies to a shadow copy, which is then
+// atomically swapped in behind a quiesce barrier.
+//
+// # Publication protocol
+//
+// The wrapper owns two buffers, each holding an independent inner index
+// plus a private base-table snapshot the index filters against. An
+// atomic pointer names the live buffer. Readers pin it:
+//
+//	b := live.Load(); b.active++            // announce
+//	if live.Load() != b { b.active--; retry } // confirm
+//
+// The writer applies the batch to the shadow, validates it, publishes
+// with live.Store(shadow), and then quiesces — spins until the old
+// buffer's active count drains to zero — before the old buffer may be
+// touched again as the next shadow. Under Go's sequentially consistent
+// atomics a reader either confirms its pin before the store (the writer
+// waits for it) or re-checks after it (and retries onto the new live
+// buffer), so no query ever observes a buffer under mutation: exactly
+// one epoch is visible per query.
+//
+// Because publishing leaves the new shadow one batch behind the new
+// live, the writer carries the published batch and replays it into the
+// shadow at the start of the next tick (the catch-up protocol).
+//
+// # Consistency digests
+//
+// Every epoch carries a digest folded from the stream of published
+// state: epoch 0 digests the build snapshot, and epoch n+1 folds epoch
+// n's digest with the tick's batch (see Fold*). Queries return their
+// epoch's digest, so a test oracle that folds the same batches can
+// assert any query observed exactly one published epoch — never a blend.
+//
+// # Validation, failure, and degradation
+//
+// Before publishing, the wrapper validates the shadow: the inner
+// index's own CheckInvariants (when implemented), a cardinality check,
+// and sampled membership probes across the batch (always including the
+// last move, so a torn prefix-only apply is caught). A validation
+// failure or a contained panic (the apply/build/swap stages recover
+// panics, including parutil.WorkerPanic from parallel inner paths) puts
+// the tick into degradation: queries keep draining on the last good
+// epoch, the shadow is rebuilt from the live snapshot plus the pending
+// batches, and the publish is retried under exponential backoff capped
+// at Options.MaxBackoff for up to Options.MaxRetries attempts. Every
+// degraded tick, retry, and contained panic is counted in Stats. If all
+// retries fail, ApplyBatch returns the error, the live epoch stays
+// valid and served, and the shadow is marked dirty so the next tick
+// starts from a full rebuild.
+package epoch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultutil"
+	"repro/internal/geom"
+)
+
+// Default degradation policy: up to 4 publish attempts with 1ms, 2ms,
+// 4ms backoff between them, capped at 20ms.
+const (
+	defaultMaxRetries = 3
+	defaultBackoff    = time.Millisecond
+	defaultMaxBackoff = 20 * time.Millisecond
+	// maxProbes bounds the sampled membership probes per validation.
+	maxProbes = 16
+)
+
+// Options configures a wrapper. The zero value is production-ready:
+// no fault injection and the default retry/backoff policy.
+type Options struct {
+	// Injector, when non-nil, fires configured faults at the "apply",
+	// "build", and "swap" sites of the maintenance pipeline.
+	Injector *faultutil.Injector
+	// MaxRetries is the number of publish retries after a failed
+	// attempt (default 3, so 4 attempts total).
+	MaxRetries int
+	// Backoff is the sleep before the first retry; it doubles per
+	// retry (default 1ms).
+	Backoff time.Duration
+	// MaxBackoff caps the doubling (default 20ms).
+	MaxBackoff time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = defaultMaxRetries
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = defaultBackoff
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = defaultMaxBackoff
+	}
+	return o
+}
+
+// Stats counts the wrapper's lifecycle events: published epochs,
+// degraded ticks, publish retries, and contained panics. It aliases
+// core.EpochStats so the wrappers satisfy core.EpochIndex /
+// core.EpochBoxIndex without core importing this package.
+type Stats = core.EpochStats
+
+// indexOps is the closure vtable the concrete wrappers build around an
+// inner core.Index or core.BoxIndex, erasing the interface difference
+// so the publication machinery exists once.
+type indexOps[P any] struct {
+	name   func() string
+	build  func(snap []P)
+	update func(id uint32, old, new P)
+	query  func(r geom.Rect, emit func(id uint32))
+	length func() int
+	// check is the inner CheckInvariants, nil when unsupported.
+	check func() error
+}
+
+// buffer is one of the two publication targets: an inner index plus the
+// private snapshot it filters against, stamped with its epoch.
+type buffer[P any] struct {
+	ops    indexOps[P]
+	snap   []P
+	epoch  uint64
+	digest uint64
+	// active counts pinned readers; the writer quiesces on it after a
+	// swap before reusing the buffer as shadow.
+	active atomic.Int64
+}
+
+// pub is the generic epoch publisher. P is the object geometry, M the
+// move record.
+type pub[P any, M any] struct {
+	// mu serializes writers (Build/ApplyBatch); queries never take it.
+	mu     sync.Mutex
+	live   atomic.Pointer[buffer[P]]
+	shadow *buffer[P]
+	// carry is the batch published in live but not yet replayed into
+	// shadow (the catch-up protocol).
+	carry []M
+	// dirty marks the shadow unusable for incremental catch-up (a
+	// failed tick left it in an unknown state): the next apply rebuilds.
+	dirty bool
+	opts  Options
+
+	epochs, degraded, retries, panics atomic.Uint64
+
+	// Geometry-specific hooks bound by the concrete constructors.
+	moveID  func(m M) uint32
+	moveNew func(m M) P
+	// fold chains the epoch digest over one batch.
+	fold func(d uint64, moves []M) uint64
+	// probePresent queries ops for the id at its post-move geometry.
+	// probeAbsent reports whether the id is detectably gone from its
+	// pre-move geometry (false when the two overlap and absence cannot
+	// be asserted).
+	probePresent func(ops indexOps[P], m M) bool
+	probeAbsent  func(ops indexOps[P], m M) bool
+}
+
+// build initializes both buffers from the snapshot (epoch 0). The
+// concrete Build methods copy pts into each buffer's private snapshot
+// and pass the two prepared buffers here.
+func (x *pub[P, M]) build(a, b *buffer[P], digest uint64) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	a.ops.build(a.snap)
+	b.ops.build(b.snap)
+	a.epoch, b.epoch = 0, 0
+	a.digest, b.digest = digest, digest
+	x.shadow = b
+	x.carry = nil
+	x.dirty = false
+	x.live.Store(a)
+}
+
+// pin acquires a read lease on the live buffer.
+func (x *pub[P, M]) pin() *buffer[P] {
+	for {
+		b := x.live.Load()
+		if b == nil {
+			return nil
+		}
+		b.active.Add(1)
+		if x.live.Load() == b {
+			return b
+		}
+		b.active.Add(-1)
+	}
+}
+
+// query drains one query on the live epoch, returning the epoch number
+// and digest it observed. Lock-free against the writer.
+func (x *pub[P, M]) query(r geom.Rect, emit func(id uint32)) (uint64, uint64) {
+	b := x.pin()
+	if b == nil {
+		return 0, 0
+	}
+	defer b.active.Add(-1)
+	b.ops.query(r, emit)
+	return b.epoch, b.digest
+}
+
+// contained runs fn, converting a panic (including re-panicked worker
+// panics) into an error and counting it.
+func (x *pub[P, M]) contained(fn func()) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			x.panics.Add(1)
+			if e, ok := v.(error); ok {
+				err = fmt.Errorf("epoch: contained panic: %w", e)
+			} else {
+				err = fmt.Errorf("epoch: contained panic: %v", v)
+			}
+		}
+	}()
+	fn()
+	return nil
+}
+
+// fire visits a fault-injection site, honouring a torn-write request by
+// reporting the truncated batch length to apply.
+func (x *pub[P, M]) fire(site string, n int) int {
+	if x.opts.Injector.Fire(site) == faultutil.FaultTorn {
+		return n / 2
+	}
+	return n
+}
+
+// applyIncremental replays carry and applies the batch move by move,
+// keeping the buffer's index and snapshot coherent at every step. The
+// "apply" fault site fires once per batch; a torn fault truncates the
+// applied suffix (both index and snapshot, so the tear is only
+// detectable by validation — exactly the failure it simulates).
+func (x *pub[P, M]) applyIncremental(sh *buffer[P], moves []M) error {
+	return x.contained(func() {
+		for _, m := range x.carry {
+			id := x.moveID(m)
+			old := sh.snap[id]
+			sh.ops.update(id, old, x.moveNew(m))
+			sh.snap[id] = x.moveNew(m)
+		}
+		n := x.fire("apply", len(moves))
+		for _, m := range moves[:n] {
+			id := x.moveID(m)
+			old := sh.snap[id]
+			sh.ops.update(id, old, x.moveNew(m))
+			sh.snap[id] = x.moveNew(m)
+		}
+	})
+}
+
+// applyRebuild recovers the shadow from scratch: live snapshot plus the
+// pending batches folded in by plain assignment, then a full inner
+// build. The "build" fault site fires here.
+func (x *pub[P, M]) applyRebuild(sh, live *buffer[P], moves []M) error {
+	return x.contained(func() {
+		copy(sh.snap, live.snap)
+		for _, m := range x.carry {
+			sh.snap[x.moveID(m)] = x.moveNew(m)
+		}
+		n := x.fire("build", len(moves))
+		for _, m := range moves[:n] {
+			sh.snap[x.moveID(m)] = x.moveNew(m)
+		}
+		sh.ops.build(sh.snap)
+	})
+}
+
+// validate audits the shadow before publication: cardinality, the inner
+// structure's own invariants, and sampled membership probes over the
+// batch (first, last, and a stride through the middle).
+func (x *pub[P, M]) validate(sh *buffer[P], moves []M) error {
+	if got, want := sh.ops.length(), len(sh.snap); got != want {
+		return fmt.Errorf("epoch: shadow holds %d entries, snapshot has %d", got, want)
+	}
+	if sh.ops.check != nil {
+		if err := sh.ops.check(); err != nil {
+			return fmt.Errorf("epoch: shadow invariants: %w", err)
+		}
+	}
+	if len(moves) == 0 {
+		return nil
+	}
+	// A merged or replayed batch may move the same id twice; only its
+	// final move describes the published position, so probes skip
+	// superseded moves.
+	lastOf := make(map[uint32]int, len(moves))
+	for i, m := range moves {
+		lastOf[x.moveID(m)] = i
+	}
+	stride := 1
+	if len(moves) > maxProbes {
+		stride = len(moves) / maxProbes
+	}
+	probe := func(i int) error {
+		m := moves[i]
+		if lastOf[x.moveID(m)] != i {
+			return nil
+		}
+		if !x.probePresent(sh.ops, m) {
+			return fmt.Errorf("epoch: move %d/%d (id %d) not found at its new position",
+				i, len(moves), x.moveID(m))
+		}
+		if !x.probeAbsent(sh.ops, m) {
+			return fmt.Errorf("epoch: move %d/%d (id %d) still present at its old position",
+				i, len(moves), x.moveID(m))
+		}
+		return nil
+	}
+	// The last move first: it is the one a torn prefix-only apply loses.
+	if err := probe(len(moves) - 1); err != nil {
+		return err
+	}
+	for i := 0; i < len(moves)-1; i += stride {
+		if err := probe(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyBatch is the writer tick: catch up the shadow, apply the batch,
+// validate, publish, quiesce. On failure it degrades per the package
+// comment. Returns the published epoch.
+func (x *pub[P, M]) applyBatch(moves []M) (uint64, error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	live := x.live.Load()
+	if live == nil {
+		return 0, fmt.Errorf("epoch: ApplyBatch before Build")
+	}
+	sh := x.shadow
+
+	applied := false
+	failed := false
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if !applied {
+			var err error
+			if x.dirty {
+				err = x.applyRebuild(sh, live, moves)
+			} else {
+				err = x.applyIncremental(sh, moves)
+				// Whatever happens next, the shadow can no longer be
+				// caught up incrementally except by this tick's success.
+				x.dirty = true
+			}
+			if err == nil {
+				err = x.validate(sh, moves)
+			}
+			if err == nil {
+				applied = true
+			} else {
+				lastErr = err
+			}
+		}
+		if applied {
+			err := x.contained(func() { x.fire("swap", 0) })
+			if err == nil {
+				sh.epoch = live.epoch + 1
+				sh.digest = x.fold(live.digest, moves)
+				x.live.Store(sh)
+				// Quiesce: wait out readers still pinned to the old
+				// buffer before it may be mutated as the next shadow.
+				for live.active.Load() != 0 {
+					runtime.Gosched()
+				}
+				x.shadow = live
+				x.carry = append(x.carry[:0], moves...)
+				x.dirty = false
+				x.epochs.Add(1)
+				if failed {
+					x.degraded.Add(1)
+				}
+				return sh.epoch, nil
+			}
+			lastErr = err
+		}
+		failed = true
+		if attempt >= x.opts.MaxRetries {
+			x.degraded.Add(1)
+			return live.epoch, fmt.Errorf("epoch: publish failed after %d attempts, serving epoch %d: %w",
+				attempt+1, live.epoch, lastErr)
+		}
+		x.retries.Add(1)
+		backoff := x.opts.Backoff << uint(attempt)
+		if backoff > x.opts.MaxBackoff {
+			backoff = x.opts.MaxBackoff
+		}
+		time.Sleep(backoff)
+	}
+}
+
+// stats returns a snapshot of the lifecycle counters.
+func (x *pub[P, M]) stats() Stats {
+	return Stats{
+		Epochs:          x.epochs.Load(),
+		Degraded:        x.degraded.Load(),
+		Retries:         x.retries.Load(),
+		PanicsContained: x.panics.Load(),
+	}
+}
+
+// epochNow returns the live epoch number and digest.
+func (x *pub[P, M]) epochNow() (uint64, uint64) {
+	b := x.live.Load()
+	if b == nil {
+		return 0, 0
+	}
+	return b.epoch, b.digest
+}

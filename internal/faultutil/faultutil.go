@@ -1,0 +1,265 @@
+// Package faultutil is the deterministic fault-injection harness behind
+// the epoch publisher's robustness tests: a seeded Injector that fires
+// configured faults — panics, delays, torn-write simulations — at named
+// sites in the maintenance pipeline (build/apply/swap boundaries).
+//
+// Faults are configured by a compact spec string, one rule per site:
+//
+//	site:mode[:dur][*count][@prob][, site:mode...]
+//
+//	apply:panic*1          panic at the first "apply" visit, then disarm
+//	swap:delay:2ms         sleep 2ms at every "swap" visit
+//	apply:torn@0.5         simulate a torn write on ~half the visits
+//	build:panic*2@0.25     panic on ~1/4 of visits, at most twice
+//
+// Probabilistic rules draw from a PRNG seeded at construction, so a
+// given (seed, spec) pair replays the same fault schedule every run —
+// the property the CI race-stress jobs rely on to be reproducible.
+//
+// A nil *Injector is a valid no-op, so production call sites pay one
+// nil check when injection is off. All methods are safe for concurrent
+// use.
+package faultutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// Mode is the kind of fault a rule injects.
+type Mode int
+
+const (
+	// ModePanic panics with an *InjectedPanic inside Fire.
+	ModePanic Mode = iota
+	// ModeDelay sleeps inside Fire, widening race windows.
+	ModeDelay
+	// ModeTorn asks the CALLER to simulate a torn write (apply only a
+	// prefix of the batch): Fire reports FaultTorn and the call site —
+	// the only layer that owns the batch — truncates it.
+	ModeTorn
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModePanic:
+		return "panic"
+	case ModeDelay:
+		return "delay"
+	case ModeTorn:
+		return "torn"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Fault is what Fire tells its caller to do. Panics and delays happen
+// inside Fire itself, so callers only branch on FaultTorn.
+type Fault int
+
+const (
+	// FaultNone: no rule fired; proceed normally.
+	FaultNone Fault = iota
+	// FaultTorn: simulate a torn write at this site.
+	FaultTorn
+)
+
+// InjectedPanic is the value ModePanic rules panic with, so containment
+// layers can distinguish an injected crash from a real bug.
+type InjectedPanic struct {
+	Site string
+}
+
+func (p *InjectedPanic) Error() string {
+	return fmt.Sprintf("faultutil: injected panic at site %q", p.Site)
+}
+
+// rule is one armed fault.
+type rule struct {
+	site  string
+	mode  Mode
+	delay time.Duration
+	// remaining is the fire budget; negative means unlimited.
+	remaining int
+	// prob is the per-visit fire probability in [0, 1].
+	prob float64
+}
+
+// Injector fires configured faults at named sites. The zero value and
+// nil both behave as "no faults armed".
+type Injector struct {
+	mu    sync.Mutex
+	rules []*rule
+	rng   *xrand.Rand
+	fires map[string]int
+}
+
+// New parses a fault spec (see the package comment for the grammar) into
+// an armed Injector. An empty spec yields an injector that never fires.
+func New(seed uint64, spec string) (*Injector, error) {
+	in := &Injector{rng: xrand.New(seed), fires: make(map[string]int)}
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return in, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		r, err := parseRule(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		in.rules = append(in.rules, r)
+	}
+	return in, nil
+}
+
+// MustNew is New for known-good specs; it panics on parse errors.
+func MustNew(seed uint64, spec string) *Injector {
+	in, err := New(seed, spec)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// parseRule parses one `site:mode[:dur][*count][@prob]` clause.
+func parseRule(s string) (*rule, error) {
+	if s == "" {
+		return nil, fmt.Errorf("faultutil: empty rule")
+	}
+	r := &rule{remaining: -1, prob: 1}
+	// Strip the @prob suffix first, then the *count suffix, so the
+	// grammar reads left to right site:mode:dur even when both appear.
+	if i := strings.LastIndexByte(s, '@'); i >= 0 {
+		p, err := strconv.ParseFloat(s[i+1:], 64)
+		if err != nil || p < 0 || p > 1 {
+			return nil, fmt.Errorf("faultutil: bad probability in rule %q", s)
+		}
+		r.prob = p
+		s = s[:i]
+	}
+	if i := strings.LastIndexByte(s, '*'); i >= 0 {
+		n, err := strconv.Atoi(s[i+1:])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("faultutil: bad count in rule %q", s)
+		}
+		r.remaining = n
+		s = s[:i]
+	}
+	fields := strings.Split(s, ":")
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("faultutil: rule %q lacks site:mode", s)
+	}
+	r.site = fields[0]
+	if r.site == "" {
+		return nil, fmt.Errorf("faultutil: rule %q has an empty site", s)
+	}
+	switch fields[1] {
+	case "panic":
+		r.mode = ModePanic
+	case "delay":
+		r.mode = ModeDelay
+	case "torn":
+		r.mode = ModeTorn
+	default:
+		return nil, fmt.Errorf("faultutil: unknown mode %q in rule %q", fields[1], s)
+	}
+	switch {
+	case len(fields) == 2:
+		if r.mode == ModeDelay {
+			r.delay = time.Millisecond
+		}
+	case len(fields) == 3 && r.mode == ModeDelay:
+		d, err := time.ParseDuration(fields[2])
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("faultutil: bad duration in rule %q", s)
+		}
+		r.delay = d
+	default:
+		return nil, fmt.Errorf("faultutil: trailing fields in rule %q", s)
+	}
+	return r, nil
+}
+
+// Fire visits a site: the first still-armed rule for it that passes its
+// probability draw fires. Panics and delays execute here; a torn-write
+// simulation is returned for the caller to carry out. Nil-safe.
+func (in *Injector) Fire(site string) Fault {
+	if in == nil {
+		return FaultNone
+	}
+	in.mu.Lock()
+	var hit *rule
+	for _, r := range in.rules {
+		if r.site != site || r.remaining == 0 {
+			continue
+		}
+		if r.prob < 1 && in.rng.Float64() >= r.prob {
+			continue
+		}
+		if r.remaining > 0 {
+			r.remaining--
+		}
+		hit = r
+		break
+	}
+	if hit != nil {
+		in.fires[site]++
+	}
+	in.mu.Unlock()
+	if hit == nil {
+		return FaultNone
+	}
+	switch hit.mode {
+	case ModePanic:
+		panic(&InjectedPanic{Site: site})
+	case ModeDelay:
+		time.Sleep(hit.delay)
+		return FaultNone
+	case ModeTorn:
+		return FaultTorn
+	}
+	return FaultNone
+}
+
+// Fires reports how many faults have fired at a site. Nil-safe.
+func (in *Injector) Fires(site string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fires[site]
+}
+
+// Total reports how many faults have fired across all sites. Nil-safe.
+func (in *Injector) Total() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for _, c := range in.fires {
+		n += c
+	}
+	return n
+}
+
+// Armed reports whether any rule still has fire budget left. Nil-safe.
+func (in *Injector) Armed() bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, r := range in.rules {
+		if r.remaining != 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,176 @@
+package faultutil
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"nosite",
+		":panic",
+		"apply:explode",
+		"apply:panic:5ms",   // duration only valid for delay
+		"apply:delay:bogus", // unparseable duration
+		"apply:panic*0",     // count must be >= 1
+		"apply:panic@1.5",   // probability out of range
+		"apply:panic, ",     // trailing empty rule
+	} {
+		if _, err := New(1, spec); err == nil {
+			t.Errorf("spec %q: want parse error", spec)
+		}
+	}
+}
+
+func TestEmptySpecAndNilNeverFire(t *testing.T) {
+	in := MustNew(1, "")
+	if f := in.Fire("apply"); f != FaultNone {
+		t.Fatalf("empty injector fired %v", f)
+	}
+	var nilIn *Injector
+	if f := nilIn.Fire("apply"); f != FaultNone {
+		t.Fatalf("nil injector fired %v", f)
+	}
+	if nilIn.Fires("apply") != 0 || nilIn.Total() != 0 || nilIn.Armed() {
+		t.Fatal("nil injector reports activity")
+	}
+}
+
+func TestPanicRuleFiresOnceThenDisarms(t *testing.T) {
+	in := MustNew(1, "apply:panic*1")
+	var rec any
+	func() {
+		defer func() { rec = recover() }()
+		in.Fire("apply")
+	}()
+	ip, ok := rec.(*InjectedPanic)
+	if !ok {
+		t.Fatalf("recovered %T, want *InjectedPanic", rec)
+	}
+	if ip.Site != "apply" {
+		t.Errorf("panic site = %q", ip.Site)
+	}
+	// Budget spent: next visits are clean.
+	if f := in.Fire("apply"); f != FaultNone {
+		t.Fatalf("disarmed rule fired %v", f)
+	}
+	if in.Fires("apply") != 1 || in.Total() != 1 {
+		t.Errorf("fires = %d/%d, want 1/1", in.Fires("apply"), in.Total())
+	}
+	if in.Armed() {
+		t.Error("injector still armed after budget spent")
+	}
+}
+
+func TestSiteIsolation(t *testing.T) {
+	in := MustNew(1, "swap:torn")
+	if f := in.Fire("build"); f != FaultNone {
+		t.Fatalf("unrelated site fired %v", f)
+	}
+	if f := in.Fire("swap"); f != FaultTorn {
+		t.Fatalf("swap fired %v, want torn", f)
+	}
+	// Unlimited budget: fires on every visit.
+	if f := in.Fire("swap"); f != FaultTorn {
+		t.Fatalf("second swap visit fired %v", f)
+	}
+}
+
+func TestDelayRuleSleeps(t *testing.T) {
+	in := MustNew(1, "build:delay:30ms*1")
+	start := time.Now()
+	if f := in.Fire("build"); f != FaultNone {
+		t.Fatalf("delay returned %v", f)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Errorf("delay slept %v, want >= 30ms", d)
+	}
+}
+
+func TestProbabilisticScheduleIsDeterministic(t *testing.T) {
+	schedule := func() []bool {
+		in := MustNew(42, "apply:torn@0.5")
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Fire("apply") == FaultTorn
+		}
+		return out
+	}
+	a, b := schedule(), schedule()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("visit %d diverges between identical (seed, spec) runs", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	// A 0.5 rule over 64 visits virtually never fires <10 or >54 times.
+	if fired < 10 || fired > 54 {
+		t.Errorf("p=0.5 rule fired %d/64 times", fired)
+	}
+	// A different seed must produce a different schedule.
+	in := MustNew(43, "apply:torn@0.5")
+	diverged := false
+	for i := range a {
+		if (in.Fire("apply") == FaultTorn) != a[i] {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("seeds 42 and 43 produced identical 64-visit schedules")
+	}
+}
+
+func TestConcurrentFireIsSafeAndBudgeted(t *testing.T) {
+	in := MustNew(7, "apply:torn*100")
+	var wg sync.WaitGroup
+	var torn [8]int
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if in.Fire("apply") == FaultTorn {
+					torn[w]++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range torn {
+		total += n
+	}
+	if total != 100 {
+		t.Fatalf("budget *100 fired %d times across workers", total)
+	}
+	if in.Fires("apply") != 100 {
+		t.Fatalf("counter says %d fires", in.Fires("apply"))
+	}
+}
+
+func TestMultiRuleSpec(t *testing.T) {
+	in := MustNew(1, "build:panic*1, apply:torn*1, swap:delay:1ms*1")
+	if f := in.Fire("apply"); f != FaultTorn {
+		t.Fatalf("apply fired %v", f)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("build rule did not panic")
+			}
+		}()
+		in.Fire("build")
+	}()
+	in.Fire("swap")
+	if in.Total() != 3 {
+		t.Fatalf("total fires = %d, want 3", in.Total())
+	}
+	if in.Armed() {
+		t.Error("all budgets spent but still armed")
+	}
+}

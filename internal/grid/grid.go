@@ -22,7 +22,6 @@ package grid
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/geom"
@@ -476,19 +475,18 @@ func (g *Grid) UpdateBatch(moves []geom.Move, workers int) {
 
 	var missing atomic.Int64
 	missing.Store(-1)
-	var wg sync.WaitGroup
+	var rg parutil.Group
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
+		w := w
+		rg.Go(func() {
 			for _, i := range oldIdx[oldOff[w]:oldOff[w+1]] {
 				if !cs.removeLocal(int(oldCells[i]), moves[i].ID) {
 					missing.CompareAndSwap(-1, int64(i))
 				}
 			}
-		}(w)
+		})
 	}
-	wg.Wait()
+	rg.Wait()
 	if i := missing.Load(); i >= 0 {
 		// Same contract as Update: the entry must exist.
 		panic(fmt.Sprintf("grid: update of unknown entry %d at %v", moves[i].ID, moves[i].Old))
@@ -496,16 +494,16 @@ func (g *Grid) UpdateBatch(moves []geom.Move, workers int) {
 
 	// Insertion pass, sharded by new cell. A move nets zero entries, so
 	// the shared counter is untouched throughout.
+	var ig parutil.Group
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
+		w := w
+		ig.Go(func() {
 			for _, i := range newIdx[newOff[w]:newOff[w+1]] {
 				cs.insertLocal(int(newCells[i]), moves[i].ID, moves[i].New)
 			}
-		}(w)
+		})
 	}
-	wg.Wait()
+	ig.Wait()
 }
 
 // bucketByShard counting-sorts the indices of cells into idx, grouped by

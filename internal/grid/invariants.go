@@ -1,0 +1,282 @@
+package grid
+
+import "fmt"
+
+// This file exports structural self-audits on the grid families,
+// mirroring rtree's STR packing checker. They implement
+// core.InvariantChecker: the epoch publisher runs them before publishing
+// a shadow buffer and the fault-injection harness runs them after every
+// injected fault to prove a contained failure never leaks a corrupt
+// structure. All checks are O(entries) — validation passes, not fast
+// paths.
+//
+// The membership checks compare stored cells against the retained base
+// table, so they rely on the package contract that callers keep the
+// snapshot slice in sync with the moves they feed Update/UpdateBatch
+// (the secondary-index assumption every query path already relies on).
+
+// CheckInvariants implements core.InvariantChecker for the point grid.
+// For every layout it verifies global occupancy: each indexed ID is
+// stored in exactly one cell, that cell is the one its current base-table
+// position maps to, and the total matches Len(). For the CSR layouts it
+// additionally audits the arena bookkeeping: offsets monotone, live
+// counts within segment capacity, slack/overflow accounting consistent
+// with the shared entry counter, and the inlined coordinate arena (CSRXY)
+// mirroring the base table slot for slot.
+func (g *Grid) CheckInvariants() error {
+	if st := g.csr; st != nil {
+		if err := st.checkCSR(); err != nil {
+			return err
+		}
+	}
+	n := len(g.pts)
+	seen := make([]uint8, n)
+	total := 0
+	var err error
+	for c := 0; c < g.cells && err == nil; c++ {
+		c := c
+		g.st.scanCell(c, func(id uint32) {
+			total++
+			if err != nil {
+				return
+			}
+			if int(id) >= n {
+				err = fmt.Errorf("grid: cell %d holds id %d beyond snapshot size %d", c, id, n)
+				return
+			}
+			if seen[id] != 0 {
+				err = fmt.Errorf("grid: id %d stored in more than one cell", id)
+				return
+			}
+			seen[id] = 1
+			if want := g.cellIndexFor(g.pts[id]); want != c {
+				err = fmt.Errorf("grid: id %d at %v stored in cell %d, want %d",
+					id, g.pts[id], c, want)
+			}
+		})
+	}
+	if err != nil {
+		return err
+	}
+	if total != n {
+		return fmt.Errorf("grid: %d entries stored, snapshot has %d", total, n)
+	}
+	if l := g.Len(); l != n {
+		return fmt.Errorf("grid: Len() = %d, snapshot has %d", l, n)
+	}
+	return nil
+}
+
+// checkCSR audits the csrStore arena bookkeeping.
+func (st *csrStore) checkCSR() error {
+	cells := len(st.counts)
+	if len(st.starts) != cells+1 {
+		return fmt.Errorf("grid/csr: %d starts for %d cells", len(st.starts), cells)
+	}
+	live := 0
+	for c := 0; c < cells; c++ {
+		if st.starts[c] > st.starts[c+1] {
+			return fmt.Errorf("grid/csr: starts not monotone at cell %d: %d > %d",
+				c, st.starts[c], st.starts[c+1])
+		}
+		capacity := st.starts[c+1] - st.starts[c]
+		if st.counts[c] > capacity {
+			return fmt.Errorf("grid/csr: cell %d count %d exceeds segment capacity %d",
+				c, st.counts[c], capacity)
+		}
+		if st.counts[c] < capacity && len(st.overflow[c]) > 0 {
+			return fmt.Errorf("grid/csr: cell %d has %d overflow entries with %d slack slots",
+				c, len(st.overflow[c]), capacity-st.counts[c])
+		}
+		live += int(st.counts[c]) + len(st.overflow[c])
+		if st.overflowXY != nil && len(st.overflowXY[c]) != 2*len(st.overflow[c]) {
+			return fmt.Errorf("grid/csr: cell %d overflowXY holds %d floats for %d ids",
+				c, len(st.overflowXY[c]), len(st.overflow[c]))
+		}
+	}
+	if int(st.starts[cells]) > len(st.ids) {
+		return fmt.Errorf("grid/csr: arena end %d beyond ids length %d",
+			st.starts[cells], len(st.ids))
+	}
+	if live != st.entries {
+		return fmt.Errorf("grid/csr: %d live entries across cells, counter says %d",
+			live, st.entries)
+	}
+	if st.xy != nil {
+		if len(st.xy) != 2*len(st.ids) {
+			return fmt.Errorf("grid/csr: xy arena holds %d floats for %d ids",
+				len(st.xy), len(st.ids))
+		}
+		for c := 0; c < cells; c++ {
+			base := st.starts[c]
+			for k := base; k < base+st.counts[c]; k++ {
+				id := st.ids[k]
+				if p := st.pts[id]; st.xy[2*k] != p.X || st.xy[2*k+1] != p.Y {
+					return fmt.Errorf("grid/csr: slot %d coords (%g,%g) diverge from base table %v for id %d",
+						k, st.xy[2*k], st.xy[2*k+1], p, id)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckInvariants implements core.InvariantChecker for the replicating
+// box grid: CSR offsets monotone, live counts within segment capacity,
+// overflow only on full segments, every cached span matching the current
+// base-table rectangle, and every object holding exactly one replica in
+// each cell of its span and none elsewhere.
+func (bg *BoxGrid) CheckInvariants() error {
+	cells := bg.cells
+	if len(bg.starts) != cells+1 {
+		return fmt.Errorf("boxgrid: %d starts for %d cells", len(bg.starts), cells)
+	}
+	if bg.boxes != len(bg.rects) {
+		return fmt.Errorf("boxgrid: boxes = %d, snapshot has %d", bg.boxes, len(bg.rects))
+	}
+	for i := range bg.rects {
+		if bg.spans[i] != bg.mapper.spanOf(bg.rects[i]) {
+			return fmt.Errorf("boxgrid: cached span %v of object %d diverges from rect %v (span %v)",
+				bg.spans[i], i, bg.rects[i], bg.mapper.spanOf(bg.rects[i]))
+		}
+	}
+	replicas := make([]uint32, bg.boxes)
+	countReplica := func(c int, id uint32, from string) error {
+		if int(id) >= bg.boxes {
+			return fmt.Errorf("boxgrid: cell %d %s holds id %d beyond population %d", c, from, id, bg.boxes)
+		}
+		s := bg.spans[id]
+		cx, cy := c%bg.cps, c/bg.cps
+		if cx < int(s.x0) || cx > int(s.x1) || cy < int(s.y0) || cy > int(s.y1) {
+			return fmt.Errorf("boxgrid: id %d replicated into cell (%d,%d) outside its span %v", id, cx, cy, s)
+		}
+		replicas[id]++
+		return nil
+	}
+	for c := 0; c < cells; c++ {
+		if bg.starts[c] > bg.starts[c+1] {
+			return fmt.Errorf("boxgrid: starts not monotone at cell %d: %d > %d",
+				c, bg.starts[c], bg.starts[c+1])
+		}
+		capacity := bg.starts[c+1] - bg.starts[c]
+		if bg.counts[c] > capacity {
+			return fmt.Errorf("boxgrid: cell %d count %d exceeds segment capacity %d",
+				c, bg.counts[c], capacity)
+		}
+		if bg.counts[c] < capacity && len(bg.overflow[c]) > 0 {
+			return fmt.Errorf("boxgrid: cell %d has %d overflow entries with %d slack slots",
+				c, len(bg.overflow[c]), capacity-bg.counts[c])
+		}
+		base := bg.starts[c]
+		for _, id := range bg.ids[base : base+bg.counts[c]] {
+			if err := countReplica(c, id, "segment"); err != nil {
+				return err
+			}
+		}
+		for _, id := range bg.overflow[c] {
+			if err := countReplica(c, id, "overflow"); err != nil {
+				return err
+			}
+		}
+	}
+	for id, got := range replicas {
+		s := bg.spans[id]
+		want := uint32(int(s.x1)-int(s.x0)+1) * uint32(int(s.y1)-int(s.y0)+1)
+		if got != want {
+			return fmt.Errorf("boxgrid: id %d has %d replicas, span %v needs %d", id, got, s, want)
+		}
+	}
+	return nil
+}
+
+// CheckInvariants implements core.InvariantChecker for the two-layer
+// class-partitioned box grid. On top of the BoxGrid checks (offsets
+// monotone, spans current, replica sets exactly tiling spans) it audits
+// the class partition: within every cell the four class run ends satisfy
+// starts[c] <= A <= B <= C <= D <= starts[c+1] (the runs partition the
+// live prefix, slack follows D), each stored replica sits in the run of
+// its classAt, and the inlined rectangle arena mirrors the base table.
+func (bg *BoxGrid2L) CheckInvariants() error {
+	cells := bg.cells
+	if len(bg.starts) != cells+1 {
+		return fmt.Errorf("boxgrid2l: %d starts for %d cells", len(bg.starts), cells)
+	}
+	if bg.boxes != len(bg.rects) {
+		return fmt.Errorf("boxgrid2l: boxes = %d, snapshot has %d", bg.boxes, len(bg.rects))
+	}
+	for i := range bg.rects {
+		if bg.spans[i] != bg.mapper.spanOf(bg.rects[i]) {
+			return fmt.Errorf("boxgrid2l: cached span %v of object %d diverges from rect %v (span %v)",
+				bg.spans[i], i, bg.rects[i], bg.mapper.spanOf(bg.rects[i]))
+		}
+	}
+	replicas := make([]uint32, bg.boxes)
+	for c := 0; c < cells; c++ {
+		if bg.starts[c] > bg.starts[c+1] {
+			return fmt.Errorf("boxgrid2l: starts not monotone at cell %d: %d > %d",
+				c, bg.starts[c], bg.starts[c+1])
+		}
+		cx, cy := c%bg.cps, c/bg.cps
+		lo := bg.starts[c]
+		for j := 0; j < 4; j++ {
+			hi := bg.ends[bg.endIdx(c, j)]
+			if hi < lo {
+				return fmt.Errorf("boxgrid2l: cell %d class %d run end %d precedes run start %d",
+					c, j, hi, lo)
+			}
+			if hi > bg.starts[c+1] {
+				return fmt.Errorf("boxgrid2l: cell %d class %d run end %d beyond segment end %d",
+					c, j, hi, bg.starts[c+1])
+			}
+			for k := lo; k < hi; k++ {
+				id := bg.ids[k]
+				if int(id) >= bg.boxes {
+					return fmt.Errorf("boxgrid2l: cell %d holds id %d beyond population %d", c, id, bg.boxes)
+				}
+				s := bg.spans[id]
+				if cx < int(s.x0) || cx > int(s.x1) || cy < int(s.y0) || cy > int(s.y1) {
+					return fmt.Errorf("boxgrid2l: id %d replicated into cell (%d,%d) outside its span %v",
+						id, cx, cy, s)
+				}
+				if got := classAt(s, cx, cy); got != j {
+					return fmt.Errorf("boxgrid2l: id %d stored in class %d run of cell %d, classAt says %d",
+						id, j, c, got)
+				}
+				if bg.rcts[k] != bg.rects[id] {
+					return fmt.Errorf("boxgrid2l: slot %d rect %v diverges from base table %v for id %d",
+						k, bg.rcts[k], bg.rects[id], id)
+				}
+				replicas[id]++
+			}
+			lo = hi
+		}
+		if len(bg.overflowR[c]) != len(bg.overflow[c]) {
+			return fmt.Errorf("boxgrid2l: cell %d overflowR holds %d rects for %d ids",
+				c, len(bg.overflowR[c]), len(bg.overflow[c]))
+		}
+		for k, id := range bg.overflow[c] {
+			if int(id) >= bg.boxes {
+				return fmt.Errorf("boxgrid2l: cell %d overflow holds id %d beyond population %d",
+					c, id, bg.boxes)
+			}
+			s := bg.spans[id]
+			if cx < int(s.x0) || cx > int(s.x1) || cy < int(s.y0) || cy > int(s.y1) {
+				return fmt.Errorf("boxgrid2l: id %d overflowed into cell (%d,%d) outside its span %v",
+					id, cx, cy, s)
+			}
+			if bg.overflowR[c][k] != bg.rects[id] {
+				return fmt.Errorf("boxgrid2l: cell %d overflow rect %v diverges from base table %v for id %d",
+					c, bg.overflowR[c][k], bg.rects[id], id)
+			}
+			replicas[id]++
+		}
+	}
+	for id, got := range replicas {
+		s := bg.spans[id]
+		want := uint32(int(s.x1)-int(s.x0)+1) * uint32(int(s.y1)-int(s.y0)+1)
+		if got != want {
+			return fmt.Errorf("boxgrid2l: id %d has %d replicas, span %v needs %d", id, got, s, want)
+		}
+	}
+	return nil
+}

@@ -1,6 +1,6 @@
 package grid
 
-import "sync"
+import "repro/internal/parutil"
 
 // spanPairs is the sharded span-expansion pass shared by the batched
 // update paths of the box grids: a batch of cell spans (one per move) is
@@ -65,19 +65,17 @@ func (sp *spanPairs) run(spans []cellSpan, cps, workers int, apply func(c int, m
 	copy(off[1:], off[:workers])
 	off[0] = 0
 
-	var wg sync.WaitGroup
+	var g parutil.Group
 	for w := 0; w < workers; w++ {
 		lo, hi := off[w], off[w+1]
 		if lo == hi {
 			continue
 		}
-		wg.Add(1)
-		go func(lo, hi uint32) {
-			defer wg.Done()
+		g.Go(func() {
 			for k := lo; k < hi; k++ {
 				apply(int(sp.cell[k]), sp.move[k])
 			}
-		}(lo, hi)
+		})
 	}
-	wg.Wait()
+	g.Wait()
 }

@@ -1,20 +1,93 @@
 // Package parutil holds the small fork/join primitives the parallel
 // build, update, and snapshot paths share.
+//
+// Crash containment: a panic on a worker goroutine would normally kill
+// the whole process — no recover in any ancestor frame can catch it, and
+// a missing wg.Done would deadlock every sibling. Both fork/join
+// primitives here (Group and ForEachShard) therefore recover panics
+// inside the worker, let every sibling run to completion, and re-panic
+// the FIRST captured panic on the calling goroutine as a *WorkerPanic
+// carrying the worker's stack. The caller (or anything above it, e.g.
+// the epoch publisher's containment barrier) can then recover it like
+// any ordinary panic, with the original stack preserved for the report.
 package parutil
 
-import "sync"
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// WorkerPanic wraps a panic captured on a fork/join worker goroutine. It
+// is re-panicked on the calling goroutine after all siblings complete,
+// so it is recoverable where a raw worker panic is not. It implements
+// error so containment layers can hand it up as one.
+type WorkerPanic struct {
+	// Value is the original panic value.
+	Value any
+	// Stack is the worker goroutine's stack at the point of the panic.
+	Stack []byte
+}
+
+// Error implements error.
+func (p *WorkerPanic) Error() string {
+	return fmt.Sprintf("panic on worker goroutine: %v\n%s", p.Value, p.Stack)
+}
+
+// Group is a fork/join barrier with crash containment: Go runs fn on its
+// own goroutine, Wait blocks until every fn returned, and if any fn
+// panicked, Wait re-panics the first captured *WorkerPanic on the
+// caller's goroutine. Unlike sync.WaitGroup with bare goroutines, one
+// crashing worker can neither kill the process nor leave siblings (or
+// the caller) blocked forever. The zero value is ready to use; a Group
+// must not be reused after Wait returns via panic.
+type Group struct {
+	wg    sync.WaitGroup
+	panic atomic.Pointer[WorkerPanic]
+}
+
+// Go runs fn on a new goroutine, capturing a panic instead of letting it
+// take down the process.
+func (g *Group) Go(fn func()) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		defer func() {
+			if v := recover(); v != nil {
+				// Keep only the first panic; concurrent seconds lose the
+				// race and are dropped (they are almost always the same
+				// fault replicated per shard).
+				g.panic.CompareAndSwap(nil, &WorkerPanic{Value: v, Stack: debug.Stack()})
+			}
+		}()
+		fn()
+	}()
+}
+
+// Wait blocks until all Go'd functions returned, then re-panics the
+// first captured worker panic, if any.
+func (g *Group) Wait() {
+	g.wg.Wait()
+	if p := g.panic.Load(); p != nil {
+		panic(p)
+	}
+}
 
 // ForEachShard splits [0, n) into one contiguous chunk per worker and
 // runs fn(w, lo, hi) on its own goroutine for each non-empty chunk,
 // returning after all complete. Chunk w covers [w*ceil(n/workers), ...),
 // so shard boundaries depend only on n and workers — callers relying on
 // deterministic shard assignment (the CSR counting-sort build) get it.
+//
+// A panicking shard does not kill the process or deadlock the siblings:
+// see the package comment.
 func ForEachShard(n, workers int, fn func(w, lo, hi int)) {
 	if workers < 1 {
 		workers = 1
 	}
 	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
+	var g Group
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
@@ -24,11 +97,8 @@ func ForEachShard(n, workers int, fn func(w, lo, hi int)) {
 		if lo >= hi {
 			continue
 		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			fn(w, lo, hi)
-		}(w, lo, hi)
+		w, lo, hi := w, lo, hi
+		g.Go(func() { fn(w, lo, hi) })
 	}
-	wg.Wait()
+	g.Wait()
 }

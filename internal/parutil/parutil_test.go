@@ -1,8 +1,10 @@
 package parutil
 
 import (
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachShardCoversRangeExactlyOnce(t *testing.T) {
@@ -39,4 +41,104 @@ func TestForEachShardDeterministicBoundaries(t *testing.T) {
 			t.Errorf("shard %d starts at %d, want %d", w, lo, w*4)
 		}
 	})
+}
+
+// TestForEachShardPanicContained is the crash-containment regression:
+// before the Group rewrite, a panic in one shard killed the whole test
+// process (no recover can catch a panic on another goroutine). Now the
+// panic must surface on the CALLING goroutine as a *WorkerPanic with the
+// worker's stack, all sibling shards must still run to completion, and
+// nothing may deadlock.
+func TestForEachShardPanicContained(t *testing.T) {
+	var ran atomic.Int32
+	var rec any
+	func() {
+		defer func() { rec = recover() }()
+		ForEachShard(64, 8, func(w, lo, hi int) {
+			if w == 3 {
+				panic("shard 3 exploded")
+			}
+			ran.Add(1)
+		})
+	}()
+	wp, ok := rec.(*WorkerPanic)
+	if !ok {
+		t.Fatalf("recovered %T (%v), want *WorkerPanic", rec, rec)
+	}
+	if wp.Value != "shard 3 exploded" {
+		t.Errorf("panic value = %v, want the shard's", wp.Value)
+	}
+	if !strings.Contains(string(wp.Stack), "parutil") {
+		t.Errorf("worker stack not captured:\n%s", wp.Stack)
+	}
+	if !strings.Contains(wp.Error(), "shard 3 exploded") {
+		t.Errorf("Error() = %q lacks the panic value", wp.Error())
+	}
+	if got := ran.Load(); got != 7 {
+		t.Errorf("%d sibling shards completed, want 7", got)
+	}
+}
+
+// TestGroupFirstPanicWins: multiple panicking workers must surface
+// exactly one WorkerPanic after every worker finished.
+func TestGroupFirstPanicWins(t *testing.T) {
+	var g Group
+	var done atomic.Int32
+	for i := 0; i < 4; i++ {
+		i := i
+		g.Go(func() {
+			defer done.Add(1)
+			panic(i)
+		})
+	}
+	var rec any
+	func() {
+		defer func() { rec = recover() }()
+		g.Wait()
+	}()
+	if done.Load() != 4 {
+		t.Fatalf("%d workers finished, want 4", done.Load())
+	}
+	wp, ok := rec.(*WorkerPanic)
+	if !ok {
+		t.Fatalf("recovered %T, want *WorkerPanic", rec)
+	}
+	if v, ok := wp.Value.(int); !ok || v < 0 || v > 3 {
+		t.Errorf("panic value = %v, want one of the workers'", wp.Value)
+	}
+}
+
+// TestGroupNoDeadlockUnderPanic: a slow healthy sibling must not be
+// abandoned — Wait returns (panicking) only after it completed.
+func TestGroupNoDeadlockUnderPanic(t *testing.T) {
+	var g Group
+	var slowDone atomic.Bool
+	g.Go(func() { panic("fast crash") })
+	g.Go(func() {
+		time.Sleep(20 * time.Millisecond)
+		slowDone.Store(true)
+	})
+	var rec any
+	func() {
+		defer func() { rec = recover() }()
+		g.Wait()
+	}()
+	if rec == nil {
+		t.Fatal("Wait did not re-panic")
+	}
+	if !slowDone.Load() {
+		t.Fatal("Wait returned before the healthy sibling completed")
+	}
+}
+
+func TestGroupCleanRun(t *testing.T) {
+	var g Group
+	var n atomic.Int32
+	for i := 0; i < 8; i++ {
+		g.Go(func() { n.Add(1) })
+	}
+	g.Wait() // must not panic
+	if n.Load() != 8 {
+		t.Fatalf("ran %d, want 8", n.Load())
+	}
 }

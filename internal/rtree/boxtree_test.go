@@ -133,76 +133,16 @@ func TestBoxTreeMatchesBruteForce(t *testing.T) {
 }
 
 // checkSTRInvariants verifies the packing invariants of a bulk-loaded or
-// refit tree: every node within fanout (and full except the last of its
-// level group), leaf entry runs tiling the entry arena exactly once,
-// parent MBRs covering their children, and the parent/leafPos indexes
-// agreeing with the arena layout.
+// refit tree via the exported CheckInvariants audit, plus the
+// test-context fact the audit cannot know: the tree indexes exactly the
+// rects snapshot.
 func checkSTRInvariants(t *testing.T, bt *BoxTree, rects []geom.Rect) {
 	t.Helper()
-	n := len(rects)
-	if n == 0 {
-		if bt.root != -1 {
-			t.Fatalf("empty tree has root %d", bt.root)
-		}
-		return
+	if bt.Len() != len(rects) {
+		t.Fatalf("tree holds %d entries, snapshot has %d", bt.Len(), len(rects))
 	}
-	if int(bt.root) != len(bt.nodes)-1 {
-		t.Fatalf("root %d is not the last node (%d nodes)", bt.root, len(bt.nodes))
-	}
-	// Every entry appears in exactly one leaf and leaf runs tile the
-	// arena.
-	covered := make([]int, n)
-	leafSeen := 0
-	for ni, nd := range bt.nodes {
-		if nd.count <= 0 || int(nd.count) > bt.fanout {
-			t.Fatalf("node %d has count %d (fanout %d)", ni, nd.count, bt.fanout)
-		}
-		if !nd.leaf {
-			// Parent MBR covers children; children point back via parents.
-			for c := nd.first; c < nd.first+nd.count; c++ {
-				if !nd.mbr.ContainsRect(bt.nodes[c].mbr) {
-					t.Fatalf("node %d MBR %v does not cover child %d MBR %v",
-						ni, nd.mbr, c, bt.nodes[c].mbr)
-				}
-				if bt.parents[c] != int32(ni) {
-					t.Fatalf("child %d has parent %d, want %d", c, bt.parents[c], ni)
-				}
-			}
-			continue
-		}
-		leafSeen++
-		if ni >= bt.leaves {
-			t.Fatalf("leaf node %d beyond the leaf level (%d leaves)", ni, bt.leaves)
-		}
-		if int(nd.first)%bt.fanout != 0 {
-			t.Fatalf("leaf %d starts mid-run at entry %d", ni, nd.first)
-		}
-		if bt.leafPos[int(nd.first)/bt.fanout] != int32(ni) {
-			t.Fatalf("leafPos[%d] = %d, want %d",
-				int(nd.first)/bt.fanout, bt.leafPos[int(nd.first)/bt.fanout], ni)
-		}
-		for k := nd.first; k < nd.first+nd.count; k++ {
-			id := bt.entries[k]
-			covered[id]++
-			if bt.slots[id] != uint32(k) {
-				t.Fatalf("slots[%d] = %d, want %d", id, bt.slots[id], k)
-			}
-			if !nd.mbr.ContainsRect(bt.entryRects[k]) {
-				t.Fatalf("leaf %d MBR %v does not cover entry %d rect %v",
-					ni, nd.mbr, id, bt.entryRects[k])
-			}
-		}
-	}
-	if leafSeen != bt.leaves {
-		t.Fatalf("%d leaf nodes, want %d", leafSeen, bt.leaves)
-	}
-	for id, c := range covered {
-		if c != 1 {
-			t.Fatalf("object %d appears in %d leaf runs", id, c)
-		}
-	}
-	if bt.parents[bt.root] != -1 {
-		t.Fatalf("root parent = %d, want -1", bt.parents[bt.root])
+	if err := bt.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }
 

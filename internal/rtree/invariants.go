@@ -1,0 +1,94 @@
+package rtree
+
+import "fmt"
+
+// CheckInvariants implements core.InvariantChecker: the exported version
+// of the STR packing audit the tests have always run, so the epoch
+// publisher and the fault-injection harness can verify a tree before
+// publishing it. It checks that the root is the last node, every node
+// count is in (0, fanout], leaf entry runs start at fanout multiples and
+// tile the entry arena exactly once, the slots/entries permutations are
+// inverse, leafPos and parents agree with the arena layout, every parent
+// MBR covers its children, and the root has no parent.
+func (t *BoxTree) CheckInvariants() error {
+	n := len(t.entries)
+	if n == 0 {
+		if t.root != -1 {
+			return fmt.Errorf("rtree: empty tree has root %d", t.root)
+		}
+		return nil
+	}
+	if len(t.slots) != n || len(t.entryRects) != n {
+		return fmt.Errorf("rtree: %d entries but %d slots, %d entryRects",
+			n, len(t.slots), len(t.entryRects))
+	}
+	if int(t.root) != len(t.nodes)-1 {
+		return fmt.Errorf("rtree: root %d is not the last node (%d nodes)", t.root, len(t.nodes))
+	}
+	covered := make([]uint8, n)
+	leafSeen := 0
+	for ni := range t.nodes {
+		nd := &t.nodes[ni]
+		if nd.count <= 0 || int(nd.count) > t.fanout {
+			return fmt.Errorf("rtree: node %d has count %d (fanout %d)", ni, nd.count, t.fanout)
+		}
+		if !nd.leaf {
+			for c := nd.first; c < nd.first+nd.count; c++ {
+				if int(c) >= len(t.nodes) {
+					return fmt.Errorf("rtree: node %d child %d beyond node arena", ni, c)
+				}
+				if !nd.mbr.ContainsRect(t.nodes[c].mbr) {
+					return fmt.Errorf("rtree: node %d MBR %v does not cover child %d MBR %v",
+						ni, nd.mbr, c, t.nodes[c].mbr)
+				}
+				if t.parents[c] != int32(ni) {
+					return fmt.Errorf("rtree: child %d has parent %d, want %d", c, t.parents[c], ni)
+				}
+			}
+			continue
+		}
+		leafSeen++
+		if ni >= t.leaves {
+			return fmt.Errorf("rtree: leaf node %d beyond the leaf level (%d leaves)", ni, t.leaves)
+		}
+		if int(nd.first)%t.fanout != 0 {
+			return fmt.Errorf("rtree: leaf %d starts mid-run at entry %d", ni, nd.first)
+		}
+		if t.leafPos[int(nd.first)/t.fanout] != int32(ni) {
+			return fmt.Errorf("rtree: leafPos[%d] = %d, want %d",
+				int(nd.first)/t.fanout, t.leafPos[int(nd.first)/t.fanout], ni)
+		}
+		for k := nd.first; k < nd.first+nd.count; k++ {
+			if int(k) >= n {
+				return fmt.Errorf("rtree: leaf %d entry slot %d beyond arena", ni, k)
+			}
+			id := t.entries[k]
+			if int(id) >= n {
+				return fmt.Errorf("rtree: slot %d holds id %d beyond population %d", k, id, n)
+			}
+			if covered[id] != 0 {
+				return fmt.Errorf("rtree: object %d appears in more than one leaf run", id)
+			}
+			covered[id] = 1
+			if t.slots[id] != uint32(k) {
+				return fmt.Errorf("rtree: slots[%d] = %d, want %d", id, t.slots[id], k)
+			}
+			if !nd.mbr.ContainsRect(t.entryRects[k]) {
+				return fmt.Errorf("rtree: leaf %d MBR %v does not cover entry %d rect %v",
+					ni, nd.mbr, id, t.entryRects[k])
+			}
+		}
+	}
+	if leafSeen != t.leaves {
+		return fmt.Errorf("rtree: %d leaf nodes, want %d", leafSeen, t.leaves)
+	}
+	for id, c := range covered {
+		if c != 1 {
+			return fmt.Errorf("rtree: object %d missing from the leaf level", id)
+		}
+	}
+	if t.parents[t.root] != -1 {
+		return fmt.Errorf("rtree: root parent = %d, want -1", t.parents[t.root])
+	}
+	return nil
+}

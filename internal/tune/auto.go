@@ -122,6 +122,16 @@ func (a *Auto) MemoryBytes() int64 {
 	return 0
 }
 
+// CheckInvariants implements core.InvariantChecker, delegating to the
+// chosen structure's audit when it has one (nil before the first build:
+// an empty index has nothing to violate).
+func (a *Auto) CheckInvariants() error {
+	if ic, ok := a.inner.(core.InvariantChecker); ok {
+		return ic.CheckInvariants()
+	}
+	return nil
+}
+
 // Choice returns the decision, and whether one has been made yet.
 func (a *Auto) Choice() (Choice, bool) { return a.choice, a.inner != nil }
 
@@ -233,6 +243,15 @@ func (a *AutoBox) ReplicationFactor() float64 {
 		return r.ReplicationFactor()
 	}
 	return 1
+}
+
+// CheckInvariants implements core.InvariantChecker, delegating to the
+// chosen structure's audit when it has one.
+func (a *AutoBox) CheckInvariants() error {
+	if ic, ok := a.inner.(core.InvariantChecker); ok {
+		return ic.CheckInvariants()
+	}
+	return nil
 }
 
 // Choice returns the decision, and whether one has been made yet.
