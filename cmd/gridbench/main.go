@@ -45,8 +45,10 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bench"
@@ -54,7 +56,9 @@ import (
 	"repro/internal/epoch"
 	"repro/internal/geom"
 	"repro/internal/grid"
+	"repro/internal/parutil"
 	"repro/internal/rtree"
+	"repro/internal/shard"
 	"repro/internal/tune"
 	"repro/internal/workload"
 )
@@ -79,7 +83,11 @@ type report struct {
 	Tool    string     `json:"tool"`
 	Points  int        `json:"points"`
 	Iters   int        `json:"iters"`
-	Results []opResult `json:"results"`
+	// EffectiveCPUs is runtime.GOMAXPROCS on the measuring host. The
+	// sharded series' parallel speedups are only meaningful when this is
+	// comfortably above 1 — CI's scaling gate conditions on it.
+	EffectiveCPUs int        `json:"effective_cpus"`
+	Results       []opResult `json:"results"`
 	// Summary ratios: inline time / csr time per operation and for the
 	// acceptance-criterion pairing build+query, at each granularity.
 	Speedups map[string]float64 `json:"csr_speedup_vs_inline"`
@@ -114,6 +122,31 @@ type report struct {
 	// latency percentiles measured while the epoch-published wrapper
 	// applies the update stream concurrently, one row per object class.
 	Concurrent []concurrentReport `json:"concurrent,omitempty"`
+	// Sharded carries the region-sharded engine series: the sharded
+	// router and the unsharded contenders measured under the same
+	// parallel tick model (parallel build, queries striped across the
+	// worker pool, batched updates) at -shard-workers workers.
+	Sharded []shardedRow `json:"sharded,omitempty"`
+	// ShardedSpeedup maps "point/tick@Nw" / "box/tick@Nw" to the sharded
+	// engine's modelled tick throughput over the best unsharded
+	// contender's under the same parallel model.
+	ShardedSpeedup map[string]float64 `json:"sharded_speedup,omitempty"`
+}
+
+// shardedRow is one contender of the sharded series. Side is the
+// region-grid side for the sharded engine (0 for unsharded contenders);
+// DuplicateEmits counts (querier, id) pairs reported more than once
+// across the whole digest pass — any non-zero value is a cross-shard
+// merge bug and the run fails before timing anyway.
+type shardedRow struct {
+	Layout         string  `json:"layout"`
+	Side           int     `json:"side,omitempty"`
+	Workers        int     `json:"workers"`
+	BuildNs        float64 `json:"build_ns"`
+	QueryNs        float64 `json:"query_ns"`
+	UpdateNs       float64 `json:"update_ns"`
+	TickNs         float64 `json:"tick_ns"`
+	DuplicateEmits int     `json:"duplicate_emits"`
 }
 
 // concurrentReport is one epoch-published service-mode measurement. The
@@ -156,6 +189,8 @@ func run(args []string) error {
 		conc    = fs.Bool("concurrent", true, "measure the epoch-published service mode (query latency under update load)")
 		cticks  = fs.Int("concurrent-ticks", 8, "ticks for the -concurrent measurement")
 		readers = fs.Int("readers", 0, "query workers for -concurrent (0 = all CPUs minus one)")
+		shards  = fs.Int("shards", 0, "region-grid side for the sharded series (0 = tune ladder picks)")
+		sworker = fs.Int("shard-workers", 8, "worker pool for the sharded parallel tick series (0 disables the series)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -204,12 +239,13 @@ func run(args []string) error {
 	}
 
 	rep := &report{
-		Tool:        "cmd/gridbench",
-		Points:      len(pts),
-		Iters:       *iters,
-		Speedups:    map[string]float64{},
-		AutoRegret:  map[string]float64{},
-		AutoChoices: map[string]string{},
+		Tool:          "cmd/gridbench",
+		Points:        len(pts),
+		Iters:         *iters,
+		EffectiveCPUs: runtime.GOMAXPROCS(0),
+		Speedups:      map[string]float64{},
+		AutoRegret:    map[string]float64{},
+		AutoChoices:   map[string]string{},
 	}
 
 	type contender struct {
@@ -308,6 +344,14 @@ func run(args []string) error {
 			}
 			tickQueryNs := ops["query/cps=64"]["csr"] * float64(len(queriers))
 			rep.Concurrent = append(rep.Concurrent, concurrentRow("csr/cps=64", cres, tickQueryNs))
+		}
+
+		// The region-sharded engine against the best unsharded
+		// contenders, all under the same parallel tick model.
+		if *sworker > 0 {
+			if err := runShardedPoint(rep, wcfg, pts, queriers, updates, *iters, *shards, *sworker, wantDigest); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -478,6 +522,12 @@ func run(args []string) error {
 			tickQueryNs := boxOps["query/cps=64"]["boxcsr2l"] * float64(len(boxQueriers))
 			rep.Concurrent = append(rep.Concurrent, concurrentRow("boxcsr2l/cps=64", cres, tickQueryNs))
 		}
+
+		if *sworker > 0 {
+			if err := runShardedBox(rep, bcfg, rects, boxQueriers, boxUpdates, *iters, *shards, *sworker, wantDigest); err != nil {
+				return err
+			}
+		}
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -643,6 +693,307 @@ func runAutoRegret(rep *report, points int, seed uint64, iters int) error {
 		rep.AutoChoices[wl.key] = fmt.Sprintf("%s (best static %s)", choice, bestKey)
 	}
 	return nil
+}
+
+// runShardedPoint measures the sharded series for points: the
+// region-sharded router against the unsharded contenders the main
+// matrix found competitive, every one under the identical parallel tick
+// model (parallel build when supported, queries striped across the
+// worker pool, batched updates when supported) at the same worker
+// count. Every contender — sharded included — passes the oracle digest
+// gate plus an explicit duplicate-emission count before being timed.
+func runShardedPoint(rep *report, wcfg workload.Config, pts []geom.Point, queriers []uint32, updates []workload.Update, iters, side, workers int, wantDigest uint64) error {
+	if rep.ShardedSpeedup == nil {
+		rep.ShardedSpeedup = map[string]float64{}
+	}
+	params := core.ParamsFor(wcfg)
+	params.Shards = side
+	mkGrid := func(layout grid.Layout) core.Index {
+		return grid.MustNew(grid.Config{Layout: layout, Scan: grid.ScanRange, BS: grid.RefactoredBS, CPS: 64}, wcfg.Bounds(), len(pts))
+	}
+	contenders := []struct {
+		name string
+		idx  core.Index
+	}{
+		{"csr/cps=64", mkGrid(grid.LayoutCSR)},
+		{"csrxy/cps=64", mkGrid(grid.LayoutCSRXY)},
+		{"auto", tune.NewAuto(params)},
+	}
+	moves, back := pointMoves(pts, updates)
+	best := math.Inf(1)
+	for _, c := range contenders {
+		c.idx.Build(pts)
+		if got := pointDigest(c.idx, pts, queriers, wcfg.QuerySize); got != wantDigest {
+			return fmt.Errorf("sharded series contender %s diverges from the brute-force oracle (digest %#x, want %#x)",
+				c.name, got, wantDigest)
+		}
+		row := measureParallelTick(c.idx, pts, queriers, moves, back, wcfg.QuerySize, iters, workers)
+		row.Layout = c.name
+		rep.Sharded = append(rep.Sharded, row)
+		if row.TickNs < best {
+			best = row.TickNs
+		}
+	}
+	sh := shard.NewAuto(params)
+	sh.Build(pts)
+	dups := countPointDuplicates(sh, pts, queriers, wcfg.QuerySize)
+	if got := pointDigest(sh, pts, queriers, wcfg.QuerySize); got != wantDigest || dups != 0 {
+		return fmt.Errorf("sharded point engine diverges from the brute-force oracle (digest %#x, want %#x; %d duplicate emissions)",
+			got, wantDigest, dups)
+	}
+	row := measureParallelTick(sh, pts, queriers, moves, back, wcfg.QuerySize, iters, workers)
+	row.Layout = "sharded"
+	row.Side = sh.Side()
+	rep.Sharded = append(rep.Sharded, row)
+	rep.ShardedSpeedup[fmt.Sprintf("point/tick@%dw", workers)] = best / row.TickNs
+	return nil
+}
+
+// runShardedBox is runShardedPoint over the MBR workload.
+func runShardedBox(rep *report, bcfg workload.BoxConfig, rects []geom.Rect, queriers []uint32, updates []workload.BoxUpdate, iters, side, workers int, wantDigest uint64) error {
+	if rep.ShardedSpeedup == nil {
+		rep.ShardedSpeedup = map[string]float64{}
+	}
+	params := core.ParamsFor(bcfg.Config)
+	params.Shards = side
+	contenders := []struct {
+		name string
+		idx  core.BoxIndex
+	}{
+		{"boxcsr2l/cps=64", grid.MustNewBoxGrid2L(64, bcfg.Bounds(), len(rects))},
+		{fmt.Sprintf("boxrtree/fanout=%d", rtree.DefaultFanout), rtree.MustNewBoxTree(rtree.DefaultFanout)},
+		{"boxauto", tune.NewAutoBox(params)},
+	}
+	moves, back := boxMoves(rects, updates)
+	best := math.Inf(1)
+	for _, c := range contenders {
+		c.idx.Build(rects)
+		if got := boxDigest(c.idx, rects, queriers, bcfg.QuerySize); got != wantDigest {
+			return fmt.Errorf("sharded series contender %s diverges from the brute-force oracle (digest %#x, want %#x)",
+				c.name, got, wantDigest)
+		}
+		row := measureBoxParallelTick(c.idx, rects, queriers, moves, back, bcfg.QuerySize, iters, workers)
+		row.Layout = c.name
+		rep.Sharded = append(rep.Sharded, row)
+		if row.TickNs < best {
+			best = row.TickNs
+		}
+	}
+	sh := shard.NewAutoBox(params)
+	sh.Build(rects)
+	dups := countBoxDuplicates(sh, rects, queriers, bcfg.QuerySize)
+	if got := boxDigest(sh, rects, queriers, bcfg.QuerySize); got != wantDigest || dups != 0 {
+		return fmt.Errorf("sharded box engine diverges from the brute-force oracle (digest %#x, want %#x; %d duplicate emissions)",
+			got, wantDigest, dups)
+	}
+	row := measureBoxParallelTick(sh, rects, queriers, moves, back, bcfg.QuerySize, iters, workers)
+	row.Layout = "boxsharded"
+	row.Side = sh.Side()
+	rep.Sharded = append(rep.Sharded, row)
+	rep.ShardedSpeedup[fmt.Sprintf("box/tick@%dw", workers)] = best / row.TickNs
+	return nil
+}
+
+// pointMoves converts one tick's updates into there-and-back move
+// batches, so measured update phases leave the population invariant.
+func pointMoves(pts []geom.Point, updates []workload.Update) (moves, back []geom.Move) {
+	for _, u := range updates {
+		moves = append(moves, geom.Move{ID: u.ID, Old: pts[u.ID], New: u.Pos})
+		back = append(back, geom.Move{ID: u.ID, Old: u.Pos, New: pts[u.ID]})
+	}
+	return moves, back
+}
+
+func boxMoves(rects []geom.Rect, updates []workload.BoxUpdate) (moves, back []geom.BoxMove) {
+	for _, u := range updates {
+		moves = append(moves, geom.BoxMove{ID: u.ID, Old: rects[u.ID], New: u.Rect})
+		back = append(back, geom.BoxMove{ID: u.ID, Old: u.Rect, New: rects[u.ID]})
+	}
+	return moves, back
+}
+
+// measureParallelTick times one modelled tick under the parallel
+// regime: Build via the parallel path when the index offers one, the
+// whole querier set striped across the worker pool in blocks (the
+// parallel driver's schedule), and the tick's update batch through the
+// bulk path when offered — exactly the phases RunParallel overlaps per
+// tick, so TickNs compares engines on the throughput the sharded router
+// is built for.
+func measureParallelTick(idx core.Index, pts []geom.Point, queriers []uint32, moves, back []geom.Move, querySize float32, iters, workers int) shardedRow {
+	idx.Build(pts) // warm arenas
+
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if pb, ok := idx.(core.ParallelBuilder); ok {
+			pb.BuildParallel(pts, workers)
+		} else {
+			idx.Build(pts)
+		}
+	}
+	buildNs := float64(time.Since(start).Nanoseconds()) / float64(iters)
+
+	queryTick := func() {
+		var cursor atomic.Int64
+		var g parutil.Group
+		for w := 0; w < workers; w++ {
+			g.Go(func() {
+				sink := 0
+				emit := func(uint32) { sink++ }
+				for {
+					lo := int(cursor.Add(64)) - 64
+					if lo >= len(queriers) {
+						break
+					}
+					hi := lo + 64
+					if hi > len(queriers) {
+						hi = len(queriers)
+					}
+					for _, q := range queriers[lo:hi] {
+						idx.Query(geom.Square(pts[q], querySize), emit)
+					}
+				}
+				if sink < 0 {
+					panic("unreachable")
+				}
+			})
+		}
+		g.Wait()
+	}
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		queryTick()
+	}
+	queryNs := float64(time.Since(start).Nanoseconds()) / float64(iters*len(queriers))
+
+	bu, hasBatch := idx.(core.BatchUpdater)
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if hasBatch && bu.CanBatchUpdates(len(moves)) {
+			bu.UpdateBatch(moves, workers)
+			bu.UpdateBatch(back, workers)
+		} else {
+			for _, m := range moves {
+				idx.Update(m.ID, m.Old, m.New)
+			}
+			for _, m := range back {
+				idx.Update(m.ID, m.Old, m.New)
+			}
+		}
+	}
+	updateNs := float64(time.Since(start).Nanoseconds()) / float64(2*iters*len(moves))
+
+	return shardedRow{
+		Workers:  workers,
+		BuildNs:  buildNs,
+		QueryNs:  queryNs,
+		UpdateNs: updateNs,
+		TickNs:   buildNs + float64(len(queriers))*queryNs + float64(len(moves))*updateNs,
+	}
+}
+
+// measureBoxParallelTick is measureParallelTick for box indexes.
+func measureBoxParallelTick(idx core.BoxIndex, rects []geom.Rect, queriers []uint32, moves, back []geom.BoxMove, querySize float32, iters, workers int) shardedRow {
+	idx.Build(rects)
+
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if pb, ok := idx.(core.BoxParallelBuilder); ok {
+			pb.BuildParallel(rects, workers)
+		} else {
+			idx.Build(rects)
+		}
+	}
+	buildNs := float64(time.Since(start).Nanoseconds()) / float64(iters)
+
+	queryTick := func() {
+		var cursor atomic.Int64
+		var g parutil.Group
+		for w := 0; w < workers; w++ {
+			g.Go(func() {
+				sink := 0
+				emit := func(uint32) { sink++ }
+				for {
+					lo := int(cursor.Add(64)) - 64
+					if lo >= len(queriers) {
+						break
+					}
+					hi := lo + 64
+					if hi > len(queriers) {
+						hi = len(queriers)
+					}
+					for _, q := range queriers[lo:hi] {
+						idx.Query(geom.Square(rects[q].Center(), querySize), emit)
+					}
+				}
+				if sink < 0 {
+					panic("unreachable")
+				}
+			})
+		}
+		g.Wait()
+	}
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		queryTick()
+	}
+	queryNs := float64(time.Since(start).Nanoseconds()) / float64(iters*len(queriers))
+
+	bu, hasBatch := idx.(core.BoxBatchUpdater)
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if hasBatch && bu.CanBatchUpdates(len(moves)) {
+			bu.UpdateBatch(moves, workers)
+			bu.UpdateBatch(back, workers)
+		} else {
+			for _, m := range moves {
+				idx.Update(m.ID, m.Old, m.New)
+			}
+			for _, m := range back {
+				idx.Update(m.ID, m.Old, m.New)
+			}
+		}
+	}
+	updateNs := float64(time.Since(start).Nanoseconds()) / float64(2*iters*len(moves))
+
+	return shardedRow{
+		Workers:  workers,
+		BuildNs:  buildNs,
+		QueryNs:  queryNs,
+		UpdateNs: updateNs,
+		TickNs:   buildNs + float64(len(queriers))*queryNs + float64(len(moves))*updateNs,
+	}
+}
+
+// countPointDuplicates counts excess emissions across the digest pass:
+// a correct engine reports every (querier, id) pair at most once.
+func countPointDuplicates(idx core.Index, pts []geom.Point, queriers []uint32, querySize float32) int {
+	dups := 0
+	seen := map[uint32]int{}
+	for _, q := range queriers {
+		clear(seen)
+		idx.Query(geom.Square(pts[q], querySize), func(id uint32) { seen[id]++ })
+		for _, c := range seen {
+			if c > 1 {
+				dups += c - 1
+			}
+		}
+	}
+	return dups
+}
+
+func countBoxDuplicates(idx core.BoxIndex, rects []geom.Rect, queriers []uint32, querySize float32) int {
+	dups := 0
+	seen := map[uint32]int{}
+	for _, q := range queriers {
+		clear(seen)
+		idx.Query(geom.Square(rects[q].Center(), querySize), func(id uint32) { seen[id]++ })
+		for _, c := range seen {
+			if c > 1 {
+				dups += c - 1
+			}
+		}
+	}
+	return dups
 }
 
 type boxContender struct {

@@ -26,6 +26,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/epoch"
+	"repro/internal/shard"
 	"repro/internal/workload"
 )
 
@@ -62,6 +63,7 @@ func run(args []string) error {
 		perTick      = fs.Bool("per-tick", false, "print per-tick phase times")
 		concurrent   = fs.Bool("concurrent", false, "service mode: epoch-published index, queries overlap updates, reports latency percentiles")
 		readers      = fs.Int("readers", 0, "query worker goroutines for -concurrent (0 = all CPUs minus one)")
+		shards       = fs.Int("shards", 0, "region-grid side for the sharded techniques (shard-auto/boxshard-auto): side^2 regions; 0 = tune shard-count ladder")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,7 +126,7 @@ func run(args []string) error {
 			return err
 		}
 		return runBoxMode(bcfg, *techniqueKey, *compare,
-			*parallel || *workers > 1, *workers, *perTick, *concurrent, *readers)
+			*parallel || *workers > 1, *workers, *perTick, *concurrent, *readers, *shards)
 	}
 
 	var techs []bench.NamedTechnique
@@ -202,15 +204,26 @@ func run(args []string) error {
 			return fmt.Errorf("-concurrent runs a single technique; drop -compare")
 		}
 		t := techs[0]
+		p := core.ParamsFor(wcfg)
+		p.Shards = *shards
+		if t.Key == "shard-auto" {
+			// The sharded engine gets per-region epoch publication rather
+			// than one stop-the-world wrapper around the whole router.
+			x := shard.NewConcurrent(p, epoch.Options{})
+			res := core.RunConcurrentSharded(x, workload.NewPlayer(trace), core.ConcurrentOptions{Readers: *readers})
+			return reportConcurrent(res)
+		}
 		x := epoch.NewIndex(func() core.Index {
-			return t.Make(core.ParamsFor(wcfg))
+			return t.Make(p)
 		}, epoch.Options{})
 		res := core.RunConcurrent(x, workload.NewPlayer(trace), core.ConcurrentOptions{Readers: *readers})
 		return reportConcurrent(res)
 	}
 
 	return raceReport(len(techs), *perTick, func(i int) (*core.Result, string) {
-		idx := techs[i].Make(core.ParamsFor(wcfg))
+		p := core.ParamsFor(wcfg)
+		p.Shards = *shards
+		idx := techs[i].Make(p)
 		if *parallel || *workers > 1 {
 			return core.RunParallel(idx, workload.NewPlayer(trace), opts, *workers), techs[i].Key
 		}
@@ -284,7 +297,7 @@ func reportConcurrent(res *core.ConcurrentResult) error {
 // runBoxMode runs the MBR workload: one technique or a digest race.
 // Each technique gets a fresh generator from the same configuration, so
 // all runs see the byte-identical stream.
-func runBoxMode(bcfg workload.BoxConfig, techniqueKey, compare string, parallel bool, workers int, perTick bool, concurrent bool, readers int) error {
+func runBoxMode(bcfg workload.BoxConfig, techniqueKey, compare string, parallel bool, workers int, perTick bool, concurrent bool, readers int, shards int) error {
 	var techs []bench.NamedBoxTechnique
 	if compare != "" {
 		if compare == "all" {
@@ -320,8 +333,16 @@ func runBoxMode(bcfg workload.BoxConfig, techniqueKey, compare string, parallel 
 			return fmt.Errorf("-concurrent runs a single technique; drop -compare")
 		}
 		t := techs[0]
+		p := core.ParamsFor(bcfg.Config)
+		p.Shards = shards
+		if t.Key == "boxshard-auto" {
+			x := shard.NewBoxConcurrent(p, epoch.Options{})
+			res := core.RunBoxesConcurrentSharded(x, workload.MustNewBoxGenerator(bcfg),
+				core.ConcurrentOptions{Readers: readers})
+			return reportConcurrent(res)
+		}
 		x := epoch.NewBoxIndex(func() core.BoxIndex {
-			return t.Make(core.ParamsFor(bcfg.Config))
+			return t.Make(p)
 		}, epoch.Options{})
 		res := core.RunBoxesConcurrent(x, workload.MustNewBoxGenerator(bcfg),
 			core.ConcurrentOptions{Readers: readers})
@@ -332,7 +353,9 @@ func runBoxMode(bcfg workload.BoxConfig, techniqueKey, compare string, parallel 
 	// Each technique gets a fresh generator, so all runs see the
 	// byte-identical stream.
 	return raceReport(len(techs), perTick, func(i int) (*core.Result, string) {
-		idx := techs[i].Make(core.ParamsFor(bcfg.Config))
+		p := core.ParamsFor(bcfg.Config)
+		p.Shards = shards
+		idx := techs[i].Make(p)
 		src := workload.MustNewBoxGenerator(bcfg)
 		if parallel {
 			return core.RunBoxesParallel(idx, src, opts, workers), techs[i].Key

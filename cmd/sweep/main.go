@@ -38,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/rtree"
+	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -54,7 +55,7 @@ func run(args []string) error {
 	var (
 		objects    = fs.String("objects", "point", "object class: point or box (box sweeps cps or qext of a rectangle grid)")
 		experiment = fs.String("experiment", "", "predefined sweep: fig1a, fig1b, fig5a or fig5b")
-		vary       = fs.String("vary", "", "custom sweep parameter: bs, cps or qext (point), cps or qext (box)")
+		vary       = fs.String("vary", "", "custom sweep parameter: bs, cps, qext or shards (point), cps, qext or shards (box); shards sweeps the region-grid side of the sharded engine")
 		from       = fs.Int("from", 4, "custom sweep start")
 		to         = fs.Int("to", 32, "custom sweep end (inclusive)")
 		step       = fs.Int("step", 4, "custom sweep step")
@@ -86,13 +87,13 @@ func run(args []string) error {
 		if *experiment != "" {
 			return fmt.Errorf("-objects box has no predefined experiments; use -vary cps or -vary qext")
 		}
-		if *vary != "cps" && *vary != "qext" {
-			return fmt.Errorf("-objects box sweeps cps or qext (the rectangle grids have no buckets)")
+		if *vary != "cps" && *vary != "qext" && *vary != "shards" {
+			return fmt.Errorf("-objects box sweeps cps, qext or shards (the rectangle grids have no buckets)")
 		}
-		if !bench.KnownBoxLayout(*boxLayout) {
+		if *vary != "shards" && !bench.KnownBoxLayout(*boxLayout) {
 			return fmt.Errorf("unknown box layout %q (have %s)", *boxLayout, bench.BoxLayoutKeys())
 		}
-		if *boxLayout == "auto" && *vary != "qext" {
+		if *boxLayout == "auto" && *vary != "qext" && *vary != "shards" {
 			return fmt.Errorf("-boxlayout auto tunes its own structural parameter; sweep -vary qext instead")
 		}
 		if *step <= 0 || *from <= 0 || *to < *from {
@@ -129,16 +130,16 @@ func run(args []string) error {
 		return nil
 	}
 
-	if *vary != "bs" && *vary != "cps" && *vary != "qext" {
-		return fmt.Errorf("need -experiment or -vary bs|cps|qext")
+	if *vary != "bs" && *vary != "cps" && *vary != "qext" && *vary != "shards" {
+		return fmt.Errorf("need -experiment or -vary bs|cps|qext|shards")
 	}
-	if *layout == "auto" && *vary != "qext" {
+	if *layout == "auto" && *vary != "qext" && *vary != "shards" {
 		return fmt.Errorf("-layout auto tunes bs and cps itself; sweep -vary qext instead")
 	}
 	if *step <= 0 || *from <= 0 || *to < *from {
 		return fmt.Errorf("invalid sweep range [%d, %d] step %d", *from, *to, *step)
 	}
-	if *layout != "auto" {
+	if *layout != "auto" && *vary != "shards" {
 		if _, err := bench.ParsePointLayout(*layout); err != nil {
 			return err
 		}
@@ -163,8 +164,12 @@ func run(args []string) error {
 		}
 	}
 
+	title := fmt.Sprintf("custom sweep: %s from %d to %d (layout=%s scan=%s)", *vary, *from, *to, *layout, *scan)
+	if *vary == "shards" {
+		title = fmt.Sprintf("custom sweep: region-grid side from %d to %d (sharded engine, per-region tuned inners)", *from, *to)
+	}
 	series := &stats.Series{
-		Title:  fmt.Sprintf("custom sweep: %s from %d to %d (layout=%s scan=%s)", *vary, *from, *to, *layout, *scan),
+		Title:  title,
 		XLabel: *vary,
 		YLabel: "Avg. Time per Tick (s)",
 	}
@@ -183,14 +188,21 @@ func run(args []string) error {
 				return err
 			}
 		}
-		idx, err := bench.NewPointLayout(*layout, *scan, bsv, cpsv, core.ParamsFor(wc))
-		if err != nil {
-			return err
+		var idx core.Index
+		if *vary == "shards" {
+			// x is the region-grid side: the sharded engine with x^2
+			// regions, each inner index tuned per region (layout ignored).
+			idx = shard.New(core.ParamsFor(wc), x)
+		} else {
+			idx, err = bench.NewPointLayout(*layout, *scan, bsv, cpsv, core.ParamsFor(wc))
+			if err != nil {
+				return err
+			}
 		}
 		res := core.Run(idx, workload.NewPlayer(trace), core.Options{})
 		series.Xs = append(series.Xs, float64(x))
 		ys = append(ys, res.AvgTick().Seconds())
-		if *layout == "auto" {
+		if *layout == "auto" || *vary == "shards" {
 			// idx.Name() carries the per-step decision after the run.
 			fmt.Fprintf(os.Stderr, "%s=%d: %.4fs/tick (%s)\n", *vary, x, res.AvgTick().Seconds(), idx.Name())
 		} else {
@@ -226,15 +238,17 @@ func runBoxSweep(vary string, from, to, step, cps int, layout string, scale floa
 	}
 
 	name := "boxgrid-csr"
-	switch layout {
-	case "2l":
+	switch {
+	case vary == "shards":
+		name = "boxshard"
+	case layout == "2l":
 		name = "boxgrid-2l"
-	case "rtree":
+	case layout == "rtree":
 		name = "boxrtree-str"
 		if vary == "cps" {
 			vary = "fanout"
 		}
-	case "auto":
+	case layout == "auto":
 		name = "boxauto"
 	}
 	series := &stats.Series{
@@ -250,15 +264,23 @@ func runBoxSweep(vary string, from, to, step, cps int, layout string, scale floa
 		} else {
 			structural = x
 		}
-		bg, err := bench.NewBoxLayout(layout, structural, core.ParamsFor(bcfg.Config))
-		if err != nil {
-			return err
+		var bg core.BoxIndex
+		var err error
+		if vary == "shards" {
+			// x is the region-grid side: the sharded box engine with x^2
+			// regions (per-region tuned inners; -boxlayout ignored).
+			bg = shard.NewBox(core.ParamsFor(bcfg.Config), x)
+		} else {
+			bg, err = bench.NewBoxLayout(layout, structural, core.ParamsFor(bcfg.Config))
+			if err != nil {
+				return err
+			}
 		}
 		res := core.RunBoxes(bg, workload.MustNewBoxGenerator(bcfg), core.Options{})
 		series.Xs = append(series.Xs, float64(x))
 		ys = append(ys, res.AvgTick().Seconds())
 		switch {
-		case layout == "auto":
+		case layout == "auto" || vary == "shards":
 			// bg.Name() carries the per-step decision after the run.
 			fmt.Fprintf(os.Stderr, "%s=%d: %.4fs/tick (%s)\n", vary, x, res.AvgTick().Seconds(), bg.Name())
 		default:

@@ -10,7 +10,14 @@
 // Run with:
 //
 //	go run ./examples/trafficmonitor
-//	go run ./examples/trafficmonitor -quick   # tiny smoke-test parameters
+//	go run ./examples/trafficmonitor -quick      # tiny smoke-test parameters
+//	go run ./examples/trafficmonitor -shards 2   # region-sharded engine, 2x2 city regions
+//
+// With -shards N the city is split into an NxN lattice of regions
+// (internal/shard), each region running its own independently tuned
+// index over just its vehicles — the hotspot clustering means different
+// regions can genuinely pick different structures — and the program
+// prints each region's tuning decision.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/grid"
+	"repro/internal/shard"
 	"repro/internal/workload"
 )
 
@@ -35,6 +43,7 @@ const (
 
 func main() {
 	quick := flag.Bool("quick", false, "tiny population and tick count (CI smoke run)")
+	shards := flag.Int("shards", 0, "region-grid side for the sharded engine (0 = single tuned grid)")
 	flag.Parse()
 	vehicles, ticks := vehicles, ticks
 	if *quick {
@@ -55,9 +64,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	idx, err := grid.New(grid.CPSTuned(), cfg.Bounds(), cfg.NumPoints)
-	if err != nil {
-		log.Fatal(err)
+	var idx core.Index
+	var sharded *shard.Index
+	if *shards > 0 {
+		sharded = shard.New(core.ParamsFor(cfg), *shards)
+		idx = sharded
+	} else {
+		g, err := grid.New(grid.CPSTuned(), cfg.Bounds(), cfg.NumPoints)
+		if err != nil {
+			log.Fatal(err)
+		}
+		idx = g
 	}
 
 	// Congestion zones: squares centred on the hotspots the generator
@@ -100,6 +117,16 @@ func main() {
 			idx.Update(u.ID, snapshot[u.ID], u.Pos)
 		}
 		gen.ApplyUpdates(batch)
+	}
+
+	if sharded != nil {
+		// Each region tuned its inner index from its own sample of the
+		// city; print the per-region decisions with their evidence.
+		fmt.Printf("\nper-region tuning (%s):\n", sharded.Name())
+		for _, ri := range sharded.Regions() {
+			fmt.Printf("region (%d,%d): %d vehicles\n", ri.CX, ri.CY, ri.Live)
+			fmt.Println(ri.Choice.Explain())
+		}
 	}
 
 	fmt.Printf("\n%d ticks, %d vehicles, %d hotspots\n", ticks, vehicles, hotspots)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/kdtrie"
 	"repro/internal/rtree"
+	"repro/internal/shard"
 	"repro/internal/tune"
 )
 
@@ -108,6 +109,11 @@ var namedTechniques = []NamedTechnique{
 		Description: "adaptive: samples the first snapshot and picks inline/csr/csrxy + a tuned cps from a calibrated cost model (internal/tune)",
 		Make:        tune.AutoFactory,
 	},
+	{
+		Key:         "shard-auto",
+		Description: "region-sharded engine: space split into per-region independently tuned indexes with parallel fan-out/merge routing (internal/shard; shard count from the tune ladder or -shards)",
+		Make:        shard.AutoFactory,
+	},
 }
 
 func gridFactory(preset func() grid.Config) core.Factory {
@@ -154,6 +160,11 @@ var namedBoxTechniques = []NamedBoxTechnique{
 		Key:         "boxauto",
 		Description: "adaptive: samples the first MBR snapshot and picks boxcsr/boxcsr2l/boxrtree + tuned cps or fanout from a calibrated cost model (internal/tune)",
 		Make:        tune.AutoBoxFactory,
+	},
+	{
+		Key:         "boxshard-auto",
+		Description: "region-sharded box engine: per-region replicated MBRs with boundary-ownership dedup and per-region tuned inner indexes (internal/shard)",
+		Make:        shard.AutoBoxFactory,
 	},
 }
 

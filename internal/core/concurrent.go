@@ -255,9 +255,10 @@ func runConcurrent[M any](e *concurrentEngine[M], opts ConcurrentOptions) *Concu
 			lat = append(lat, float64(d))
 		}
 	}
-	res.QueryP50 = time.Duration(stats.Percentile(lat, 0.50))
-	res.QueryP95 = time.Duration(stats.Percentile(lat, 0.95))
-	res.QueryP99 = time.Duration(stats.Percentile(lat, 0.99))
+	qs := stats.Percentiles(lat, 0.50, 0.95, 0.99)
+	res.QueryP50 = time.Duration(qs[0])
+	res.QueryP95 = time.Duration(qs[1])
+	res.QueryP99 = time.Duration(qs[2])
 	res.Stats = e.stats()
 	return res
 }

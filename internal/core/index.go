@@ -165,6 +165,11 @@ type Params struct {
 	// Hints optionally describes the workload mix for adaptive
 	// factories; the zero value means "unknown".
 	Hints WorkloadHints
+	// Shards requests a region-sharded engine's grid side (Shards x
+	// Shards regions, internal/shard). 0 lets the selector's shard-count
+	// ladder choose; 1 is a single region (unsharded behavior behind the
+	// sharded API). Non-sharded factories ignore it.
+	Shards int
 }
 
 // Factory constructs a fresh index instance for the given parameters.

@@ -23,6 +23,12 @@ func NewBoxIndex(newInner func() core.BoxIndex, opts Options) *BoxIndex {
 	x.moveNew = func(m geom.BoxMove) geom.Rect { return m.New }
 	x.fold = FoldBoxMoves
 	x.probePresent = func(ops indexOps[geom.Rect], m geom.BoxMove) bool {
+		if ops.owns != nil && !ops.owns(m.New) {
+			// Region shard that is not the reference owner of the new
+			// rectangle: a self-query must NOT report the id from here
+			// (some other shard owns the reference point and reports it).
+			return !boxAt(ops, m.New, m.ID)
+		}
 		return boxAt(ops, m.New, m.ID)
 	}
 	// Absence at the old rectangle is only assertable when old and new
@@ -35,6 +41,15 @@ func NewBoxIndex(newInner func() core.BoxIndex, opts Options) *BoxIndex {
 		return !boxAt(ops, m.Old, m.ID)
 	}
 	return x
+}
+
+// RectOwner is implemented by region-sharded box indexes
+// (internal/shard): replicas exist in every overlapped shard but only
+// the shard owning the reference point of a self-query (the rectangle's
+// min corner) reports the object, so the wrapper's membership probes
+// must condition presence on that ownership.
+type RectOwner interface {
+	OwnsRect(r geom.Rect) bool
 }
 
 // boxAt reports whether the index emits id for a query of rect r.
@@ -63,6 +78,9 @@ func newBoxBuffer(idx core.BoxIndex, n int) *buffer[geom.Rect] {
 	}
 	if ic, ok := idx.(core.InvariantChecker); ok {
 		b.ops.check = ic.CheckInvariants
+	}
+	if ro, ok := idx.(RectOwner); ok {
+		b.ops.owns = ro.OwnsRect
 	}
 	return b
 }

@@ -119,6 +119,10 @@ type indexOps[P any] struct {
 	length func() int
 	// check is the inner CheckInvariants, nil when unsupported.
 	check func() error
+	// owns is non-nil for region-sharded inners (PointOwner/RectOwner):
+	// the index reports only the objects whose geometry it owns, so the
+	// membership probes condition presence on ownership.
+	owns func(p P) bool
 }
 
 // buffer is one of the two publication targets: an inner index plus the

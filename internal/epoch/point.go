@@ -33,6 +33,12 @@ func NewIndex(newInner func() core.Index, opts Options) *Index {
 	x.moveNew = func(m geom.Move) geom.Point { return m.New }
 	x.fold = FoldMoves
 	x.probePresent = func(ops indexOps[geom.Point], m geom.Move) bool {
+		if ops.owns != nil && !ops.owns(m.New) {
+			// The inner is a region shard that does not own the new
+			// position: the move is an emigration and the id must be GONE
+			// from this shard's query results at its new position.
+			return !pointAt(ops, m.New, m.ID)
+		}
 		return pointAt(ops, m.New, m.ID)
 	}
 	x.probeAbsent = func(ops indexOps[geom.Point], m geom.Move) bool {
@@ -42,6 +48,14 @@ func NewIndex(newInner func() core.Index, opts Options) *Index {
 		return !pointAt(ops, m.Old, m.ID)
 	}
 	return x
+}
+
+// PointOwner is implemented by region-sharded point indexes
+// (internal/shard): the index holds and reports only the objects whose
+// position falls in its region, so the wrapper's membership probes must
+// condition presence on ownership of the probed position.
+type PointOwner interface {
+	OwnsPoint(p geom.Point) bool
 }
 
 // pointAt reports whether the index emits id for an exact-point query
@@ -71,6 +85,9 @@ func newPointBuffer(idx core.Index, n int) *buffer[geom.Point] {
 	}
 	if ic, ok := idx.(core.InvariantChecker); ok {
 		b.ops.check = ic.CheckInvariants
+	}
+	if ro, ok := idx.(PointOwner); ok {
+		b.ops.owns = ro.OwnsPoint
 	}
 	return b
 }

@@ -1,0 +1,573 @@
+package shard
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/parutil"
+	"repro/internal/tune"
+)
+
+var (
+	_ core.BoxIndex          = (*BoxIndex)(nil)
+	_ core.BoxParallelBuilder = (*BoxIndex)(nil)
+	_ core.BoxBatchUpdater   = (*BoxIndex)(nil)
+	_ core.Counter           = (*BoxIndex)(nil)
+	_ core.MemoryReporter    = (*BoxIndex)(nil)
+	_ core.InvariantChecker  = (*BoxIndex)(nil)
+	_ core.BoxIndex          = (*boxRegion)(nil)
+	_ core.InvariantChecker  = (*boxRegion)(nil)
+)
+
+// boxRegion is one shard of the box engine. Unlike points, MBRs
+// replicate: the region holds a replica of every box overlapping it,
+// and its standalone Query dedups by the boundary-ownership rule (emit
+// only when the reference point of query∩MBR falls in this region). The
+// router skips that test for single-region queries, where it is always
+// true.
+type boxRegion struct {
+	lat    *lattice
+	cx, cy int
+	sid    int
+	frame  geom.Rect
+	hints  core.WorkloadHints
+	park   geom.Rect
+
+	choice tune.Choice
+	chosen bool
+	inner  core.BoxIndex
+
+	lidOf   []uint32
+	owner   []uint32
+	rects   []geom.Rect // lid -> the replica's full (global) MBR
+	free    []uint32
+	live    int
+	members []uint32
+}
+
+func newBoxRegion(lat *lattice, cx, cy int, hints core.WorkloadHints) *boxRegion {
+	frame := lat.regionFrame(cx, cy)
+	c := frame.Center()
+	return &boxRegion{
+		lat:   lat,
+		cx:    cx,
+		cy:    cy,
+		sid:   cy*lat.side + cx,
+		frame: frame,
+		hints: hints,
+		park:  geom.Rect{MinX: c.X, MinY: c.Y, MaxX: c.X, MaxY: c.Y},
+	}
+}
+
+// Name implements core.BoxIndex.
+func (s *boxRegion) Name() string {
+	if s.inner != nil {
+		return fmt.Sprintf("region(%d,%d %s)", s.cx, s.cy, s.inner.Name())
+	}
+	return fmt.Sprintf("region(%d,%d)", s.cx, s.cy)
+}
+
+// overlaps reports whether r's lattice span covers this region — the
+// replica-membership rule.
+func (s *boxRegion) overlaps(r geom.Rect) bool {
+	x0, y0, x1, y1 := s.lat.spanOf(r)
+	return s.cx >= x0 && s.cx <= x1 && s.cy >= y0 && s.cy <= y1
+}
+
+// OwnsRect implements epoch.RectOwner: whether this region is the
+// reporting owner for a self-query of r — the reference point of r∩r is
+// r's min corner.
+func (s *boxRegion) OwnsRect(r geom.Rect) bool {
+	return s.lat.idOf(r.MinX, r.MinY) == s.sid
+}
+
+// Build implements core.BoxIndex over a FULL snapshot (self-scan form
+// for the epoch composition); the router routes once and calls
+// buildMembers.
+func (s *boxRegion) Build(all []geom.Rect) {
+	s.members = s.members[:0]
+	for id := range all {
+		if s.overlaps(all[id]) {
+			s.members = append(s.members, uint32(id))
+		}
+	}
+	s.buildMembers(all, s.members)
+}
+
+func (s *boxRegion) buildMembers(all []geom.Rect, members []uint32) {
+	if len(s.lidOf) != len(all) {
+		s.lidOf = make([]uint32, len(all))
+	}
+	n := len(members)
+	capa := n + n/8 + 8
+	if cap(s.rects) < capa {
+		s.rects = make([]geom.Rect, capa)
+		s.owner = make([]uint32, capa)
+	}
+	s.rects = s.rects[:capa]
+	s.owner = s.owner[:capa]
+	for i, gid := range members {
+		s.rects[i] = all[gid]
+		s.owner[i] = gid
+		s.lidOf[gid] = uint32(i)
+	}
+	s.free = s.free[:0]
+	for i := capa - 1; i >= n; i-- {
+		s.rects[i] = s.park
+		s.owner[i] = NONE
+		s.free = append(s.free, uint32(i))
+	}
+	s.live = n
+	if !s.chosen {
+		st := tune.SampleBoxes(s.rects[:n], s.frame, s.hints)
+		s.choice = tune.ChooseBox(st)
+		s.chosen = true
+		s.inner = s.choice.NewBoxIndex(core.Params{Bounds: s.frame, NumPoints: capa, Hints: s.hints})
+	}
+	s.inner.Build(s.rects)
+}
+
+// lidFor returns id's live replica slot in this region, or NONE — the
+// same validated lookup as pointRegion.lidFor (lidOf is not reset
+// between builds; the owner table disambiguates stale entries).
+func (s *boxRegion) lidFor(id uint32) uint32 {
+	if lid := s.lidOf[id]; int(lid) < len(s.owner) && s.owner[lid] == id {
+		return lid
+	}
+	return NONE
+}
+
+// Query implements core.BoxIndex standalone: always applies the
+// boundary-ownership dedup, so a fan-out union over regions is
+// exactly-once. The router uses query(r, emit, false) when the window
+// cannot straddle regions.
+func (s *boxRegion) Query(r geom.Rect, emit func(id uint32)) {
+	s.query(r, emit, true)
+}
+
+func (s *boxRegion) query(r geom.Rect, emit func(id uint32), dedup bool) {
+	owner := s.owner
+	if !dedup {
+		s.inner.Query(r, func(lid uint32) {
+			if g := owner[lid]; g != NONE {
+				emit(g)
+			}
+		})
+		return
+	}
+	rects := s.rects
+	s.inner.Query(r, func(lid uint32) {
+		g := owner[lid]
+		if g == NONE {
+			return
+		}
+		rx, ry := refPoint(r, rects[lid])
+		if s.lat.idOf(rx, ry) == s.sid {
+			emit(g)
+		}
+	})
+}
+
+// Update implements core.BoxIndex for all four replica-membership
+// cases (the region's tables are the authority).
+func (s *boxRegion) Update(id uint32, _, new geom.Rect) {
+	lid := s.lidFor(id)
+	inNew := s.overlaps(new)
+	switch {
+	case lid != NONE && inNew:
+		s.inner.Update(lid, s.rects[lid], new)
+		s.rects[lid] = new
+	case lid != NONE: // replica leaves this region
+		s.inner.Update(lid, s.rects[lid], s.park)
+		s.rects[lid] = s.park
+		s.owner[lid] = NONE
+		s.lidOf[id] = NONE
+		s.free = append(s.free, lid)
+		s.live--
+	case inNew: // replica enters this region
+		if len(s.free) == 0 {
+			s.grow()
+		}
+		lid = s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+		s.inner.Update(lid, s.rects[lid], new)
+		s.rects[lid] = new
+		s.owner[lid] = id
+		s.lidOf[id] = lid
+		s.live++
+	}
+}
+
+func (s *boxRegion) grow() {
+	old := len(s.rects)
+	add := old/4 + 8
+	for i := 0; i < add; i++ {
+		s.rects = append(s.rects, s.park)
+		s.owner = append(s.owner, NONE)
+		s.free = append(s.free, uint32(old+i))
+	}
+	s.inner.Build(s.rects)
+}
+
+// CheckInvariants implements core.InvariantChecker.
+func (s *boxRegion) CheckInvariants() error {
+	if len(s.rects) != len(s.owner) {
+		return fmt.Errorf("shard: region(%d,%d) arena %d vs owner %d", s.cx, s.cy, len(s.rects), len(s.owner))
+	}
+	if s.live+len(s.free) != len(s.rects) {
+		return fmt.Errorf("shard: region(%d,%d) live %d + free %d != cap %d", s.cx, s.cy, s.live, len(s.free), len(s.rects))
+	}
+	liveSeen := 0
+	for lid, g := range s.owner {
+		if g == NONE {
+			if s.rects[lid] != s.park {
+				return fmt.Errorf("shard: region(%d,%d) dead slot %d not parked", s.cx, s.cy, lid)
+			}
+			continue
+		}
+		liveSeen++
+		if int(g) >= len(s.lidOf) || s.lidOf[g] != uint32(lid) {
+			return fmt.Errorf("shard: region(%d,%d) slot %d owner %d not inverse-mapped", s.cx, s.cy, lid, g)
+		}
+		if !s.overlaps(s.rects[lid]) {
+			return fmt.Errorf("shard: region(%d,%d) replica %d at %v does not overlap region", s.cx, s.cy, g, s.rects[lid])
+		}
+	}
+	if liveSeen != s.live {
+		return fmt.Errorf("shard: region(%d,%d) counted %d live, tracked %d", s.cx, s.cy, liveSeen, s.live)
+	}
+	if c, ok := s.inner.(core.Counter); ok && c.Len() != len(s.rects) {
+		return fmt.Errorf("shard: region(%d,%d) inner holds %d entries, arena %d", s.cx, s.cy, c.Len(), len(s.rects))
+	}
+	if ic, ok := s.inner.(core.InvariantChecker); ok {
+		if err := ic.CheckInvariants(); err != nil {
+			return fmt.Errorf("shard: region(%d,%d) inner: %w", s.cx, s.cy, err)
+		}
+	}
+	return nil
+}
+
+func (s *boxRegion) memoryBytes() int64 {
+	b := int64(len(s.lidOf)+len(s.owner)+len(s.free))*4 + int64(len(s.rects))*16
+	if mr, ok := s.inner.(core.MemoryReporter); ok {
+		b += mr.MemoryBytes()
+	}
+	return b
+}
+
+// BoxIndex is the region-sharded box engine: a core.BoxIndex router
+// over side x side boxRegions with replica-based membership and
+// boundary-ownership dedup.
+type BoxIndex struct {
+	hints core.WorkloadHints
+	side  int
+	lat   lattice
+	regs  []*boxRegion
+
+	members [][]uint32
+	route   [][]uint32 // per-worker x per-region parallel routing scratch
+	batches [][]geom.BoxMove
+	bounds  geom.Rect
+	n       int
+}
+
+// NewBox constructs a sharded box engine with an explicit region-grid
+// side (>= 1).
+func NewBox(p core.Params, side int) *BoxIndex {
+	if side < 1 {
+		side = 1
+	}
+	tune.Calibrate()
+	return &BoxIndex{hints: p.Hints, side: side, bounds: p.Bounds, n: p.NumPoints}
+}
+
+// NewAutoBox constructs a sharded box engine whose region-grid side is
+// chosen by the tune shard-count ladder (p.Shards overrides).
+func NewAutoBox(p core.Params) *BoxIndex {
+	tune.Calibrate()
+	return &BoxIndex{hints: p.Hints, side: p.Shards, bounds: p.Bounds, n: p.NumPoints}
+}
+
+// AutoBoxFactory is the core.BoxFactory for NewAutoBox (lineup key
+// "boxshard-auto").
+func AutoBoxFactory(p core.Params) core.BoxIndex { return NewAutoBox(p) }
+
+// Name implements core.BoxIndex.
+func (x *BoxIndex) Name() string {
+	if x.side < 1 {
+		return "boxshard[auto]"
+	}
+	return "box" + regionName(x.side)
+}
+
+// Side returns the region-grid side (0 before an auto first build).
+func (x *BoxIndex) Side() int { return x.side }
+
+// Regions returns per-region population and tuning choices.
+func (x *BoxIndex) Regions() []RegionInfo {
+	out := make([]RegionInfo, 0, len(x.regs))
+	for _, s := range x.regs {
+		out = append(out, RegionInfo{CX: s.cx, CY: s.cy, Frame: s.frame, Live: s.live, Choice: s.choice})
+	}
+	return out
+}
+
+func (x *BoxIndex) ensure(all []geom.Rect) {
+	if x.regs != nil {
+		return
+	}
+	if x.side < 1 {
+		st := tune.SampleBoxes(all, x.bounds, x.hints)
+		x.side = tune.ChooseShardSide(st, runtime.GOMAXPROCS(0))
+	}
+	x.lat = newLattice(x.bounds, x.side)
+	x.regs = make([]*boxRegion, x.side*x.side)
+	for cy := 0; cy < x.side; cy++ {
+		for cx := 0; cx < x.side; cx++ {
+			x.regs[cy*x.side+cx] = newBoxRegion(&x.lat, cx, cy, x.hints)
+		}
+	}
+	x.members = make([][]uint32, len(x.regs))
+	x.batches = make([][]geom.BoxMove, len(x.regs))
+}
+
+// Build implements core.BoxIndex: one routing pass replicates each MBR
+// into the member list of every region it overlaps, then the regions
+// build.
+func (x *BoxIndex) Build(all []geom.Rect) { x.buildWith(all, 1) }
+
+// BuildParallel implements core.BoxParallelBuilder (work-stealing over
+// regions; identical result to Build).
+func (x *BoxIndex) BuildParallel(all []geom.Rect, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	x.buildWith(all, workers)
+}
+
+func (x *BoxIndex) buildWith(all []geom.Rect, workers int) {
+	x.ensure(all)
+	side := x.lat.side
+	nr := len(x.regs)
+	if workers > 1 && nr > 1 && len(all) >= 8192 {
+		// Parallel replication routing: per-worker private sublists,
+		// concatenated per region in worker order (identical member order
+		// to the sequential pass — see Index.buildWith).
+		if len(x.route) != workers*nr {
+			x.route = make([][]uint32, workers*nr)
+		}
+		chunk := (len(all) + workers - 1) / workers
+		var g parutil.Group
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(all) {
+				hi = len(all)
+			}
+			sub := x.route[w*nr : (w+1)*nr]
+			g.Go(func() {
+				for i := range sub {
+					sub[i] = sub[i][:0]
+				}
+				for id := lo; id < hi; id++ {
+					x0, y0, x1, y1 := x.lat.spanOf(all[id])
+					for cy := y0; cy <= y1; cy++ {
+						row := cy * side
+						for cx := x0; cx <= x1; cx++ {
+							sub[row+cx] = append(sub[row+cx], uint32(id))
+						}
+					}
+				}
+			})
+		}
+		g.Wait()
+		x.forEachRegion(workers, func(i int) {
+			m := x.members[i][:0]
+			for w := 0; w < workers; w++ {
+				m = append(m, x.route[w*nr+i]...)
+			}
+			x.members[i] = m
+			x.regs[i].buildMembers(all, m)
+		})
+		return
+	}
+	for i := range x.members {
+		x.members[i] = x.members[i][:0]
+	}
+	for id := range all {
+		x0, y0, x1, y1 := x.lat.spanOf(all[id])
+		for cy := y0; cy <= y1; cy++ {
+			row := cy * side
+			for cx := x0; cx <= x1; cx++ {
+				x.members[row+cx] = append(x.members[row+cx], uint32(id))
+			}
+		}
+	}
+	x.forEachRegion(workers, func(i int) {
+		x.regs[i].buildMembers(all, x.members[i])
+	})
+}
+
+func (x *BoxIndex) forEachRegion(workers int, fn func(i int)) {
+	forEachStealing(len(x.regs), workers, fn)
+}
+
+// Query implements core.BoxIndex: fan out to the overlapped regions.
+// Single-region windows skip the boundary-ownership test (the reference
+// point of any candidate intersection lies inside the window and hence
+// the region); multi-region windows apply it per candidate so each
+// replica reports exactly once.
+func (x *BoxIndex) Query(r geom.Rect, emit func(id uint32)) {
+	x0, y0, x1, y1 := x.lat.spanOf(r)
+	if x0 == x1 && y0 == y1 {
+		x.regs[y0*x.lat.side+x0].query(r, emit, false)
+		return
+	}
+	for cy := y0; cy <= y1; cy++ {
+		row := cy * x.lat.side
+		for cx := x0; cx <= x1; cx++ {
+			x.regs[row+cx].query(r, emit, true)
+		}
+	}
+}
+
+// Update implements core.BoxIndex: every region in the union of the old
+// and new spans adjusts its replica (add, move, or park).
+func (x *BoxIndex) Update(id uint32, old, new geom.Rect) {
+	ox0, oy0, ox1, oy1 := x.lat.spanOf(old)
+	nx0, ny0, nx1, ny1 := x.lat.spanOf(new)
+	ux0, uy0, ux1, uy1 := ox0, oy0, ox1, oy1
+	if nx0 < ux0 {
+		ux0 = nx0
+	}
+	if ny0 < uy0 {
+		uy0 = ny0
+	}
+	if nx1 > ux1 {
+		ux1 = nx1
+	}
+	if ny1 > uy1 {
+		uy1 = ny1
+	}
+	for cy := uy0; cy <= uy1; cy++ {
+		inOldY := cy >= oy0 && cy <= oy1
+		inNewY := cy >= ny0 && cy <= ny1
+		row := cy * x.lat.side
+		for cx := ux0; cx <= ux1; cx++ {
+			inOld := inOldY && cx >= ox0 && cx <= ox1
+			inNew := inNewY && cx >= nx0 && cx <= nx1
+			if inOld || inNew {
+				x.regs[row+cx].Update(id, old, new)
+			}
+		}
+	}
+}
+
+// CanBatchUpdates implements core.BoxBatchUpdater.
+func (x *BoxIndex) CanBatchUpdates(n int) bool {
+	return len(x.regs) > 1 && n >= 64
+}
+
+// UpdateBatch implements core.BoxBatchUpdater: route each move to every
+// affected region, then regions apply their lists in parallel (see
+// Index.UpdateBatch for why this is identical to per-move application).
+func (x *BoxIndex) UpdateBatch(moves []geom.BoxMove, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	for i := range x.batches {
+		x.batches[i] = x.batches[i][:0]
+	}
+	side := x.lat.side
+	for _, m := range moves {
+		ox0, oy0, ox1, oy1 := x.lat.spanOf(m.Old)
+		nx0, ny0, nx1, ny1 := x.lat.spanOf(m.New)
+		ux0, uy0, ux1, uy1 := ox0, oy0, ox1, oy1
+		if nx0 < ux0 {
+			ux0 = nx0
+		}
+		if ny0 < uy0 {
+			uy0 = ny0
+		}
+		if nx1 > ux1 {
+			ux1 = nx1
+		}
+		if ny1 > uy1 {
+			uy1 = ny1
+		}
+		for cy := uy0; cy <= uy1; cy++ {
+			inOldY := cy >= oy0 && cy <= oy1
+			inNewY := cy >= ny0 && cy <= ny1
+			row := cy * side
+			for cx := ux0; cx <= ux1; cx++ {
+				inOld := inOldY && cx >= ox0 && cx <= ox1
+				inNew := inNewY && cx >= nx0 && cx <= nx1
+				if inOld || inNew {
+					x.batches[row+cx] = append(x.batches[row+cx], m)
+				}
+			}
+		}
+	}
+	x.forEachRegion(workers, func(i int) {
+		reg := x.regs[i]
+		for _, m := range x.batches[i] {
+			reg.Update(m.ID, m.Old, m.New)
+		}
+	})
+}
+
+// Len implements core.Counter: live replicas across regions (objects
+// counted once per overlapped region, mirroring BoxGrid's Len
+// semantics of entries stored).
+func (x *BoxIndex) Len() int {
+	n := 0
+	for _, s := range x.regs {
+		n += s.live
+	}
+	return n
+}
+
+// ReplicationFactor reports live replicas per object.
+func (x *BoxIndex) ReplicationFactor() float64 {
+	if len(x.regs) == 0 || len(x.regs[0].lidOf) == 0 {
+		return 1
+	}
+	return float64(x.Len()) / float64(len(x.regs[0].lidOf))
+}
+
+// MemoryBytes implements core.MemoryReporter.
+func (x *BoxIndex) MemoryBytes() int64 {
+	var b int64
+	for _, s := range x.regs {
+		b += s.memoryBytes()
+	}
+	return b
+}
+
+// CheckInvariants implements core.InvariantChecker: per-region
+// invariants plus the replica-set rule (each id's replicas are exactly
+// the regions its current MBR overlaps — verified per region already,
+// so here just that every id has at least one replica).
+func (x *BoxIndex) CheckInvariants() error {
+	for _, s := range x.regs {
+		if err := s.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	if len(x.regs) > 0 {
+		for id := range x.regs[0].lidOf {
+			replicas := 0
+			for _, s := range x.regs {
+				if s.lidFor(uint32(id)) != NONE {
+					replicas++
+				}
+			}
+			if replicas == 0 {
+				return fmt.Errorf("shard: box %d has no replica in any region", id)
+			}
+		}
+	}
+	return nil
+}

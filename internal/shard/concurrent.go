@@ -1,0 +1,304 @@
+package shard
+
+import (
+	"errors"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/epoch"
+	"repro/internal/geom"
+	"repro/internal/tune"
+)
+
+// The epoch compositions satisfy the sharded concurrent driver's
+// contracts.
+var (
+	_ core.ShardedEpochIndex    = (*Concurrent)(nil)
+	_ core.ShardedEpochBoxIndex = (*BoxConcurrent)(nil)
+)
+
+// Concurrent is the region-sharded engine for the concurrent
+// (queries-during-updates) regime: every region is wrapped in its own
+// epoch.Index publication, so shards validate, publish, and degrade
+// independently — an injected fault poisons one region's publish while
+// the other shards keep advancing, and the per-shard publish barrier
+// replaces one global stop-the-world swap. Queries fan out exactly like
+// the stop-the-world router and report each shard's (epoch, digest)
+// observation for the driver's per-shard oracle check; per-shard
+// digests fold into one composite via epoch.CompositeDigest.
+type Concurrent struct {
+	hints  core.WorkloadHints
+	opts   epoch.Options
+	side   int
+	lat    lattice
+	shards []*epoch.Index
+
+	batches [][]geom.Move
+	errs    []error
+	bounds  geom.Rect
+}
+
+// NewConcurrent builds the sharded epoch composition. side comes from
+// p.Shards; 0 defers to the tune shard-count ladder at Build.
+func NewConcurrent(p core.Params, opts epoch.Options) *Concurrent {
+	tune.Calibrate()
+	return &Concurrent{hints: p.Hints, opts: opts, side: p.Shards, bounds: p.Bounds}
+}
+
+// Name implements core.ShardedEpochIndex.
+func (x *Concurrent) Name() string {
+	if x.side < 1 {
+		return "epoch(shard[auto])"
+	}
+	return "epoch(" + regionName(x.side) + ")"
+}
+
+// NumShards implements core.ShardedEpochIndex (valid after Build).
+func (x *Concurrent) NumShards() int { return len(x.shards) }
+
+// Build implements core.ShardedEpochIndex: each region's epoch wrapper
+// builds over the FULL snapshot (the region self-scans for its
+// members), in parallel across shards.
+func (x *Concurrent) Build(pts []geom.Point) {
+	if x.shards == nil {
+		if x.side < 1 {
+			st := tune.SamplePoints(pts, x.bounds, x.hints)
+			x.side = tune.ChooseShardSide(st, runtime.GOMAXPROCS(0))
+		}
+		x.lat = newLattice(x.bounds, x.side)
+		x.shards = make([]*epoch.Index, x.side*x.side)
+		for cy := 0; cy < x.side; cy++ {
+			for cx := 0; cx < x.side; cx++ {
+				cx, cy := cx, cy
+				x.shards[cy*x.side+cx] = epoch.NewIndex(func() core.Index {
+					return newPointRegion(&x.lat, cx, cy, x.hints)
+				}, x.opts)
+			}
+		}
+		x.batches = make([][]geom.Move, len(x.shards))
+		x.errs = make([]error, len(x.shards))
+	}
+	forEachStealing(len(x.shards), runtime.GOMAXPROCS(0), func(i int) {
+		x.shards[i].Build(pts)
+	})
+}
+
+// ApplyBatch implements core.ShardedEpochIndex: moves route to the
+// shards owning their old and new positions (a migration reaches both),
+// then the affected shards apply and publish in parallel. A shard with
+// no routed moves skips the tick entirely — its live epoch stays valid.
+// On error the OTHER shards still published; the driver records every
+// shard's epoch after every tick and merges the whole batch into the
+// next tick, which is safe because regions treat replayed moves as
+// no-ops (the id table, not the passed old position, is the authority).
+func (x *Concurrent) ApplyBatch(moves []geom.Move) error {
+	for i := range x.batches {
+		x.batches[i] = x.batches[i][:0]
+	}
+	for _, m := range moves {
+		s1 := x.lat.idOf(m.Old.X, m.Old.Y)
+		s2 := x.lat.idOf(m.New.X, m.New.Y)
+		x.batches[s1] = append(x.batches[s1], m)
+		if s2 != s1 {
+			x.batches[s2] = append(x.batches[s2], m)
+		}
+	}
+	forEachStealing(len(x.shards), runtime.GOMAXPROCS(0), func(i int) {
+		if len(x.batches[i]) == 0 {
+			x.errs[i] = nil
+			return
+		}
+		_, x.errs[i] = x.shards[i].ApplyBatch(x.batches[i])
+	})
+	return errors.Join(x.errs...)
+}
+
+// Query implements core.ShardedEpochIndex: fan out to the overlapped
+// regions, reporting each shard's (epoch, digest) observation. Shard
+// results are disjoint by ownership, so the merged stream is
+// duplicate-free.
+func (x *Concurrent) Query(r geom.Rect, emit func(id uint32), observe func(shard int, epoch, digest uint64)) {
+	x0, y0, x1, y1 := x.lat.spanOf(r)
+	for cy := y0; cy <= y1; cy++ {
+		row := cy * x.lat.side
+		for cx := x0; cx <= x1; cx++ {
+			sid := row + cx
+			ep, dg := x.shards[sid].Query(r, emit)
+			observe(sid, ep, dg)
+		}
+	}
+}
+
+// ShardEpoch implements core.ShardedEpochIndex: shard i's live epoch
+// number and digest.
+func (x *Concurrent) ShardEpoch(i int) (uint64, uint64) { return x.shards[i].Epoch() }
+
+// Composite folds the live per-shard digests into one engine-level
+// digest (position-salted, so swapped shard states change it).
+func (x *Concurrent) Composite() uint64 {
+	parts := make([]uint64, len(x.shards))
+	for i, sh := range x.shards {
+		_, parts[i] = sh.Epoch()
+	}
+	return epoch.CompositeDigest(parts)
+}
+
+// Stats implements core.ShardedEpochIndex: lifecycle counters summed
+// across shards.
+func (x *Concurrent) Stats() core.EpochStats {
+	var t core.EpochStats
+	for _, sh := range x.shards {
+		s := sh.Stats()
+		t.Epochs += s.Epochs
+		t.Degraded += s.Degraded
+		t.Retries += s.Retries
+		t.PanicsContained += s.PanicsContained
+	}
+	return t
+}
+
+// BoxConcurrent is Concurrent over rectangles: per-region
+// epoch.BoxIndex publications with replica routing (a move reaches
+// every shard in the union of its old and new spans) and
+// boundary-ownership dedup inside each region's standalone Query.
+type BoxConcurrent struct {
+	hints  core.WorkloadHints
+	opts   epoch.Options
+	side   int
+	lat    lattice
+	shards []*epoch.BoxIndex
+
+	batches [][]geom.BoxMove
+	errs    []error
+	bounds  geom.Rect
+}
+
+// NewBoxConcurrent builds the sharded box epoch composition. side comes
+// from p.Shards; 0 defers to the tune shard-count ladder at Build.
+func NewBoxConcurrent(p core.Params, opts epoch.Options) *BoxConcurrent {
+	tune.Calibrate()
+	return &BoxConcurrent{hints: p.Hints, opts: opts, side: p.Shards, bounds: p.Bounds}
+}
+
+// Name implements core.ShardedEpochBoxIndex.
+func (x *BoxConcurrent) Name() string {
+	if x.side < 1 {
+		return "epoch(boxshard[auto])"
+	}
+	return "epoch(box" + regionName(x.side) + ")"
+}
+
+// NumShards implements core.ShardedEpochBoxIndex (valid after Build).
+func (x *BoxConcurrent) NumShards() int { return len(x.shards) }
+
+// Build implements core.ShardedEpochBoxIndex.
+func (x *BoxConcurrent) Build(rects []geom.Rect) {
+	if x.shards == nil {
+		if x.side < 1 {
+			st := tune.SampleBoxes(rects, x.bounds, x.hints)
+			x.side = tune.ChooseShardSide(st, runtime.GOMAXPROCS(0))
+		}
+		x.lat = newLattice(x.bounds, x.side)
+		x.shards = make([]*epoch.BoxIndex, x.side*x.side)
+		for cy := 0; cy < x.side; cy++ {
+			for cx := 0; cx < x.side; cx++ {
+				cx, cy := cx, cy
+				x.shards[cy*x.side+cx] = epoch.NewBoxIndex(func() core.BoxIndex {
+					return newBoxRegion(&x.lat, cx, cy, x.hints)
+				}, x.opts)
+			}
+		}
+		x.batches = make([][]geom.BoxMove, len(x.shards))
+		x.errs = make([]error, len(x.shards))
+	}
+	forEachStealing(len(x.shards), runtime.GOMAXPROCS(0), func(i int) {
+		x.shards[i].Build(rects)
+	})
+}
+
+// ApplyBatch implements core.ShardedEpochBoxIndex; semantics match
+// Concurrent.ApplyBatch with span-union routing.
+func (x *BoxConcurrent) ApplyBatch(moves []geom.BoxMove) error {
+	for i := range x.batches {
+		x.batches[i] = x.batches[i][:0]
+	}
+	side := x.lat.side
+	for _, m := range moves {
+		ox0, oy0, ox1, oy1 := x.lat.spanOf(m.Old)
+		nx0, ny0, nx1, ny1 := x.lat.spanOf(m.New)
+		ux0, uy0, ux1, uy1 := ox0, oy0, ox1, oy1
+		if nx0 < ux0 {
+			ux0 = nx0
+		}
+		if ny0 < uy0 {
+			uy0 = ny0
+		}
+		if nx1 > ux1 {
+			ux1 = nx1
+		}
+		if ny1 > uy1 {
+			uy1 = ny1
+		}
+		for cy := uy0; cy <= uy1; cy++ {
+			inOldY := cy >= oy0 && cy <= oy1
+			inNewY := cy >= ny0 && cy <= ny1
+			row := cy * side
+			for cx := ux0; cx <= ux1; cx++ {
+				inOld := inOldY && cx >= ox0 && cx <= ox1
+				inNew := inNewY && cx >= nx0 && cx <= nx1
+				if inOld || inNew {
+					x.batches[row+cx] = append(x.batches[row+cx], m)
+				}
+			}
+		}
+	}
+	forEachStealing(len(x.shards), runtime.GOMAXPROCS(0), func(i int) {
+		if len(x.batches[i]) == 0 {
+			x.errs[i] = nil
+			return
+		}
+		_, x.errs[i] = x.shards[i].ApplyBatch(x.batches[i])
+	})
+	return errors.Join(x.errs...)
+}
+
+// Query implements core.ShardedEpochBoxIndex. Every region dedups by
+// boundary ownership (replicas straddling shards report from exactly
+// one), so the merged stream is duplicate-free.
+func (x *BoxConcurrent) Query(r geom.Rect, emit func(id uint32), observe func(shard int, epoch, digest uint64)) {
+	x0, y0, x1, y1 := x.lat.spanOf(r)
+	for cy := y0; cy <= y1; cy++ {
+		row := cy * x.lat.side
+		for cx := x0; cx <= x1; cx++ {
+			sid := row + cx
+			ep, dg := x.shards[sid].Query(r, emit)
+			observe(sid, ep, dg)
+		}
+	}
+}
+
+// ShardEpoch implements core.ShardedEpochBoxIndex.
+func (x *BoxConcurrent) ShardEpoch(i int) (uint64, uint64) { return x.shards[i].Epoch() }
+
+// Composite folds the live per-shard digests into one engine-level
+// digest.
+func (x *BoxConcurrent) Composite() uint64 {
+	parts := make([]uint64, len(x.shards))
+	for i, sh := range x.shards {
+		_, parts[i] = sh.Epoch()
+	}
+	return epoch.CompositeDigest(parts)
+}
+
+// Stats implements core.ShardedEpochBoxIndex.
+func (x *BoxConcurrent) Stats() core.EpochStats {
+	var t core.EpochStats
+	for _, sh := range x.shards {
+		s := sh.Stats()
+		t.Epochs += s.Epochs
+		t.Degraded += s.Degraded
+		t.Retries += s.Retries
+		t.PanicsContained += s.PanicsContained
+	}
+	return t
+}

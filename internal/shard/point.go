@@ -1,0 +1,516 @@
+package shard
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/parutil"
+	"repro/internal/tune"
+)
+
+// The router satisfies the full optional-capability surface so the
+// drivers' parallel and batch paths engage, and each region satisfies
+// the contracts the epoch wrapper probes.
+var (
+	_ core.Index            = (*Index)(nil)
+	_ core.ParallelBuilder  = (*Index)(nil)
+	_ core.BatchUpdater     = (*Index)(nil)
+	_ core.Counter          = (*Index)(nil)
+	_ core.MemoryReporter   = (*Index)(nil)
+	_ core.InvariantChecker = (*Index)(nil)
+	_ core.Index            = (*pointRegion)(nil)
+	_ core.InvariantChecker = (*pointRegion)(nil)
+)
+
+// pointRegion is one shard of the point engine: a compacted local
+// arena (positions, owner ids, free list) in front of a tune-selected
+// inner index over local slot ids. It also implements core.Index
+// standalone — Build self-partitions a full snapshot — which is the
+// form the epoch wrapper consumes in the concurrent composition.
+type pointRegion struct {
+	lat    *lattice
+	cx, cy int
+	sid    int
+	frame  geom.Rect
+	hints  core.WorkloadHints
+	park   geom.Point
+
+	choice tune.Choice
+	chosen bool
+	inner  core.Index
+
+	// lidOf maps global id -> local slot (NONE when not a member);
+	// owner is the inverse (NONE for parked slots); pts holds each
+	// slot's position (the park position for dead slots).
+	lidOf   []uint32
+	owner   []uint32
+	pts     []geom.Point
+	free    []uint32
+	live    int
+	members []uint32 // build scratch
+}
+
+func newPointRegion(lat *lattice, cx, cy int, hints core.WorkloadHints) *pointRegion {
+	frame := lat.regionFrame(cx, cy)
+	return &pointRegion{
+		lat:   lat,
+		cx:    cx,
+		cy:    cy,
+		sid:   cy*lat.side + cx,
+		frame: frame,
+		hints: hints,
+		park:  frame.Center(),
+	}
+}
+
+// Name implements core.Index.
+func (s *pointRegion) Name() string {
+	if s.inner != nil {
+		return fmt.Sprintf("region(%d,%d %s)", s.cx, s.cy, s.inner.Name())
+	}
+	return fmt.Sprintf("region(%d,%d)", s.cx, s.cy)
+}
+
+// OwnsPoint implements epoch.PointOwner: whether this region owns an
+// object at position p.
+func (s *pointRegion) OwnsPoint(p geom.Point) bool {
+	return s.lat.idOf(p.X, p.Y) == s.sid
+}
+
+// Build implements core.Index over a FULL snapshot: the region scans it
+// for members and indexes only those. The router avoids the per-region
+// scan by routing once and calling buildMembers directly.
+func (s *pointRegion) Build(all []geom.Point) {
+	s.members = s.members[:0]
+	for id := range all {
+		if s.lat.idOf(all[id].X, all[id].Y) == s.sid {
+			s.members = append(s.members, uint32(id))
+		}
+	}
+	s.buildMembers(all, s.members)
+}
+
+// buildMembers (re)builds the region over the given member ids of the
+// full snapshot. The first build samples the members and picks the
+// inner family via internal/tune; later builds reuse the choice (and
+// the inner's arenas).
+func (s *pointRegion) buildMembers(all []geom.Point, members []uint32) {
+	if len(s.lidOf) != len(all) {
+		s.lidOf = make([]uint32, len(all))
+	}
+	n := len(members)
+	capa := n + n/8 + 8 // parked-slot slack for immigration before a regrow
+	if cap(s.pts) < capa {
+		s.pts = make([]geom.Point, capa)
+		s.owner = make([]uint32, capa)
+	}
+	s.pts = s.pts[:capa]
+	s.owner = s.owner[:capa]
+	for i, gid := range members {
+		s.pts[i] = all[gid]
+		s.owner[i] = gid
+		s.lidOf[gid] = uint32(i)
+	}
+	s.free = s.free[:0]
+	for i := capa - 1; i >= n; i-- {
+		s.pts[i] = s.park
+		s.owner[i] = NONE
+		s.free = append(s.free, uint32(i))
+	}
+	s.live = n
+	if !s.chosen {
+		st := tune.SamplePoints(s.pts[:n], s.frame, s.hints)
+		s.choice = tune.ChoosePoint(st)
+		s.chosen = true
+		s.inner = s.choice.NewPointIndex(core.Params{Bounds: s.frame, NumPoints: capa, Hints: s.hints})
+	}
+	s.inner.Build(s.pts)
+}
+
+// lidFor returns id's live slot in this region, or NONE. lidOf entries
+// are NOT reset between builds (a full reset costs side^2*n per tick
+// across regions), so a hit is validated against the owner table: owner
+// slots only ever hold current member ids, and members get a fresh
+// lidOf entry at every build, so a stale entry can never validate.
+// (NONE compares >= len(owner), so no separate sentinel check.)
+func (s *pointRegion) lidFor(id uint32) uint32 {
+	if lid := s.lidOf[id]; int(lid) < len(s.owner) && s.owner[lid] == id {
+		return lid
+	}
+	return NONE
+}
+
+// Query implements core.Index: the inner emits local slots, the region
+// translates to global ids and filters parked slots. Points partition
+// exactly across regions, so no dedup test is needed.
+func (s *pointRegion) Query(r geom.Rect, emit func(id uint32)) {
+	owner := s.owner
+	s.inner.Query(r, func(lid uint32) {
+		if g := owner[lid]; g != NONE {
+			emit(g)
+		}
+	})
+}
+
+// Update implements core.Index for any of the four membership cases;
+// the region's own tables are the authority, the passed old position is
+// only trusted by the router for routing.
+func (s *pointRegion) Update(id uint32, _, new geom.Point) {
+	lid := s.lidFor(id)
+	inNew := s.lat.idOf(new.X, new.Y) == s.sid
+	switch {
+	case lid != NONE && inNew: // in-place
+		s.inner.Update(lid, s.pts[lid], new)
+		s.pts[lid] = new
+	case lid != NONE: // emigration: park the slot
+		s.inner.Update(lid, s.pts[lid], s.park)
+		s.pts[lid] = s.park
+		s.owner[lid] = NONE
+		s.lidOf[id] = NONE
+		s.free = append(s.free, lid)
+		s.live--
+	case inNew: // immigration: revive a parked slot
+		if len(s.free) == 0 {
+			s.grow()
+		}
+		lid = s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+		s.inner.Update(lid, s.pts[lid], new)
+		s.pts[lid] = new
+		s.owner[lid] = id
+		s.lidOf[id] = lid
+		s.live++
+	}
+}
+
+// grow extends the arena with parked slots and rebuilds the inner —
+// region-local, so a parallel batch hitting one region's capacity never
+// touches another shard.
+func (s *pointRegion) grow() {
+	old := len(s.pts)
+	add := old/4 + 8
+	for i := 0; i < add; i++ {
+		s.pts = append(s.pts, s.park)
+		s.owner = append(s.owner, NONE)
+		s.free = append(s.free, uint32(old+i))
+	}
+	s.inner.Build(s.pts)
+}
+
+// CheckInvariants implements core.InvariantChecker: arena/owner/free
+// accounting, the ownership invariant (every live member's position
+// maps to this region), and the inner index's own invariants.
+func (s *pointRegion) CheckInvariants() error {
+	if len(s.pts) != len(s.owner) {
+		return fmt.Errorf("shard: region(%d,%d) arena %d vs owner %d", s.cx, s.cy, len(s.pts), len(s.owner))
+	}
+	if s.live+len(s.free) != len(s.pts) {
+		return fmt.Errorf("shard: region(%d,%d) live %d + free %d != cap %d", s.cx, s.cy, s.live, len(s.free), len(s.pts))
+	}
+	liveSeen := 0
+	for lid, g := range s.owner {
+		if g == NONE {
+			if s.pts[lid] != s.park {
+				return fmt.Errorf("shard: region(%d,%d) dead slot %d not parked", s.cx, s.cy, lid)
+			}
+			continue
+		}
+		liveSeen++
+		if int(g) >= len(s.lidOf) || s.lidOf[g] != uint32(lid) {
+			return fmt.Errorf("shard: region(%d,%d) slot %d owner %d not inverse-mapped", s.cx, s.cy, lid, g)
+		}
+		if s.lat.idOf(s.pts[lid].X, s.pts[lid].Y) != s.sid {
+			return fmt.Errorf("shard: region(%d,%d) member %d at %v outside region", s.cx, s.cy, g, s.pts[lid])
+		}
+	}
+	if liveSeen != s.live {
+		return fmt.Errorf("shard: region(%d,%d) counted %d live, tracked %d", s.cx, s.cy, liveSeen, s.live)
+	}
+	if c, ok := s.inner.(core.Counter); ok && c.Len() != len(s.pts) {
+		return fmt.Errorf("shard: region(%d,%d) inner holds %d entries, arena %d", s.cx, s.cy, c.Len(), len(s.pts))
+	}
+	if ic, ok := s.inner.(core.InvariantChecker); ok {
+		if err := ic.CheckInvariants(); err != nil {
+			return fmt.Errorf("shard: region(%d,%d) inner: %w", s.cx, s.cy, err)
+		}
+	}
+	return nil
+}
+
+func (s *pointRegion) memoryBytes() int64 {
+	b := int64(len(s.lidOf)+len(s.owner)+len(s.free))*4 + int64(len(s.pts))*8
+	if mr, ok := s.inner.(core.MemoryReporter); ok {
+		b += mr.MemoryBytes()
+	}
+	return b
+}
+
+// Index is the region-sharded point engine: a core.Index router over
+// side x side pointRegions. See the package comment for the ownership,
+// routing, and merge rules.
+type Index struct {
+	hints core.WorkloadHints
+	side  int // 0 until the ladder picks at first build (auto mode)
+	lat   lattice
+	regs  []*pointRegion
+
+	members [][]uint32    // per-region build routing scratch
+	route   [][]uint32    // per-worker x per-region parallel routing scratch
+	batches [][]geom.Move // per-region update routing scratch
+	bounds  geom.Rect
+	n       int
+}
+
+// New constructs a sharded point engine with an explicit region-grid
+// side (>= 1). Tune calibration is forced here so the per-shard family
+// selection at first build stays outside any timed region.
+func New(p core.Params, side int) *Index {
+	if side < 1 {
+		side = 1
+	}
+	tune.Calibrate()
+	x := &Index{hints: p.Hints, side: side, bounds: p.Bounds, n: p.NumPoints}
+	return x
+}
+
+// NewAuto constructs a sharded point engine whose region-grid side is
+// chosen by the tune shard-count ladder: from p.Shards when set, else
+// from the first build snapshot's sampled statistics.
+func NewAuto(p core.Params) *Index {
+	tune.Calibrate()
+	return &Index{hints: p.Hints, side: p.Shards, bounds: p.Bounds, n: p.NumPoints}
+}
+
+// AutoFactory is the core.Factory for NewAuto (lineup key "shard-auto").
+func AutoFactory(p core.Params) core.Index { return NewAuto(p) }
+
+// Name implements core.Index.
+func (x *Index) Name() string {
+	if x.side < 1 {
+		return "shard[auto]"
+	}
+	return regionName(x.side)
+}
+
+// Side returns the region-grid side (0 before an auto first build).
+func (x *Index) Side() int { return x.side }
+
+// Regions returns per-region population and tuning choices for
+// reporting (valid after the first build).
+type RegionInfo struct {
+	CX, CY int
+	Frame  geom.Rect
+	Live   int
+	Choice tune.Choice
+}
+
+func (x *Index) Regions() []RegionInfo {
+	out := make([]RegionInfo, 0, len(x.regs))
+	for _, s := range x.regs {
+		out = append(out, RegionInfo{CX: s.cx, CY: s.cy, Frame: s.frame, Live: s.live, Choice: s.choice})
+	}
+	return out
+}
+
+// ensure fixes the lattice at first build (running the shard-count
+// ladder over the snapshot when the side was not requested explicitly)
+// and allocates the regions.
+func (x *Index) ensure(all []geom.Point) {
+	if x.regs != nil {
+		return
+	}
+	if x.side < 1 {
+		st := tune.SamplePoints(all, x.bounds, x.hints)
+		x.side = tune.ChooseShardSide(st, runtime.GOMAXPROCS(0))
+	}
+	x.lat = newLattice(x.bounds, x.side)
+	x.regs = make([]*pointRegion, x.side*x.side)
+	for cy := 0; cy < x.side; cy++ {
+		for cx := 0; cx < x.side; cx++ {
+			x.regs[cy*x.side+cx] = newPointRegion(&x.lat, cx, cy, x.hints)
+		}
+	}
+	x.members = make([][]uint32, len(x.regs))
+	x.batches = make([][]geom.Move, len(x.regs))
+}
+
+// Build implements core.Index: one routing pass partitions the snapshot
+// by owning region, then each region builds its arena and inner index.
+func (x *Index) Build(all []geom.Point) { x.buildWith(all, 1) }
+
+// BuildParallel implements core.ParallelBuilder: regions are striped
+// across workers with work-stealing. Region builds are independent and
+// deterministic, so the result is identical to Build.
+func (x *Index) BuildParallel(all []geom.Point, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	x.buildWith(all, workers)
+}
+
+func (x *Index) buildWith(all []geom.Point, workers int) {
+	x.ensure(all)
+	nr := len(x.regs)
+	if workers > 1 && nr > 1 && len(all) >= 8192 {
+		// Route in parallel: each worker partitions one contiguous chunk
+		// of the snapshot into private per-region sublists, then each
+		// region concatenates its sublists in worker order — preserving
+		// the sequential path's global id order, so the result (and every
+		// downstream digest) is identical to Build.
+		if len(x.route) != workers*nr {
+			x.route = make([][]uint32, workers*nr)
+		}
+		chunk := (len(all) + workers - 1) / workers
+		var g parutil.Group
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(all) {
+				hi = len(all)
+			}
+			sub := x.route[w*nr : (w+1)*nr]
+			g.Go(func() {
+				for i := range sub {
+					sub[i] = sub[i][:0]
+				}
+				for id := lo; id < hi; id++ {
+					s := x.lat.idOf(all[id].X, all[id].Y)
+					sub[s] = append(sub[s], uint32(id))
+				}
+			})
+		}
+		g.Wait()
+		x.forEachRegion(workers, func(i int) {
+			m := x.members[i][:0]
+			for w := 0; w < workers; w++ {
+				m = append(m, x.route[w*nr+i]...)
+			}
+			x.members[i] = m
+			x.regs[i].buildMembers(all, m)
+		})
+		return
+	}
+	for i := range x.members {
+		x.members[i] = x.members[i][:0]
+	}
+	for id := range all {
+		s := x.lat.idOf(all[id].X, all[id].Y)
+		x.members[s] = append(x.members[s], uint32(id))
+	}
+	x.forEachRegion(workers, func(i int) {
+		x.regs[i].buildMembers(all, x.members[i])
+	})
+}
+
+// forEachRegion runs fn(i) for every region via the shared
+// work-stealing striper.
+func (x *Index) forEachRegion(workers int, fn func(i int)) {
+	forEachStealing(len(x.regs), workers, fn)
+}
+
+// Query implements core.Index: clip the window to the lattice span and
+// fan out to the overlapped regions. A single query touches few regions
+// (usually one), so the fan-out runs inline on the caller's goroutine —
+// batch parallelism comes from the driver striping queriers across
+// workers, and region results are disjoint by ownership.
+func (x *Index) Query(r geom.Rect, emit func(id uint32)) {
+	x0, y0, x1, y1 := x.lat.spanOf(r)
+	for cy := y0; cy <= y1; cy++ {
+		row := cy * x.lat.side
+		for cx := x0; cx <= x1; cx++ {
+			x.regs[row+cx].Query(r, emit)
+		}
+	}
+}
+
+// Update implements core.Index: route by the old and new positions'
+// owning regions; a cross-region move is a remove (park) in the source
+// and an insert (revive) in the destination.
+func (x *Index) Update(id uint32, old, new geom.Point) {
+	s1 := x.lat.idOf(old.X, old.Y)
+	s2 := x.lat.idOf(new.X, new.Y)
+	x.regs[s1].Update(id, old, new)
+	if s2 != s1 {
+		x.regs[s2].Update(id, old, new)
+	}
+}
+
+// CanBatchUpdates implements core.BatchUpdater.
+func (x *Index) CanBatchUpdates(n int) bool {
+	return len(x.regs) > 1 && n >= 64
+}
+
+// UpdateBatch implements core.BatchUpdater: one routing pass partitions
+// the moves by affected region (a migrating move lands in both its
+// source and destination lists), then regions apply their lists in
+// parallel. Each region sees exactly its own moves in batch order and
+// touches only private state, so the result is identical to per-move
+// Update application — the two-phase remove/insert happens per move
+// with no cross-shard locking.
+func (x *Index) UpdateBatch(moves []geom.Move, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	for i := range x.batches {
+		x.batches[i] = x.batches[i][:0]
+	}
+	for _, m := range moves {
+		s1 := x.lat.idOf(m.Old.X, m.Old.Y)
+		s2 := x.lat.idOf(m.New.X, m.New.Y)
+		x.batches[s1] = append(x.batches[s1], m)
+		if s2 != s1 {
+			x.batches[s2] = append(x.batches[s2], m)
+		}
+	}
+	x.forEachRegion(workers, func(i int) {
+		reg := x.regs[i]
+		for _, m := range x.batches[i] {
+			reg.Update(m.ID, m.Old, m.New)
+		}
+	})
+}
+
+// Len implements core.Counter: total live members across regions.
+func (x *Index) Len() int {
+	n := 0
+	for _, s := range x.regs {
+		n += s.live
+	}
+	return n
+}
+
+// MemoryBytes implements core.MemoryReporter.
+func (x *Index) MemoryBytes() int64 {
+	var b int64
+	for _, s := range x.regs {
+		b += s.memoryBytes()
+	}
+	return b
+}
+
+// CheckInvariants implements core.InvariantChecker: every region's own
+// invariants plus global disjoint ownership (each id lives in at most
+// one region).
+func (x *Index) CheckInvariants() error {
+	for _, s := range x.regs {
+		if err := s.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	if len(x.regs) > 1 && len(x.regs[0].lidOf) > 0 {
+		for id := range x.regs[0].lidOf {
+			owners := 0
+			for _, s := range x.regs {
+				if s.lidFor(uint32(id)) != NONE {
+					owners++
+				}
+			}
+			if owners > 1 {
+				return fmt.Errorf("shard: id %d owned by %d regions", id, owners)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+// Package shard implements the region-sharded multi-index engine: the
+// space is partitioned into a side x side lattice of square regions,
+// each region owning its own independently built and tuned index
+// (family and parameters chosen per shard by internal/tune, so a skewed
+// shard can take the R-tree while uniform shards take the classed
+// grid), behind the ordinary core.Index / core.BoxIndex contracts so
+// every driver, oracle test, and bench runs unchanged.
+//
+// # Ownership and duplicate-free merge
+//
+// Points partition exactly: an object belongs to the unique region
+// containing its position (half-open region edges, out-of-space
+// positions clamped into the border regions — the same mapping the
+// grids use for cells). A query fans out to the regions its window
+// overlaps and each region reports only its own members, so the merged
+// stream is duplicate-free by construction.
+//
+// Boxes replicate: an MBR is inserted into every region it overlaps,
+// and a query straddling several regions would see the same object once
+// per replica. The merge dedups by boundary ownership, mirroring the
+// reference-point method the CSR box grid uses per cell: for each
+// candidate the reporting region computes the reference point of
+// query∩MBR (the intersection's min corner) and emits only when that
+// point falls in its own region. Exactly one overlapped region owns the
+// reference point, and that region always overlaps the query, so every
+// matching object is emitted exactly once. Queries whose window lies
+// within a single region skip the test entirely — the reference point
+// of any candidate intersection is inside the window and therefore
+// inside the region.
+//
+// # Updates and cross-shard migration
+//
+// In-place moves delegate to the owning region's inner index. A move
+// that crosses a region border is a two-phase remove/insert: the source
+// region parks the entry (relocating it to a reserved in-region park
+// position and clearing its owner, so queries filter it out) and pushes
+// the slot onto a free list; the destination revives a parked slot via
+// a plain inner Update. Both phases touch only region-private state, so
+// a batch routed by region applies across shards in parallel with no
+// locking — each region sees exactly its own moves in batch order,
+// making the parallel result identical to per-move application. When a
+// region's free list runs dry its arena grows by a parked-slot slack
+// and the inner index is rebuilt (region-local, amortized).
+//
+// # Epoch composition
+//
+// For the concurrent (queries-during-updates) regime each region is
+// wrapped in its own epoch.Index publication, so shards publish
+// independently and concurrent reads scale with shard count instead of
+// serializing on one publish barrier. Per-shard digests fold into a
+// composite via epoch.CompositeDigest; the sharded concurrent driver
+// (core.RunConcurrentSharded) validates each query's per-shard
+// (epoch, digest) observations against per-shard publish oracles.
+package shard
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/geom"
+	"repro/internal/parutil"
+)
+
+// NONE marks an empty slot mapping (no local id / no owner).
+const NONE = ^uint32(0)
+
+// lattice maps geometry to the side x side region grid. All membership,
+// routing, and dedup decisions go through this one mapping so they can
+// never disagree: half-open region edges, NaN and out-of-space
+// coordinates clamped into the border regions (the grids' cell-mapping
+// convention).
+type lattice struct {
+	side   int
+	bounds geom.Rect
+	inv    float32 // regions per unit of space
+}
+
+func newLattice(bounds geom.Rect, side int) lattice {
+	return lattice{
+		side:   side,
+		bounds: bounds,
+		inv:    float32(side) / bounds.Width(),
+	}
+}
+
+func (l *lattice) axis(d, min float32) int {
+	f := (d - min) * l.inv
+	if !(f > 0) { // NaN or <= 0
+		return 0
+	}
+	c := int(f)
+	if c >= l.side {
+		c = l.side - 1
+	}
+	return c
+}
+
+// cellOf returns the region coordinates owning position (x, y).
+func (l *lattice) cellOf(x, y float32) (int, int) {
+	return l.axis(x, l.bounds.MinX), l.axis(y, l.bounds.MinY)
+}
+
+// idOf returns the region index owning position (x, y).
+func (l *lattice) idOf(x, y float32) int {
+	cx, cy := l.cellOf(x, y)
+	return cy*l.side + cx
+}
+
+// spanOf returns the inclusive region-coordinate span r overlaps.
+func (l *lattice) spanOf(r geom.Rect) (x0, y0, x1, y1 int) {
+	x0 = l.axis(r.MinX, l.bounds.MinX)
+	y0 = l.axis(r.MinY, l.bounds.MinY)
+	x1 = l.axis(r.MaxX, l.bounds.MinX)
+	y1 = l.axis(r.MaxY, l.bounds.MinY)
+	return
+}
+
+// regionFrame returns the square indexing frame of region (cx, cy). The
+// frame anchors the region's inner index; ownership always goes through
+// cellOf, so a frame a float-rounding hair narrower or wider than the
+// ideal tile is harmless (inner grids clamp and filter by exact
+// coordinates). The frame must be exactly square for the grid families,
+// so the side is nudged up until both axes round identically.
+func (l *lattice) regionFrame(cx, cy int) geom.Rect {
+	w := l.bounds.Width() / float32(l.side)
+	x0 := l.bounds.MinX + float32(cx)*w
+	y0 := l.bounds.MinY + float32(cy)*w
+	r := geom.Rect{MinX: x0, MinY: y0, MaxX: x0 + w, MaxY: y0 + w}
+	for i := 0; i < 8 && r.Width() != r.Height(); i++ {
+		s := r.Width()
+		if r.Height() > s {
+			s = r.Height()
+		}
+		r.MaxX, r.MaxY = x0+s, y0+s
+	}
+	if r.Width() != r.Height() {
+		// Pathological rounding: fall back to the full (square) space.
+		return l.bounds
+	}
+	return r
+}
+
+// refPoint returns the reference point of the intersection of query
+// window r and candidate MBR b (callers guarantee they intersect): the
+// intersection's min corner, the same rule grid.BoxGrid applies per
+// cell.
+func refPoint(r, b geom.Rect) (float32, float32) {
+	x := r.MinX
+	if b.MinX > x {
+		x = b.MinX
+	}
+	y := r.MinY
+	if b.MinY > y {
+		y = b.MinY
+	}
+	return x, y
+}
+
+func regionName(side int) string {
+	return fmt.Sprintf("shard[%dx%d]", side, side)
+}
+
+// forEachStealing runs fn(i) for i in [0, n), striping the indices
+// across a worker pool with an atomic work-stealing cursor when
+// workers > 1 (parutil.Group contains worker panics). Sequential when
+// workers <= 1, so single-threaded drivers pay no goroutine overhead.
+func forEachStealing(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var g parutil.Group
+	for w := 0; w < workers; w++ {
+		g.Go(func() {
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		})
+	}
+	g.Wait()
+}

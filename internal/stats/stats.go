@@ -93,19 +93,43 @@ func (a *Agg) Merge(b Agg) {
 }
 
 // Percentile returns the p-quantile (0 <= p <= 1) of xs using linear
-// interpolation between order statistics. It does not modify xs.
+// interpolation between order statistics. It does not modify xs. Callers
+// needing several quantiles of the same slice should use Percentiles,
+// which sorts once.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, p)
+}
+
+// Percentiles returns the p-quantile of xs for each p in ps, sorting the
+// copied slice exactly once — the multi-quantile companion of Percentile
+// for latency reporting, where p50/p95/p99 are read off the same sample.
+// It does not modify xs.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(xs) == 0 {
+		return out
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for i, p := range ps {
+		out[i] = quantileSorted(sorted, p)
+	}
+	return out
+}
+
+// quantileSorted reads the p-quantile off an already-sorted slice.
+func quantileSorted(sorted []float64, p float64) float64 {
 	if p < 0 {
 		p = 0
 	}
 	if p > 1 {
 		p = 1
 	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
 	if len(sorted) == 1 {
 		return sorted[0]
 	}
