@@ -15,6 +15,12 @@
 // perf number can never be reported for a structure that returns wrong
 // results.
 //
+// Each layout's query phase is measured twice — through the classic
+// per-result callback (op "query") and through the buffered QueryAppend
+// kernel the engines drain by default (op "query-append") — and the
+// per-layout ratio lands in buffered_speedup_vs_emit, which CI gates
+// for csr and boxcsr2l at the paper's tuned granularity.
+//
 // The workload mirrors the paper's standard setting: the default uniform
 // population with 50% queriers and 50% updaters per tick. Layouts are
 // compared at the paper's tuned granularity (cps=64) and at a much finer
@@ -80,9 +86,9 @@ type opResult struct {
 
 // report is the BENCH_grid.json schema.
 type report struct {
-	Tool    string     `json:"tool"`
-	Points  int        `json:"points"`
-	Iters   int        `json:"iters"`
+	Tool   string `json:"tool"`
+	Points int    `json:"points"`
+	Iters  int    `json:"iters"`
 	// EffectiveCPUs is runtime.GOMAXPROCS on the measuring host. The
 	// sharded series' parallel speedups are only meaningful when this is
 	// comfortably above 1 — CI's scaling gate conditions on it.
@@ -108,6 +114,15 @@ type report struct {
 	// BoxReplication maps "cps=N" to the rectangle grid's replication
 	// factor under the default box workload (present with -objects box).
 	BoxReplication map[string]float64 `json:"box_replication,omitempty"`
+	// BufferedSpeedup maps "layout/cps=N" (grids) or "boxrtree/fanout=N"
+	// to the query-phase speedup of the buffered QueryAppend kernel over
+	// the per-result callback kernel (emit ns / append ns) on the default
+	// workload. Both kernels are digest-gated against the brute-force
+	// oracle before being timed, so the ratio can never be bought with
+	// wrong results. CI gates csr and boxcsr2l at cps=64 — the engines
+	// drain buffered by default, so a regression here is a regression of
+	// the default tick query phase.
+	BufferedSpeedup map[string]float64 `json:"buffered_speedup_vs_emit,omitempty"`
 	// AutoRegret maps a workload key to the adaptive selector's
 	// measured regret vs the best static contender on that workload:
 	// auto's total tick time (build + queries + updates) over the best
@@ -239,13 +254,14 @@ func run(args []string) error {
 	}
 
 	rep := &report{
-		Tool:          "cmd/gridbench",
-		Points:        len(pts),
-		Iters:         *iters,
-		EffectiveCPUs: runtime.GOMAXPROCS(0),
-		Speedups:      map[string]float64{},
-		AutoRegret:    map[string]float64{},
-		AutoChoices:   map[string]string{},
+		Tool:            "cmd/gridbench",
+		Points:          len(pts),
+		Iters:           *iters,
+		EffectiveCPUs:   runtime.GOMAXPROCS(0),
+		Speedups:        map[string]float64{},
+		AutoRegret:      map[string]float64{},
+		AutoChoices:     map[string]string{},
+		BufferedSpeedup: map[string]float64{},
 	}
 
 	type contender struct {
@@ -281,6 +297,20 @@ func run(args []string) error {
 					}
 					ops[key][c.name] = ns
 				}
+				// The tick query phase both ways the driver drains it —
+				// callback-with-digest-fold vs buffered-append-then-fold —
+				// against the same oracle and over a fresh build (measure's
+				// update phase churns bucket order). This paired measurement
+				// is the emit-vs-append comparison the CI gate tracks.
+				g.Build(pts)
+				if got := pointAppendDigest(g, pts, queriers, wcfg.QuerySize); got != wantDigest {
+					return fmt.Errorf("layout %s at cps=%d: buffered kernel diverges from the brute-force oracle (digest %#x, want %#x)",
+						c.name, cps, got, wantDigest)
+				}
+				emitNs, appendNs := measureQueryKernels(g, pts, queriers, wcfg.QuerySize, *iters)
+				rep.Results = append(rep.Results, opResult{Layout: c.name, CPS: cps, Op: "query-emit", NsPerOp: emitNs})
+				rep.Results = append(rep.Results, opResult{Layout: c.name, CPS: cps, Op: "query-append", NsPerOp: appendNs})
+				rep.BufferedSpeedup[fmt.Sprintf("%s/cps=%d", c.name, cps)] = emitNs / appendNs
 			}
 		}
 		rep.XYSpeedups = map[string]float64{}
@@ -405,9 +435,15 @@ func run(args []string) error {
 				}
 			}
 			if bc.name == "boxrtree" {
-				if len(qexts) > 0 {
-					bc.index.Build(rects)
+				bc.index.Build(rects)
+				if got := boxAppendDigest(bc.index, rects, boxQueriers, bcfg.QuerySize); got != wantDigest {
+					return fmt.Errorf("boxrtree: buffered kernel diverges from the brute-force oracle (digest %#x, want %#x)",
+						got, wantDigest)
 				}
+				emitNs, appendNs := measureBoxQueryKernels(bc.index, rects, boxQueriers, bcfg.QuerySize, *iters)
+				rep.Results = append(rep.Results, opResult{Layout: bc.name, Op: "query-emit", NsPerOp: emitNs})
+				rep.Results = append(rep.Results, opResult{Layout: bc.name, Op: "query-append", NsPerOp: appendNs})
+				rep.BufferedSpeedup[fmt.Sprintf("boxrtree/fanout=%d", rtree.DefaultFanout)] = emitNs / appendNs
 				for _, ext := range qexts {
 					ns := measureBoxQueries(bc.index, rects, boxQueriers, float32(ext), *iters)
 					rep.Results = append(rep.Results, opResult{
@@ -436,13 +472,21 @@ func run(args []string) error {
 					}
 					boxOps[key][bc.name] = ns
 				}
-				// The query-extent sweep: one window-join series per
-				// extent, over a fresh build (measureBox's update phase
-				// leaves the arena churned — swap-delete order, possible
-				// overflow — that a steady-state tick query never sees).
-				if len(qexts) > 0 {
-					bc.index.Build(rects)
+				// The buffered kernel over a fresh build (measureBox's
+				// update phase leaves the arena churned — swap-delete
+				// order, possible overflow — that a steady-state tick query
+				// never sees), digest-gated like the callback kernel.
+				bc.index.Build(rects)
+				if got := boxAppendDigest(bc.index, rects, boxQueriers, bcfg.QuerySize); got != wantDigest {
+					return fmt.Errorf("box layout %s at cps=%d: buffered kernel diverges from the brute-force oracle (digest %#x, want %#x)",
+						bc.name, cps, got, wantDigest)
 				}
+				emitNs, appendNs := measureBoxQueryKernels(bc.index, rects, boxQueriers, bcfg.QuerySize, *iters)
+				rep.Results = append(rep.Results, opResult{Layout: bc.name, CPS: cps, Op: "query-emit", NsPerOp: emitNs})
+				rep.Results = append(rep.Results, opResult{Layout: bc.name, CPS: cps, Op: "query-append", NsPerOp: appendNs})
+				rep.BufferedSpeedup[fmt.Sprintf("%s/cps=%d", bc.name, cps)] = emitNs / appendNs
+				// The query-extent sweep: one window-join series per
+				// extent, over the same fresh build.
 				for _, ext := range qexts {
 					ns := measureBoxQueries(bc.index, rects, boxQueriers, float32(ext), *iters)
 					rep.Results = append(rep.Results, opResult{
@@ -1041,6 +1085,117 @@ func brutePointDigest(pts []geom.Point, queriers []uint32, querySize float32) ui
 		}
 	}
 	return h
+}
+
+// pointAppendDigest folds the buffered kernel's results with the exact
+// digest construction of pointDigest, so emit and append are provably
+// answering identically before their timings are compared.
+func pointAppendDigest(g core.Index, pts []geom.Point, queriers []uint32, querySize float32) uint64 {
+	qa := core.QueryAppendOf(g, g.Query)
+	var h uint64
+	var buf []uint32
+	for _, q := range queriers {
+		buf = qa(geom.Square(pts[q], querySize), buf[:0])
+		for _, id := range buf {
+			h = core.MixPair(h, q, id)
+		}
+	}
+	return h
+}
+
+// boxAppendDigest is pointAppendDigest for box indexes.
+func boxAppendDigest(bg core.BoxIndex, rects []geom.Rect, queriers []uint32, querySize float32) uint64 {
+	qa := core.QueryAppendOf(bg, bg.Query)
+	var h uint64
+	var buf []uint32
+	for _, q := range queriers {
+		buf = qa(geom.Square(rects[q].Center(), querySize), buf[:0])
+		for _, id := range buf {
+			h = core.MixPair(h, q, id)
+		}
+	}
+	return h
+}
+
+// benchSink defeats dead-code elimination of the kernel measurements'
+// digest folds without perturbing the measured loops.
+var benchSink uint64
+
+// measureQueryKernels times the tick driver's query phase both ways it
+// actually runs: the per-result callback exactly as runTicks' KernelEmit
+// drains it (a closure folding pairs and MixPair per emission, with the
+// accumulators captured by reference — the heap round-trip per result is
+// the cost under test) and the buffered kernel exactly as KernelAppend
+// drains it (QueryAppend into a reused buffer, then an inline fold loop
+// that keeps the accumulators in registers). Returns ns per query for
+// each; the caller digest-gates both kernels separately.
+func measureQueryKernels(g core.Index, pts []geom.Point, queriers []uint32, querySize float32, iters int) (emitNs, appendNs float64) {
+	var pairs int64
+	var hash uint64
+	var emitQ uint32
+	emit := func(id uint32) {
+		pairs++
+		hash = core.MixPair(hash, emitQ, id)
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		for _, q := range queriers {
+			emitQ = q
+			g.Query(geom.Square(pts[q], querySize), emit)
+		}
+	}
+	emitNs = float64(time.Since(start).Nanoseconds()) / float64(iters*len(queriers))
+
+	qa := core.QueryAppendOf(g, g.Query)
+	var buf []uint32
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		for _, q := range queriers {
+			buf = qa(geom.Square(pts[q], querySize), buf[:0])
+			for _, id := range buf {
+				pairs++
+				hash = core.MixPair(hash, q, id)
+			}
+		}
+	}
+	appendNs = float64(time.Since(start).Nanoseconds()) / float64(iters*len(queriers))
+	benchSink += hash + uint64(pairs)
+	return emitNs, appendNs
+}
+
+// measureBoxQueryKernels is measureQueryKernels for box indexes.
+func measureBoxQueryKernels(bg core.BoxIndex, rects []geom.Rect, queriers []uint32, querySize float32, iters int) (emitNs, appendNs float64) {
+	var pairs int64
+	var hash uint64
+	var emitQ uint32
+	emit := func(id uint32) {
+		pairs++
+		hash = core.MixPair(hash, emitQ, id)
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		for _, q := range queriers {
+			emitQ = q
+			bg.Query(geom.Square(rects[q].Center(), querySize), emit)
+		}
+	}
+	emitNs = float64(time.Since(start).Nanoseconds()) / float64(iters*len(queriers))
+
+	qa := core.QueryAppendOf(bg, bg.Query)
+	var buf []uint32
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		for _, q := range queriers {
+			buf = qa(geom.Square(rects[q].Center(), querySize), buf[:0])
+			for _, id := range buf {
+				pairs++
+				hash = core.MixPair(hash, q, id)
+			}
+		}
+	}
+	appendNs = float64(time.Since(start).Nanoseconds()) / float64(iters*len(queriers))
+	benchSink += hash + uint64(pairs)
+	return emitNs, appendNs
 }
 
 func pointDigest(g core.Index, pts []geom.Point, queriers []uint32, querySize float32) uint64 {

@@ -29,6 +29,7 @@ func TestEmitsValidJSON(t *testing.T) {
 		Points   int                `json:"points"`
 		Results  []json.RawMessage  `json:"results"`
 		Speedups map[string]float64 `json:"csr_speedup_vs_inline"`
+		Buffered map[string]float64 `json:"buffered_speedup_vs_emit"`
 		Regret   map[string]float64 `json:"auto_regret_vs_best_static"`
 		Choices  map[string]string  `json:"auto_choice"`
 	}
@@ -38,13 +39,19 @@ func TestEmitsValidJSON(t *testing.T) {
 	if rep.Points != 5000 {
 		t.Fatalf("points = %d", rep.Points)
 	}
-	// 3 layouts x 2 granularities x 3 ops, plus the auto series (3 ops).
-	if len(rep.Results) != 21 {
-		t.Fatalf("results = %d, want 21", len(rep.Results))
+	// 3 layouts x 2 granularities x (3 ops + the query-emit/query-append
+	// kernel pair), plus the auto series (3 ops).
+	if len(rep.Results) != 33 {
+		t.Fatalf("results = %d, want 33", len(rep.Results))
 	}
 	for _, key := range []string{"build+query/cps=64", "build+query/cps=256"} {
 		if rep.Speedups[key] <= 0 {
 			t.Fatalf("missing speedup %s", key)
+		}
+	}
+	for _, key := range []string{"csr/cps=64", "csr/cps=256", "inline/cps=64"} {
+		if rep.Buffered[key] <= 0 {
+			t.Fatalf("missing buffered speedup %s", key)
 		}
 	}
 	if _, ok := rep.Regret["point-default"]; !ok {
@@ -81,6 +88,7 @@ func TestBoxSeries(t *testing.T) {
 			Workload string  `json:"workload"`
 		} `json:"results"`
 		BoxReplication  map[string]float64 `json:"box_replication"`
+		Buffered        map[string]float64 `json:"buffered_speedup_vs_emit"`
 		Box2LSpeedups   map[string]float64 `json:"box2l_speedup_vs_boxcsr"`
 		BoxRTreeVsBrute map[string]float64 `json:"boxrtree_speedup_vs_boxbrute"`
 		BoxRTreeVsBox2L map[string]float64 `json:"boxrtree_speedup_vs_box2l"`
@@ -109,13 +117,19 @@ func TestBoxSeries(t *testing.T) {
 			}
 		}
 	}
-	// 2 granularities x 3 ops per box grid; 3 ops each for the
-	// grid-independent R-tree and brute-force series.
-	if boxOps != 6 || box2LOps != 6 {
-		t.Fatalf("box results = %d boxcsr + %d boxcsr2l, want 6 + 6", boxOps, box2LOps)
+	// 2 granularities x (3 ops + the query-emit/query-append kernel pair)
+	// per box grid; the grid-independent R-tree gets 3 ops + the kernel
+	// pair, brute force the 3 ops only.
+	if boxOps != 10 || box2LOps != 10 {
+		t.Fatalf("box results = %d boxcsr + %d boxcsr2l, want 10 + 10", boxOps, box2LOps)
 	}
-	if rtreeOps != 3 || bruteOps != 3 {
-		t.Fatalf("box results = %d boxrtree + %d boxbrute, want 3 + 3", rtreeOps, bruteOps)
+	if rtreeOps != 5 || bruteOps != 3 {
+		t.Fatalf("box results = %d boxrtree + %d boxbrute, want 5 + 3", rtreeOps, bruteOps)
+	}
+	for _, key := range []string{"boxcsr2l/cps=64", "boxcsr/cps=64"} {
+		if rep.Buffered[key] <= 0 {
+			t.Fatalf("missing buffered speedup %s", key)
+		}
 	}
 	// The adaptive selector: 3 ops on the default workload plus 3 ops
 	// on each of the three contrasting regret workloads.

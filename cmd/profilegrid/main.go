@@ -9,6 +9,12 @@
 // rtree — the STR R-tree, putting the study's grid-vs-R-tree axis on
 // the same footing) can be profiled head to head.
 //
+// After the simulated profile, the same trace is replayed through the
+// real implementations on the measuring host and the wall-clock query
+// phase reported; -querykernel emit|append|batch selects the query
+// kernel for that replay (the simulator itself counts memory accesses
+// and cannot see the callback-vs-buffer difference).
+//
 // Examples:
 //
 //	profilegrid                          # paper configurations, scaled ticks
@@ -23,7 +29,11 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/grid"
 	"repro/internal/memsim"
+	"repro/internal/rtree"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -50,12 +60,17 @@ func run(args []string) error {
 		l1KB       = fs.Int("l1-kb", 32, "L1d size in KiB")
 		l2KB       = fs.Int("l2-kb", 256, "L2 size in KiB")
 		l3MB       = fs.Int("l3-mb", 8, "L3 size in MiB")
+		kernelKey  = fs.String("querykernel", "auto", "query kernel for the host replay ("+bench.QueryKernelKeys()+"): emit = per-result callback, append = buffered, batch = multi-query")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *scale <= 0 || *scale > 1 {
 		return fmt.Errorf("scale must be in (0,1], got %g", *scale)
+	}
+	kernel, kerr := bench.ParseQueryKernel(*kernelKey)
+	if kerr != nil {
+		return kerr
 	}
 	bKind, err := parseKind(*beforeKind)
 	if err != nil {
@@ -125,7 +140,55 @@ func run(args []string) error {
 		safeRatio(float64(b.L3Misses), float64(a.L3Misses)),
 		b.CPI, a.CPI)
 	fmt.Printf("join check: both implementations found %d pairs over %d queries\n", bres.Pairs, bres.Queries)
+
+	// Host companion: the same trace replayed through the real
+	// implementations on this machine's actual memory hierarchy, with
+	// the selected query kernel. The simulator charges the buffered and
+	// callback kernels identically (it counts accesses, not call
+	// overhead), so this is where -querykernel emit vs append shows up.
+	hBefore, err := hostIndex(bKind, *beforeBS, *beforeCPS, wcfg)
+	if err != nil {
+		return err
+	}
+	hAfter, err := hostIndex(aKind, *afterBS, *afterCPS, wcfg)
+	if err != nil {
+		return err
+	}
+	hb := core.Run(hBefore, workload.NewPlayer(trace), core.Options{Kernel: kernel})
+	ha := core.Run(hAfter, workload.NewPlayer(trace), core.Options{Kernel: kernel})
+	if hb.Pairs != ha.Pairs || hb.Hash != ha.Hash {
+		return fmt.Errorf("host replay diverges: %d pairs (digest %#x) vs %d pairs (digest %#x)",
+			hb.Pairs, hb.Hash, ha.Pairs, ha.Hash)
+	}
+	bq := perQueryNs(hb)
+	aq := perQueryNs(ha)
+	fmt.Printf("host replay (kernel=%s): query phase %.0f -> %.0f ns/query (%.2fx), tick %.4fs -> %.4fs\n",
+		kernel, bq, aq, safeRatio(bq, aq), hb.AvgTick().Seconds(), ha.AvgTick().Seconds())
 	return nil
+}
+
+// perQueryNs is the replay's average wall time per range query.
+func perQueryNs(r *core.Result) float64 {
+	if r.Queries == 0 {
+		return 0
+	}
+	return float64(r.Totals.Query.Nanoseconds()) / float64(r.Queries)
+}
+
+// hostIndex maps a simulated grid kind to its real in-tree counterpart
+// at the same tuning, for the host replay.
+func hostIndex(k memsim.GridKind, bs, cps int, wcfg workload.Config) (core.Index, error) {
+	switch k {
+	case memsim.GridOriginal:
+		return grid.New(grid.Config{Layout: grid.LayoutLinked, Scan: grid.ScanFull, BS: bs, CPS: cps}, wcfg.Bounds(), wcfg.NumPoints)
+	case memsim.GridRefactored:
+		return grid.New(grid.Config{Layout: grid.LayoutInline, Scan: grid.ScanRange, BS: bs, CPS: cps}, wcfg.Bounds(), wcfg.NumPoints)
+	case memsim.GridIntrusive:
+		return grid.New(grid.Config{Layout: grid.LayoutIntrusive, Scan: grid.ScanRange, BS: bs, CPS: cps}, wcfg.Bounds(), wcfg.NumPoints)
+	case memsim.GridRTree:
+		return rtree.New(bs)
+	}
+	return nil, fmt.Errorf("no host counterpart for simulated kind %v", k)
 }
 
 func parseKind(s string) (memsim.GridKind, error) {

@@ -17,6 +17,11 @@
 // as the query window (or mix) shifts. Because auto tunes its own
 // structural parameter, it only supports -vary qext.
 //
+// Sweeps drain queries through the engines' buffered kernel by default;
+// -querykernel emit|append|batch forces a specific kernel (emit is the
+// classic per-result callback — useful for measuring what the buffered
+// path buys at each sweep point).
+//
 // Examples:
 //
 //	sweep -experiment fig1b              # reproduce Figure 1b
@@ -66,10 +71,15 @@ func run(args []string) error {
 		cps        = fs.Int("cps", grid.OriginalCPS, "fixed cells per side (when varying bs or qext)")
 		scale      = fs.Float64("scale", 0.1, "tick-count scale in (0,1]")
 		seed       = fs.Uint64("seed", 1, "workload random seed")
+		kernelKey  = fs.String("querykernel", "auto", "query kernel for the tick driver ("+bench.QueryKernelKeys()+"): emit = per-result callback, append = buffered, batch = multi-query")
 		csv        = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	kernel, kerr := bench.ParseQueryKernel(*kernelKey)
+	if kerr != nil {
+		return kerr
 	}
 	cpsSet := false
 	fs.Visit(func(f *flag.Flag) {
@@ -107,7 +117,7 @@ func run(args []string) error {
 			// as the fanout.
 			fixed = rtree.DefaultFanout
 		}
-		return runBoxSweep(*vary, *from, *to, *step, fixed, *boxLayout, *scale, *seed, *csv)
+		return runBoxSweep(*vary, *from, *to, *step, fixed, *boxLayout, *scale, *seed, kernel, *csv)
 	default:
 		return fmt.Errorf("unknown object class %q (have point, box)", *objects)
 	}
@@ -199,7 +209,7 @@ func run(args []string) error {
 				return err
 			}
 		}
-		res := core.Run(idx, workload.NewPlayer(trace), core.Options{})
+		res := core.Run(idx, workload.NewPlayer(trace), core.Options{Kernel: kernel})
 		series.Xs = append(series.Xs, float64(x))
 		ys = append(ys, res.AvgTick().Seconds())
 		if *layout == "auto" || *vary == "shards" {
@@ -229,7 +239,7 @@ func run(args []string) error {
 // cells, with the replication factor reported per step — or the R-tree
 // fanout) or the query window extent (the rect x rect window-join
 // selectivity, where packing quality vs replication decides the winner).
-func runBoxSweep(vary string, from, to, step, cps int, layout string, scale float64, seed uint64, csv bool) error {
+func runBoxSweep(vary string, from, to, step, cps int, layout string, scale float64, seed uint64, kernel core.QueryKernel, csv bool) error {
 	bcfg := workload.DefaultUniformBoxes()
 	bcfg.Seed = seed
 	bcfg.Ticks = int(float64(bcfg.Ticks)*scale + 0.5)
@@ -276,7 +286,7 @@ func runBoxSweep(vary string, from, to, step, cps int, layout string, scale floa
 				return err
 			}
 		}
-		res := core.RunBoxes(bg, workload.MustNewBoxGenerator(bcfg), core.Options{})
+		res := core.RunBoxes(bg, workload.MustNewBoxGenerator(bcfg), core.Options{Kernel: kernel})
 		series.Xs = append(series.Xs, float64(x))
 		ys = append(ys, res.AvgTick().Seconds())
 		switch {

@@ -200,6 +200,17 @@ func ParsePointLayout(key string) (grid.Layout, error) {
 	}
 }
 
+// QueryKernelKeys lists the -querykernel keys ParseQueryKernel accepts.
+func QueryKernelKeys() string { return "auto, emit, append, batch" }
+
+// ParseQueryKernel maps a -querykernel key to the tick driver's query
+// kernel (core.Options.Kernel). The command-line tools (sweep,
+// profilegrid) all parse the flag through here so the spellings stay in
+// one place; the mapping itself lives in core next to the kernels.
+func ParseQueryKernel(key string) (core.QueryKernel, error) {
+	return core.ParseQueryKernel(key)
+}
+
 // ParseScan maps a -scan key to the query algorithm.
 func ParseScan(key string) (grid.Scan, error) {
 	switch key {

@@ -27,16 +27,18 @@ func RunBoxesParallel(idx BoxIndex, src workload.BoxSource, opts Options, worker
 func boxEngine(idx BoxIndex, src workload.BoxSource) *engine[geom.Rect] {
 	cfg := src.Config()
 	e := &engine[geom.Rect]{
-		name:      idx.Name(),
-		ticks:     cfg.Ticks,
-		n:         src.NumBoxes(),
-		bounds:    cfg.Bounds(),
-		refresh:   src.RefreshRects,
-		build:     idx.Build,
-		query:     idx.Query,
-		queriers:  src.Queriers,
-		queryRect: src.QueryRect,
-		center:    geom.Rect.Center,
+		name:        idx.Name(),
+		ticks:       cfg.Ticks,
+		n:           src.NumBoxes(),
+		bounds:      cfg.Bounds(),
+		refresh:     src.RefreshRects,
+		build:       idx.Build,
+		query:       idx.Query,
+		queryAppend: QueryAppendOf(idx, idx.Query),
+		queryBatch:  QueryBatchOf(idx, idx.Query),
+		queriers:    src.Queriers,
+		queryRect:   src.QueryRect,
+		center:      geom.Rect.Center,
 	}
 	if builder, ok := idx.(BoxParallelBuilder); ok {
 		e.buildParallel = builder.BuildParallel

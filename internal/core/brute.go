@@ -28,6 +28,23 @@ func (b *BruteForce) Query(r geom.Rect, emit func(id uint32)) {
 	}
 }
 
+// QueryAppend implements QueryAppender with the same full scan, free of
+// the per-result indirect call.
+func (b *BruteForce) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
+	for i := range b.pts {
+		if b.pts[i].In(r) {
+			buf = append(buf, uint32(i))
+		}
+	}
+	return buf
+}
+
+// QueryBatch implements BatchQuerier (the scan has no per-query setup
+// to amortize, so the batch kernel is the append kernel in a loop).
+func (b *BruteForce) QueryBatch(rects []geom.Rect, offsets, buf []uint32) ([]uint32, []uint32) {
+	return AppendBatch(b.QueryAppend, rects, offsets, buf)
+}
+
 // Update implements Index; the snapshot refresh covers it.
 func (b *BruteForce) Update(id uint32, old, new geom.Point) {}
 
@@ -58,6 +75,21 @@ func (b *BruteForceBoxes) Query(r geom.Rect, emit func(id uint32)) {
 			emit(uint32(i))
 		}
 	}
+}
+
+// QueryAppend implements QueryAppender.
+func (b *BruteForceBoxes) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
+	for i := range b.rects {
+		if b.rects[i].Intersects(r) {
+			buf = append(buf, uint32(i))
+		}
+	}
+	return buf
+}
+
+// QueryBatch implements BatchQuerier.
+func (b *BruteForceBoxes) QueryBatch(rects []geom.Rect, offsets, buf []uint32) ([]uint32, []uint32) {
+	return AppendBatch(b.QueryAppend, rects, offsets, buf)
 }
 
 // Update implements BoxIndex; the snapshot refresh covers it.

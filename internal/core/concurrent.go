@@ -129,9 +129,26 @@ type concurrentEngine[M any] struct {
 	// "queries read the previous tick's state" contract.
 	commitBatch func()
 	apply       func(moves []M) (uint64, error)
-	query       func(r geom.Rect, emit func(id uint32)) (uint64, uint64)
+	// queryAppend drains one query into the caller's reused buffer,
+	// returning the (epoch, digest) observation — the buffered kernel
+	// every reader worker runs (native via EpochQueryAppender, else the
+	// callback adapter built by epochAppendOf).
+	queryAppend func(r geom.Rect, buf []uint32) ([]uint32, uint64, uint64)
 	epochNow    func() (uint64, uint64)
 	stats       func() EpochStats
+}
+
+// epochAppendOf returns the buffered query kernel of an epoch-published
+// index: the native QueryAppend when the wrapper implements
+// EpochQueryAppender, else an adapter over the callback Query.
+func epochAppendOf(x any, query func(r geom.Rect, emit func(id uint32)) (uint64, uint64)) func(r geom.Rect, buf []uint32) ([]uint32, uint64, uint64) {
+	if qa, ok := x.(EpochQueryAppender); ok {
+		return qa.QueryAppend
+	}
+	return func(r geom.Rect, buf []uint32) ([]uint32, uint64, uint64) {
+		ep, dg := query(r, func(id uint32) { buf = append(buf, id) })
+		return buf, ep, dg
+	}
 }
 
 // runConcurrent overlaps each tick's query drain with its update batch:
@@ -197,6 +214,10 @@ func runConcurrent[M any](e *concurrentEngine[M], opts ConcurrentOptions) *Concu
 		for w := 0; w < readers; w++ {
 			st := states[w]
 			g.Go(func() {
+				// The result buffer lives per worker per tick and is
+				// reused across every query the worker drains, so the
+				// steady state allocates nothing on the hot path.
+				var buf []uint32
 				for {
 					lo := int(cursor.Add(queryBlock)) - queryBlock
 					if lo >= len(queriers) {
@@ -209,10 +230,12 @@ func runConcurrent[M any](e *concurrentEngine[M], opts ConcurrentOptions) *Concu
 					for _, q := range queriers[lo:hi] {
 						r := e.queryRect(q)
 						qs := time.Now()
-						qe, qd := e.query(r, func(id uint32) {
+						var qe, qd uint64
+						buf, qe, qd = e.queryAppend(r, buf[:0])
+						for _, id := range buf {
 							st.pairs++
 							st.hash = MixPair(st.hash, q, id)
-						})
+						}
 						st.lat = append(st.lat, time.Since(qs))
 						if prev, ok := st.seen[qe]; ok && prev != qd {
 							st.bad++
@@ -295,10 +318,10 @@ func RunConcurrent(x EpochIndex, src workload.Source, opts ConcurrentOptions) *C
 				snap[u.ID] = u.Pos
 			}
 		},
-		apply:    x.ApplyBatch,
-		query:    x.Query,
-		epochNow: x.Epoch,
-		stats:    x.Stats,
+		apply:       x.ApplyBatch,
+		queryAppend: epochAppendOf(x, x.Query),
+		epochNow:    x.Epoch,
+		stats:       x.Stats,
 	}
 	return runConcurrent(e, opts)
 }
@@ -331,10 +354,10 @@ func RunBoxesConcurrent(x EpochBoxIndex, src workload.BoxSource, opts Concurrent
 				snap[u.ID] = u.Rect
 			}
 		},
-		apply:    x.ApplyBatch,
-		query:    x.Query,
-		epochNow: x.Epoch,
-		stats:    x.Stats,
+		apply:       x.ApplyBatch,
+		queryAppend: epochAppendOf(x, x.Query),
+		epochNow:    x.Epoch,
+		stats:       x.Stats,
 	}
 	return runConcurrent(e, opts)
 }

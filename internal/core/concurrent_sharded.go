@@ -73,10 +73,28 @@ type shardedConcurrentEngine[M any] struct {
 	fetchBatch  func() []M
 	commitBatch func()
 	apply       func(moves []M) error
-	query       func(r geom.Rect, emit func(id uint32), observe func(shard int, ep, dg uint64))
+	// queryAppend drains one query into the caller's reused buffer,
+	// reporting each touched shard's (epoch, digest) through observe —
+	// the buffered kernel every reader worker runs (native via
+	// ShardedEpochQueryAppender, else the adapter built by
+	// shardedEpochAppendOf).
+	queryAppend func(r geom.Rect, buf []uint32, observe func(shard int, ep, dg uint64)) []uint32
 	numShards   func() int
 	shardEpoch  func(i int) (uint64, uint64)
 	stats       func() EpochStats
+}
+
+// shardedEpochAppendOf returns the buffered fan-out kernel of a sharded
+// epoch engine: the native QueryAppend when the engine implements
+// ShardedEpochQueryAppender, else an adapter over the callback Query.
+func shardedEpochAppendOf(x any, query func(r geom.Rect, emit func(id uint32), observe func(shard int, ep, dg uint64))) func(r geom.Rect, buf []uint32, observe func(shard int, ep, dg uint64)) []uint32 {
+	if qa, ok := x.(ShardedEpochQueryAppender); ok {
+		return qa.QueryAppend
+	}
+	return func(r geom.Rect, buf []uint32, observe func(shard int, ep, dg uint64)) []uint32 {
+		query(r, func(id uint32) { buf = append(buf, id) }, observe)
+		return buf
+	}
 }
 
 // runConcurrentSharded is runConcurrent with per-shard consistency
@@ -139,6 +157,17 @@ func runConcurrentSharded[M any](e *shardedConcurrentEngine[M], opts ConcurrentO
 		for w := 0; w < readers; w++ {
 			st := states[w]
 			g.Go(func() {
+				// Per-worker reused result buffer: the hot path allocates
+				// nothing at steady state.
+				var buf []uint32
+				observe := func(shard int, ep, dg uint64) {
+					k := shardEpochKey{shard, ep}
+					if prev, ok := st.seen[k]; ok && prev != dg {
+						st.bad++
+					} else {
+						st.seen[k] = dg
+					}
+				}
 				for {
 					lo := int(cursor.Add(queryBlock)) - queryBlock
 					if lo >= len(queriers) {
@@ -151,17 +180,11 @@ func runConcurrentSharded[M any](e *shardedConcurrentEngine[M], opts ConcurrentO
 					for _, q := range queriers[lo:hi] {
 						r := e.queryRect(q)
 						qs := time.Now()
-						e.query(r, func(id uint32) {
+						buf = e.queryAppend(r, buf[:0], observe)
+						for _, id := range buf {
 							st.pairs++
 							st.hash = MixPair(st.hash, q, id)
-						}, func(shard int, ep, dg uint64) {
-							k := shardEpochKey{shard, ep}
-							if prev, ok := st.seen[k]; ok && prev != dg {
-								st.bad++
-							} else {
-								st.seen[k] = dg
-							}
-						})
+						}
 						st.lat = append(st.lat, time.Since(qs))
 					}
 				}
@@ -237,11 +260,11 @@ func RunConcurrentSharded(x ShardedEpochIndex, src workload.Source, opts Concurr
 				snap[u.ID] = u.Pos
 			}
 		},
-		apply:      x.ApplyBatch,
-		query:      x.Query,
-		numShards:  x.NumShards,
-		shardEpoch: x.ShardEpoch,
-		stats:      x.Stats,
+		apply:       x.ApplyBatch,
+		queryAppend: shardedEpochAppendOf(x, x.Query),
+		numShards:   x.NumShards,
+		shardEpoch:  x.ShardEpoch,
+		stats:       x.Stats,
 	}
 	return runConcurrentSharded(e, opts)
 }
@@ -275,11 +298,11 @@ func RunBoxesConcurrentSharded(x ShardedEpochBoxIndex, src workload.BoxSource, o
 				snap[u.ID] = u.Rect
 			}
 		},
-		apply:      x.ApplyBatch,
-		query:      x.Query,
-		numShards:  x.NumShards,
-		shardEpoch: x.ShardEpoch,
-		stats:      x.Stats,
+		apply:       x.ApplyBatch,
+		queryAppend: shardedEpochAppendOf(x, x.Query),
+		numShards:   x.NumShards,
+		shardEpoch:  x.ShardEpoch,
+		stats:       x.Stats,
 	}
 	return runConcurrentSharded(e, opts)
 }

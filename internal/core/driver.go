@@ -18,8 +18,13 @@ type Options struct {
 	KeepPerTick bool
 	// CollectPairs, when non-nil, receives every join pair. Used by
 	// correctness tests; leave nil in benchmarks (emission then only
-	// counts and checksums).
+	// counts and checksums). Forces the emit kernel.
 	CollectPairs func(querier, found uint32)
+	// Kernel selects the query kernel: the zero value (KernelAuto)
+	// drains queries through the buffered QueryAppend path, KernelEmit
+	// forces the classic per-result callback, KernelBatch the
+	// multi-query path. The result digest is identical across kernels.
+	Kernel QueryKernel
 }
 
 // PhaseTimes is a build/query/update wall-time triple.
@@ -143,11 +148,13 @@ func pointEngine(idx Index, src workload.Source) *engine[geom.Point] {
 		refresh: func(dst []geom.Point, lo, hi int) {
 			refreshSnapshot(dst[lo:hi], src.Objects()[lo:hi])
 		},
-		build:     idx.Build,
-		query:     idx.Query,
-		queriers:  src.Queriers,
-		queryRect: src.QueryRect,
-		center:    func(p geom.Point) geom.Point { return p },
+		build:       idx.Build,
+		query:       idx.Query,
+		queryAppend: QueryAppendOf(idx, idx.Query),
+		queryBatch:  QueryBatchOf(idx, idx.Query),
+		queriers:    src.Queriers,
+		queryRect:   src.QueryRect,
+		center:      func(p geom.Point) geom.Point { return p },
 	}
 	if builder, ok := idx.(ParallelBuilder); ok {
 		e.buildParallel = builder.BuildParallel

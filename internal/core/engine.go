@@ -57,8 +57,13 @@ type engine[P any] struct {
 	// build / buildParallel (re)construct the index over the snapshot.
 	build         func(snap []P)
 	buildParallel func(snap []P, workers int)
-	// query probes the index once.
-	query func(r geom.Rect, emit func(id uint32))
+	// query probes the index once via the callback kernel; queryAppend
+	// and queryBatch are the buffered kernels (bound through
+	// QueryAppendOf/QueryBatchOf, so they are never nil — native when
+	// the index implements the capability, adapted otherwise).
+	query       func(r geom.Rect, emit func(id uint32))
+	queryAppend func(r geom.Rect, buf []uint32) []uint32
+	queryBatch  func(rects []geom.Rect, offsets, buf []uint32) ([]uint32, []uint32)
 	// queriers / queryRect expose the tick's query stream.
 	queriers  func() []uint32
 	queryRect func(q uint32) geom.Rect
@@ -95,6 +100,12 @@ func runTicks[P any](e *engine[P], opts Options) *Result {
 
 	pairs := int64(0)
 	hash := uint64(0)
+	kernel := opts.Kernel
+	if opts.CollectPairs != nil {
+		// Pair collection observes individual emissions in order; it
+		// stays on the callback route regardless of the requested kernel.
+		kernel = KernelEmit
+	}
 	var emitQ uint32
 	emit := func(id uint32) {
 		pairs++
@@ -108,6 +119,8 @@ func runTicks[P any](e *engine[P], opts Options) *Result {
 			collect(emitQ, id)
 		}
 	}
+	var buf, offsets []uint32
+	var rects []geom.Rect
 
 	for t := 0; t < ticks; t++ {
 		var pt PhaseTimes
@@ -119,9 +132,32 @@ func runTicks[P any](e *engine[P], opts Options) *Result {
 
 		start = time.Now()
 		queriers := e.queriers()
-		for _, q := range queriers {
-			emitQ = q
-			e.query(e.queryRect(q), emit)
+		switch kernel {
+		case KernelEmit:
+			for _, q := range queriers {
+				emitQ = q
+				e.query(e.queryRect(q), emit)
+			}
+		case KernelBatch:
+			rects = rects[:0]
+			for _, q := range queriers {
+				rects = append(rects, e.queryRect(q))
+			}
+			offsets, buf = e.queryBatch(rects, offsets, buf)
+			for i, q := range queriers {
+				for _, id := range buf[offsets[i]:offsets[i+1]] {
+					pairs++
+					hash = MixPair(hash, q, id)
+				}
+			}
+		default: // KernelAuto, KernelAppend: the buffered drain
+			for _, q := range queriers {
+				buf = e.queryAppend(e.queryRect(q), buf[:0])
+				for _, id := range buf {
+					pairs++
+					hash = MixPair(hash, q, id)
+				}
+			}
 		}
 		pt.Query = time.Since(start)
 		res.Queries += int64(len(queriers))
@@ -213,6 +249,11 @@ func runTicksParallel[P any](e *engine[P], opts Options, workers int) *Result {
 			g.Go(func() {
 				var pairs int64
 				var hash uint64
+				// Per-worker result buffers: each claimed block drains
+				// through the buffered kernel with no shared state, and
+				// the buffers reach steady-state capacity within a tick.
+				var buf, offsets []uint32
+				var rects []geom.Rect
 				for {
 					lo := int(cursor.Add(queryBlock)) - queryBlock
 					if lo >= len(order) {
@@ -222,12 +263,39 @@ func runTicksParallel[P any](e *engine[P], opts Options, workers int) *Result {
 					if hi > len(order) {
 						hi = len(order)
 					}
-					for _, q := range order[lo:hi] {
-						r := e.queryRect(q)
-						e.query(r, func(id uint32) {
-							pairs++
-							hash = MixPair(hash, q, id)
-						})
+					block := order[lo:hi]
+					switch opts.Kernel {
+					case KernelEmit:
+						for _, q := range block {
+							r := e.queryRect(q)
+							e.query(r, func(id uint32) {
+								pairs++
+								hash = MixPair(hash, q, id)
+							})
+						}
+					case KernelBatch:
+						// A claimed block is a contiguous run of the
+						// Morton order — exactly the batch shape the
+						// kernel wants.
+						rects = rects[:0]
+						for _, q := range block {
+							rects = append(rects, e.queryRect(q))
+						}
+						offsets, buf = e.queryBatch(rects, offsets, buf)
+						for i, q := range block {
+							for _, id := range buf[offsets[i]:offsets[i+1]] {
+								pairs++
+								hash = MixPair(hash, q, id)
+							}
+						}
+					default: // KernelAuto, KernelAppend
+						for _, q := range block {
+							buf = e.queryAppend(e.queryRect(q), buf[:0])
+							for _, id := range buf {
+								pairs++
+								hash = MixPair(hash, q, id)
+							}
+						}
 					}
 				}
 				parts[w].pairs = pairs

@@ -8,6 +8,16 @@
 // built at the start of every tick, the join is computed by probing that
 // index once per querier, and updates are batched and applied at the end
 // of the tick so all queries observe the state as of the previous tick.
+//
+// Queries run through one of three kernels (querykernel.go): the classic
+// per-result callback (Index.Query), the buffered append
+// (QueryAppender.QueryAppend, zero allocations per query at steady
+// state), and the CSR-shaped batch (BatchQuerier.QueryBatch). The
+// buffered kernels are optional capabilities detected via QueryAppendOf
+// / QueryBatchOf, so wrappers (epoch, shard, tune) forward them and
+// out-of-tree indexes fall back to a callback adapter; Options.Kernel
+// selects the kernel a driver run uses. All kernels must report
+// identical result sets — only speed may differ.
 package core
 
 import "repro/internal/geom"

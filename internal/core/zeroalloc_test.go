@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+// The brute-force baselines implement the buffered kernels natively
+// too, so the lineup's oracle measurements are apples-to-apples with
+// the indexes: zero allocations per query once the caller's buffer has
+// reached the workload's high-water mark.
+
+func zeroAllocRects(rng *xrand.Rand, n int, space, ext float32) []geom.Rect {
+	rects := make([]geom.Rect, n)
+	for i := range rects {
+		c := geom.Point{X: rng.Float32() * space, Y: rng.Float32() * space}
+		rects[i] = geom.Square(c, ext)
+	}
+	return rects
+}
+
+func assertZeroAllocAppend(t *testing.T, name string, qa func(r geom.Rect, buf []uint32) []uint32, rects []geom.Rect) {
+	t.Helper()
+	var buf []uint32
+	for _, r := range rects {
+		buf = qa(r, buf[:0])
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = qa(rects[i%len(rects)], buf[:0])
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("%s: QueryAppend allocates %.1f times per query at steady state, want 0", name, allocs)
+	}
+}
+
+func TestBruteForceQueryAppendZeroAlloc(t *testing.T) {
+	const space = 4000
+	rng := xrand.New(3)
+	pts := make([]geom.Point, 3000)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float32() * space, Y: rng.Float32() * space}
+	}
+	b := NewBruteForce()
+	b.Build(pts)
+	assertZeroAllocAppend(t, b.Name(), b.QueryAppend, zeroAllocRects(rng, 50, space, 200))
+}
+
+func TestBruteForceBoxesQueryAppendZeroAlloc(t *testing.T) {
+	const space = 4000
+	rng := xrand.New(5)
+	boxes := make([]geom.Rect, 3000)
+	for i := range boxes {
+		c := geom.Point{X: rng.Float32() * space, Y: rng.Float32() * space}
+		boxes[i] = geom.Square(c, 1+rng.Float32()*40)
+	}
+	b := NewBruteForceBoxes()
+	b.Build(boxes)
+	assertZeroAllocAppend(t, b.Name(), b.QueryAppend, zeroAllocRects(rng, 50, space, 200))
+}

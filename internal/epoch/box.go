@@ -66,10 +66,11 @@ func boxAt(ops indexOps[geom.Rect], r geom.Rect, id uint32) bool {
 func newBoxBuffer(idx core.BoxIndex, n int) *buffer[geom.Rect] {
 	b := &buffer[geom.Rect]{snap: make([]geom.Rect, n)}
 	b.ops = indexOps[geom.Rect]{
-		name:   idx.Name,
-		build:  idx.Build,
-		update: idx.Update,
-		query:  idx.Query,
+		name:        idx.Name,
+		build:       idx.Build,
+		update:      idx.Update,
+		query:       idx.Query,
+		queryAppend: core.QueryAppendOf(idx, idx.Query),
 	}
 	if c, ok := idx.(core.Counter); ok {
 		b.ops.length = c.Len
@@ -113,6 +114,12 @@ func (x *BoxIndex) ApplyBatch(moves []geom.BoxMove) (uint64, error) {
 // epoch, returning the epoch number and consistency digest it observed.
 func (x *BoxIndex) Query(r geom.Rect, emit func(id uint32)) (uint64, uint64) {
 	return x.query(r, emit)
+}
+
+// QueryAppend implements core.EpochQueryAppender: the buffered variant
+// of Query, scanning under one epoch pin.
+func (x *BoxIndex) QueryAppend(r geom.Rect, buf []uint32) ([]uint32, uint64, uint64) {
+	return x.queryAppend(r, buf)
 }
 
 // Epoch returns the live epoch number and digest.

@@ -116,7 +116,10 @@ type indexOps[P any] struct {
 	build  func(snap []P)
 	update func(id uint32, old, new P)
 	query  func(r geom.Rect, emit func(id uint32))
-	length func() int
+	// queryAppend is the buffered query kernel (core.QueryAppendOf over
+	// the inner index: native when the inner supports it).
+	queryAppend func(r geom.Rect, buf []uint32) []uint32
+	length      func() int
 	// check is the inner CheckInvariants, nil when unsupported.
 	check func() error
 	// owns is non-nil for region-sharded inners (PointOwner/RectOwner):
@@ -208,6 +211,20 @@ func (x *pub[P, M]) query(r geom.Rect, emit func(id uint32)) (uint64, uint64) {
 	defer b.active.Add(-1)
 	b.ops.query(r, emit)
 	return b.epoch, b.digest
+}
+
+// queryAppend drains one buffered query on the live epoch, returning the
+// appended buffer plus the epoch number and digest it observed. The
+// entire inner scan runs under one pin, so the buffer's contents are a
+// consistent view of a single epoch.
+func (x *pub[P, M]) queryAppend(r geom.Rect, buf []uint32) ([]uint32, uint64, uint64) {
+	b := x.pin()
+	if b == nil {
+		return buf, 0, 0
+	}
+	defer b.active.Add(-1)
+	buf = b.ops.queryAppend(r, buf)
+	return buf, b.epoch, b.digest
 }
 
 // contained runs fn, converting a panic (including re-panicked worker

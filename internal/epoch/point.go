@@ -7,10 +7,12 @@ import (
 
 // The wrappers satisfy the concurrent driver's contracts.
 var (
-	_ core.EpochIndex    = (*Index)(nil)
-	_ core.EpochBoxIndex = (*BoxIndex)(nil)
-	_ core.Counter       = (*Index)(nil)
-	_ core.Counter       = (*BoxIndex)(nil)
+	_ core.EpochIndex         = (*Index)(nil)
+	_ core.EpochBoxIndex      = (*BoxIndex)(nil)
+	_ core.Counter            = (*Index)(nil)
+	_ core.Counter            = (*BoxIndex)(nil)
+	_ core.EpochQueryAppender = (*Index)(nil)
+	_ core.EpochQueryAppender = (*BoxIndex)(nil)
 )
 
 // Index is the epoch-published wrapper around a point index: a
@@ -73,10 +75,11 @@ func pointAt(ops indexOps[geom.Point], p geom.Point, id uint32) bool {
 func newPointBuffer(idx core.Index, n int) *buffer[geom.Point] {
 	b := &buffer[geom.Point]{snap: make([]geom.Point, n)}
 	b.ops = indexOps[geom.Point]{
-		name:   idx.Name,
-		build:  idx.Build,
-		update: idx.Update,
-		query:  idx.Query,
+		name:        idx.Name,
+		build:       idx.Build,
+		update:      idx.Update,
+		query:       idx.Query,
+		queryAppend: core.QueryAppendOf(idx, idx.Query),
 	}
 	if c, ok := idx.(core.Counter); ok {
 		b.ops.length = c.Len
@@ -125,6 +128,13 @@ func (x *Index) ApplyBatch(moves []geom.Move) (uint64, error) {
 // epoch, returning the epoch number and consistency digest it observed.
 func (x *Index) Query(r geom.Rect, emit func(id uint32)) (uint64, uint64) {
 	return x.query(r, emit)
+}
+
+// QueryAppend implements core.EpochQueryAppender: the buffered variant
+// of Query. The whole inner scan runs under one epoch pin, so buf holds
+// a consistent single-epoch result set.
+func (x *Index) QueryAppend(r geom.Rect, buf []uint32) ([]uint32, uint64, uint64) {
+	return x.queryAppend(r, buf)
 }
 
 // Epoch returns the live epoch number and digest.

@@ -336,6 +336,32 @@ func (bg *BoxGrid) Query(r geom.Rect, emit func(id uint32)) {
 	}
 }
 
+// QueryAppend implements core.QueryAppender: the same span walk as
+// Query with the dedup-and-intersect loop appending into buf.
+func (bg *BoxGrid) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
+	q := bg.spanOf(r)
+	cps := bg.cps
+	for cy := int(q.y0); cy <= int(q.y1); cy++ {
+		base := cy * cps
+		for cx := int(q.x0); cx <= int(q.x1); cx++ {
+			buf = bg.appendCell(base+cx, uint16(cx), uint16(cy), q.x0, q.y0, r, buf)
+		}
+	}
+	return buf
+}
+
+// QueryBatch implements core.BatchQuerier (append kernel over the
+// caller's Morton-ordered batch; see Grid.QueryBatch).
+func (bg *BoxGrid) QueryBatch(rects []geom.Rect, offsets, buf []uint32) ([]uint32, []uint32) {
+	offsets = append(offsets[:0], 0)
+	buf = buf[:0]
+	for _, r := range rects {
+		buf = bg.QueryAppend(r, buf)
+		offsets = append(offsets, uint32(len(buf)))
+	}
+	return offsets, buf
+}
+
 // refCell reports whether (cx, cy) is the reference cell for an object
 // with span s under a query whose span starts at (qx0, qy0): the first
 // cell the two spans share.
@@ -366,6 +392,23 @@ func (bg *BoxGrid) emitCell(c int, cx, cy, qx0, qy0 uint16, r geom.Rect, emit fu
 			emit(id)
 		}
 	}
+}
+
+// appendCell is emitCell buffered: the same dedup-then-intersect loop
+// over the dense segment and the overflow, appending survivors.
+func (bg *BoxGrid) appendCell(c int, cx, cy, qx0, qy0 uint16, r geom.Rect, buf []uint32) []uint32 {
+	b := bg.starts[c]
+	for _, id := range bg.ids[b : b+bg.counts[c]] {
+		if refCell(bg.spans[id], cx, cy, qx0, qy0) && bg.rects[id].Intersects(r) {
+			buf = append(buf, id)
+		}
+	}
+	for _, id := range bg.overflow[c] {
+		if refCell(bg.spans[id], cx, cy, qx0, qy0) && bg.rects[id].Intersects(r) {
+			buf = append(buf, id)
+		}
+	}
+	return buf
 }
 
 // Update implements core.BoxIndex: remove the entry from every cell of

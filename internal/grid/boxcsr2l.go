@@ -552,6 +552,111 @@ func (bg *BoxGrid2L) Query(r geom.Rect, emit func(id uint32)) {
 	}
 }
 
+// QueryAppend implements core.QueryAppender: the Query kernel with the
+// per-class emit loops appending into buf. The payoff is the interior
+// cell: its class-A run is a guaranteed-hit contiguous slice of the ID
+// arena, so the whole sub-span lands in buf as one bulk copy with no
+// per-element test or call — the true-hit fast path this layout's class
+// partition was built for.
+func (bg *BoxGrid2L) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
+	q := bg.mapper.spanOf(r)
+	cps := bg.cps
+	half := 2 * bg.cells
+	qx0, qx1 := int(q.x0), int(q.x1)
+	qy0, qy1 := int(q.y0), int(q.y1)
+	for cy := qy0; cy <= qy1; cy++ {
+		firstRow, lastRow := cy == qy0, cy == qy1
+		loY, hiY := float32(-boxInf), float32(boxInf)
+		if firstRow {
+			loY = r.MinY
+		}
+		if lastRow {
+			hiY = r.MaxY
+		}
+		base := cy * cps
+		for cx := qx0; cx <= qx1; cx++ {
+			c := base + cx
+			c2 := 2 * c
+			a0, aEnd := bg.starts[c], bg.ends[c2]
+			firstCol, lastCol := cx == qx0, cx == qx1
+			if !firstCol && !lastCol && !firstRow && !lastRow {
+				// Interior cell: the entire class-A run is a hit — one
+				// bulk copy, zero predicates.
+				buf = append(buf, bg.ids[a0:aEnd]...)
+			} else {
+				loX, hiX := float32(-boxInf), float32(boxInf)
+				if firstCol {
+					loX = r.MinX
+				}
+				if lastCol {
+					hiX = r.MaxX
+				}
+				// Every class predicate is the 4-term window test with ±inf
+				// sentinels on the edges it does not need (class B never
+				// tests MinX <= hiX, so hiX = +inf there, and so on) — one
+				// branchless kernel serves all four classes.
+				buf = bg.appendMasked(a0, aEnd, loX, hiX, loY, hiY, buf)
+				if firstCol {
+					buf = bg.appendMasked(aEnd, bg.ends[c2+1], r.MinX, boxInf, loY, hiY, buf)
+				}
+				if firstRow {
+					buf = bg.appendMasked(bg.ends[c2+1], bg.ends[half+c2], loX, hiX, r.MinY, boxInf, buf)
+				}
+				if firstCol && firstRow {
+					buf = bg.appendMasked(bg.ends[half+c2], bg.ends[half+c2+1], r.MinX, boxInf, r.MinY, boxInf, buf)
+				}
+			}
+			if of := bg.overflow[c]; len(of) != 0 {
+				ofr := bg.overflowR[c]
+				for j, id := range of {
+					if refCell(bg.spans[id], uint16(cx), uint16(cy), q.x0, q.y0) && ofr[j].Intersects(r) {
+						buf = append(buf, id)
+					}
+				}
+			}
+		}
+	}
+	return buf
+}
+
+// appendMasked appends every ID in ids[lo:hi] whose stored rect passes
+// the window test MaxX >= loX && MinX <= hiX && MaxY >= loY &&
+// MinY <= hiY, branchlessly: each candidate is stored unconditionally
+// and the write cursor advances by the OR of the four differences' IEEE
+// sign bits (all coordinates are finite and never -0, so diff >= 0 iff
+// the sign bit is clear; differences against the ±boxInf sentinels
+// saturate to ±Inf, which keeps the right sign). The boundary cells'
+// hit/miss pattern is maximally unpredictable, so removing the
+// per-element branch is worth far more than the redundant stores — and
+// it is a move only a buffered kernel can make, since calling an emit
+// callback for hits only is itself a data-dependent branch.
+func (bg *BoxGrid2L) appendMasked(lo, hi uint32, loX, hiX, loY, hiY float32, buf []uint32) []uint32 {
+	seg := bg.ids[lo:hi]
+	rcs := bg.rcts[lo:hi]
+	k := len(buf)
+	buf = append(buf, seg...) // reserve; survivors overwrite in place
+	for j, id := range seg {
+		rc := rcs[j]
+		m := math.Float32bits(rc.MaxX-loX) | math.Float32bits(hiX-rc.MinX) |
+			math.Float32bits(rc.MaxY-loY) | math.Float32bits(hiY-rc.MinY)
+		buf[k] = id
+		k += 1 - int(m>>31)
+	}
+	return buf[:k]
+}
+
+// QueryBatch implements core.BatchQuerier (append kernel over the
+// caller's Morton-ordered batch; see Grid.QueryBatch).
+func (bg *BoxGrid2L) QueryBatch(rects []geom.Rect, offsets, buf []uint32) ([]uint32, []uint32) {
+	offsets = append(offsets[:0], 0)
+	buf = buf[:0]
+	for _, r := range rects {
+		buf = bg.QueryAppend(r, buf)
+		offsets = append(offsets, uint32(len(buf)))
+	}
+	return offsets, buf
+}
+
 // Update implements core.BoxIndex: remove the replica from every cell of
 // its old span and insert it into every cell of the new one, maintaining
 // the class partition in place.

@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"math"
 	"runtime"
 
 	"repro/internal/geom"
@@ -351,6 +352,82 @@ func (st *csrStore) filterCell(c int, r geom.Rect, emit func(id uint32)) {
 			emit(id)
 		}
 	}
+}
+
+// appendRow is the store's whole-row buffered kernel. Contained cells
+// append their dense segment whole (the true-hit fast path), and
+// CONSECUTIVE contained cells whose segments abut in the arena — always
+// the case on a fresh counting-sort build, where starts[c]+counts[c] ==
+// starts[c+1] — merge into a single copy, so a fully covered row costs
+// one memmove however many cells it spans. Boundary cells run the tight
+// test-and-append loop. Nothing here goes through an interface call or
+// a callback.
+func (st *csrStore) appendRow(r geom.Rect, base, xmin, xmax int, containsY bool, xs []float32, buf []uint32) []uint32 {
+	if st.xy != nil {
+		return st.appendRowXY(r, base, xmin, xmax, containsY, xs, buf)
+	}
+	ids, starts, counts := st.ids, st.starts, st.counts
+	var runLo, runHi uint32
+	x0 := xs[xmin]
+	for cx := xmin; cx <= xmax; cx++ {
+		x1 := xs[cx+1]
+		c := base + cx
+		if containsY && r.MinX <= x0 && x1 <= r.MaxX {
+			b := starts[c]
+			if runHi != b {
+				if runHi > runLo {
+					buf = append(buf, ids[runLo:runHi]...)
+				}
+				runLo = b
+			}
+			runHi = b + counts[c]
+			if of := st.overflow[c]; len(of) > 0 {
+				buf = append(buf, of...)
+			}
+		} else if x0 <= r.MaxX && r.MinX <= x1 {
+			buf = st.appendFilterCell(c, r, buf)
+		}
+		x0 = x1
+	}
+	if runHi > runLo {
+		buf = append(buf, ids[runLo:runHi]...)
+	}
+	return buf
+}
+
+// appendFilterCell is the buffered boundary-cell filter, and the second
+// reason (after the contained-cell bulk copy) a buffered kernel beats a
+// callback one: it is branchless. Every candidate ID is stored into the
+// output unconditionally and the write cursor advances by the sign bit
+// of the containment test, so the boundary cells' maximally
+// unpredictable hit/miss pattern costs zero branch mispredictions. A
+// callback kernel cannot be compiled this way — invoking the callback
+// only for hits IS a data-dependent branch.
+//
+// The sign trick: p is inside r iff all four of p.X-r.MinX, r.MaxX-p.X,
+// p.Y-r.MinY, r.MaxY-p.Y are >= 0, i.e. iff the OR of their IEEE sign
+// bits is clear (coordinates are finite, and the generator never
+// produces -0, so x-y == -0 cannot arise for distinct operands).
+func (st *csrStore) appendFilterCell(c int, r geom.Rect, buf []uint32) []uint32 {
+	b := st.starts[c]
+	seg := st.ids[b : b+st.counts[c]]
+	pts := st.pts
+	k := len(buf)
+	buf = append(buf, seg...) // reserve; survivors overwrite in place
+	for _, id := range seg {
+		p := pts[id]
+		m := math.Float32bits(p.X-r.MinX) | math.Float32bits(r.MaxX-p.X) |
+			math.Float32bits(p.Y-r.MinY) | math.Float32bits(r.MaxY-p.Y)
+		buf[k] = id
+		k += 1 - int(m>>31)
+	}
+	buf = buf[:k]
+	for _, id := range st.overflow[c] {
+		if pts[id].In(r) {
+			buf = append(buf, id)
+		}
+	}
+	return buf
 }
 
 func (st *csrStore) cellCount(c int) int {

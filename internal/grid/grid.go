@@ -218,6 +218,15 @@ type store interface {
 	scanCell(c int, emit func(id uint32))
 	// filterCell invokes emit for entries of cell c contained in r.
 	filterCell(c int, r geom.Rect, emit func(id uint32))
+	// appendRow is the buffered counterpart of one directory row of the
+	// scanCellRange walk: for every cell [base+xmin, base+xmax] it appends
+	// the cell's entries whole when the cell is contained in r (only
+	// possible when containsY holds; the x-halves of the predicate are
+	// tested against xs) and test-and-appends otherwise. One interface
+	// call covers the whole row — the per-cell dispatch of the callback
+	// walk is the exact overhead the buffered kernel exists to kill, so
+	// it must not reappear here as a per-cell appendCell call.
+	appendRow(r geom.Rect, base, xmin, xmax int, containsY bool, xs []float32, buf []uint32) []uint32
 	cellCount(c int) int
 	memoryBytes() int64
 	totalEntries() int
@@ -595,6 +604,55 @@ func (g *Grid) scanCellRange(r geom.Rect, xmin, xmax, ymin, ymax int, emit func(
 			}
 		}
 	}
+}
+
+// QueryAppend implements core.QueryAppender: the same cell walk as
+// Query with results appended to buf — contained cells become straight
+// sub-slice appends (a copy for the CSR layout's dense segments) and
+// filtered cells tight test-and-append loops, with no per-result
+// indirect call anywhere.
+func (g *Grid) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
+	if g.cfg.Scan == ScanFull {
+		return g.scanCellRangeAppend(r, 0, g.cfg.CPS-1, 0, g.cfg.CPS-1, buf)
+	}
+	xmin := g.axisCell(r.MinX - g.bounds.MinX)
+	xmax := g.axisCell(r.MaxX - g.bounds.MinX)
+	ymin := g.axisCell(r.MinY - g.bounds.MinY)
+	ymax := g.axisCell(r.MaxY - g.bounds.MinY)
+	return g.scanCellRangeAppend(r, xmin, xmax, ymin, ymax, buf)
+}
+
+// scanCellRangeAppend is scanCellRange with the buffered row kernel:
+// the y-halves of the predicates are decided here, rows that cannot
+// overlap r are skipped, and each surviving row is handed to the store
+// in ONE interface call (the per-cell dispatch of the callback walk is
+// gone from the buffered path).
+func (g *Grid) scanCellRangeAppend(r geom.Rect, xmin, xmax, ymin, ymax int, buf []uint32) []uint32 {
+	cps := g.cfg.CPS
+	st := g.st
+	for cy := ymin; cy <= ymax; cy++ {
+		y0, y1 := g.ys[cy], g.ys[cy+1]
+		containsY := r.MinY <= y0 && y1 <= r.MaxY
+		if !containsY && !(y0 <= r.MaxY && r.MinY <= y1) {
+			continue
+		}
+		buf = st.appendRow(r, cy*cps, xmin, xmax, containsY, g.xs, buf)
+	}
+	return buf
+}
+
+// QueryBatch implements core.BatchQuerier. The batch kernel is the
+// append kernel answered in caller order: the drivers hand over
+// Morton-sorted batches, so consecutive queries revisit the same cell
+// rows while their segments are cache-resident.
+func (g *Grid) QueryBatch(rects []geom.Rect, offsets, buf []uint32) ([]uint32, []uint32) {
+	offsets = append(offsets[:0], 0)
+	buf = buf[:0]
+	for _, r := range rects {
+		buf = g.QueryAppend(r, buf)
+		offsets = append(offsets, uint32(len(buf)))
+	}
+	return offsets, buf
 }
 
 // Len implements core.Counter.

@@ -203,6 +203,78 @@ func (st *inlineStore) filterCellXY(c int, r geom.Rect, emit func(id uint32)) {
 	}
 }
 
+// appendRow is the whole-row buffered kernel of the store interface:
+// the per-cell dispatch happens here as direct (inlinable) calls on the
+// concrete store instead of interface calls per cell.
+func (st *inlineStore) appendRow(r geom.Rect, base, xmin, xmax int, containsY bool, xs []float32, buf []uint32) []uint32 {
+	x0 := xs[xmin]
+	for cx := xmin; cx <= xmax; cx++ {
+		x1 := xs[cx+1]
+		c := base + cx
+		if containsY && r.MinX <= x0 && x1 <= r.MaxX {
+			buf = st.appendCell(c, buf)
+		} else if x0 <= r.MaxX && r.MinX <= x1 {
+			buf = st.appendFilterCell(c, r, buf)
+		}
+		x0 = x1
+	}
+	return buf
+}
+
+// appendCell is scanCell buffered: each bucket's ID slots are one
+// contiguous sub-slice of the arena, so a full bucket appends as a
+// single copy.
+func (st *inlineStore) appendCell(c int, buf []uint32) []uint32 {
+	for b := st.cells[c]; b != nilOff; b = st.arena[b] {
+		n := st.arena[b+1]
+		buf = append(buf, st.arena[b+2:b+2+n]...)
+	}
+	return buf
+}
+
+// appendFilterCell is filterCell buffered, with branchless compaction
+// per bucket (see csrStore.appendFilterCell for the sign trick): each
+// bucket's ID slots are contiguous, so the bucket is reserved whole and
+// survivors overwrite it in place, cursor advanced by the sign bit of
+// the containment test.
+func (st *inlineStore) appendFilterCell(c int, r geom.Rect, buf []uint32) []uint32 {
+	if st.withXY {
+		for b := st.cells[c]; b != nilOff; b = st.arena[b] {
+			n := st.arena[b+1]
+			seg := st.arena[b+2 : b+2+n]
+			xy := st.arena[b+2+uint32(st.bs):]
+			k := len(buf)
+			buf = append(buf, seg...)
+			for j, id := range seg {
+				x := math.Float32frombits(xy[2*j])
+				y := math.Float32frombits(xy[2*j+1])
+				m := math.Float32bits(x-r.MinX) | math.Float32bits(r.MaxX-x) |
+					math.Float32bits(y-r.MinY) | math.Float32bits(r.MaxY-y)
+				buf[k] = id
+				k += 1 - int(m>>31)
+			}
+			buf = buf[:k]
+		}
+		return buf
+	}
+	pts := st.pts
+	for b := st.cells[c]; b != nilOff; b = st.arena[b] {
+		n := st.arena[b+1]
+		seg := st.arena[b+2 : b+2+n]
+		k := len(buf)
+		buf = append(buf, seg...)
+		for _, id := range seg {
+			p := pts[id]
+			m := math.Float32bits(p.X-r.MinX) | math.Float32bits(r.MaxX-p.X) |
+				math.Float32bits(p.Y-r.MinY) | math.Float32bits(r.MaxY-p.Y)
+			buf[k] = id
+			k += 1 - int(m>>31)
+		}
+		buf = buf[:k]
+	}
+	return buf
+}
+
 // cellCount walks the chain: the refactored directory deliberately has no
 // per-cell counter anymore.
 func (st *inlineStore) cellCount(c int) int {

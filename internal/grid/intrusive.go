@@ -129,6 +129,41 @@ func (st *intrusiveStore) filterCell(c int, r geom.Rect, emit func(id uint32)) {
 	}
 }
 
+// appendRow is the whole-row buffered kernel of the store interface:
+// direct per-cell calls on the concrete store, no interface dispatch.
+func (st *intrusiveStore) appendRow(r geom.Rect, base, xmin, xmax int, containsY bool, xs []float32, buf []uint32) []uint32 {
+	x0 := xs[xmin]
+	for cx := xmin; cx <= xmax; cx++ {
+		x1 := xs[cx+1]
+		c := base + cx
+		if containsY && r.MinX <= x0 && x1 <= r.MaxX {
+			buf = st.appendCell(c, buf)
+		} else if x0 <= r.MaxX && r.MinX <= x1 {
+			buf = st.appendFilterCell(c, r, buf)
+		}
+		x0 = x1
+	}
+	return buf
+}
+
+// appendCell is scanCell buffered.
+func (st *intrusiveStore) appendCell(c int, buf []uint32) []uint32 {
+	for id := st.cells[c]; id != nilID; id = st.nodes[id].next {
+		buf = append(buf, uint32(id))
+	}
+	return buf
+}
+
+// appendFilterCell is filterCell buffered.
+func (st *intrusiveStore) appendFilterCell(c int, r geom.Rect, buf []uint32) []uint32 {
+	for id := st.cells[c]; id != nilID; id = st.nodes[id].next {
+		if st.pts[id].In(r) {
+			buf = append(buf, uint32(id))
+		}
+	}
+	return buf
+}
+
 func (st *intrusiveStore) cellCount(c int) int {
 	count := 0
 	for id := st.cells[c]; id != nilID; id = st.nodes[id].next {

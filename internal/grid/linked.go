@@ -210,6 +210,47 @@ func (st *linkedStore) filterCell(c int, r geom.Rect, emit func(id uint32)) {
 	}
 }
 
+// appendRow is the whole-row buffered kernel of the store interface:
+// direct per-cell calls on the concrete store, no interface dispatch.
+func (st *linkedStore) appendRow(r geom.Rect, base, xmin, xmax int, containsY bool, xs []float32, buf []uint32) []uint32 {
+	x0 := xs[xmin]
+	for cx := xmin; cx <= xmax; cx++ {
+		x1 := xs[cx+1]
+		c := base + cx
+		if containsY && r.MinX <= x0 && x1 <= r.MaxX {
+			buf = st.appendCell(c, buf)
+		} else if x0 <= r.MaxX && r.MinX <= x1 {
+			buf = st.appendFilterCell(c, r, buf)
+		}
+		x0 = x1
+	}
+	return buf
+}
+
+// appendCell is scanCell buffered. The node walk is unchanged — the
+// original structure's pointer chasing is the point of this layout —
+// only the per-result callback is gone.
+func (st *linkedStore) appendCell(c int, buf []uint32) []uint32 {
+	for b := st.cells[c].head; b != nil; b = b.next {
+		for n := b.head; n != nil; n = n.next {
+			buf = append(buf, n.id)
+		}
+	}
+	return buf
+}
+
+// appendFilterCell is filterCell buffered.
+func (st *linkedStore) appendFilterCell(c int, r geom.Rect, buf []uint32) []uint32 {
+	for b := st.cells[c].head; b != nil; b = b.next {
+		for n := b.head; n != nil; n = n.next {
+			if n.ptr.In(r) {
+				buf = append(buf, n.id)
+			}
+		}
+	}
+	return buf
+}
+
 func (st *linkedStore) cellCount(c int) int { return int(st.cells[c].count) }
 
 func (st *linkedStore) totalEntries() int { return st.entries }

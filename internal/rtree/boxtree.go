@@ -21,6 +21,7 @@ package rtree
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 
 	"repro/internal/geom"
@@ -400,6 +401,86 @@ func (t *BoxTree) queryRec(ni int32, r geom.Rect, emit func(id uint32)) {
 			t.queryRec(c, r, emit)
 		}
 	}
+}
+
+// QueryAppend implements core.QueryAppender: the explicit-stack
+// traversal of Query with results appended into buf. A leaf fully
+// contained in r contributes its entry run as one bulk copy.
+func (t *BoxTree) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
+	if t.root < 0 {
+		return buf
+	}
+	var stack [256]int32
+	top := 0
+	stack[top] = t.root
+	top++
+	for top > 0 {
+		top--
+		nd := &t.nodes[stack[top]]
+		if nd.leaf {
+			if r.ContainsRect(nd.mbr) {
+				buf = append(buf, t.entries[nd.first:nd.first+nd.count]...)
+			} else {
+				buf = t.appendLeafFiltered(nd, r, buf)
+			}
+			continue
+		}
+		for c := nd.first; c < nd.first+nd.count; c++ {
+			if r.Intersects(t.nodes[c].mbr) {
+				if top == len(stack) {
+					buf = t.queryRecAppend(c, r, buf)
+					continue
+				}
+				stack[top] = c
+				top++
+			}
+		}
+	}
+	return buf
+}
+
+// appendLeafFiltered is the buffered boundary-leaf filter, branchless
+// like Tree.appendLeafFiltered: the rect-overlap test MaxX >= r.MinX &&
+// MinX <= r.MaxX && MaxY >= r.MinY && MinY <= r.MaxY reduces to the OR
+// of four differences' IEEE sign bits.
+func (t *BoxTree) appendLeafFiltered(nd *node, r geom.Rect, buf []uint32) []uint32 {
+	seg := t.entries[nd.first : nd.first+nd.count]
+	rcs := t.entryRects[nd.first : nd.first+nd.count]
+	k := len(buf)
+	buf = append(buf, seg...) // reserve; survivors overwrite in place
+	for j, id := range seg {
+		rc := rcs[j]
+		m := math.Float32bits(rc.MaxX-r.MinX) | math.Float32bits(r.MaxX-rc.MinX) |
+			math.Float32bits(rc.MaxY-r.MinY) | math.Float32bits(r.MaxY-rc.MinY)
+		buf[k] = id
+		k += 1 - int(m>>31)
+	}
+	return buf[:k]
+}
+
+func (t *BoxTree) queryRecAppend(ni int32, r geom.Rect, buf []uint32) []uint32 {
+	nd := &t.nodes[ni]
+	if nd.leaf {
+		return t.appendLeafFiltered(nd, r, buf)
+	}
+	for c := nd.first; c < nd.first+nd.count; c++ {
+		if r.Intersects(t.nodes[c].mbr) {
+			buf = t.queryRecAppend(c, r, buf)
+		}
+	}
+	return buf
+}
+
+// QueryBatch implements core.BatchQuerier (sequential append kernel; see
+// Tree.QueryBatch).
+func (t *BoxTree) QueryBatch(rects []geom.Rect, offsets, buf []uint32) ([]uint32, []uint32) {
+	offsets = append(offsets[:0], 0)
+	buf = buf[:0]
+	for _, r := range rects {
+		buf = t.QueryAppend(r, buf)
+		offsets = append(offsets, uint32(len(buf)))
+	}
+	return offsets, buf
 }
 
 // refitNode recomputes node ni's exact MBR from its children (entry

@@ -290,6 +290,89 @@ func (t *Tree) queryRec(ni int32, r geom.Rect, emit func(id uint32)) {
 	}
 }
 
+// QueryAppend implements core.QueryAppender: the explicit-stack
+// traversal of Query with results appended into buf. A leaf fully
+// contained in r contributes its entry run as one bulk copy.
+func (t *Tree) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
+	if t.root < 0 {
+		return buf
+	}
+	var stack [256]int32
+	top := 0
+	stack[top] = t.root
+	top++
+	for top > 0 {
+		top--
+		nd := &t.nodes[stack[top]]
+		if nd.leaf {
+			if r.ContainsRect(nd.mbr) {
+				buf = append(buf, t.entries[nd.first:nd.first+nd.count]...)
+			} else {
+				buf = t.appendLeafFiltered(nd, r, buf)
+			}
+			continue
+		}
+		for c := nd.first; c < nd.first+nd.count; c++ {
+			if r.Intersects(t.nodes[c].mbr) {
+				if top == len(stack) {
+					buf = t.queryRecAppend(c, r, buf)
+					continue
+				}
+				stack[top] = c
+				top++
+			}
+		}
+	}
+	return buf
+}
+
+// appendLeafFiltered is the buffered boundary-leaf filter, branchless
+// like the grid stores' (see csrStore.appendFilterCell for the sign
+// trick): every entry is stored unconditionally and the write cursor
+// advances by the sign bit of the containment test, so the
+// unpredictable hit/miss pattern of a partially covered leaf costs no
+// branch mispredictions.
+func (t *Tree) appendLeafFiltered(nd *node, r geom.Rect, buf []uint32) []uint32 {
+	seg := t.entries[nd.first : nd.first+nd.count]
+	pts := t.pts
+	k := len(buf)
+	buf = append(buf, seg...) // reserve; survivors overwrite in place
+	for _, id := range seg {
+		p := pts[id]
+		m := math.Float32bits(p.X-r.MinX) | math.Float32bits(r.MaxX-p.X) |
+			math.Float32bits(p.Y-r.MinY) | math.Float32bits(r.MaxY-p.Y)
+		buf[k] = id
+		k += 1 - int(m>>31)
+	}
+	return buf[:k]
+}
+
+func (t *Tree) queryRecAppend(ni int32, r geom.Rect, buf []uint32) []uint32 {
+	nd := &t.nodes[ni]
+	if nd.leaf {
+		return t.appendLeafFiltered(nd, r, buf)
+	}
+	for c := nd.first; c < nd.first+nd.count; c++ {
+		if r.Intersects(t.nodes[c].mbr) {
+			buf = t.queryRecAppend(c, r, buf)
+		}
+	}
+	return buf
+}
+
+// QueryBatch implements core.BatchQuerier (sequential append kernel;
+// batching pays off through the caller's Morton ordering, which keeps
+// consecutive traversals on overlapping node paths).
+func (t *Tree) QueryBatch(rects []geom.Rect, offsets, buf []uint32) ([]uint32, []uint32) {
+	offsets = append(offsets[:0], 0)
+	buf = buf[:0]
+	for _, r := range rects {
+		buf = t.QueryAppend(r, buf)
+		offsets = append(offsets, uint32(len(buf)))
+	}
+	return offsets, buf
+}
+
 // Update implements core.Index. Static category: the move is picked up by
 // the next per-tick rebuild from the refreshed snapshot; nothing to do
 // beyond the framework's base-table write.

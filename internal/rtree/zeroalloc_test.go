@@ -1,0 +1,65 @@
+package rtree
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+// QueryAppend promises zero heap traffic per query at steady state: the
+// traversal stack is a fixed array and results land in the caller's
+// reused buffer. These tests run in the race-test CI job too, so the
+// guarantee holds under the race detector's instrumentation.
+
+func assertZeroAllocAppend(t *testing.T, name string, qa func(r geom.Rect, buf []uint32) []uint32, rects []geom.Rect) {
+	t.Helper()
+	var buf []uint32
+	for _, r := range rects {
+		buf = qa(r, buf[:0])
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = qa(rects[i%len(rects)], buf[:0])
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("%s: QueryAppend allocates %.1f times per query at steady state, want 0", name, allocs)
+	}
+}
+
+func TestTreeQueryAppendZeroAlloc(t *testing.T) {
+	wcfg := workload.DefaultUniform()
+	wcfg.NumPoints = 4000
+	wcfg.SpaceSize = 6000
+	wcfg.Ticks = 1
+	gen := workload.MustNewGenerator(wcfg)
+	pts := gen.Positions(nil)
+	queriers := gen.Queriers()
+	rects := make([]geom.Rect, 0, len(queriers))
+	for _, q := range queriers {
+		rects = append(rects, gen.QueryRect(q))
+	}
+
+	tr := MustNew(DefaultFanout)
+	tr.Build(pts)
+	assertZeroAllocAppend(t, tr.Name(), tr.QueryAppend, rects)
+}
+
+func TestBoxTreeQueryAppendZeroAlloc(t *testing.T) {
+	wcfg := workload.DefaultUniformBoxes()
+	wcfg.NumPoints = 4000
+	wcfg.SpaceSize = 6000
+	wcfg.Ticks = 1
+	gen := workload.MustNewBoxGenerator(wcfg)
+	boxes := gen.Rects(nil)
+	queriers := gen.Queriers()
+	rects := make([]geom.Rect, 0, len(queriers))
+	for _, q := range queriers {
+		rects = append(rects, gen.QueryRect(q))
+	}
+
+	bt := MustNewBoxTree(DefaultFanout)
+	bt.Build(boxes)
+	assertZeroAllocAppend(t, bt.Name(), bt.QueryAppend, rects)
+}

@@ -11,14 +11,17 @@ import (
 )
 
 var (
-	_ core.BoxIndex          = (*BoxIndex)(nil)
+	_ core.BoxIndex           = (*BoxIndex)(nil)
 	_ core.BoxParallelBuilder = (*BoxIndex)(nil)
-	_ core.BoxBatchUpdater   = (*BoxIndex)(nil)
-	_ core.Counter           = (*BoxIndex)(nil)
-	_ core.MemoryReporter    = (*BoxIndex)(nil)
-	_ core.InvariantChecker  = (*BoxIndex)(nil)
-	_ core.BoxIndex          = (*boxRegion)(nil)
-	_ core.InvariantChecker  = (*boxRegion)(nil)
+	_ core.BoxBatchUpdater    = (*BoxIndex)(nil)
+	_ core.Counter            = (*BoxIndex)(nil)
+	_ core.MemoryReporter     = (*BoxIndex)(nil)
+	_ core.InvariantChecker   = (*BoxIndex)(nil)
+	_ core.QueryAppender      = (*BoxIndex)(nil)
+	_ core.BatchQuerier       = (*BoxIndex)(nil)
+	_ core.BoxIndex           = (*boxRegion)(nil)
+	_ core.InvariantChecker   = (*boxRegion)(nil)
+	_ core.QueryAppender      = (*boxRegion)(nil)
 )
 
 // boxRegion is one shard of the box engine. Unlike points, MBRs
@@ -38,6 +41,9 @@ type boxRegion struct {
 	choice tune.Choice
 	chosen bool
 	inner  core.BoxIndex
+	// innerAppend is the inner's buffered query kernel (native when the
+	// chosen family supports core.QueryAppender).
+	innerAppend func(r geom.Rect, buf []uint32) []uint32
 
 	lidOf   []uint32
 	owner   []uint32
@@ -125,6 +131,7 @@ func (s *boxRegion) buildMembers(all []geom.Rect, members []uint32) {
 		s.choice = tune.ChooseBox(st)
 		s.chosen = true
 		s.inner = s.choice.NewBoxIndex(core.Params{Bounds: s.frame, NumPoints: capa, Hints: s.hints})
+		s.innerAppend = core.QueryAppendOf(s.inner, s.inner.Query)
 	}
 	s.inner.Build(s.rects)
 }
@@ -168,6 +175,43 @@ func (s *boxRegion) query(r geom.Rect, emit func(id uint32), dedup bool) {
 			emit(g)
 		}
 	})
+}
+
+// QueryAppend implements core.QueryAppender standalone (dedup always
+// on): the inner appends local slots to the tail of buf, and the region
+// compacts that tail in place through the owner and boundary-ownership
+// filters.
+func (s *boxRegion) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
+	return s.queryAppend(r, buf, true)
+}
+
+func (s *boxRegion) queryAppend(r geom.Rect, buf []uint32, dedup bool) []uint32 {
+	tail := len(buf)
+	buf = s.innerAppend(r, buf)
+	owner := s.owner
+	w := tail
+	if !dedup {
+		for _, lid := range buf[tail:] {
+			if g := owner[lid]; g != NONE {
+				buf[w] = g
+				w++
+			}
+		}
+		return buf[:w]
+	}
+	rects := s.rects
+	for _, lid := range buf[tail:] {
+		g := owner[lid]
+		if g == NONE {
+			continue
+		}
+		rx, ry := refPoint(r, rects[lid])
+		if s.lat.idOf(rx, ry) == s.sid {
+			buf[w] = g
+			w++
+		}
+	}
+	return buf[:w]
 }
 
 // Update implements core.BoxIndex for all four replica-membership
@@ -431,6 +475,35 @@ func (x *BoxIndex) Query(r geom.Rect, emit func(id uint32)) {
 			x.regs[row+cx].query(r, emit, true)
 		}
 	}
+}
+
+// QueryAppend implements core.QueryAppender: the buffered fan-out with
+// the same single-region dedup skip as Query. Boundary-ownership makes
+// region contributions disjoint, so the buffer needs no post-merge.
+func (x *BoxIndex) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
+	x0, y0, x1, y1 := x.lat.spanOf(r)
+	if x0 == x1 && y0 == y1 {
+		return x.regs[y0*x.lat.side+x0].queryAppend(r, buf, false)
+	}
+	for cy := y0; cy <= y1; cy++ {
+		row := cy * x.lat.side
+		for cx := x0; cx <= x1; cx++ {
+			buf = x.regs[row+cx].queryAppend(r, buf, true)
+		}
+	}
+	return buf
+}
+
+// QueryBatch implements core.BatchQuerier (sequential append kernel
+// over the caller's Morton-ordered batch).
+func (x *BoxIndex) QueryBatch(rects []geom.Rect, offsets, buf []uint32) ([]uint32, []uint32) {
+	offsets = append(offsets[:0], 0)
+	buf = buf[:0]
+	for _, r := range rects {
+		buf = x.QueryAppend(r, buf)
+		offsets = append(offsets, uint32(len(buf)))
+	}
+	return offsets, buf
 }
 
 // Update implements core.BoxIndex: every region in the union of the old

@@ -13,8 +13,10 @@ import (
 // The epoch compositions satisfy the sharded concurrent driver's
 // contracts.
 var (
-	_ core.ShardedEpochIndex    = (*Concurrent)(nil)
-	_ core.ShardedEpochBoxIndex = (*BoxConcurrent)(nil)
+	_ core.ShardedEpochIndex         = (*Concurrent)(nil)
+	_ core.ShardedEpochBoxIndex      = (*BoxConcurrent)(nil)
+	_ core.ShardedEpochQueryAppender = (*Concurrent)(nil)
+	_ core.ShardedEpochQueryAppender = (*BoxConcurrent)(nil)
 )
 
 // Concurrent is the region-sharded engine for the concurrent
@@ -127,6 +129,23 @@ func (x *Concurrent) Query(r geom.Rect, emit func(id uint32), observe func(shard
 			observe(sid, ep, dg)
 		}
 	}
+}
+
+// QueryAppend implements core.ShardedEpochQueryAppender: the buffered
+// fan-out. Each shard's contribution appends under that shard's epoch
+// pin, with its (epoch, digest) observation reported through observe.
+func (x *Concurrent) QueryAppend(r geom.Rect, buf []uint32, observe func(shard int, epoch, digest uint64)) []uint32 {
+	x0, y0, x1, y1 := x.lat.spanOf(r)
+	for cy := y0; cy <= y1; cy++ {
+		row := cy * x.lat.side
+		for cx := x0; cx <= x1; cx++ {
+			sid := row + cx
+			var ep, dg uint64
+			buf, ep, dg = x.shards[sid].QueryAppend(r, buf)
+			observe(sid, ep, dg)
+		}
+	}
+	return buf
 }
 
 // ShardEpoch implements core.ShardedEpochIndex: shard i's live epoch
@@ -275,6 +294,22 @@ func (x *BoxConcurrent) Query(r geom.Rect, emit func(id uint32), observe func(sh
 			observe(sid, ep, dg)
 		}
 	}
+}
+
+// QueryAppend implements core.ShardedEpochQueryAppender (see
+// Concurrent.QueryAppend; regions dedup by boundary ownership).
+func (x *BoxConcurrent) QueryAppend(r geom.Rect, buf []uint32, observe func(shard int, epoch, digest uint64)) []uint32 {
+	x0, y0, x1, y1 := x.lat.spanOf(r)
+	for cy := y0; cy <= y1; cy++ {
+		row := cy * x.lat.side
+		for cx := x0; cx <= x1; cx++ {
+			sid := row + cx
+			var ep, dg uint64
+			buf, ep, dg = x.shards[sid].QueryAppend(r, buf)
+			observe(sid, ep, dg)
+		}
+	}
+	return buf
 }
 
 // ShardEpoch implements core.ShardedEpochBoxIndex.

@@ -20,8 +20,11 @@ var (
 	_ core.Counter          = (*Index)(nil)
 	_ core.MemoryReporter   = (*Index)(nil)
 	_ core.InvariantChecker = (*Index)(nil)
+	_ core.QueryAppender    = (*Index)(nil)
+	_ core.BatchQuerier     = (*Index)(nil)
 	_ core.Index            = (*pointRegion)(nil)
 	_ core.InvariantChecker = (*pointRegion)(nil)
+	_ core.QueryAppender    = (*pointRegion)(nil)
 )
 
 // pointRegion is one shard of the point engine: a compacted local
@@ -40,6 +43,10 @@ type pointRegion struct {
 	choice tune.Choice
 	chosen bool
 	inner  core.Index
+	// innerAppend is the inner's buffered query kernel (native when the
+	// chosen family supports core.QueryAppender), bound once alongside
+	// the inner at first build.
+	innerAppend func(r geom.Rect, buf []uint32) []uint32
 
 	// lidOf maps global id -> local slot (NONE when not a member);
 	// owner is the inverse (NONE for parked slots); pts holds each
@@ -125,6 +132,7 @@ func (s *pointRegion) buildMembers(all []geom.Point, members []uint32) {
 		s.choice = tune.ChoosePoint(st)
 		s.chosen = true
 		s.inner = s.choice.NewPointIndex(core.Params{Bounds: s.frame, NumPoints: capa, Hints: s.hints})
+		s.innerAppend = core.QueryAppendOf(s.inner, s.inner.Query)
 	}
 	s.inner.Build(s.pts)
 }
@@ -152,6 +160,24 @@ func (s *pointRegion) Query(r geom.Rect, emit func(id uint32)) {
 			emit(g)
 		}
 	})
+}
+
+// QueryAppend implements core.QueryAppender: the inner appends local
+// slots to the tail of buf, then the region compacts that tail in place
+// — translating slots to global ids and dropping parked slots — so the
+// whole path does zero allocations once buf has capacity.
+func (s *pointRegion) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
+	tail := len(buf)
+	buf = s.innerAppend(r, buf)
+	owner := s.owner
+	w := tail
+	for _, lid := range buf[tail:] {
+		if g := owner[lid]; g != NONE {
+			buf[w] = g
+			w++
+		}
+	}
+	return buf[:w]
 }
 
 // Update implements core.Index for any of the four membership cases;
@@ -423,6 +449,32 @@ func (x *Index) Query(r geom.Rect, emit func(id uint32)) {
 			x.regs[row+cx].Query(r, emit)
 		}
 	}
+}
+
+// QueryAppend implements core.QueryAppender: the buffered fan-out.
+// Region results are disjoint by ownership, so concatenating the
+// per-region appends into one buffer needs no dedup.
+func (x *Index) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
+	x0, y0, x1, y1 := x.lat.spanOf(r)
+	for cy := y0; cy <= y1; cy++ {
+		row := cy * x.lat.side
+		for cx := x0; cx <= x1; cx++ {
+			buf = x.regs[row+cx].QueryAppend(r, buf)
+		}
+	}
+	return buf
+}
+
+// QueryBatch implements core.BatchQuerier (sequential append kernel
+// over the caller's Morton-ordered batch).
+func (x *Index) QueryBatch(rects []geom.Rect, offsets, buf []uint32) ([]uint32, []uint32) {
+	offsets = append(offsets[:0], 0)
+	buf = buf[:0]
+	for _, r := range rects {
+		buf = x.QueryAppend(r, buf)
+		offsets = append(offsets, uint32(len(buf)))
+	}
+	return offsets, buf
 }
 
 // Update implements core.Index: route by the old and new positions'

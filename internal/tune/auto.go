@@ -25,6 +25,8 @@ var (
 	_ core.Index           = (*Auto)(nil)
 	_ core.ParallelBuilder = (*Auto)(nil)
 	_ core.BatchUpdater    = (*Auto)(nil)
+	_ core.QueryAppender   = (*Auto)(nil)
+	_ core.BatchQuerier    = (*Auto)(nil)
 )
 
 // NewAuto returns an adaptive point index for the given parameters. The
@@ -82,6 +84,36 @@ func (a *Auto) BuildParallel(pts []geom.Point, workers int) {
 
 // Query implements core.Index.
 func (a *Auto) Query(r geom.Rect, emit func(id uint32)) { a.inner.Query(r, emit) }
+
+// QueryAppend implements core.QueryAppender, delegating to the chosen
+// structure's native buffered kernel (every in-tree family has one; the
+// callback fallback covers out-of-tree inners).
+//
+// The fallback lives in appendViaEmit rather than inline: an inline
+// closure capturing buf would force the parameter onto the heap on
+// every call — including the native fast path — and break the
+// zero-allocation promise.
+func (a *Auto) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
+	if qa, ok := a.inner.(core.QueryAppender); ok {
+		return qa.QueryAppend(r, buf)
+	}
+	return appendViaEmit(a.inner.Query, r, buf)
+}
+
+// appendViaEmit is the callback-to-buffer adapter for inners without a
+// native buffered kernel.
+func appendViaEmit(query func(r geom.Rect, emit func(id uint32)), r geom.Rect, buf []uint32) []uint32 {
+	query(r, func(id uint32) { buf = append(buf, id) })
+	return buf
+}
+
+// QueryBatch implements core.BatchQuerier.
+func (a *Auto) QueryBatch(rects []geom.Rect, offsets, buf []uint32) ([]uint32, []uint32) {
+	if bq, ok := a.inner.(core.BatchQuerier); ok {
+		return bq.QueryBatch(rects, offsets, buf)
+	}
+	return core.AppendBatch(a.QueryAppend, rects, offsets, buf)
+}
 
 // Update implements core.Index.
 func (a *Auto) Update(id uint32, old, new geom.Point) { a.inner.Update(id, old, new) }
@@ -147,6 +179,8 @@ var (
 	_ core.BoxIndex           = (*AutoBox)(nil)
 	_ core.BoxParallelBuilder = (*AutoBox)(nil)
 	_ core.BoxBatchUpdater    = (*AutoBox)(nil)
+	_ core.QueryAppender      = (*AutoBox)(nil)
+	_ core.BatchQuerier       = (*AutoBox)(nil)
 )
 
 // NewAutoBox returns an adaptive box index for the given parameters.
@@ -196,6 +230,23 @@ func (a *AutoBox) BuildParallel(rects []geom.Rect, workers int) {
 
 // Query implements core.BoxIndex.
 func (a *AutoBox) Query(r geom.Rect, emit func(id uint32)) { a.inner.Query(r, emit) }
+
+// QueryAppend implements core.QueryAppender (see Auto.QueryAppend,
+// including why the fallback is not an inline closure).
+func (a *AutoBox) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
+	if qa, ok := a.inner.(core.QueryAppender); ok {
+		return qa.QueryAppend(r, buf)
+	}
+	return appendViaEmit(a.inner.Query, r, buf)
+}
+
+// QueryBatch implements core.BatchQuerier.
+func (a *AutoBox) QueryBatch(rects []geom.Rect, offsets, buf []uint32) ([]uint32, []uint32) {
+	if bq, ok := a.inner.(core.BatchQuerier); ok {
+		return bq.QueryBatch(rects, offsets, buf)
+	}
+	return core.AppendBatch(a.QueryAppend, rects, offsets, buf)
+}
 
 // Update implements core.BoxIndex.
 func (a *AutoBox) Update(id uint32, old, new geom.Rect) { a.inner.Update(id, old, new) }

@@ -221,10 +221,14 @@ type gridProbes struct {
 	emptyCoarse, emptyFine, emptyQuery *probe
 	build, query, queryCoarse, update  *probe
 	queryFine                          *probe
+	// queryBuffered replays the coarse-window probe through QueryAppend
+	// into a reused buffer: same shape, emission by append instead of
+	// callback, isolating the buffered emit constant.
+	queryBuffered *probe
 }
 
 func (g *gridProbes) all() []*probe {
-	ps := []*probe{g.emptyCoarse, g.emptyFine, g.emptyQuery, g.build, g.query, g.queryCoarse, g.update}
+	ps := []*probe{g.emptyCoarse, g.emptyFine, g.emptyQuery, g.build, g.query, g.queryCoarse, g.queryBuffered, g.update}
 	if g.queryFine != nil {
 		ps = append(ps, g.queryFine)
 	}
@@ -280,11 +284,20 @@ func (g *gridProbes) fit(s Stats, anchorCPS int, anchorQ float32, repl func(p in
 			}
 		}
 		c.queryEmit = emit
+		c.queryEmitBuf = fitResidual(g.queryBuffered.ns/calQueries,
+			eCells*c.queryCell+eTested*c.queryCand, eEmitted)
 	} else {
 		c.queryCand = fitResidual(g.query.ns/calQueries, qCells*c.queryCell, qTested)
 		qs.QuerySide = calCoarseQ
 		eCells, eTested, eEmitted := gridQueryShape(qs, anchorCPS, r)
 		c.queryEmit = fitResidual(g.queryCoarse.ns/calQueries, eCells*c.queryCell+eTested*c.queryCand, eEmitted)
+		c.queryEmitBuf = fitResidual(g.queryBuffered.ns/calQueries,
+			eCells*c.queryCell+eTested*c.queryCand, eEmitted)
+	}
+	// Bulk-copy emission can only be cheaper than the callback path; a
+	// noisy round must not invert the ordering the selector relies on.
+	if c.queryEmitBuf > c.queryEmit {
+		c.queryEmitBuf = c.queryEmit
 	}
 
 	c.update = g.update.ns / (2 * calMoves * updReplicas)
@@ -322,6 +335,7 @@ func pointProbes(sc *calScene, f Family) *gridProbes {
 	upd.Build(sc.pts)
 	w := emptyQueryWindow()
 	nop := func(uint32) {}
+	var qbuf []uint32 // reused across rounds so the probe is allocation-free at steady state
 	return &gridProbes{
 		emptyCoarse: newProbe(func() { emptyCoarse.Build(none) }),
 		emptyFine:   newProbe(func() { emptyFine.Build(none) }),
@@ -340,6 +354,11 @@ func pointProbes(sc *calScene, f Family) *gridProbes {
 		queryCoarse: newProbe(func() {
 			for _, p := range sc.probes {
 				anchor.Query(geom.Square(sc.pts[p], calCoarseQ), nop)
+			}
+		}),
+		queryBuffered: newProbe(func() {
+			for _, p := range sc.probes {
+				qbuf = anchor.QueryAppend(geom.Square(sc.pts[p], calCoarseQ), qbuf[:0])
 			}
 		}),
 		update: newProbe(func() {
@@ -369,6 +388,10 @@ func boxProbes(sc *calScene, f Family) *gridProbes {
 	upd.Build(sc.rects)
 	w := emptyQueryWindow()
 	nop := func(uint32) {}
+	// Both box grids implement core.QueryAppender natively, so this
+	// resolves to the native buffered kernel.
+	anchorAppend := core.QueryAppendOf(anchor, anchor.Query)
+	var qbuf []uint32
 	return &gridProbes{
 		emptyCoarse: newProbe(func() { emptyCoarse.Build(none) }),
 		emptyFine:   newProbe(func() { emptyFine.Build(none) }),
@@ -382,6 +405,11 @@ func boxProbes(sc *calScene, f Family) *gridProbes {
 		queryCoarse: newProbe(func() {
 			for _, p := range sc.probes {
 				anchor.Query(geom.Square(sc.rects[p].Center(), calCoarseQ), nop)
+			}
+		}),
+		queryBuffered: newProbe(func() {
+			for _, p := range sc.probes {
+				qbuf = anchorAppend(geom.Square(sc.rects[p].Center(), calCoarseQ), qbuf[:0])
 			}
 		}),
 		update: newProbe(func() {
@@ -451,6 +479,9 @@ func (t *treeProbes) fit(s Stats) coeffs {
 		t.queryLow.ns/calQueries, nLow, eLow,
 		t.queryHigh.ns/calQueries, nHigh, eHigh)
 	c.queryEmit = c.queryCand // every leaf candidate takes an intersection test
+	// The tree's query curve has no separate emitted term (QueryNs prices
+	// nodes + candidates), so the buffered constant just mirrors it.
+	c.queryEmitBuf = c.queryEmit
 
 	// Subtract the bulk load that resets the refit counter (predicted
 	// from the just-fitted build constants), then divide by move count

@@ -1,0 +1,117 @@
+package tune
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+// Auto and AutoBox defer structure choice to Build, so the buffered
+// capabilities must survive two layers: the adaptive wrapper's own
+// interface set (checked at runtime here, not just by the compile-time
+// assertions) and the delegation to whatever inner structure the cost
+// model picked.
+
+func capabilityRects(queriers []uint32, rectOf func(id uint32) geom.Rect) []geom.Rect {
+	rects := make([]geom.Rect, len(queriers))
+	for i, q := range queriers {
+		rects[i] = rectOf(q)
+	}
+	return rects
+}
+
+func assertBufferedKernels(t *testing.T, name string,
+	query func(r geom.Rect, emit func(id uint32)),
+	queryAppend func(r geom.Rect, buf []uint32) []uint32,
+	queryBatch func(rects []geom.Rect, offsets, buf []uint32) ([]uint32, []uint32),
+	rects []geom.Rect) {
+	t.Helper()
+
+	// Per-query digest agreement between emit and append.
+	var buf []uint32
+	for i, r := range rects {
+		var want uint64
+		wantN := 0
+		query(r, func(id uint32) { want = core.MixPair(want, 0, id); wantN++ })
+		buf = queryAppend(r, buf[:0])
+		var got uint64
+		for _, id := range buf {
+			got = core.MixPair(got, 0, id)
+		}
+		if got != want || len(buf) != wantN {
+			t.Fatalf("%s query %d: QueryAppend digest %x (%d ids), Query digest %x (%d ids)",
+				name, i, got, len(buf), want, wantN)
+		}
+	}
+
+	// The batch kernel over the whole schedule agrees per slot.
+	offsets, flat := queryBatch(rects, nil, buf[:0])
+	if len(offsets) != len(rects)+1 {
+		t.Fatalf("%s: QueryBatch returned %d offsets for %d rects", name, len(offsets), len(rects))
+	}
+	for i, r := range rects {
+		var want uint64
+		query(r, func(id uint32) { want = core.MixPair(want, 0, id) })
+		var got uint64
+		for _, id := range flat[offsets[i]:offsets[i+1]] {
+			got = core.MixPair(got, 0, id)
+		}
+		if got != want {
+			t.Fatalf("%s batch slot %d: digest %x, want %x", name, i, got, want)
+		}
+	}
+
+	// Zero allocations per buffered query at steady state.
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = queryAppend(rects[i%len(rects)], buf[:0])
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("%s: QueryAppend allocates %.1f times per query at steady state, want 0", name, allocs)
+	}
+}
+
+func TestAutoForwardsBufferedKernels(t *testing.T) {
+	cfg := workload.DefaultUniform()
+	cfg.NumPoints = 3000
+	cfg.SpaceSize = 6000
+	cfg.Ticks = 1
+	gen := workload.MustNewGenerator(cfg)
+
+	var idx core.Index = NewAuto(core.Params{Bounds: cfg.Bounds(), NumPoints: cfg.NumPoints})
+	qa, ok := idx.(core.QueryAppender)
+	if !ok {
+		t.Fatalf("%T does not forward core.QueryAppender", idx)
+	}
+	qb, ok := idx.(core.BatchQuerier)
+	if !ok {
+		t.Fatalf("%T does not forward core.BatchQuerier", idx)
+	}
+	idx.Build(gen.Positions(nil))
+	rects := capabilityRects(gen.Queriers(), gen.QueryRect)
+	assertBufferedKernels(t, idx.Name(), idx.Query, qa.QueryAppend, qb.QueryBatch, rects)
+}
+
+func TestAutoBoxForwardsBufferedKernels(t *testing.T) {
+	cfg := workload.DefaultUniformBoxes()
+	cfg.NumPoints = 3000
+	cfg.SpaceSize = 6000
+	cfg.Ticks = 1
+	gen := workload.MustNewBoxGenerator(cfg)
+
+	var idx core.BoxIndex = NewAutoBox(core.Params{Bounds: cfg.Bounds(), NumPoints: cfg.NumPoints})
+	qa, ok := idx.(core.QueryAppender)
+	if !ok {
+		t.Fatalf("%T does not forward core.QueryAppender", idx)
+	}
+	qb, ok := idx.(core.BatchQuerier)
+	if !ok {
+		t.Fatalf("%T does not forward core.BatchQuerier", idx)
+	}
+	idx.Build(gen.Rects(nil))
+	rects := capabilityRects(gen.Queriers(), gen.QueryRect)
+	assertBufferedKernels(t, idx.Name(), idx.Query, qa.QueryAppend, qb.QueryBatch, rects)
+}
