@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/joinlint"
+)
+
+// keepCwd undoes run()'s chdir to the module root after each test.
+func keepCwd(t *testing.T) {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(cwd) })
+}
+
+func TestRunCleanPackages(t *testing.T) {
+	keepCwd(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"./internal/core", "./internal/parutil"}, &out, &errb); code != 0 {
+		t.Fatalf("run = %d, want 0\nstderr:\n%s", code, errb.String())
+	}
+}
+
+func TestRunUnknownAnalyzer(t *testing.T) {
+	keepCwd(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-analyzers", "nosuch", "./internal/core"}, &out, &errb); code != 2 {
+		t.Fatalf("run = %d, want 2 for unknown analyzer\nstderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "nosuch") {
+		t.Errorf("stderr does not name the unknown analyzer: %s", errb.String())
+	}
+}
+
+func TestRunEscapeGateJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rebuilds annotated packages; skipped in -short")
+	}
+	keepCwd(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-escapes", "-json", "./internal/rtree"}, &out, &errb); code != 0 {
+		t.Fatalf("run = %d, want 0\nstderr:\n%s", code, errb.String())
+	}
+	var report joinlint.ProbeReport
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("stdout is not the JSON summary: %v\n%s", err, out.String())
+	}
+	if len(report.Functions) == 0 {
+		t.Fatal("JSON summary lists no annotated functions for ./internal/rtree")
+	}
+	for _, f := range report.Functions {
+		if f.Hotpath && len(f.Escapes) != 0 {
+			t.Errorf("%s: unexpected escapes %v", f.Key(), f.Escapes)
+		}
+	}
+}
+
+func TestRunBCEGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rebuilds annotated packages; skipped in -short")
+	}
+	keepCwd(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-bce", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("run = %d, want 0\nstderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "at or below baseline") {
+		t.Errorf("missing gate summary in stderr: %s", errb.String())
+	}
+}
+
+// TestVetToolProtocol builds the binary and drives it through the real
+// go vet -vettool protocol over a clean package.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary and runs go vet; skipped in -short")
+	}
+	keepCwd(t)
+	root, err := joinlint.ModuleRoot("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "joinlint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/joinlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building vettool: %v\n%s", err, out)
+	}
+
+	version := exec.Command(bin, "-V=full")
+	vout, err := version.Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	if !strings.HasPrefix(string(vout), "joinlint version ") {
+		t.Fatalf("-V=full output = %q", vout)
+	}
+
+	// internal/epoch matters here: its race/fuzz tests use raw
+	// goroutines on purpose, and go vet hands the tool test-augmented
+	// compile units — the vettool path must skip _test.go files just
+	// like the standalone loader does.
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./internal/parutil", "./internal/geom", "./internal/epoch")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool over clean packages failed: %v\n%s", err, out)
+	}
+}

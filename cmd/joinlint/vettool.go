@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/joinlint"
+)
+
+// vetConfig is the per-package JSON config the go command hands a
+// -vettool binary. Only the fields joinlint needs are decoded; the
+// rest of the protocol (facts via PackageVetx) is unused because none
+// of the analyzers exchange facts.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetTool analyzes the single package described by a go vet .cfg
+// file. Unlike the standalone path, imports resolve through the
+// compiler export data the go command already built (cfg.PackageFile),
+// so no re-typechecking of dependencies happens. Exit 0 = clean,
+// 2 = findings (the exit code go vet expects from a failing tool).
+func runVetTool(cfgPath string, stderr io.Writer) int {
+	cfg, err := loadVetConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	// Test files are out of scope by design (race stress tests
+	// legitimately use raw goroutines, oracles use maps), and the
+	// standalone loader never sees them — but go vet hands the tool
+	// test-augmented compile units. Drop them here so both modes agree.
+	cfg.GoFiles = withoutTestFiles(cfg.GoFiles)
+	if len(cfg.GoFiles) == 0 {
+		// External test package (package foo_test): nothing in scope.
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+		}
+		return 0
+	}
+	pkg, err := typecheckVetPackage(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	// The go command requires the facts file to exist even when empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	diags := joinlint.RunAnalyzers([]*joinlint.Package{pkg}, joinlint.All())
+	for _, d := range diags {
+		fmt.Fprintln(stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func loadVetConfig(path string) (*vetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("joinlint: parsing vet config %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+func typecheckVetPackage(cfg *vetConfig) (*joinlint.Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	// lookup resolves an import path to the export data the go command
+	// recorded in the config: vendoring/module indirections go through
+	// ImportMap first, then PackageFile names the .a/export file.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("joinlint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, compiler, lookup),
+		Sizes:    types.SizesFor(compiler, buildArch()),
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &joinlint.Package{
+		PkgPath: cfg.ImportPath,
+		Dir:     cfg.Dir,
+		Fset:    fset,
+		Files:   files,
+		Pkg:     tpkg,
+		Info:    info,
+	}, nil
+}
+
+func withoutTestFiles(names []string) []string {
+	var out []string
+	for _, name := range names {
+		if !strings.HasSuffix(name, "_test.go") {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func buildArch() string {
+	if v := os.Getenv("GOARCH"); v != "" {
+		return v
+	}
+	return runtime.GOARCH
+}

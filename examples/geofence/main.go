@@ -29,6 +29,7 @@ import (
 	"repro/internal/epoch"
 	"repro/internal/geom"
 	"repro/internal/grid"
+	"repro/internal/parutil"
 	"repro/internal/workload"
 	"repro/internal/xrand"
 )
@@ -122,9 +123,9 @@ func main() {
 		}
 
 		// Apply the tick's batch in the background; the alerting loop
-		// keeps sweeping the live epoch while it lands.
-		done := make(chan error, 1)
-		go func() { _, err := x.ApplyBatch(moves); done <- err }()
+		// keeps sweeping the live epoch while it lands. parutil.GoErr
+		// contains a panicking apply instead of killing the service.
+		done := parutil.GoErr(func() error { _, err := x.ApplyBatch(moves); return err })
 		applying := true
 		for applying {
 			sweep(tick)

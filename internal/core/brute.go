@@ -30,6 +30,8 @@ func (b *BruteForce) Query(r geom.Rect, emit func(id uint32)) {
 
 // QueryAppend implements QueryAppender with the same full scan, free of
 // the per-result indirect call.
+//
+//joinlint:hotpath
 func (b *BruteForce) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
 	for i := range b.pts {
 		if b.pts[i].In(r) {
@@ -78,6 +80,8 @@ func (b *BruteForceBoxes) Query(r geom.Rect, emit func(id uint32)) {
 }
 
 // QueryAppend implements QueryAppender.
+//
+//joinlint:hotpath
 func (b *BruteForceBoxes) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
 	for i := range b.rects {
 		if b.rects[i].Intersects(r) {

@@ -203,11 +203,14 @@ func runConcurrent[M any](e *concurrentEngine[M], opts ConcurrentOptions) *Concu
 			moves = append(pending, batch...)
 		}
 
-		updDone := make(chan error, 1)
-		go func(mv []M) {
+		// parutil.GoErr contains an updater panic as a failed tick (the
+		// readers must drain and the loop must carry the batch) instead of
+		// letting a raw goroutine kill the process.
+		mv := moves
+		updDone := parutil.GoErr(func() error {
 			_, err := e.apply(mv)
-			updDone <- err
-		}(moves)
+			return err
+		})
 
 		var cursor atomic.Int64
 		var g parutil.Group

@@ -147,10 +147,11 @@ func runConcurrentSharded[M any](e *shardedConcurrentEngine[M], opts ConcurrentO
 			moves = append(pending, batch...)
 		}
 
-		updDone := make(chan error, 1)
-		go func(mv []M) {
-			updDone <- e.apply(mv)
-		}(moves)
+		// parutil.GoErr contains an updater panic as a failed tick (the
+		// readers must drain and the loop must carry the batch) instead of
+		// letting a raw goroutine kill the process.
+		mv := moves
+		updDone := parutil.GoErr(func() error { return e.apply(mv) })
 
 		var cursor atomic.Int64
 		var g parutil.Group

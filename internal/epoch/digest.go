@@ -35,6 +35,8 @@ func hashRect(r geom.Rect) uint64 {
 }
 
 // SnapshotDigestPoints is the epoch-0 digest of a point snapshot.
+//
+//joinlint:deterministic
 func SnapshotDigestPoints(pts []geom.Point) uint64 {
 	d := uint64(len(pts))
 	for i := range pts {
@@ -44,6 +46,8 @@ func SnapshotDigestPoints(pts []geom.Point) uint64 {
 }
 
 // SnapshotDigestBoxes is the epoch-0 digest of a box snapshot.
+//
+//joinlint:deterministic
 func SnapshotDigestBoxes(rects []geom.Rect) uint64 {
 	d := uint64(len(rects))
 	for i := range rects {
@@ -53,6 +57,8 @@ func SnapshotDigestBoxes(rects []geom.Rect) uint64 {
 }
 
 // FoldMoves chains one published point batch onto a digest.
+//
+//joinlint:deterministic
 func FoldMoves(d uint64, moves []geom.Move) uint64 {
 	d = mix64(d ^ uint64(len(moves)))
 	for i := range moves {
@@ -62,6 +68,8 @@ func FoldMoves(d uint64, moves []geom.Move) uint64 {
 }
 
 // FoldBoxMoves chains one published box batch onto a digest.
+//
+//joinlint:deterministic
 func FoldBoxMoves(d uint64, moves []geom.BoxMove) uint64 {
 	d = mix64(d ^ uint64(len(moves)))
 	for i := range moves {
@@ -77,6 +85,8 @@ func FoldBoxMoves(d uint64, moves []geom.BoxMove) uint64 {
 // engine — so its composite state is summarized by folding the live
 // per-shard digests in shard order. Deterministic given the per-shard
 // values, which are themselves deterministic given the routed batches.
+//
+//joinlint:deterministic
 func CompositeDigest(parts []uint64) uint64 {
 	d := uint64(len(parts))
 	for i, p := range parts {

@@ -229,6 +229,8 @@ func (bg *BoxGrid2L) sizeArena(total uint32) {
 // The fr/rr planes are sliced once per build by the caller — per-call
 // re-slicing was a measurable fraction of the walk at the default
 // granularity, where most spans are one or two cells.
+//
+//joinlint:bce
 func countSpan[C uint16 | uint32](fr, rr []C, s cellSpan, cps int) {
 	w := 2 * (int(s.x1) - int(s.x0))
 	for cy := int(s.y0); cy <= int(s.y1); cy++ {
@@ -259,6 +261,8 @@ func countSpan[C uint16 | uint32](fr, rr []C, s cellSpan, cps int) {
 // burns the bandwidth the banding saves); a sequential arena sweep
 // against (mostly cached) random base-table reads stays the cheapest
 // way to inline coordinates on every machine measured.
+//
+//joinlint:bce
 func scatterSpan(fr, rr []uint32, s cellSpan, cps int, id uint32, ids []uint32) {
 	w := 2 * (int(s.x1) - int(s.x0))
 	for cy := int(s.y0); cy <= int(s.y1); cy++ {
@@ -558,6 +562,8 @@ func (bg *BoxGrid2L) Query(r geom.Rect, emit func(id uint32)) {
 // arena, so the whole sub-span lands in buf as one bulk copy with no
 // per-element test or call — the true-hit fast path this layout's class
 // partition was built for.
+//
+//joinlint:hotpath
 func (bg *BoxGrid2L) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
 	q := bg.mapper.spanOf(r)
 	cps := bg.cps
@@ -630,6 +636,9 @@ func (bg *BoxGrid2L) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
 // per-element branch is worth far more than the redundant stores — and
 // it is a move only a buffered kernel can make, since calling an emit
 // callback for hits only is itself a data-dependent branch.
+//
+//joinlint:hotpath
+//joinlint:bce
 func (bg *BoxGrid2L) appendMasked(lo, hi uint32, loX, hiX, loY, hiY float32, buf []uint32) []uint32 {
 	seg := bg.ids[lo:hi]
 	rcs := bg.rcts[lo:hi]

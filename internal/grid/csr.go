@@ -362,6 +362,9 @@ func (st *csrStore) filterCell(c int, r geom.Rect, emit func(id uint32)) {
 // one memmove however many cells it spans. Boundary cells run the tight
 // test-and-append loop. Nothing here goes through an interface call or
 // a callback.
+//
+//joinlint:hotpath
+//joinlint:bce
 func (st *csrStore) appendRow(r geom.Rect, base, xmin, xmax int, containsY bool, xs []float32, buf []uint32) []uint32 {
 	if st.xy != nil {
 		return st.appendRowXY(r, base, xmin, xmax, containsY, xs, buf)
@@ -408,6 +411,9 @@ func (st *csrStore) appendRow(r geom.Rect, base, xmin, xmax int, containsY bool,
 // p.Y-r.MinY, r.MaxY-p.Y are >= 0, i.e. iff the OR of their IEEE sign
 // bits is clear (coordinates are finite, and the generator never
 // produces -0, so x-y == -0 cannot arise for distinct operands).
+//
+//joinlint:hotpath
+//joinlint:bce
 func (st *csrStore) appendFilterCell(c int, r geom.Rect, buf []uint32) []uint32 {
 	b := st.starts[c]
 	seg := st.ids[b : b+st.counts[c]]

@@ -53,6 +53,9 @@ func (st *csrStore) filterCellXY(c int, r geom.Rect, emit func(id uint32)) {
 // exactly as in the plain CSR row kernel (containment needs no
 // coordinates at all), and boundary cells filter against the xy streams
 // instead of the base table.
+//
+//joinlint:hotpath
+//joinlint:bce
 func (st *csrStore) appendRowXY(r geom.Rect, base, xmin, xmax int, containsY bool, xs []float32, buf []uint32) []uint32 {
 	ids, starts, counts := st.ids, st.starts, st.counts
 	var runLo, runHi uint32

@@ -611,6 +611,8 @@ func (g *Grid) scanCellRange(r geom.Rect, xmin, xmax, ymin, ymax int, emit func(
 // sub-slice appends (a copy for the CSR layout's dense segments) and
 // filtered cells tight test-and-append loops, with no per-result
 // indirect call anywhere.
+//
+//joinlint:hotpath
 func (g *Grid) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
 	if g.cfg.Scan == ScanFull {
 		return g.scanCellRangeAppend(r, 0, g.cfg.CPS-1, 0, g.cfg.CPS-1, buf)
@@ -627,6 +629,8 @@ func (g *Grid) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
 // overlap r are skipped, and each surviving row is handed to the store
 // in ONE interface call (the per-cell dispatch of the callback walk is
 // gone from the buffered path).
+//
+//joinlint:hotpath
 func (g *Grid) scanCellRangeAppend(r geom.Rect, xmin, xmax, ymin, ymax int, buf []uint32) []uint32 {
 	cps := g.cfg.CPS
 	st := g.st

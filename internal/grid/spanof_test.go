@@ -105,13 +105,13 @@ func TestBoxGridSurvivesOutsideSpaceObjects(t *testing.T) {
 	const huge = 1e30
 	rects := []geom.Rect{
 		geom.R(100, 100, 200, 200),
-		geom.R(-huge, 450, -huge/2, 550),  // far left
-		geom.R(huge/2, 450, huge, 550),    // far right
-		geom.R(450, -huge, 550, -huge/2),  // far below
-		geom.R(450, huge/2, 550, huge),    // far above
-		geom.R(-huge, -huge, huge, huge),  // covers everything
-		geom.R(900, 900, huge, huge),      // in-range min, overflowing max
-		geom.R(-huge, -huge, 50, 50),      // overflowing min, in-range max
+		geom.R(-huge, 450, -huge/2, 550), // far left
+		geom.R(huge/2, 450, huge, 550),   // far right
+		geom.R(450, -huge, 550, -huge/2), // far below
+		geom.R(450, huge/2, 550, huge),   // far above
+		geom.R(-huge, -huge, huge, huge), // covers everything
+		geom.R(900, 900, huge, huge),     // in-range min, overflowing max
+		geom.R(-huge, -huge, 50, 50),     // overflowing min, in-range max
 	}
 	type boxUnderTest interface {
 		boxQuerier

@@ -1,0 +1,74 @@
+package joinlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// parutilPath is the one package allowed to fork goroutines directly:
+// it owns the containment primitives everything else must go through.
+const parutilPath = "repro/internal/parutil"
+
+// ContainedGo enforces panic containment on every parallel section: a
+// panic on a bare goroutine cannot be recovered by any ancestor frame —
+// it kills the whole process, and with a bare sync.WaitGroup the
+// missing Done deadlocks every sibling. parutil.Group, ForEachShard,
+// and GoErr recover worker panics and re-deliver them on the caller's
+// goroutine, which is what lets the epoch publisher degrade a tick
+// instead of dying (PR 6's crash-containment contract). Raw go
+// statements and bare sync.WaitGroup values are therefore forbidden
+// outside parutil; genuinely fire-and-forget cases carry a
+// //joinlint:uncontained <reason> directive.
+// containedGoName is referenced by Directive.suppresses; a named
+// constant avoids an initialization cycle through the analyzer value.
+const containedGoName = "containedgo"
+
+var ContainedGo = &Analyzer{
+	Name: containedGoName,
+	Doc:  "fork/join must route through parutil (Group, ForEachShard, GoErr); no raw go statements or bare sync.WaitGroup",
+	Run:  runContainedGo,
+}
+
+func runContainedGo(p *Pass) {
+	if p.Pkg.Path() == parutilPath || strings.HasSuffix(p.Pkg.Path(), "/parutil") {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				p.Reportf(n.Pos(),
+					"raw go statement: a worker panic here kills the process; route the fork through parutil.Group/ForEachShard (fork+join) or parutil.GoErr (fork now, join later), or document why containment is impossible with //joinlint:uncontained <reason>")
+			case *ast.Field:
+				p.checkWaitGroup(n.Type)
+			case *ast.ValueSpec:
+				if n.Type != nil {
+					p.checkWaitGroup(n.Type)
+				}
+			case *ast.CompositeLit:
+				if n.Type != nil {
+					p.checkWaitGroup(n.Type)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkWaitGroup flags a declared sync.WaitGroup. The type is resolved
+// through go/types, so aliases and embedded forms are caught and
+// same-named types from other packages are not.
+func (p *Pass) checkWaitGroup(expr ast.Expr) {
+	t := p.Info.TypeOf(expr)
+	if t == nil {
+		return
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			p.Reportf(expr.Pos(),
+				"bare sync.WaitGroup: one panicking worker deadlocks every Wait sibling; use parutil.Group (panic-containing fork/join) or suppress with //joinlint:uncontained <reason>")
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package joinlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism checks functions annotated //joinlint:deterministic —
+// the build/fold paths feeding the chained epoch digests, whose whole
+// value rests on every replica of the computation producing the same
+// bits. Epoch digests are compared across goroutines, runs, and
+// machines (the digest-matrix tests assert sequential == parallel ==
+// sharded), so these paths may not:
+//
+//   - range over maps — iteration order differs per run and would fold
+//     a different permutation into an order-sensitive digest;
+//   - read the wall clock (time.Now/Since/Until) — two replicas fold
+//     different timestamps;
+//   - call the global math/rand source — unseeded and shared, so
+//     concurrent callers interleave nondeterministically (a locally
+//     seeded *rand.Rand is fine and is what the workload generators
+//     use);
+//   - receive from channels or select — the value observed depends on
+//     goroutine scheduling.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "//joinlint:deterministic functions must not iterate maps, read the clock, use global rand, or observe goroutine ordering",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if _, ok := p.funcDirective(fn, dirDeterministic); !ok {
+				continue
+			}
+			p.checkDeterministicBody(fn)
+		}
+	}
+}
+
+func (p *Pass) checkDeterministicBody(fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if t := p.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					p.Reportf(n.Pos(), "map iteration in a digest-feeding path: order differs per run, so the folded digest would too; iterate a sorted slice instead")
+				}
+			}
+		case *ast.CallExpr:
+			switch pkg := calleePackage(p.Info, n); pkg {
+			case "time":
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+					switch sel.Sel.Name {
+					case "Now", "Since", "Until":
+						p.Reportf(n.Pos(), "time.%s in a digest-feeding path: replicas fold different timestamps; pass timings through explicit parameters outside the fold", sel.Sel.Name)
+					}
+				}
+			case "math/rand", "math/rand/v2", "crypto/rand":
+				p.Reportf(n.Pos(), "%s call in a digest-feeding path: the global source is unseeded/shared; thread a locally seeded *rand.Rand through instead", pkg)
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				p.Reportf(n.Pos(), "channel receive in a digest-feeding path: the observed value depends on goroutine scheduling")
+			}
+		case *ast.SelectStmt:
+			p.Reportf(n.Pos(), "select in a digest-feeding path: case choice depends on goroutine scheduling")
+		}
+		return true
+	})
+}

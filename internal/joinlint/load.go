@@ -1,0 +1,176 @@
+package joinlint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package.
+type Package struct {
+	PkgPath    string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Filenames  []string
+	Pkg        *types.Package
+	Info       *types.Info
+	Directives directiveIndex
+}
+
+// Loader parses and type-checks packages with a shared FileSet and a
+// shared source importer, so every load in a process reuses the
+// already-checked dependency graph (the source importer caches by
+// import path). Type-checking runs from source via go/importer's
+// "source" compiler, which resolves module-local import paths through
+// the go command — the process working directory must therefore be
+// inside the module (cmd/joinlint chdirs to the module root).
+type Loader struct {
+	Fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a Loader with a fresh FileSet and source importer.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{Fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// goList runs `go list -json` for the patterns in dir and returns the
+// decoded package metadata.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+}
+
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json=Dir,ImportPath,Name,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load lists the packages matching patterns (relative to dir, "" for
+// the working directory) and returns them parsed and type-checked.
+// Test files are out of scope: the contracts joinlint enforces are
+// production-code disciplines, and tests legitimately use raw
+// goroutines (race stress) and maps (oracles).
+func (l *Loader) Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, lp := range listed {
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		var files []string
+		for _, f := range lp.GoFiles {
+			files = append(files, filepath.Join(lp.Dir, f))
+		}
+		pkg, err := l.check(lp.ImportPath, lp.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package rooted at dir
+// (every non-test .go file), under the given import path. Used by the
+// analyzer tests to load fixture packages from testdata, which go list
+// refuses to enumerate.
+func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
+	list, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, f := range list {
+		if !strings.HasSuffix(f, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("joinlint: no Go files in %s", dir)
+	}
+	return l.check(pkgPath, dir, files)
+}
+
+func (l *Loader) check(pkgPath, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(pkgPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("joinlint: type-checking %s: %v", pkgPath, err)
+	}
+	return &Package{
+		PkgPath:    pkgPath,
+		Dir:        dir,
+		Fset:       l.Fset,
+		Files:      files,
+		Filenames:  filenames,
+		Pkg:        tpkg,
+		Info:       info,
+		Directives: parseDirectives(l.Fset, files),
+	}, nil
+}
+
+// ModuleRoot returns the directory of the main module's go.mod,
+// resolved from dir ("" for the working directory).
+func ModuleRoot(dir string) (string, error) {
+	cmd := exec.Command("go", "list", "-m", "-f", "{{.Dir}}")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}

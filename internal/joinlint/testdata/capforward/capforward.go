@@ -1,0 +1,114 @@
+// Package capforward is the capforward analyzer fixture: wrapper types
+// around inner indexes, some forwarding every optional capability and
+// some deliberately broken. The `// want` comments are the expected
+// diagnostics; the fixture runner in joinlint_test.go matches them.
+package capforward
+
+import (
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// BrokenWrap satisfies core.Index and stores an inner index but
+// forwards no optional capability: the analyzer must demand all four.
+type BrokenWrap struct { // want `BrokenWrap satisfies core\.Index .* core\.QueryAppender` `BrokenWrap satisfies core\.Index .* core\.BatchQuerier` `BrokenWrap satisfies core\.Index .* core\.ParallelBuilder` `BrokenWrap satisfies core\.Index .* core\.BatchUpdater`
+	inner core.Index
+}
+
+func (w *BrokenWrap) Name() string                          { return "broken" }
+func (w *BrokenWrap) Build(pts []geom.Point)                { w.inner.Build(pts) }
+func (w *BrokenWrap) Query(r geom.Rect, emit func(uint32))  { w.inner.Query(r, emit) }
+func (w *BrokenWrap) Update(id uint32, old, new geom.Point) { w.inner.Update(id, old, new) }
+
+// GoodWrap forwards every capability the Index contract obliges.
+type GoodWrap struct {
+	inner core.Index
+	app   func(r geom.Rect, buf []uint32) []uint32
+}
+
+func (w *GoodWrap) Name() string                          { return "good" }
+func (w *GoodWrap) Build(pts []geom.Point)                { w.inner.Build(pts) }
+func (w *GoodWrap) Query(r geom.Rect, emit func(uint32))  { w.inner.Query(r, emit) }
+func (w *GoodWrap) Update(id uint32, old, new geom.Point) { w.inner.Update(id, old, new) }
+func (w *GoodWrap) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
+	return w.app(r, buf)
+}
+func (w *GoodWrap) QueryBatch(rects []geom.Rect, offsets, buf []uint32) ([]uint32, []uint32) {
+	return core.AppendBatch(w.app, rects, offsets, buf)
+}
+func (w *GoodWrap) BuildParallel(pts []geom.Point, workers int) { w.inner.Build(pts) }
+func (w *GoodWrap) CanBatchUpdates(n int) bool                  { return false }
+func (w *GoodWrap) UpdateBatch(moves []geom.Move, workers int)  {}
+
+// FactoryWrap hides the inner index behind a factory func field (the
+// epoch wrapper's erasure pattern); the analyzer must still see it as a
+// wrapper. It forwards everything except QueryAppend.
+type FactoryWrap struct { // want `FactoryWrap satisfies core\.Index .* core\.QueryAppender`
+	newInner func() core.Index
+}
+
+func (w *FactoryWrap) Name() string                          { return "factory" }
+func (w *FactoryWrap) Build(pts []geom.Point)                {}
+func (w *FactoryWrap) Query(r geom.Rect, emit func(uint32))  {}
+func (w *FactoryWrap) Update(id uint32, old, new geom.Point) {}
+func (w *FactoryWrap) QueryBatch(rects []geom.Rect, offsets, buf []uint32) ([]uint32, []uint32) {
+	return offsets, buf
+}
+func (w *FactoryWrap) BuildParallel(pts []geom.Point, workers int) {}
+func (w *FactoryWrap) CanBatchUpdates(n int) bool                  { return false }
+func (w *FactoryWrap) UpdateBatch(moves []geom.Move, workers int)  {}
+
+// nestedRegion holds the inner index one struct level down (the shard
+// engine's shape).
+type nestedRegion struct {
+	idx core.Index
+}
+
+// NestedWrap must be recognised as a wrapper through the nested region
+// struct. It forwards everything except QueryAppend.
+type NestedWrap struct { // want `NestedWrap satisfies core\.Index .* core\.QueryAppender`
+	regs []nestedRegion
+}
+
+func (w *NestedWrap) Name() string                          { return "nested" }
+func (w *NestedWrap) Build(pts []geom.Point)                {}
+func (w *NestedWrap) Query(r geom.Rect, emit func(uint32))  {}
+func (w *NestedWrap) Update(id uint32, old, new geom.Point) {}
+func (w *NestedWrap) QueryBatch(rects []geom.Rect, offsets, buf []uint32) ([]uint32, []uint32) {
+	return offsets, buf
+}
+func (w *NestedWrap) BuildParallel(pts []geom.Point, workers int) {}
+func (w *NestedWrap) CanBatchUpdates(n int) bool                  { return false }
+func (w *NestedWrap) UpdateBatch(moves []geom.Move, workers int)  {}
+
+// Standalone satisfies core.Index but stores no inner index — not a
+// wrapper, so missing capabilities are fine (it may genuinely not have
+// faster paths).
+type Standalone struct {
+	pts []geom.Point
+}
+
+func (s *Standalone) Name() string                          { return "standalone" }
+func (s *Standalone) Build(pts []geom.Point)                { s.pts = pts }
+func (s *Standalone) Query(r geom.Rect, emit func(uint32))  {}
+func (s *Standalone) Update(id uint32, old, new geom.Point) {}
+
+// brokenUnexported stores an inner index and misses capabilities, but
+// is unexported: internal plumbing types are out of scope.
+type brokenUnexported struct {
+	inner core.Index
+}
+
+func (w *brokenUnexported) Name() string                          { return "unexported" }
+func (w *brokenUnexported) Build(pts []geom.Point)                {}
+func (w *brokenUnexported) Query(r geom.Rect, emit func(uint32))  {}
+func (w *brokenUnexported) Update(id uint32, old, new geom.Point) {}
+
+var (
+	_ core.Index = (*BrokenWrap)(nil)
+	_ core.Index = (*GoodWrap)(nil)
+	_ core.Index = (*FactoryWrap)(nil)
+	_ core.Index = (*NestedWrap)(nil)
+	_ core.Index = (*Standalone)(nil)
+	_ core.Index = (*brokenUnexported)(nil)
+)

@@ -1,0 +1,50 @@
+// Package containedgo is the containedgo analyzer fixture: raw go
+// statements and bare sync.WaitGroups, flagged unless carrying a
+// reasoned //joinlint:uncontained directive.
+package containedgo
+
+import "sync"
+
+func work() {}
+
+func rawGo() {
+	go work() // want `raw go statement`
+}
+
+func rawWaitGroup() {
+	var wg sync.WaitGroup // want `bare sync\.WaitGroup`
+	wg.Add(1)
+	go func() { // want `raw go statement`
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+type holder struct {
+	wg sync.WaitGroup // want `bare sync\.WaitGroup`
+}
+
+// allowedTrailing suppresses with a trailing directive and a reason.
+func allowedTrailing() {
+	go work() //joinlint:uncontained fixture: deliberate fire-and-forget
+}
+
+// allowedAbove suppresses with the directive on the line above.
+func allowedAbove() {
+	//joinlint:uncontained fixture: deliberate fire-and-forget
+	go work()
+}
+
+// missingReason does not suppress: an undocumented escape hatch is
+// itself a violation.
+func missingReason() {
+	//joinlint:uncontained
+	go work() // want `raw go statement`
+}
+
+// wrongDirective does not suppress containedgo findings.
+func wrongDirective() {
+	//joinlint:allow hotpath fixture: wrong analyzer name
+	go work() // want `raw go statement`
+}

@@ -1,0 +1,68 @@
+// Package determinism is the determinism analyzer fixture:
+// digest-feeding paths reading nondeterministic state, plus clean and
+// unannotated controls.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+//joinlint:deterministic
+func foldsMap(m map[uint32]uint64) uint64 {
+	var d uint64
+	for _, v := range m { // want `map iteration in a digest-feeding path`
+		d ^= v
+	}
+	return d
+}
+
+//joinlint:deterministic
+func stamps() int64 {
+	return time.Now().UnixNano() // want `time\.Now in a digest-feeding path`
+}
+
+//joinlint:deterministic
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since in a digest-feeding path`
+}
+
+//joinlint:deterministic
+func jitters(d uint64) uint64 {
+	return d ^ rand.Uint64() // want `math/rand call in a digest-feeding path`
+}
+
+//joinlint:deterministic
+func receives(ch chan uint64) uint64 {
+	return <-ch // want `channel receive in a digest-feeding path`
+}
+
+//joinlint:deterministic
+func selects(a, b chan uint64) uint64 {
+	select { // want `select in a digest-feeding path`
+	case v := <-a: // want `channel receive in a digest-feeding path`
+		return v
+	case v := <-b: // want `channel receive in a digest-feeding path`
+		return v
+	}
+}
+
+// clean folds sorted slices with a seeded local source: all fine.
+//
+//joinlint:deterministic
+func clean(vals []uint64, rng *rand.Rand) uint64 {
+	var d uint64
+	for _, v := range vals {
+		d = d*31 + v
+	}
+	return d ^ rng.Uint64()
+}
+
+// unannotated may read whatever it likes.
+func unannotated(m map[uint32]uint64) uint64 {
+	var d uint64
+	for _, v := range m {
+		d ^= v
+	}
+	return d ^ uint64(time.Now().UnixNano()) ^ rand.Uint64()
+}

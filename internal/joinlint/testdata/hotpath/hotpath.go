@@ -1,0 +1,105 @@
+// Package hotpath is the hotpath analyzer fixture: annotated kernels
+// containing each forbidden construct, plus clean and unannotated
+// controls.
+package hotpath
+
+import "fmt"
+
+type store struct {
+	ids  []uint32
+	byID map[uint32]uint32
+}
+
+func release() {}
+
+func sinkAny(v any) {}
+
+//joinlint:hotpath
+func deferred(st *store) {
+	defer release() // want `defer on the hot path`
+	release()
+}
+
+//joinlint:hotpath
+func closes(st *store, buf []uint32) []uint32 {
+	grab := func(id uint32) { // want `closure on the hot path`
+		buf = append(buf, id)
+	}
+	grab(1)
+	return buf
+}
+
+//joinlint:hotpath
+func rangesMap(st *store) uint32 {
+	var n uint32
+	for _, v := range st.byID { // want `map iteration on the hot path`
+		n += v
+	}
+	for _, id := range st.ids { // slice iteration is fine
+		n += id
+	}
+	return n
+}
+
+//joinlint:hotpath
+func logs(st *store) {
+	fmt.Println(len(st.ids)) // want `fmt call on the hot path`
+}
+
+//joinlint:hotpath
+func boxesArg(n int) {
+	sinkAny(n) // want `interface boxing on the hot path`
+}
+
+//joinlint:hotpath
+func boxesDecl(n int) {
+	var v any = n // want `interface boxing on the hot path`
+	_ = v
+}
+
+//joinlint:hotpath
+func boxesAssign(n int) {
+	var v any
+	v = n // want `interface boxing on the hot path`
+	_ = v
+}
+
+//joinlint:hotpath
+func boxesReturn(n int) any {
+	return n // want `interface boxing on the hot path`
+}
+
+//joinlint:hotpath
+func boxesComposite(n int) []any {
+	return []any{n} // want `interface boxing on the hot path`
+}
+
+// clean is a correct kernel: slice scans, appends, an
+// immediately-invoked literal, and interface-to-interface moves.
+//
+//joinlint:hotpath
+func clean(st *store, buf []uint32, v any) []uint32 {
+	func() { buf = append(buf, 0) }()
+	w := v // interface-to-interface: no new box
+	_ = w
+	for _, id := range st.ids {
+		buf = append(buf, id)
+	}
+	return buf
+}
+
+// unannotated may do all of it: the contract is opt-in.
+func unannotated(st *store) {
+	defer release()
+	for range st.byID {
+	}
+	fmt.Println(len(st.ids))
+}
+
+// suppressed documents a measured exception.
+//
+//joinlint:hotpath
+func suppressed(st *store) {
+	defer release() //joinlint:allow hotpath fixture: measured, amortized by the caller
+	release()
+}

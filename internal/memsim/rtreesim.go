@@ -29,11 +29,11 @@ const (
 // Instruction costs of the R-tree's abstract operations, on the same
 // scale as the grid's (the profile's message lives in the ratios).
 const (
-	insKeyFill     = 3  // load coordinate, order-preserving bit fiddle, store
-	insSortCount   = 3  // per element per counting sweep: load key, bucket add
-	insSortScatter = 5  // per element per executed pass: load, bucket, store
-	insNodePack    = 6  // MBR stretch + node field writes, per packed entry
-	insNodeVisit   = 9  // node fetch, rectangle intersection test, stack push
+	insKeyFill     = 3 // load coordinate, order-preserving bit fiddle, store
+	insSortCount   = 3 // per element per counting sweep: load key, bucket add
+	insSortScatter = 5 // per element per executed pass: load, bucket, store
+	insNodePack    = 6 // MBR stretch + node field writes, per packed entry
+	insNodeVisit   = 9 // node fetch, rectangle intersection test, stack push
 )
 
 // simRNode mirrors rtree's flat node record.

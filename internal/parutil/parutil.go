@@ -74,6 +74,27 @@ func (g *Group) Wait() {
 	}
 }
 
+// GoErr runs fn on a new goroutine with crash containment and delivers
+// its outcome on the returned 1-buffered channel: fn's error on normal
+// return, or a *WorkerPanic (as an error) if fn panicked. It is the
+// fork half of a fork/join where the join happens later and elsewhere —
+// the concurrent tick drivers' updater goroutine, which must keep the
+// reader workers alive while ApplyBatch runs and surface a crash as a
+// failed tick rather than a dead process. The caller must receive from
+// the channel exactly once.
+func GoErr(fn func() error) <-chan error {
+	done := make(chan error, 1)
+	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				done <- &WorkerPanic{Value: v, Stack: debug.Stack()}
+			}
+		}()
+		done <- fn()
+	}()
+	return done
+}
+
 // ForEachShard splits [0, n) into one contiguous chunk per worker and
 // runs fn(w, lo, hi) on its own goroutine for each non-empty chunk,
 // returning after all complete. Chunk w covers [w*ceil(n/workers), ...),

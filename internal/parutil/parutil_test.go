@@ -1,6 +1,7 @@
 package parutil
 
 import (
+	"errors"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -140,5 +141,28 @@ func TestGroupCleanRun(t *testing.T) {
 	g.Wait() // must not panic
 	if n.Load() != 8 {
 		t.Fatalf("ran %d, want 8", n.Load())
+	}
+}
+
+// TestGoErr: normal returns deliver fn's error; a panic is delivered as
+// a *WorkerPanic error instead of killing the process.
+func TestGoErr(t *testing.T) {
+	if err := <-GoErr(func() error { return nil }); err != nil {
+		t.Fatalf("clean fn delivered %v, want nil", err)
+	}
+	want := errors.New("boom")
+	if err := <-GoErr(func() error { return want }); err != want {
+		t.Fatalf("failing fn delivered %v, want %v", err, want)
+	}
+	err := <-GoErr(func() error { panic("crash") })
+	wp, ok := err.(*WorkerPanic)
+	if !ok {
+		t.Fatalf("panicking fn delivered %T, want *WorkerPanic", err)
+	}
+	if wp.Value != "crash" {
+		t.Errorf("panic value = %v, want crash", wp.Value)
+	}
+	if len(wp.Stack) == 0 {
+		t.Error("worker stack not captured")
 	}
 }

@@ -406,6 +406,8 @@ func (t *BoxTree) queryRec(ni int32, r geom.Rect, emit func(id uint32)) {
 // QueryAppend implements core.QueryAppender: the explicit-stack
 // traversal of Query with results appended into buf. A leaf fully
 // contained in r contributes its entry run as one bulk copy.
+//
+//joinlint:hotpath
 func (t *BoxTree) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
 	if t.root < 0 {
 		return buf
@@ -443,6 +445,9 @@ func (t *BoxTree) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
 // like Tree.appendLeafFiltered: the rect-overlap test MaxX >= r.MinX &&
 // MinX <= r.MaxX && MaxY >= r.MinY && MinY <= r.MaxY reduces to the OR
 // of four differences' IEEE sign bits.
+//
+//joinlint:hotpath
+//joinlint:bce
 func (t *BoxTree) appendLeafFiltered(nd *node, r geom.Rect, buf []uint32) []uint32 {
 	seg := t.entries[nd.first : nd.first+nd.count]
 	rcs := t.entryRects[nd.first : nd.first+nd.count]
@@ -458,6 +463,7 @@ func (t *BoxTree) appendLeafFiltered(nd *node, r geom.Rect, buf []uint32) []uint
 	return buf[:k]
 }
 
+//joinlint:hotpath
 func (t *BoxTree) queryRecAppend(ni int32, r geom.Rect, buf []uint32) []uint32 {
 	nd := &t.nodes[ni]
 	if nd.leaf {

@@ -293,6 +293,8 @@ func (t *Tree) queryRec(ni int32, r geom.Rect, emit func(id uint32)) {
 // QueryAppend implements core.QueryAppender: the explicit-stack
 // traversal of Query with results appended into buf. A leaf fully
 // contained in r contributes its entry run as one bulk copy.
+//
+//joinlint:hotpath
 func (t *Tree) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
 	if t.root < 0 {
 		return buf
@@ -332,6 +334,9 @@ func (t *Tree) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
 // advances by the sign bit of the containment test, so the
 // unpredictable hit/miss pattern of a partially covered leaf costs no
 // branch mispredictions.
+//
+//joinlint:hotpath
+//joinlint:bce
 func (t *Tree) appendLeafFiltered(nd *node, r geom.Rect, buf []uint32) []uint32 {
 	seg := t.entries[nd.first : nd.first+nd.count]
 	pts := t.pts
@@ -347,6 +352,7 @@ func (t *Tree) appendLeafFiltered(nd *node, r geom.Rect, buf []uint32) []uint32 
 	return buf[:k]
 }
 
+//joinlint:hotpath
 func (t *Tree) queryRecAppend(ni int32, r geom.Rect, buf []uint32) []uint32 {
 	nd := &t.nodes[ni]
 	if nd.leaf {

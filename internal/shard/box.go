@@ -181,10 +181,13 @@ func (s *boxRegion) query(r geom.Rect, emit func(id uint32), dedup bool) {
 // on): the inner appends local slots to the tail of buf, and the region
 // compacts that tail in place through the owner and boundary-ownership
 // filters.
+//
+//joinlint:hotpath
 func (s *boxRegion) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
 	return s.queryAppend(r, buf, true)
 }
 
+//joinlint:hotpath
 func (s *boxRegion) queryAppend(r geom.Rect, buf []uint32, dedup bool) []uint32 {
 	tail := len(buf)
 	buf = s.innerAppend(r, buf)
@@ -480,6 +483,8 @@ func (x *BoxIndex) Query(r geom.Rect, emit func(id uint32)) {
 // QueryAppend implements core.QueryAppender: the buffered fan-out with
 // the same single-region dedup skip as Query. Boundary-ownership makes
 // region contributions disjoint, so the buffer needs no post-merge.
+//
+//joinlint:hotpath
 func (x *BoxIndex) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
 	x0, y0, x1, y1 := x.lat.spanOf(r)
 	if x0 == x1 && y0 == y1 {

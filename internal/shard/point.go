@@ -166,6 +166,8 @@ func (s *pointRegion) Query(r geom.Rect, emit func(id uint32)) {
 // slots to the tail of buf, then the region compacts that tail in place
 // — translating slots to global ids and dropping parked slots — so the
 // whole path does zero allocations once buf has capacity.
+//
+//joinlint:hotpath
 func (s *pointRegion) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
 	tail := len(buf)
 	buf = s.innerAppend(r, buf)
@@ -454,6 +456,8 @@ func (x *Index) Query(r geom.Rect, emit func(id uint32)) {
 // QueryAppend implements core.QueryAppender: the buffered fan-out.
 // Region results are disjoint by ownership, so concatenating the
 // per-region appends into one buffer needs no dedup.
+//
+//joinlint:hotpath
 func (x *Index) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
 	x0, y0, x1, y1 := x.lat.spanOf(r)
 	for cy := y0; cy <= y1; cy++ {

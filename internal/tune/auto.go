@@ -19,6 +19,12 @@ type Auto struct {
 	params core.Params
 	inner  core.Index
 	choice Choice
+	// appendKernel is the inner's buffered query kernel, resolved once
+	// at selection time (native QueryAppend, or the callback adapter
+	// for out-of-tree inners). Resolving here keeps QueryAppend itself
+	// a plain indirect call: building the adapter closure per query
+	// would heap-allocate on the hot path.
+	appendKernel func(r geom.Rect, buf []uint32) []uint32
 }
 
 var (
@@ -63,6 +69,7 @@ func (a *Auto) ensure(pts []geom.Point) {
 	s := SamplePoints(pts, a.params.Bounds, a.params.Hints)
 	a.choice = ChoosePoint(s)
 	a.inner = a.choice.NewPointIndex(a.params)
+	a.appendKernel = core.QueryAppendOf(a.inner, a.inner.Query)
 }
 
 // Build implements core.Index.
@@ -85,26 +92,15 @@ func (a *Auto) BuildParallel(pts []geom.Point, workers int) {
 // Query implements core.Index.
 func (a *Auto) Query(r geom.Rect, emit func(id uint32)) { a.inner.Query(r, emit) }
 
-// QueryAppend implements core.QueryAppender, delegating to the chosen
-// structure's native buffered kernel (every in-tree family has one; the
-// callback fallback covers out-of-tree inners).
+// QueryAppend implements core.QueryAppender, delegating to the kernel
+// resolved at selection time (every in-tree family has a native one;
+// the callback adapter covers out-of-tree inners). The resolution does
+// NOT happen here: building the adapter closure per query would
+// heap-allocate on the hot path, which the escape gate forbids.
 //
-// The fallback lives in appendViaEmit rather than inline: an inline
-// closure capturing buf would force the parameter onto the heap on
-// every call — including the native fast path — and break the
-// zero-allocation promise.
+//joinlint:hotpath
 func (a *Auto) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
-	if qa, ok := a.inner.(core.QueryAppender); ok {
-		return qa.QueryAppend(r, buf)
-	}
-	return appendViaEmit(a.inner.Query, r, buf)
-}
-
-// appendViaEmit is the callback-to-buffer adapter for inners without a
-// native buffered kernel.
-func appendViaEmit(query func(r geom.Rect, emit func(id uint32)), r geom.Rect, buf []uint32) []uint32 {
-	query(r, func(id uint32) { buf = append(buf, id) })
-	return buf
+	return a.appendKernel(r, buf)
 }
 
 // QueryBatch implements core.BatchQuerier.
@@ -112,7 +108,7 @@ func (a *Auto) QueryBatch(rects []geom.Rect, offsets, buf []uint32) ([]uint32, [
 	if bq, ok := a.inner.(core.BatchQuerier); ok {
 		return bq.QueryBatch(rects, offsets, buf)
 	}
-	return core.AppendBatch(a.QueryAppend, rects, offsets, buf)
+	return core.AppendBatch(a.appendKernel, rects, offsets, buf)
 }
 
 // Update implements core.Index.
@@ -173,6 +169,8 @@ type AutoBox struct {
 	params core.Params
 	inner  core.BoxIndex
 	choice Choice
+	// appendKernel mirrors Auto.appendKernel (see there).
+	appendKernel func(r geom.Rect, buf []uint32) []uint32
 }
 
 var (
@@ -210,6 +208,7 @@ func (a *AutoBox) ensure(rects []geom.Rect) {
 	s := SampleBoxes(rects, a.params.Bounds, a.params.Hints)
 	a.choice = ChooseBox(s)
 	a.inner = a.choice.NewBoxIndex(a.params)
+	a.appendKernel = core.QueryAppendOf(a.inner, a.inner.Query)
 }
 
 // Build implements core.BoxIndex.
@@ -232,12 +231,11 @@ func (a *AutoBox) BuildParallel(rects []geom.Rect, workers int) {
 func (a *AutoBox) Query(r geom.Rect, emit func(id uint32)) { a.inner.Query(r, emit) }
 
 // QueryAppend implements core.QueryAppender (see Auto.QueryAppend,
-// including why the fallback is not an inline closure).
+// including why the kernel is resolved at selection time, not here).
+//
+//joinlint:hotpath
 func (a *AutoBox) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
-	if qa, ok := a.inner.(core.QueryAppender); ok {
-		return qa.QueryAppend(r, buf)
-	}
-	return appendViaEmit(a.inner.Query, r, buf)
+	return a.appendKernel(r, buf)
 }
 
 // QueryBatch implements core.BatchQuerier.
@@ -245,7 +243,7 @@ func (a *AutoBox) QueryBatch(rects []geom.Rect, offsets, buf []uint32) ([]uint32
 	if bq, ok := a.inner.(core.BatchQuerier); ok {
 		return bq.QueryBatch(rects, offsets, buf)
 	}
-	return core.AppendBatch(a.QueryAppend, rects, offsets, buf)
+	return core.AppendBatch(a.appendKernel, rects, offsets, buf)
 }
 
 // Update implements core.BoxIndex.
