@@ -51,6 +51,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/exec"
 	"runtime"
 	"strconv"
 	"strings"
@@ -62,6 +63,7 @@ import (
 	"repro/internal/epoch"
 	"repro/internal/geom"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/parutil"
 	"repro/internal/rtree"
 	"repro/internal/shard"
@@ -84,11 +86,22 @@ type opResult struct {
 	Workload string  `json:"workload,omitempty"`
 }
 
+// benchMeta records the provenance of one BENCH_grid.json: toolchain,
+// host parallelism, capture time, and (best-effort) the commit measured.
+type benchMeta struct {
+	GoVersion    string `json:"go_version"`
+	GOMAXPROCS   int    `json:"gomaxprocs"`
+	NumCPU       int    `json:"num_cpu"`
+	TimestampUTC string `json:"timestamp_utc"`
+	GitSHA       string `json:"git_sha,omitempty"`
+}
+
 // report is the BENCH_grid.json schema.
 type report struct {
-	Tool   string `json:"tool"`
-	Points int    `json:"points"`
-	Iters  int    `json:"iters"`
+	Tool   string    `json:"tool"`
+	Meta   benchMeta `json:"meta"`
+	Points int       `json:"points"`
+	Iters  int       `json:"iters"`
 	// EffectiveCPUs is runtime.GOMAXPROCS on the measuring host. The
 	// sharded series' parallel speedups are only meaningful when this is
 	// comfortably above 1 — CI's scaling gate conditions on it.
@@ -146,6 +159,11 @@ type report struct {
 	// engine's modelled tick throughput over the best unsharded
 	// contender's under the same parallel model.
 	ShardedSpeedup map[string]float64 `json:"sharded_speedup,omitempty"`
+	// ObsOverheadPct maps the tuned layouts to the percentage cost of
+	// running the stop-the-world driver with a live obs registry attached
+	// vs none (interleaved min-of-rounds; both runs digest-gated against
+	// each other). CI gates this at <= 5%.
+	ObsOverheadPct map[string]float64 `json:"obs_overhead_pct,omitempty"`
 }
 
 // shardedRow is one contender of the sharded series. Side is the
@@ -206,9 +224,22 @@ func run(args []string) error {
 		readers = fs.Int("readers", 0, "query workers for -concurrent (0 = all CPUs minus one)")
 		shards  = fs.Int("shards", 0, "region-grid side for the sharded series (0 = tune ladder picks)")
 		sworker = fs.Int("shard-workers", 8, "worker pool for the sharded parallel tick series (0 disables the series)")
+		dbgAddr = fs.String("debug-addr", "", "serve /debug/obs snapshots and pprof for the bench process on this address (instruments the -concurrent series)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// The debug registry observes the service-mode series; the overhead
+	// measurement below always uses its own private registries so the
+	// number is the same with or without -debug-addr.
+	var dbgReg *obs.Registry
+	if *dbgAddr != "" {
+		dbgReg = obs.New()
+		addr, err := obs.Serve(*dbgAddr, dbgReg)
+		if err != nil {
+			return fmt.Errorf("debug endpoint: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "gridbench: debug endpoint on http://%s/debug/obs\n", addr)
 	}
 	if *iters <= 0 {
 		return fmt.Errorf("iters must be positive, got %d", *iters)
@@ -254,7 +285,14 @@ func run(args []string) error {
 	}
 
 	rep := &report{
-		Tool:            "cmd/gridbench",
+		Tool: "cmd/gridbench",
+		Meta: benchMeta{
+			GoVersion:    runtime.Version(),
+			GOMAXPROCS:   runtime.GOMAXPROCS(0),
+			NumCPU:       runtime.NumCPU(),
+			TimestampUTC: time.Now().UTC().Format(time.RFC3339),
+			GitSHA:       gitSHA(),
+		},
 		Points:          len(pts),
 		Iters:           *iters,
 		EffectiveCPUs:   runtime.GOMAXPROCS(0),
@@ -262,6 +300,7 @@ func run(args []string) error {
 		AutoRegret:      map[string]float64{},
 		AutoChoices:     map[string]string{},
 		BufferedSpeedup: map[string]float64{},
+		ObsOverheadPct:  map[string]float64{},
 	}
 
 	type contender struct {
@@ -368,13 +407,30 @@ func run(args []string) error {
 				gc := grid.Config{Layout: grid.LayoutCSR, Scan: grid.ScanRange, BS: grid.RefactoredBS, CPS: 64}
 				return grid.MustNew(gc, wcfg.Bounds(), len(pts))
 			}, epoch.Options{})
-			cres := core.RunConcurrent(x, cgen, core.ConcurrentOptions{Ticks: *cticks, Readers: *readers})
+			cres := core.RunConcurrent(x, cgen, core.ConcurrentOptions{Ticks: *cticks, Readers: *readers, Obs: dbgReg})
 			if cres.Violations != 0 {
 				return fmt.Errorf("concurrent point run: %d queries observed an unpublished epoch", cres.Violations)
 			}
 			tickQueryNs := ops["query/cps=64"]["csr"] * float64(len(queriers))
 			rep.Concurrent = append(rep.Concurrent, concurrentRow("csr/cps=64", cres, tickQueryNs))
 		}
+
+		// Instrumentation overhead on the tuned point layout: the same
+		// driver+structure+workload with a live registry vs none.
+		ocfg := wcfg
+		ocfg.Ticks = obsOverheadTicks
+		pct, err := measureObsOverhead(func(reg *obs.Registry) (*core.Result, error) {
+			gen, err := workload.NewGenerator(ocfg)
+			if err != nil {
+				return nil, err
+			}
+			gc := grid.Config{Layout: grid.LayoutCSR, Scan: grid.ScanRange, BS: grid.RefactoredBS, CPS: 64}
+			return core.Run(grid.MustNew(gc, ocfg.Bounds(), ocfg.NumPoints), gen, core.Options{Obs: reg}), nil
+		})
+		if err != nil {
+			return err
+		}
+		rep.ObsOverheadPct["csr/cps=64"] = pct
 
 		// The region-sharded engine against the best unsharded
 		// contenders, all under the same parallel tick model.
@@ -559,13 +615,29 @@ func run(args []string) error {
 			x := epoch.NewBoxIndex(func() core.BoxIndex {
 				return grid.MustNewBoxGrid2L(64, bcfg.Bounds(), len(rects))
 			}, epoch.Options{})
-			cres := core.RunBoxesConcurrent(x, cgen, core.ConcurrentOptions{Ticks: *cticks, Readers: *readers})
+			cres := core.RunBoxesConcurrent(x, cgen, core.ConcurrentOptions{Ticks: *cticks, Readers: *readers, Obs: dbgReg})
 			if cres.Violations != 0 {
 				return fmt.Errorf("concurrent box run: %d queries observed an unpublished epoch", cres.Violations)
 			}
 			tickQueryNs := boxOps["query/cps=64"]["boxcsr2l"] * float64(len(boxQueriers))
 			rep.Concurrent = append(rep.Concurrent, concurrentRow("boxcsr2l/cps=64", cres, tickQueryNs))
 		}
+
+		// Instrumentation overhead on the tuned box layout, mirroring the
+		// point-side measurement.
+		obcfg := bcfg
+		obcfg.Ticks = obsOverheadTicks
+		pct, err := measureObsOverhead(func(reg *obs.Registry) (*core.Result, error) {
+			gen, err := workload.NewBoxGenerator(obcfg)
+			if err != nil {
+				return nil, err
+			}
+			return core.RunBoxes(grid.MustNewBoxGrid2L(64, obcfg.Bounds(), obcfg.NumPoints), gen, core.Options{Obs: reg}), nil
+		})
+		if err != nil {
+			return err
+		}
+		rep.ObsOverheadPct["boxcsr2l/cps=64"] = pct
 
 		if *sworker > 0 {
 			if err := runShardedBox(rep, bcfg, rects, boxQueriers, boxUpdates, *iters, *shards, *sworker, wantDigest); err != nil {
@@ -584,6 +656,59 @@ func run(args []string) error {
 		return err
 	}
 	return os.WriteFile(*out, enc, 0o644)
+}
+
+// obsOverheadTicks bounds the instrumented-vs-uninstrumented comparison
+// runs: enough ticks for the per-tick phases to dominate driver setup,
+// few enough that six full runs stay a small slice of the bench.
+const obsOverheadTicks = 10
+
+// gitSHA best-effort resolves the working tree's commit for the meta
+// block; benches also run from exported trees, so failure is an empty
+// field, not an error.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// measureObsOverhead runs the given driver closure with a live registry
+// and with none, interleaved over several rounds, and returns the
+// percentage overhead of the instrumented minimum over the plain
+// minimum. Interleaving plus min-of-rounds keeps a thermal dip or a
+// background burst during one variant's window from reading as (or
+// masking) overhead. Every run must produce the identical join digest —
+// instrumentation that changes results is a bug, not overhead.
+func measureObsOverhead(run func(reg *obs.Registry) (*core.Result, error)) (float64, error) {
+	const rounds = 3
+	plainMin, instMin := math.Inf(1), math.Inf(1)
+	var refPairs int64
+	var refHash uint64
+	for r := 0; r < rounds; r++ {
+		plain, err := run(nil)
+		if err != nil {
+			return 0, err
+		}
+		inst, err := run(obs.New())
+		if err != nil {
+			return 0, err
+		}
+		if r == 0 {
+			refPairs, refHash = plain.Pairs, plain.Hash
+		}
+		if plain.Pairs != refPairs || plain.Hash != refHash || inst.Pairs != refPairs || inst.Hash != refHash {
+			return 0, fmt.Errorf("obs overhead: instrumented run diverges from uninstrumented (pairs %d vs %d, digest %#x vs %#x)",
+				inst.Pairs, refPairs, inst.Hash, refHash)
+		}
+		total := func(res *core.Result) float64 {
+			return float64((res.Totals.Build + res.Totals.Query + res.Totals.Update).Nanoseconds())
+		}
+		plainMin = math.Min(plainMin, total(plain))
+		instMin = math.Min(instMin, total(inst))
+	}
+	return (instMin/plainMin - 1) * 100, nil
 }
 
 // concurrentRow folds a concurrent run into the report schema.

@@ -26,6 +26,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/epoch"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/workload"
 )
@@ -64,6 +65,7 @@ func run(args []string) error {
 		concurrent   = fs.Bool("concurrent", false, "service mode: epoch-published index, queries overlap updates, reports latency percentiles")
 		readers      = fs.Int("readers", 0, "query worker goroutines for -concurrent (0 = all CPUs minus one)")
 		shards       = fs.Int("shards", 0, "region-grid side for the sharded techniques (shard-auto/boxshard-auto): side^2 regions; 0 = tune shard-count ladder")
+		debugAddr    = fs.String("debug-addr", "", "serve /debug/obs snapshots, histogram dumps and pprof on this address (e.g. 127.0.0.1:7171; enables instrumentation)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +74,19 @@ func run(args []string) error {
 		return fmt.Errorf("unknown object class %q (have point, box)", *objects)
 	}
 	boxMode := *objects == "box"
+
+	// A nil registry keeps every instrument a nil-check no-op; -debug-addr
+	// turns instrumentation on and exposes the live snapshot surface.
+	var reg *obs.Registry
+	if *debugAddr != "" {
+		reg = obs.New()
+		addr, err := obs.Serve(*debugAddr, reg)
+		if err != nil {
+			return fmt.Errorf("debug endpoint: %w", err)
+		}
+		fmt.Printf("debug     : http://%s/debug/obs (also /debug/obs/hist, /debug/pprof/)\n", addr)
+	}
+
 	if *list {
 		w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
 		if boxMode {
@@ -126,7 +141,7 @@ func run(args []string) error {
 			return err
 		}
 		return runBoxMode(bcfg, *techniqueKey, *compare,
-			*parallel || *workers > 1, *workers, *perTick, *concurrent, *readers, *shards)
+			*parallel || *workers > 1, *workers, *perTick, *concurrent, *readers, *shards, reg)
 	}
 
 	var techs []bench.NamedTechnique
@@ -195,7 +210,7 @@ func run(args []string) error {
 		}
 	}
 
-	opts := core.Options{KeepPerTick: *perTick}
+	opts := core.Options{KeepPerTick: *perTick, Obs: reg}
 	fmt.Printf("workload  : %s, %d points, %d ticks, %.0f%% queriers, %.0f%% updaters\n",
 		wcfg.Kind, wcfg.NumPoints, wcfg.Ticks, wcfg.Queriers*100, wcfg.Updaters*100)
 
@@ -210,13 +225,13 @@ func run(args []string) error {
 			// The sharded engine gets per-region epoch publication rather
 			// than one stop-the-world wrapper around the whole router.
 			x := shard.NewConcurrent(p, epoch.Options{})
-			res := core.RunConcurrentSharded(x, workload.NewPlayer(trace), core.ConcurrentOptions{Readers: *readers})
+			res := core.RunConcurrentSharded(x, workload.NewPlayer(trace), core.ConcurrentOptions{Readers: *readers, Obs: reg})
 			return reportConcurrent(res)
 		}
 		x := epoch.NewIndex(func() core.Index {
 			return t.Make(p)
 		}, epoch.Options{})
-		res := core.RunConcurrent(x, workload.NewPlayer(trace), core.ConcurrentOptions{Readers: *readers})
+		res := core.RunConcurrent(x, workload.NewPlayer(trace), core.ConcurrentOptions{Readers: *readers, Obs: reg})
 		return reportConcurrent(res)
 	}
 
@@ -297,7 +312,7 @@ func reportConcurrent(res *core.ConcurrentResult) error {
 // runBoxMode runs the MBR workload: one technique or a digest race.
 // Each technique gets a fresh generator from the same configuration, so
 // all runs see the byte-identical stream.
-func runBoxMode(bcfg workload.BoxConfig, techniqueKey, compare string, parallel bool, workers int, perTick bool, concurrent bool, readers int, shards int) error {
+func runBoxMode(bcfg workload.BoxConfig, techniqueKey, compare string, parallel bool, workers int, perTick bool, concurrent bool, readers int, shards int, reg *obs.Registry) error {
 	var techs []bench.NamedBoxTechnique
 	if compare != "" {
 		if compare == "all" {
@@ -338,18 +353,18 @@ func runBoxMode(bcfg workload.BoxConfig, techniqueKey, compare string, parallel 
 		if t.Key == "boxshard-auto" {
 			x := shard.NewBoxConcurrent(p, epoch.Options{})
 			res := core.RunBoxesConcurrentSharded(x, workload.MustNewBoxGenerator(bcfg),
-				core.ConcurrentOptions{Readers: readers})
+				core.ConcurrentOptions{Readers: readers, Obs: reg})
 			return reportConcurrent(res)
 		}
 		x := epoch.NewBoxIndex(func() core.BoxIndex {
 			return t.Make(p)
 		}, epoch.Options{})
 		res := core.RunBoxesConcurrent(x, workload.MustNewBoxGenerator(bcfg),
-			core.ConcurrentOptions{Readers: readers})
+			core.ConcurrentOptions{Readers: readers, Obs: reg})
 		return reportConcurrent(res)
 	}
 
-	opts := core.Options{KeepPerTick: perTick}
+	opts := core.Options{KeepPerTick: perTick, Obs: reg}
 	// Each technique gets a fresh generator, so all runs see the
 	// byte-identical stream.
 	return raceReport(len(techs), perTick, func(i int) (*core.Result, string) {

@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/workload"
 )
@@ -44,6 +45,7 @@ const (
 func main() {
 	quick := flag.Bool("quick", false, "tiny population and tick count (CI smoke run)")
 	shards := flag.Int("shards", 0, "region-grid side for the sharded engine (0 = single tuned grid)")
+	debugAddr := flag.String("debug-addr", "", "serve live /debug/obs snapshots and pprof on this address while the monitor runs")
 	flag.Parse()
 	vehicles, ticks := vehicles, ticks
 	if *quick {
@@ -62,6 +64,18 @@ func main() {
 	gen, err := workload.NewGenerator(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// A nil registry keeps every instrument below a no-op; -debug-addr
+	// turns the monitor into a live-inspectable service.
+	var reg *obs.Registry
+	if *debugAddr != "" {
+		reg = obs.New()
+		addr, err := obs.Serve(*debugAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("debug endpoint: http://%s/debug/obs\n", addr)
 	}
 
 	var idx core.Index
@@ -84,9 +98,16 @@ func main() {
 		zones = append(zones, geom.Square(h, zoneSide))
 	}
 
+	// Attach the instruments (fan-out histograms for the sharded engine,
+	// query counters for the grid) and a per-tick wall-time histogram.
+	obs.Instrument(idx, reg)
+	tickHist := reg.Histogram("traffic.tick_ns")
+	alertCount := reg.Counter("traffic.alerts")
+
 	snapshot := make([]geom.Point, vehicles)
 	var alerts, dispatcherPairs int
 	for tick := 0; tick < ticks; tick++ {
+		span := reg.Enter(tickHist)
 		// Build phase: refresh and index the fleet's positions.
 		objs := gen.Objects()
 		for i := range objs {
@@ -105,6 +126,7 @@ func main() {
 			idx.Query(z, func(id uint32) { n++ })
 			if n > congestedCount {
 				alerts++
+				alertCount.Inc()
 				if alerts <= 5 {
 					fmt.Printf("tick %2d: zone %d congested (%d vehicles)\n", tick, zi, n)
 				}
@@ -117,6 +139,7 @@ func main() {
 			idx.Update(u.ID, snapshot[u.ID], u.Pos)
 		}
 		gen.ApplyUpdates(batch)
+		reg.Exit(span)
 	}
 
 	if sharded != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -11,6 +12,7 @@ import (
 // object id's MBR intersects the range query of querier q; the result
 // digest is directly comparable across BoxIndex implementations.
 func RunBoxes(idx BoxIndex, src workload.BoxSource, opts Options) *Result {
+	obs.Instrument(idx, opts.Obs)
 	return runTicks(boxEngine(idx, src), opts)
 }
 
@@ -19,6 +21,7 @@ func RunBoxes(idx BoxIndex, src workload.BoxSource, opts Options) *Result {
 // GOMAXPROCS), with queriers scheduled by the Morton code of their MBR
 // centre. The result digest matches RunBoxes bit for bit.
 func RunBoxesParallel(idx BoxIndex, src workload.BoxSource, opts Options, workers int) *Result {
+	obs.Instrument(idx, opts.Obs)
 	return runTicksParallel(boxEngine(idx, src), opts, workers)
 }
 

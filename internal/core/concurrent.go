@@ -6,8 +6,8 @@ import (
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/parutil"
-	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -74,6 +74,13 @@ type ConcurrentOptions struct {
 	// tick's queriers; 0 selects GOMAXPROCS-1 (one core is left for the
 	// updater), minimum 1.
 	Readers int
+	// Obs, when non-nil, receives the concurrent driver's instruments
+	// (per-query latency, apply/tick spans, violation gauge) and is
+	// offered to the epoch wrapper before Build, which adds the
+	// epoch/shard/tune series. Nil disables instrumentation; per-query
+	// latency percentiles are then still bounded-memory via a private
+	// histogram.
+	Obs *obs.Registry
 }
 
 // ConcurrentResult aggregates a concurrent run. Join pairs and the hash
@@ -169,12 +176,16 @@ func runConcurrent[M any](e *concurrentEngine[M], opts ConcurrentOptions) *Concu
 		ticks = opts.Ticks
 	}
 	res := &ConcurrentResult{Technique: e.name, Ticks: ticks, Readers: readers}
+	co := newConcObs(opts.Obs)
+	latHist := co.latHist()
 
-	// Per-reader state, merged after the run. seen records every
+	// Per-reader state, merged after the run. lat keeps exact latency
+	// samples up to maxExactLatSamples and feeds the shared histogram
+	// beyond that (bounded memory on long runs). seen records every
 	// distinct (epoch, digest) observation; a same-epoch digest
 	// mismatch is a violation counted immediately.
 	type readerState struct {
-		lat   []time.Duration
+		lat   latRecorder
 		seen  map[uint64]uint64
 		pairs int64
 		hash  uint64
@@ -182,7 +193,10 @@ func runConcurrent[M any](e *concurrentEngine[M], opts ConcurrentOptions) *Concu
 	}
 	states := make([]*readerState, readers)
 	for w := range states {
-		states[w] = &readerState{seen: make(map[uint64]uint64, ticks+1)}
+		states[w] = &readerState{
+			lat:  latRecorder{hist: latHist},
+			seen: make(map[uint64]uint64, ticks+1),
+		}
 	}
 
 	// oracle holds the digest of every published epoch, recorded by the
@@ -196,6 +210,7 @@ func runConcurrent[M any](e *concurrentEngine[M], opts ConcurrentOptions) *Concu
 	var pending []M
 	start := time.Now()
 	for t := 0; t < ticks; t++ {
+		ts := co.reg.Enter(co.tick)
 		queriers := e.queriers()
 		batch := e.fetchBatch()
 		moves := batch
@@ -208,7 +223,9 @@ func runConcurrent[M any](e *concurrentEngine[M], opts ConcurrentOptions) *Concu
 		// letting a raw goroutine kill the process.
 		mv := moves
 		updDone := parutil.GoErr(func() error {
+			sp := co.reg.Enter(co.apply)
 			_, err := e.apply(mv)
+			co.reg.Exit(sp)
 			return err
 		})
 
@@ -239,7 +256,7 @@ func runConcurrent[M any](e *concurrentEngine[M], opts ConcurrentOptions) *Concu
 							st.pairs++
 							st.hash = MixPair(st.hash, q, id)
 						}
-						st.lat = append(st.lat, time.Since(qs))
+						st.lat.record(time.Since(qs))
 						if prev, ok := st.seen[qe]; ok && prev != qd {
 							st.bad++
 						} else {
@@ -254,6 +271,7 @@ func runConcurrent[M any](e *concurrentEngine[M], opts ConcurrentOptions) *Concu
 		e.commitBatch()
 		if err != nil {
 			res.FailedTicks++
+			co.failed.Inc()
 			// Copy: moves may alias fetchBatch's reused buffer, which the
 			// next tick overwrites.
 			pending = append([]M(nil), moves...)
@@ -264,10 +282,14 @@ func runConcurrent[M any](e *concurrentEngine[M], opts ConcurrentOptions) *Concu
 		}
 		res.Queries += int64(len(queriers))
 		res.Updates += int64(len(batch))
+		co.ticks.Inc()
+		co.queries.Add(int64(len(queriers)))
+		co.updates.Add(int64(len(batch)))
+		co.reg.Exit(ts)
 	}
 	res.Elapsed = time.Since(start)
 
-	var lat []float64
+	recs := make([]*latRecorder, 0, readers)
 	for _, st := range states {
 		res.Pairs += st.pairs
 		res.Hash += st.hash
@@ -277,14 +299,10 @@ func runConcurrent[M any](e *concurrentEngine[M], opts ConcurrentOptions) *Concu
 				res.Violations++
 			}
 		}
-		for _, d := range st.lat {
-			lat = append(lat, float64(d))
-		}
+		recs = append(recs, &st.lat)
 	}
-	qs := stats.Percentiles(lat, 0.50, 0.95, 0.99)
-	res.QueryP50 = time.Duration(qs[0])
-	res.QueryP95 = time.Duration(qs[1])
-	res.QueryP99 = time.Duration(qs[2])
+	res.QueryP50, res.QueryP95, res.QueryP99 = latPercentiles(recs, latHist)
+	co.violations.Set(res.Violations)
 	res.Stats = e.stats()
 	return res
 }
@@ -295,6 +313,7 @@ func runConcurrent[M any](e *concurrentEngine[M], opts ConcurrentOptions) *Concu
 // maintained incrementally — the service-mode regime the epoch wrapper
 // exists for — rather than rebuilt per tick.
 func RunConcurrent(x EpochIndex, src workload.Source, opts ConcurrentOptions) *ConcurrentResult {
+	obs.Instrument(x, opts.Obs)
 	cfg := src.Config()
 	snap := make([]geom.Point, len(src.Objects()))
 	refreshSnapshot(snap, src.Objects())
@@ -331,6 +350,7 @@ func RunConcurrent(x EpochIndex, src workload.Source, opts ConcurrentOptions) *C
 
 // RunBoxesConcurrent is RunConcurrent for epoch-published box indexes.
 func RunBoxesConcurrent(x EpochBoxIndex, src workload.BoxSource, opts ConcurrentOptions) *ConcurrentResult {
+	obs.Instrument(x, opts.Obs)
 	cfg := src.Config()
 	snap := make([]geom.Rect, src.NumBoxes())
 	src.RefreshRects(snap, 0, len(snap))

@@ -6,8 +6,8 @@ import (
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/parutil"
-	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -115,9 +115,11 @@ func runConcurrentSharded[M any](e *shardedConcurrentEngine[M], opts ConcurrentO
 		ticks = opts.Ticks
 	}
 	res := &ConcurrentResult{Technique: e.name, Ticks: ticks, Readers: readers}
+	co := newConcObs(opts.Obs)
+	latHist := co.latHist()
 
 	type readerState struct {
-		lat   []time.Duration
+		lat   latRecorder
 		seen  map[shardEpochKey]uint64
 		pairs int64
 		hash  uint64
@@ -125,7 +127,10 @@ func runConcurrentSharded[M any](e *shardedConcurrentEngine[M], opts ConcurrentO
 	}
 	states := make([]*readerState, readers)
 	for w := range states {
-		states[w] = &readerState{seen: make(map[shardEpochKey]uint64, ticks+1)}
+		states[w] = &readerState{
+			lat:  latRecorder{hist: latHist},
+			seen: make(map[shardEpochKey]uint64, ticks+1),
+		}
 	}
 
 	oracle := make(map[shardEpochKey]uint64, ticks+1)
@@ -140,6 +145,7 @@ func runConcurrentSharded[M any](e *shardedConcurrentEngine[M], opts ConcurrentO
 	var pending []M
 	start := time.Now()
 	for t := 0; t < ticks; t++ {
+		ts := co.reg.Enter(co.tick)
 		queriers := e.queriers()
 		batch := e.fetchBatch()
 		moves := batch
@@ -151,7 +157,12 @@ func runConcurrentSharded[M any](e *shardedConcurrentEngine[M], opts ConcurrentO
 		// readers must drain and the loop must carry the batch) instead of
 		// letting a raw goroutine kill the process.
 		mv := moves
-		updDone := parutil.GoErr(func() error { return e.apply(mv) })
+		updDone := parutil.GoErr(func() error {
+			sp := co.reg.Enter(co.apply)
+			err := e.apply(mv)
+			co.reg.Exit(sp)
+			return err
+		})
 
 		var cursor atomic.Int64
 		var g parutil.Group
@@ -186,7 +197,7 @@ func runConcurrentSharded[M any](e *shardedConcurrentEngine[M], opts ConcurrentO
 							st.pairs++
 							st.hash = MixPair(st.hash, q, id)
 						}
-						st.lat = append(st.lat, time.Since(qs))
+						st.lat.record(time.Since(qs))
 					}
 				}
 			})
@@ -196,6 +207,7 @@ func runConcurrentSharded[M any](e *shardedConcurrentEngine[M], opts ConcurrentO
 		e.commitBatch()
 		if err != nil {
 			res.FailedTicks++
+			co.failed.Inc()
 			pending = append([]M(nil), moves...)
 		} else {
 			pending = nil
@@ -205,10 +217,14 @@ func runConcurrentSharded[M any](e *shardedConcurrentEngine[M], opts ConcurrentO
 		recordOracle()
 		res.Queries += int64(len(queriers))
 		res.Updates += int64(len(batch))
+		co.ticks.Inc()
+		co.queries.Add(int64(len(queriers)))
+		co.updates.Add(int64(len(batch)))
+		co.reg.Exit(ts)
 	}
 	res.Elapsed = time.Since(start)
 
-	var lat []float64
+	recs := make([]*latRecorder, 0, readers)
 	for _, st := range states {
 		res.Pairs += st.pairs
 		res.Hash += st.hash
@@ -218,14 +234,10 @@ func runConcurrentSharded[M any](e *shardedConcurrentEngine[M], opts ConcurrentO
 				res.Violations++
 			}
 		}
-		for _, d := range st.lat {
-			lat = append(lat, float64(d))
-		}
+		recs = append(recs, &st.lat)
 	}
-	qs := stats.Percentiles(lat, 0.50, 0.95, 0.99)
-	res.QueryP50 = time.Duration(qs[0])
-	res.QueryP95 = time.Duration(qs[1])
-	res.QueryP99 = time.Duration(qs[2])
+	res.QueryP50, res.QueryP95, res.QueryP99 = latPercentiles(recs, latHist)
+	co.violations.Set(res.Violations)
 	res.Stats = e.stats()
 	return res
 }
@@ -235,6 +247,7 @@ func runConcurrentSharded[M any](e *shardedConcurrentEngine[M], opts ConcurrentO
 // updates overlapped per tick, validating each query's per-shard
 // (epoch, digest) observations against per-shard publish oracles.
 func RunConcurrentSharded(x ShardedEpochIndex, src workload.Source, opts ConcurrentOptions) *ConcurrentResult {
+	obs.Instrument(x, opts.Obs)
 	cfg := src.Config()
 	snap := make([]geom.Point, len(src.Objects()))
 	refreshSnapshot(snap, src.Objects())
@@ -273,6 +286,7 @@ func RunConcurrentSharded(x ShardedEpochIndex, src workload.Source, opts Concurr
 // RunBoxesConcurrentSharded is RunConcurrentSharded for region-sharded
 // epoch-published box engines.
 func RunBoxesConcurrentSharded(x ShardedEpochBoxIndex, src workload.BoxSource, opts ConcurrentOptions) *ConcurrentResult {
+	obs.Instrument(x, opts.Obs)
 	cfg := src.Config()
 	snap := make([]geom.Rect, src.NumBoxes())
 	src.RefreshRects(snap, 0, len(snap))

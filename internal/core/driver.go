@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -25,6 +26,11 @@ type Options struct {
 	// forces the classic per-result callback, KernelBatch the
 	// multi-query path. The result digest is identical across kernels.
 	Kernel QueryKernel
+	// Obs, when non-nil, receives per-tick phase histograms and driver
+	// counters, and is offered to the index under test (obs.Instrument)
+	// before Build. Nil disables instrumentation at nil-check cost; the
+	// result digest is identical either way.
+	Obs *obs.Registry
 }
 
 // PhaseTimes is a build/query/update wall-time triple.
@@ -133,6 +139,7 @@ func ParamsFor(cfg workload.Config) Params {
 //     move, and apply the batch to the base table at the very end, so
 //     queries only ever saw the previous tick's state.
 func Run(idx Index, src workload.Source, opts Options) *Result {
+	obs.Instrument(idx, opts.Obs)
 	return runTicks(pointEngine(idx, src), opts)
 }
 

@@ -95,6 +95,7 @@ func runTicks[P any](e *engine[P], opts Options) *Result {
 	if opts.KeepPerTick {
 		res.PerTick = make([]PhaseTimes, 0, ticks)
 	}
+	to := newTickObs(opts.Obs)
 
 	snapshot := make([]P, e.n)
 
@@ -163,9 +164,11 @@ func runTicks[P any](e *engine[P], opts Options) *Result {
 		res.Queries += int64(len(queriers))
 
 		start = time.Now()
-		res.Updates += int64(e.updatePhase(snapshot, 1))
+		updates := int64(e.updatePhase(snapshot, 1))
+		res.Updates += updates
 		pt.Update = time.Since(start)
 
+		to.tick(pt, int64(len(queriers)), updates)
 		res.Totals.add(pt)
 		if opts.KeepPerTick {
 			res.PerTick = append(res.PerTick, pt)
@@ -173,6 +176,7 @@ func runTicks[P any](e *engine[P], opts Options) *Result {
 	}
 	res.Pairs = pairs
 	res.Hash = hash
+	to.pairs.Add(pairs)
 	return res
 }
 
@@ -211,6 +215,7 @@ func runTicksParallel[P any](e *engine[P], opts Options, workers int) *Result {
 	if opts.KeepPerTick {
 		res.PerTick = make([]PhaseTimes, 0, ticks)
 	}
+	to := newTickObs(opts.Obs)
 	snapshot := make([]P, e.n)
 
 	quant := geom.NewQuantizer(e.bounds, mortonBits)
@@ -311,14 +316,17 @@ func runTicksParallel[P any](e *engine[P], opts Options, workers int) *Result {
 		}
 
 		start = time.Now()
-		res.Updates += int64(e.updatePhase(snapshot, workers))
+		updates := int64(e.updatePhase(snapshot, workers))
+		res.Updates += updates
 		pt.Update = time.Since(start)
 
+		to.tick(pt, int64(len(queriers)), updates)
 		res.Totals.add(pt)
 		if opts.KeepPerTick {
 			res.PerTick = append(res.PerTick, pt)
 		}
 	}
+	to.pairs.Add(res.Pairs)
 	return res
 }
 

@@ -1,0 +1,10 @@
+package core
+
+// SetMaxExactLatSamples shrinks the concurrent drivers' exact latency
+// sample cap so external driver tests can force the bounded histogram
+// percentile path on small workloads. Returns a restore func.
+func SetMaxExactLatSamples(n int) (restore func()) {
+	old := maxExactLatSamples
+	maxExactLatSamples = n
+	return func() { maxExactLatSamples = old }
+}

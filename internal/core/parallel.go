@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/workload"
+import (
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
 
 // RunParallel executes the iterated join like Run but fans every phase of
 // the tick out over the given number of worker goroutines (0 selects
@@ -9,5 +12,6 @@ import "repro/internal/workload"
 // BatchUpdater implementations apply each tick's update batch partitioned
 // by target cell across workers.
 func RunParallel(idx Index, src workload.Source, opts Options, workers int) *Result {
+	obs.Instrument(idx, opts.Obs)
 	return runTicksParallel(pointEngine(idx, src), opts, workers)
 }

@@ -19,6 +19,7 @@ type BoxIndex struct {
 func NewBoxIndex(newInner func() core.BoxIndex, opts Options) *BoxIndex {
 	x := &BoxIndex{newInner: newInner}
 	x.opts = opts.withDefaults()
+	x.ins = newIns()
 	x.moveID = func(m geom.BoxMove) uint32 { return m.ID }
 	x.moveNew = func(m geom.BoxMove) geom.Rect { return m.New }
 	x.fold = FoldBoxMoves

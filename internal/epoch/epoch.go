@@ -155,7 +155,9 @@ type pub[P any, M any] struct {
 	dirty bool
 	opts  Options
 
-	epochs, degraded, retries, panics atomic.Uint64
+	// ins holds the lifecycle counters (always present, backing Stats)
+	// and the optional registry-shared series and phase spans (obs.go).
+	ins ins
 
 	// Geometry-specific hooks bound by the concrete constructors.
 	moveID  func(m M) uint32
@@ -232,7 +234,7 @@ func (x *pub[P, M]) queryAppend(r geom.Rect, buf []uint32) ([]uint32, uint64, ui
 func (x *pub[P, M]) contained(fn func()) (err error) {
 	defer func() {
 		if v := recover(); v != nil {
-			x.panics.Add(1)
+			x.ins.containedPanic()
 			if e, ok := v.(error); ok {
 				err = fmt.Errorf("epoch: contained panic: %w", e)
 			} else {
@@ -364,6 +366,7 @@ func (x *pub[P, M]) applyBatch(moves []M) (uint64, error) {
 	for attempt := 0; ; attempt++ {
 		if !applied {
 			var err error
+			as := x.ins.reg.Enter(x.ins.apply)
 			if x.dirty {
 				err = x.applyRebuild(sh, live, moves)
 			} else {
@@ -372,8 +375,11 @@ func (x *pub[P, M]) applyBatch(moves []M) (uint64, error) {
 				// caught up incrementally except by this tick's success.
 				x.dirty = true
 			}
+			x.ins.reg.Exit(as)
 			if err == nil {
+				vs := x.ins.reg.Enter(x.ins.validate)
 				err = x.validate(sh, moves)
+				x.ins.reg.Exit(vs)
 			}
 			if err == nil {
 				applied = true
@@ -382,34 +388,37 @@ func (x *pub[P, M]) applyBatch(moves []M) (uint64, error) {
 			}
 		}
 		if applied {
+			ps := x.ins.reg.Enter(x.ins.publish)
 			err := x.contained(func() { x.fire("swap", 0) })
 			if err == nil {
 				sh.epoch = live.epoch + 1
 				sh.digest = x.fold(live.digest, moves)
 				x.live.Store(sh)
+			}
+			x.ins.reg.Exit(ps)
+			if err == nil {
 				// Quiesce: wait out readers still pinned to the old
 				// buffer before it may be mutated as the next shadow.
+				qs := x.ins.reg.Enter(x.ins.quiesce)
 				for live.active.Load() != 0 {
 					runtime.Gosched()
 				}
+				x.ins.reg.Exit(qs)
 				x.shadow = live
 				x.carry = append(x.carry[:0], moves...)
 				x.dirty = false
-				x.epochs.Add(1)
-				if failed {
-					x.degraded.Add(1)
-				}
+				x.ins.publishedEpoch(failed)
 				return sh.epoch, nil
 			}
 			lastErr = err
 		}
 		failed = true
 		if attempt >= x.opts.MaxRetries {
-			x.degraded.Add(1)
+			x.ins.exhaustedRetries()
 			return live.epoch, fmt.Errorf("epoch: publish failed after %d attempts, serving epoch %d: %w",
 				attempt+1, live.epoch, lastErr)
 		}
-		x.retries.Add(1)
+		x.ins.retried()
 		backoff := x.opts.Backoff << uint(attempt)
 		if backoff > x.opts.MaxBackoff {
 			backoff = x.opts.MaxBackoff
@@ -421,10 +430,10 @@ func (x *pub[P, M]) applyBatch(moves []M) (uint64, error) {
 // stats returns a snapshot of the lifecycle counters.
 func (x *pub[P, M]) stats() Stats {
 	return Stats{
-		Epochs:          x.epochs.Load(),
-		Degraded:        x.degraded.Load(),
-		Retries:         x.retries.Load(),
-		PanicsContained: x.panics.Load(),
+		Epochs:          uint64(x.ins.epochs.Value()),
+		Degraded:        uint64(x.ins.degraded.Value()),
+		Retries:         uint64(x.ins.retries.Value()),
+		PanicsContained: uint64(x.ins.panics.Value()),
 	}
 }
 

@@ -31,6 +31,7 @@ type Index struct {
 func NewIndex(newInner func() core.Index, opts Options) *Index {
 	x := &Index{newInner: newInner}
 	x.opts = opts.withDefaults()
+	x.ins = newIns()
 	x.moveID = func(m geom.Move) uint32 { return m.ID }
 	x.moveNew = func(m geom.Move) geom.Point { return m.New }
 	x.fold = FoldMoves

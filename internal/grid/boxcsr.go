@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/parutil"
 )
 
@@ -58,6 +59,8 @@ type BoxGrid struct {
 	// pairs is the batch-update scratch: (cell, move) pairs counting-
 	// sorted by owning shard (see spanpairs.go).
 	pairs spanPairs
+	// queries counts query-kernel entries (nil until Instrument).
+	queries *obs.Counter
 }
 
 // cellSpan is an inclusive cell range [x0,x1]x[y0,y1]. uint16 covers any
@@ -324,6 +327,7 @@ func (bg *BoxGrid) BuildParallel(rects []geom.Rect, workers int) {
 // ulp, so unlike the point grid no cell skips the filter — the contract
 // is digest-identical agreement with the brute-force oracle.
 func (bg *BoxGrid) Query(r geom.Rect, emit func(id uint32)) {
+	bg.queries.Inc()
 	// The query's span comes from the same mapping as the cached object
 	// spans — the dedup test depends on the two never diverging.
 	q := bg.spanOf(r)
@@ -339,6 +343,7 @@ func (bg *BoxGrid) Query(r geom.Rect, emit func(id uint32)) {
 // QueryAppend implements core.QueryAppender: the same span walk as
 // Query with the dedup-and-intersect loop appending into buf.
 func (bg *BoxGrid) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
+	bg.queries.Inc()
 	q := bg.spanOf(r)
 	cps := bg.cps
 	for cy := int(q.y0); cy <= int(q.y1); cy++ {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/parutil"
 )
 
@@ -105,6 +106,8 @@ type BoxGrid2L struct {
 	shardCounts [][]uint32 // build scratch: per-worker count arrays
 	moveSpans   []cellSpan // batch-update scratch: old/new spans per move
 	pairs       spanPairs  // batch-update scratch: sharded (cell, move) pairs
+	// queries counts query-kernel entries (nil until Instrument).
+	queries *obs.Counter
 }
 
 // NewBoxGrid2L constructs a class-partitioned box grid for the given
@@ -462,6 +465,7 @@ const boxInf = math.MaxFloat32
 // per-class emit loops described on the type. All predicates read the
 // inlined rect arena; the base table is never touched.
 func (bg *BoxGrid2L) Query(r geom.Rect, emit func(id uint32)) {
+	bg.queries.Inc()
 	// The query's span comes from the same mapping as the stored class
 	// partition — the per-class predicates depend on the two never
 	// diverging.
@@ -565,6 +569,7 @@ func (bg *BoxGrid2L) Query(r geom.Rect, emit func(id uint32)) {
 //
 //joinlint:hotpath
 func (bg *BoxGrid2L) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
+	bg.queries.Inc()
 	q := bg.mapper.spanOf(r)
 	cps := bg.cps
 	half := 2 * bg.cells

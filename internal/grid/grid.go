@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/parutil"
 )
 
@@ -285,6 +286,8 @@ type Grid struct {
 	// steady-state ticks allocate nothing.
 	moveCells []uint32
 	shardOff  [2][]uint32
+	// queries counts query-kernel entries (nil until Instrument).
+	queries *obs.Counter
 }
 
 // New constructs a grid for the given space. numPoints sizes the arenas;
@@ -550,6 +553,7 @@ func bucketByShard(cells, idx, off []uint32, workers int) []uint32 {
 
 // Query implements core.Index, dispatching on the configured algorithm.
 func (g *Grid) Query(r geom.Rect, emit func(id uint32)) {
+	g.queries.Inc()
 	switch g.cfg.Scan {
 	case ScanFull:
 		g.queryFullScan(r, emit)
@@ -614,6 +618,7 @@ func (g *Grid) scanCellRange(r geom.Rect, xmin, xmax, ymin, ymax int, emit func(
 //
 //joinlint:hotpath
 func (g *Grid) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
+	g.queries.Inc()
 	if g.cfg.Scan == ScanFull {
 		return g.scanCellRangeAppend(r, 0, g.cfg.CPS-1, 0, g.cfg.CPS-1, buf)
 	}

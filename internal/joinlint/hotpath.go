@@ -113,6 +113,10 @@ func (p *Pass) checkHotPathCall(call *ast.CallExpr) {
 		p.Reportf(call.Pos(), "%s call on the hot path: boxes every operand and formats/locks per result", pkg)
 		return
 	}
+	if calleePackage(p.Info, call) == "time" && calleeName(call) == "Now" {
+		p.Reportf(call.Pos(), "time.Now on the hot path: a vDSO call (tens of ns) per result; take timestamps at the kernel boundary or through the caller-supplied clock hook (obs.Registry.SetClock)")
+		return
+	}
 	// Conversion to an interface type: any(x), error(x), ...
 	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
 		p.checkBoxing(tv.Type, call.Args[0], "conversion")
@@ -206,6 +210,15 @@ func (p *Pass) checkBoxing(dst types.Type, src ast.Expr, context string) {
 		return // interface-to-interface, no new box
 	}
 	p.Reportf(src.Pos(), "interface boxing on the hot path (%s converts %s to %s): allocates and adds an indirect call per result — the overhead the buffered kernels exist to avoid", context, st, dst)
+}
+
+// calleeName returns the selector name of a qualified call
+// (time.Now -> "Now"), or "" for everything else.
+func calleeName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return ""
 }
 
 // calleePackage returns the import path of the package a qualified

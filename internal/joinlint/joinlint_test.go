@@ -154,7 +154,7 @@ func TestDirectiveParsing(t *testing.T) {
 			}
 		}
 	}
-	want := []string{"deferred", "closes", "rangesMap", "logs", "boxesArg", "boxesDecl", "boxesAssign", "boxesReturn", "boxesComposite", "clean", "suppressed"}
+	want := []string{"deferred", "closes", "rangesMap", "logs", "stamps", "boxesArg", "boxesDecl", "boxesAssign", "boxesReturn", "boxesComposite", "clean", "suppressed"}
 	if fmt.Sprint(annotated) != fmt.Sprint(want) {
 		t.Errorf("annotated functions = %v, want %v", annotated, want)
 	}

@@ -3,7 +3,10 @@
 // controls.
 package hotpath
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 type store struct {
 	ids  []uint32
@@ -44,6 +47,12 @@ func rangesMap(st *store) uint32 {
 //joinlint:hotpath
 func logs(st *store) {
 	fmt.Println(len(st.ids)) // want `fmt call on the hot path`
+}
+
+//joinlint:hotpath
+func stamps(st *store) int64 {
+	t := time.Now() // want `time.Now on the hot path`
+	return t.UnixNano() + int64(len(st.ids))
 }
 
 //joinlint:hotpath

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// counterShards is the stripe count of a Counter. Eight 64-byte lines
+// (512 B per counter) is enough to keep the tick drivers' worker pools
+// from bouncing one line; counters are few, so the footprint is noise.
+const counterShards = 8
+
+// counterShard is one cache-line-padded stripe.
+type counterShard struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a monotonic (or at least sum-semantic) event counter
+// striped across padded cache lines. The zero value is ready to use;
+// a nil *Counter is the disabled no-op. Concurrency-safe.
+type Counter struct {
+	shards [counterShards]counterShard
+}
+
+// NewCounter returns a standalone counter, for components that must
+// count regardless of whether a registry is attached (e.g. the epoch
+// wrapper's lifecycle stats).
+func NewCounter() *Counter { return &Counter{} }
+
+// Inc adds one.
+//
+//joinlint:hotpath
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add folds n into the counter. The stripe is picked from the calling
+// goroutine's stack address: stacks live in distinct spans, so
+// concurrent workers land on distinct stripes with high probability
+// while a single caller always hits the same (warm) line. The
+// pointer-to-uintptr conversion does not escape b.
+//
+//joinlint:hotpath
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	var b byte
+	i := (uintptr(unsafe.Pointer(&b)) >> 10) % counterShards
+	c.shards[i].v.Add(n)
+}
+
+// Value sums the stripes. Each stripe load is atomic; the sum is exact
+// once writers are quiesced and a live lower bound otherwise.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	var total int64
+	for i := range c.shards {
+		total += c.shards[i].v.Load()
+	}
+	return total
+}
+
+// Gauge is a last-write-wins instantaneous value (workers in flight,
+// current shard side). Padded like a counter stripe; a nil *Gauge is
+// the disabled no-op. Concurrency-safe.
+type Gauge struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// NewGauge returns a standalone gauge.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set stores the value.
+//
+//joinlint:hotpath
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add folds a delta into the gauge.
+//
+//joinlint:hotpath
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram bucket geometry: values 0..7 get exact unit buckets, every
+// later power-of-two octave splits into 2^histSubBits sub-buckets, so
+// the relative bucket width is bounded by 2^-histSubBits = 12.5%
+// everywhere. Everything at or above 2^histMaxExp ns (~73 minutes)
+// lands in one overflow bucket.
+const (
+	histSubBits    = 3
+	histSubCount   = 1 << histSubBits
+	histMaxExp     = 42
+	histNumBuckets = histSubCount + (histMaxExp-histSubBits)*histSubCount + 1
+)
+
+// Histogram is a fixed-bucket log-scale distribution of non-negative
+// int64 observations (nanoseconds by convention). Memory is constant:
+// histNumBuckets atomic words, never a sample list. The zero value is
+// ready to use; a nil *Histogram is the disabled no-op.
+// Concurrency-safe; every Record is one bucket add, one count add, one
+// sum add, and a max CAS.
+type Histogram struct {
+	buckets [histNumBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// NewHistogram returns a standalone histogram (see NewCounter).
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Record folds one observation in. Negative values clamp to zero.
+//
+//joinlint:hotpath
+func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[histBucket(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
+}
+
+// histBucket maps a non-negative value to its bucket index.
+func histBucket(v int64) int {
+	u := uint64(v)
+	if u < histSubCount {
+		return int(u)
+	}
+	e := bits.Len64(u) - 1
+	if e >= histMaxExp {
+		return histNumBuckets - 1
+	}
+	mant := int((u >> (uint(e) - histSubBits)) & (histSubCount - 1))
+	return histSubCount + (e-histSubBits)*histSubCount + mant
+}
+
+// BucketBounds returns bucket i's half-open value range [lo, hi).
+func BucketBounds(i int) (lo, hi int64) {
+	switch {
+	case i < histSubCount:
+		return int64(i), int64(i) + 1
+	case i >= histNumBuckets-1:
+		return int64(1) << histMaxExp, math.MaxInt64
+	default:
+		k := i - histSubCount
+		e := histSubBits + k/histSubCount
+		width := int64(1) << (uint(e) - histSubBits)
+		lo = int64(1)<<uint(e) + int64(k%histSubCount)*width
+		return lo, lo + width
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of recorded observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Max returns the largest recorded observation (0 when empty).
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile estimates the p-quantile (0 <= p <= 1) as the midpoint of
+// the bucket holding the corresponding order statistic — the same rank
+// convention as stats.Percentile, so on a dense sample the estimate
+// lands within one bucket width of the exact-sample value. Returns 0
+// when empty. The bucket scan is not atomic across buckets; under
+// concurrent recording the estimate is a sample of a moving
+// distribution, which is what a live endpoint wants anyway.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return 0
+	}
+	var counts [histNumBuckets]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	return quantileOf(&counts, total, p)
+}
+
+// quantileOf locates the bucket of order statistic p*(total-1) in a
+// counts snapshot and returns its midpoint.
+func quantileOf(counts *[histNumBuckets]uint64, total uint64, p float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := uint64(p * float64(total-1))
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum > rank {
+			lo, hi := BucketBounds(i)
+			if hi == math.MaxInt64 {
+				return float64(lo)
+			}
+			return float64(lo+hi) / 2
+		}
+	}
+	lo, _ := BucketBounds(histNumBuckets - 1)
+	return float64(lo)
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+
+	"repro/internal/parutil"
+)
+
+// Handler serves the debug surface for a registry:
+//
+//	/debug/obs          — full Snapshot as JSON (expvar-style)
+//	/debug/obs/hist     — plain-text per-phase histogram dump
+//	                      (?name=prefix filters by instrument name)
+//	/debug/pprof/...    — the standard runtime profiles
+//
+// The registry may be nil; the endpoint then serves empty snapshots,
+// which keeps -debug-addr usable even when instrumentation is off.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/debug/obs/hist", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeHistDump(w, r.Snapshot(), req.URL.Query().Get("name"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		fmt.Fprintln(w, "debug endpoints: /debug/obs /debug/obs/hist /debug/pprof/")
+	})
+	return mux
+}
+
+// writeHistDump renders every histogram whose name has the given prefix
+// as a log-scale bar chart of its non-empty buckets.
+func writeHistDump(w io.Writer, snap *Snapshot, prefix string) {
+	names := make([]string, 0, len(snap.Histograms))
+	for name := range snap.Histograms {
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		hs := snap.Histograms[name]
+		fmt.Fprintf(w, "%s: count=%d mean=%.0f p50=%.0f p90=%.0f p99=%.0f max=%d\n",
+			name, hs.Count, hs.Mean, hs.P50, hs.P90, hs.P99, hs.Max)
+		var peak uint64
+		for _, b := range hs.Buckets {
+			if b.Count > peak {
+				peak = b.Count
+			}
+		}
+		for _, b := range hs.Buckets {
+			bar := int(b.Count * 40 / peak)
+			if b.Count > 0 && bar == 0 {
+				bar = 1
+			}
+			hi := fmt.Sprintf("%d", b.Hi)
+			if b.Hi < 0 {
+				hi = "inf"
+			}
+			fmt.Fprintf(w, "  [%12d, %12s) %10d %s\n", b.Lo, hi, b.Count, strings.Repeat("#", bar))
+		}
+	}
+}
+
+// Serve starts the debug endpoint on addr (":0" picks a free port) and
+// returns the bound address. The listener runs until the process exits;
+// this is a debug surface, not a managed server, so there is no Stop —
+// callers that need lifecycle control should mount Handler themselves.
+func Serve(addr string, r *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	parutil.GoErr(func() error { return srv.Serve(ln) })
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterSumsAcrossStripes(t *testing.T) {
+	c := NewCounter()
+	for i := 0; i < 1000; i++ {
+		c.Inc()
+	}
+	c.Add(500)
+	if got := c.Value(); got != 1500 {
+		t.Fatalf("Value() = %d, want 1500", got)
+	}
+}
+
+func TestNilInstrumentsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry handed out non-nil instruments: %v %v %v", c, g, h)
+	}
+	c.Inc()
+	c.Add(3)
+	g.Set(7)
+	g.Add(1)
+	h.Record(42)
+	r.Exit(r.Enter(h))
+	r.SetLabel("k", "v")
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments accumulated state")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", snap)
+	}
+}
+
+func TestRegistryReturnsSameInstrument(t *testing.T) {
+	r := New()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("same name, different counters")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("same name, different histograms")
+	}
+	r.Counter("a").Add(2)
+	r.Counter("a").Inc()
+	if got := r.Counter("a").Value(); got != 3 {
+		t.Fatalf("shared counter = %d, want 3", got)
+	}
+}
+
+func TestSpanRecordsElapsedClock(t *testing.T) {
+	r := New()
+	var now int64
+	r.SetClock(func() int64 { return now })
+	h := r.Histogram("span_ns")
+	sp := r.Enter(h)
+	now += 1000
+	r.Exit(sp)
+	if got := h.Count(); got != 1 {
+		t.Fatalf("span recorded %d observations, want 1", got)
+	}
+	if got := h.Sum(); got != 1000 {
+		t.Fatalf("span recorded %d ns, want 1000", got)
+	}
+}
+
+func TestHistogramBucketGeometry(t *testing.T) {
+	// Every representable value must land in a bucket whose bounds
+	// contain it, and bucket indexes must be monotone in the value.
+	vals := []int64{0, 1, 7, 8, 9, 15, 16, 100, 1023, 1024, 1 << 20, 1<<42 - 1, 1 << 42, math.MaxInt64}
+	prev := -1
+	for _, v := range vals {
+		i := histBucket(v)
+		lo, hi := BucketBounds(i)
+		if v < lo || (v >= hi && hi != math.MaxInt64) {
+			t.Fatalf("value %d in bucket %d with bounds [%d, %d)", v, i, lo, hi)
+		}
+		if i < prev {
+			t.Fatalf("bucket index not monotone at value %d: %d < %d", v, i, prev)
+		}
+		prev = i
+	}
+	// Relative bucket width stays under 2^-histSubBits beyond the exact
+	// range.
+	for i := histSubCount; i < histNumBuckets-1; i++ {
+		lo, hi := BucketBounds(i)
+		if width := hi - lo; width > lo>>histSubBits {
+			t.Fatalf("bucket %d [%d, %d): width %d above %d", i, lo, hi, width, lo>>histSubBits)
+		}
+	}
+}
+
+// TestHistogramQuantileAgreesWithExact is the bounded-latency contract
+// (ISSUE 10 satellite): the histogram's quantile estimate must land
+// within one bucket width of the exact-sample percentile the concurrent
+// driver reports on short runs.
+func TestHistogramQuantileAgreesWithExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := NewHistogram()
+	samples := make([]float64, 0, 100000)
+	for i := 0; i < 100000; i++ {
+		// Log-normal-ish latencies around ~30µs with a heavy tail.
+		v := int64(30000 * math.Exp(rng.NormFloat64()))
+		h.Record(v)
+		samples = append(samples, float64(v))
+	}
+	sort.Float64s(samples)
+	for _, p := range []float64{0.50, 0.90, 0.95, 0.99} {
+		pos := p * float64(len(samples)-1)
+		lo := int(pos)
+		frac := pos - float64(lo)
+		exact := samples[lo]
+		if lo+1 < len(samples) {
+			exact = samples[lo]*(1-frac) + samples[lo+1]*frac
+		}
+		est := h.Quantile(p)
+		bLo, bHi := BucketBounds(histBucket(int64(exact)))
+		width := float64(bHi - bLo)
+		if math.Abs(est-exact) > width {
+			t.Errorf("p%.0f: estimate %.0f vs exact %.0f differs by more than one bucket width %.0f",
+				p*100, est, exact, width)
+		}
+	}
+}
+
+// TestHistogramConcurrentHammer drives one histogram from 8 goroutines
+// and requires exact total-count accounting (ISSUE 10 satellite).
+func TestHistogramConcurrentHammer(t *testing.T) {
+	const goroutines = 8
+	const perG = 50000
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		g := g
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Record(int64(g*1000 + i%997))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("Count() = %d, want %d", got, goroutines*perG)
+	}
+	var bucketTotal uint64
+	for _, b := range h.snapshot().Buckets {
+		bucketTotal += b.Count
+	}
+	if bucketTotal != goroutines*perG {
+		t.Fatalf("bucket counts sum to %d, want %d", bucketTotal, goroutines*perG)
+	}
+}
+
+func TestCounterConcurrentHammer(t *testing.T) {
+	const goroutines = 8
+	const perG = 100000
+	c := NewCounter()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("Value() = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("epoch.epochs_published").Add(12)
+	r.Gauge("shard.side").Set(4)
+	r.SetLabel("tune.choice", "csr/cps=64")
+	h := r.Histogram("core.tick.build_ns")
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i * 1000)
+	}
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["epoch.epochs_published"] != 12 {
+		t.Fatalf("counter lost in round trip: %+v", snap.Counters)
+	}
+	if snap.Gauges["shard.side"] != 4 {
+		t.Fatalf("gauge lost in round trip: %+v", snap.Gauges)
+	}
+	if snap.Labels["tune.choice"] != "csr/cps=64" {
+		t.Fatalf("label lost in round trip: %+v", snap.Labels)
+	}
+	hs := snap.Histograms["core.tick.build_ns"]
+	if hs.Count != 100 || hs.Sum != 5050000 || hs.Max != 100000 {
+		t.Fatalf("histogram summary wrong after round trip: %+v", hs)
+	}
+	if len(hs.Buckets) == 0 {
+		t.Fatal("histogram buckets missing from snapshot")
+	}
+}
+
+func TestDebugEndpointServesSnapshotAndHistDump(t *testing.T) {
+	r := New()
+	r.Counter("core.ticks").Add(3)
+	r.Histogram("core.tick.query_ns").Record(12345)
+	addr, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	resp, err := client.Get("http://" + addr + "/debug/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Counters["core.ticks"] != 3 {
+		t.Fatalf("endpoint snapshot missing counter: %+v", snap.Counters)
+	}
+	if snap.Histograms["core.tick.query_ns"].Count != 1 {
+		t.Fatalf("endpoint snapshot missing histogram: %+v", snap.Histograms)
+	}
+
+	resp, err = client.Get("http://" + addr + "/debug/obs/hist?name=core.tick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !strings.Contains(string(dump), "core.tick.query_ns") {
+		t.Fatalf("hist dump lacks histogram header:\n%s", dump)
+	}
+
+	resp, err = client.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof endpoint status %d", resp.StatusCode)
+	}
+}

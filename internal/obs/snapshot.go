@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"math"
+	"time"
+)
+
+// Snapshot is the registry's JSON-serializable state at one instant:
+// what /debug/obs serves and what cmd/obsreport diffs. Maps are
+// rendered with sorted keys by encoding/json, so two snapshots of the
+// same registry diff cleanly as text too.
+type Snapshot struct {
+	// TakenUnixNs is the wall-clock capture time (Unix nanoseconds).
+	TakenUnixNs int64 `json:"taken_unix_ns"`
+	// UptimeNs is the registry clock at capture — the span timebase.
+	UptimeNs   int64                   `json:"uptime_ns"`
+	Labels     map[string]string       `json:"labels,omitempty"`
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// HistSnapshot summarizes one histogram: moments, quantile estimates,
+// and the non-empty buckets.
+type HistSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   int64   `json:"sum"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	// Buckets holds only buckets with at least one observation.
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one non-empty histogram bucket: the half-open value range
+// [Lo, Hi) and its observation count. Hi is -1 for the overflow bucket
+// (an unbounded upper edge has no JSON-friendly int64).
+type Bucket struct {
+	Lo    int64  `json:"lo"`
+	Hi    int64  `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// Snapshot captures the registry. Nil registries snapshot as an empty
+// (but valid) Snapshot. Counters and histograms are read with atomic
+// loads but not frozen: a snapshot taken mid-run is a consistent-enough
+// live view, not a barrier.
+func (r *Registry) Snapshot() *Snapshot {
+	snap := &Snapshot{
+		TakenUnixNs: time.Now().UnixNano(),
+		Labels:      map[string]string{},
+		Counters:    map[string]int64{},
+		Gauges:      map[string]int64{},
+		Histograms:  map[string]HistSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	snap.UptimeNs = r.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range sortedKeys(r.labels) {
+		snap.Labels[name] = r.labels[name]
+	}
+	for _, name := range sortedKeys(r.counters) {
+		snap.Counters[name] = r.counters[name].Value()
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		snap.Gauges[name] = r.gauges[name].Value()
+	}
+	for _, name := range sortedKeys(r.hists) {
+		snap.Histograms[name] = r.hists[name].snapshot()
+	}
+	return snap
+}
+
+// snapshot summarizes the histogram off one pass over the buckets, so
+// the quantiles and the bucket list describe the same counts.
+func (h *Histogram) snapshot() HistSnapshot {
+	var counts [histNumBuckets]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	hs := HistSnapshot{
+		Count: total,
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+		P50:   quantileOf(&counts, total, 0.50),
+		P90:   quantileOf(&counts, total, 0.90),
+		P99:   quantileOf(&counts, total, 0.99),
+	}
+	if total > 0 {
+		hs.Mean = float64(hs.Sum) / float64(total)
+	}
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := BucketBounds(i)
+		if hi == math.MaxInt64 {
+			hi = -1
+		}
+		hs.Buckets = append(hs.Buckets, Bucket{Lo: lo, Hi: hi, Count: c})
+	}
+	return hs
+}

@@ -37,6 +37,7 @@ type boxRegion struct {
 	frame  geom.Rect
 	hints  core.WorkloadHints
 	park   geom.Rect
+	ins    *instruments
 
 	choice tune.Choice
 	chosen bool
@@ -53,7 +54,7 @@ type boxRegion struct {
 	members []uint32
 }
 
-func newBoxRegion(lat *lattice, cx, cy int, hints core.WorkloadHints) *boxRegion {
+func newBoxRegion(lat *lattice, cx, cy int, hints core.WorkloadHints, ins *instruments) *boxRegion {
 	frame := lat.regionFrame(cx, cy)
 	c := frame.Center()
 	return &boxRegion{
@@ -64,6 +65,7 @@ func newBoxRegion(lat *lattice, cx, cy int, hints core.WorkloadHints) *boxRegion
 		frame: frame,
 		hints: hints,
 		park:  geom.Rect{MinX: c.X, MinY: c.Y, MaxX: c.X, MaxY: c.Y},
+		ins:   ins,
 	}
 }
 
@@ -165,6 +167,7 @@ func (s *boxRegion) query(r geom.Rect, emit func(id uint32), dedup bool) {
 		return
 	}
 	rects := s.rects
+	var filtered int64
 	s.inner.Query(r, func(lid uint32) {
 		g := owner[lid]
 		if g == NONE {
@@ -173,8 +176,13 @@ func (s *boxRegion) query(r geom.Rect, emit func(id uint32), dedup bool) {
 		rx, ry := refPoint(r, rects[lid])
 		if s.lat.idOf(rx, ry) == s.sid {
 			emit(g)
+		} else {
+			filtered++
 		}
 	})
+	if filtered > 0 {
+		s.ins.dedupFiltered.Add(filtered)
+	}
 }
 
 // QueryAppend implements core.QueryAppender standalone (dedup always
@@ -203,6 +211,7 @@ func (s *boxRegion) queryAppend(r geom.Rect, buf []uint32, dedup bool) []uint32 
 		return buf[:w]
 	}
 	rects := s.rects
+	var filtered int64
 	for _, lid := range buf[tail:] {
 		g := owner[lid]
 		if g == NONE {
@@ -212,7 +221,12 @@ func (s *boxRegion) queryAppend(r geom.Rect, buf []uint32, dedup bool) []uint32 
 		if s.lat.idOf(rx, ry) == s.sid {
 			buf[w] = g
 			w++
+		} else {
+			filtered++
 		}
+	}
+	if filtered > 0 {
+		s.ins.dedupFiltered.Add(filtered)
 	}
 	return buf[:w]
 }
@@ -233,6 +247,7 @@ func (s *boxRegion) Update(id uint32, _, new geom.Rect) {
 		s.lidOf[id] = NONE
 		s.free = append(s.free, lid)
 		s.live--
+		s.ins.parked.Inc()
 	case inNew: // replica enters this region
 		if len(s.free) == 0 {
 			s.grow()
@@ -244,6 +259,7 @@ func (s *boxRegion) Update(id uint32, _, new geom.Rect) {
 		s.owner[lid] = id
 		s.lidOf[id] = lid
 		s.live++
+		s.ins.revived.Inc()
 	}
 }
 
@@ -312,6 +328,7 @@ type BoxIndex struct {
 	side  int
 	lat   lattice
 	regs  []*boxRegion
+	ins   instruments
 
 	members [][]uint32
 	route   [][]uint32 // per-worker x per-region parallel routing scratch
@@ -370,10 +387,11 @@ func (x *BoxIndex) ensure(all []geom.Rect) {
 		x.side = tune.ChooseShardSide(st, runtime.GOMAXPROCS(0))
 	}
 	x.lat = newLattice(x.bounds, x.side)
+	x.ins.side.Set(int64(x.side))
 	x.regs = make([]*boxRegion, x.side*x.side)
 	for cy := 0; cy < x.side; cy++ {
 		for cx := 0; cx < x.side; cx++ {
-			x.regs[cy*x.side+cx] = newBoxRegion(&x.lat, cx, cy, x.hints)
+			x.regs[cy*x.side+cx] = newBoxRegion(&x.lat, cx, cy, x.hints, &x.ins)
 		}
 	}
 	x.members = make([][]uint32, len(x.regs))
@@ -468,6 +486,7 @@ func (x *BoxIndex) forEachRegion(workers int, fn func(i int)) {
 // replica reports exactly once.
 func (x *BoxIndex) Query(r geom.Rect, emit func(id uint32)) {
 	x0, y0, x1, y1 := x.lat.spanOf(r)
+	x.ins.fanout.Record(int64((x1 - x0 + 1) * (y1 - y0 + 1)))
 	if x0 == x1 && y0 == y1 {
 		x.regs[y0*x.lat.side+x0].query(r, emit, false)
 		return
@@ -487,6 +506,7 @@ func (x *BoxIndex) Query(r geom.Rect, emit func(id uint32)) {
 //joinlint:hotpath
 func (x *BoxIndex) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
 	x0, y0, x1, y1 := x.lat.spanOf(r)
+	x.ins.fanout.Record(int64((x1 - x0 + 1) * (y1 - y0 + 1)))
 	if x0 == x1 && y0 == y1 {
 		return x.regs[y0*x.lat.side+x0].queryAppend(r, buf, false)
 	}

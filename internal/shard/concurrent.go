@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/epoch"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/tune"
 )
 
@@ -34,6 +35,8 @@ type Concurrent struct {
 	side   int
 	lat    lattice
 	shards []*epoch.Index
+	reg    *obs.Registry
+	ins    instruments
 
 	batches [][]geom.Move
 	errs    []error
@@ -68,13 +71,16 @@ func (x *Concurrent) Build(pts []geom.Point) {
 			x.side = tune.ChooseShardSide(st, runtime.GOMAXPROCS(0))
 		}
 		x.lat = newLattice(x.bounds, x.side)
+		x.ins.side.Set(int64(x.side))
 		x.shards = make([]*epoch.Index, x.side*x.side)
 		for cy := 0; cy < x.side; cy++ {
 			for cx := 0; cx < x.side; cx++ {
 				cx, cy := cx, cy
-				x.shards[cy*x.side+cx] = epoch.NewIndex(func() core.Index {
-					return newPointRegion(&x.lat, cx, cy, x.hints)
+				sh := epoch.NewIndex(func() core.Index {
+					return newPointRegion(&x.lat, cx, cy, x.hints, &x.ins)
 				}, x.opts)
+				sh.Instrument(x.reg)
+				x.shards[cy*x.side+cx] = sh
 			}
 		}
 		x.batches = make([][]geom.Move, len(x.shards))
@@ -121,6 +127,7 @@ func (x *Concurrent) ApplyBatch(moves []geom.Move) error {
 // duplicate-free.
 func (x *Concurrent) Query(r geom.Rect, emit func(id uint32), observe func(shard int, epoch, digest uint64)) {
 	x0, y0, x1, y1 := x.lat.spanOf(r)
+	x.ins.fanout.Record(int64((x1 - x0 + 1) * (y1 - y0 + 1)))
 	for cy := y0; cy <= y1; cy++ {
 		row := cy * x.lat.side
 		for cx := x0; cx <= x1; cx++ {
@@ -136,6 +143,7 @@ func (x *Concurrent) Query(r geom.Rect, emit func(id uint32), observe func(shard
 // pin, with its (epoch, digest) observation reported through observe.
 func (x *Concurrent) QueryAppend(r geom.Rect, buf []uint32, observe func(shard int, epoch, digest uint64)) []uint32 {
 	x0, y0, x1, y1 := x.lat.spanOf(r)
+	x.ins.fanout.Record(int64((x1 - x0 + 1) * (y1 - y0 + 1)))
 	for cy := y0; cy <= y1; cy++ {
 		row := cy * x.lat.side
 		for cx := x0; cx <= x1; cx++ {
@@ -186,6 +194,8 @@ type BoxConcurrent struct {
 	side   int
 	lat    lattice
 	shards []*epoch.BoxIndex
+	reg    *obs.Registry
+	ins    instruments
 
 	batches [][]geom.BoxMove
 	errs    []error
@@ -218,13 +228,16 @@ func (x *BoxConcurrent) Build(rects []geom.Rect) {
 			x.side = tune.ChooseShardSide(st, runtime.GOMAXPROCS(0))
 		}
 		x.lat = newLattice(x.bounds, x.side)
+		x.ins.side.Set(int64(x.side))
 		x.shards = make([]*epoch.BoxIndex, x.side*x.side)
 		for cy := 0; cy < x.side; cy++ {
 			for cx := 0; cx < x.side; cx++ {
 				cx, cy := cx, cy
-				x.shards[cy*x.side+cx] = epoch.NewBoxIndex(func() core.BoxIndex {
-					return newBoxRegion(&x.lat, cx, cy, x.hints)
+				sh := epoch.NewBoxIndex(func() core.BoxIndex {
+					return newBoxRegion(&x.lat, cx, cy, x.hints, &x.ins)
 				}, x.opts)
+				sh.Instrument(x.reg)
+				x.shards[cy*x.side+cx] = sh
 			}
 		}
 		x.batches = make([][]geom.BoxMove, len(x.shards))
@@ -286,6 +299,7 @@ func (x *BoxConcurrent) ApplyBatch(moves []geom.BoxMove) error {
 // one), so the merged stream is duplicate-free.
 func (x *BoxConcurrent) Query(r geom.Rect, emit func(id uint32), observe func(shard int, epoch, digest uint64)) {
 	x0, y0, x1, y1 := x.lat.spanOf(r)
+	x.ins.fanout.Record(int64((x1 - x0 + 1) * (y1 - y0 + 1)))
 	for cy := y0; cy <= y1; cy++ {
 		row := cy * x.lat.side
 		for cx := x0; cx <= x1; cx++ {
@@ -300,6 +314,7 @@ func (x *BoxConcurrent) Query(r geom.Rect, emit func(id uint32), observe func(sh
 // Concurrent.QueryAppend; regions dedup by boundary ownership).
 func (x *BoxConcurrent) QueryAppend(r geom.Rect, buf []uint32, observe func(shard int, epoch, digest uint64)) []uint32 {
 	x0, y0, x1, y1 := x.lat.spanOf(r)
+	x.ins.fanout.Record(int64((x1 - x0 + 1) * (y1 - y0 + 1)))
 	for cy := y0; cy <= y1; cy++ {
 		row := cy * x.lat.side
 		for cx := x0; cx <= x1; cx++ {

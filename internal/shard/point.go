@@ -39,6 +39,7 @@ type pointRegion struct {
 	frame  geom.Rect
 	hints  core.WorkloadHints
 	park   geom.Point
+	ins    *instruments
 
 	choice tune.Choice
 	chosen bool
@@ -59,7 +60,7 @@ type pointRegion struct {
 	members []uint32 // build scratch
 }
 
-func newPointRegion(lat *lattice, cx, cy int, hints core.WorkloadHints) *pointRegion {
+func newPointRegion(lat *lattice, cx, cy int, hints core.WorkloadHints, ins *instruments) *pointRegion {
 	frame := lat.regionFrame(cx, cy)
 	return &pointRegion{
 		lat:   lat,
@@ -69,6 +70,7 @@ func newPointRegion(lat *lattice, cx, cy int, hints core.WorkloadHints) *pointRe
 		frame: frame,
 		hints: hints,
 		park:  frame.Center(),
+		ins:   ins,
 	}
 }
 
@@ -199,6 +201,7 @@ func (s *pointRegion) Update(id uint32, _, new geom.Point) {
 		s.lidOf[id] = NONE
 		s.free = append(s.free, lid)
 		s.live--
+		s.ins.parked.Inc()
 	case inNew: // immigration: revive a parked slot
 		if len(s.free) == 0 {
 			s.grow()
@@ -210,6 +213,7 @@ func (s *pointRegion) Update(id uint32, _, new geom.Point) {
 		s.owner[lid] = id
 		s.lidOf[id] = lid
 		s.live++
+		s.ins.revived.Inc()
 	}
 }
 
@@ -283,6 +287,7 @@ type Index struct {
 	side  int // 0 until the ladder picks at first build (auto mode)
 	lat   lattice
 	regs  []*pointRegion
+	ins   instruments
 
 	members [][]uint32    // per-region build routing scratch
 	route   [][]uint32    // per-worker x per-region parallel routing scratch
@@ -354,10 +359,11 @@ func (x *Index) ensure(all []geom.Point) {
 		x.side = tune.ChooseShardSide(st, runtime.GOMAXPROCS(0))
 	}
 	x.lat = newLattice(x.bounds, x.side)
+	x.ins.side.Set(int64(x.side))
 	x.regs = make([]*pointRegion, x.side*x.side)
 	for cy := 0; cy < x.side; cy++ {
 		for cx := 0; cx < x.side; cx++ {
-			x.regs[cy*x.side+cx] = newPointRegion(&x.lat, cx, cy, x.hints)
+			x.regs[cy*x.side+cx] = newPointRegion(&x.lat, cx, cy, x.hints, &x.ins)
 		}
 	}
 	x.members = make([][]uint32, len(x.regs))
@@ -445,6 +451,7 @@ func (x *Index) forEachRegion(workers int, fn func(i int)) {
 // workers, and region results are disjoint by ownership.
 func (x *Index) Query(r geom.Rect, emit func(id uint32)) {
 	x0, y0, x1, y1 := x.lat.spanOf(r)
+	x.ins.fanout.Record(int64((x1 - x0 + 1) * (y1 - y0 + 1)))
 	for cy := y0; cy <= y1; cy++ {
 		row := cy * x.lat.side
 		for cx := x0; cx <= x1; cx++ {
@@ -460,6 +467,7 @@ func (x *Index) Query(r geom.Rect, emit func(id uint32)) {
 //joinlint:hotpath
 func (x *Index) QueryAppend(r geom.Rect, buf []uint32) []uint32 {
 	x0, y0, x1, y1 := x.lat.spanOf(r)
+	x.ins.fanout.Record(int64((x1 - x0 + 1) * (y1 - y0 + 1)))
 	for cy := y0; cy <= y1; cy++ {
 		row := cy * x.lat.side
 		for cx := x0; cx <= x1; cx++ {

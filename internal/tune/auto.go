@@ -3,6 +3,7 @@ package tune
 import (
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // Auto is the adaptive point index: a core.Index that defers choosing
@@ -19,6 +20,7 @@ type Auto struct {
 	params core.Params
 	inner  core.Index
 	choice Choice
+	reg    *obs.Registry
 	// appendKernel is the inner's buffered query kernel, resolved once
 	// at selection time (native QueryAppend, or the callback adapter
 	// for out-of-tree inners). Resolving here keeps QueryAppend itself
@@ -70,6 +72,8 @@ func (a *Auto) ensure(pts []geom.Point) {
 	a.choice = ChoosePoint(s)
 	a.inner = a.choice.NewPointIndex(a.params)
 	a.appendKernel = core.QueryAppendOf(a.inner, a.inner.Query)
+	obs.Instrument(a.inner, a.reg)
+	publishChoice(a.reg, a.choice)
 }
 
 // Build implements core.Index.
@@ -169,6 +173,7 @@ type AutoBox struct {
 	params core.Params
 	inner  core.BoxIndex
 	choice Choice
+	reg    *obs.Registry
 	// appendKernel mirrors Auto.appendKernel (see there).
 	appendKernel func(r geom.Rect, buf []uint32) []uint32
 }
@@ -209,6 +214,8 @@ func (a *AutoBox) ensure(rects []geom.Rect) {
 	a.choice = ChooseBox(s)
 	a.inner = a.choice.NewBoxIndex(a.params)
 	a.appendKernel = core.QueryAppendOf(a.inner, a.inner.Query)
+	obs.Instrument(a.inner, a.reg)
+	publishChoice(a.reg, a.choice)
 }
 
 // Build implements core.BoxIndex.
